@@ -1,0 +1,174 @@
+//! Symbolic-phase counters: distinct-column counting without values.
+//!
+//! The symbolic execution phase (paper Section II-B, Figure 3) only
+//! needs `nnz(C_i*)` per output row so the numeric phase can be
+//! allocated exactly. These counters are the value-free analogues of
+//! the numeric accumulators.
+
+use sparse::ColId;
+
+/// Counts distinct column ids for one row at a time.
+pub trait SymbolicCounter {
+    /// Records a column hit.
+    fn insert(&mut self, col: ColId);
+    /// Distinct columns recorded since the last reset.
+    fn count(&self) -> usize;
+    /// Resets for the next row.
+    fn reset(&mut self);
+}
+
+/// Dense marker counter with generation stamps (`O(1)` reset).
+#[derive(Clone, Debug)]
+pub struct DenseCounter {
+    stamps: Vec<u32>,
+    generation: u32,
+    count: usize,
+}
+
+impl DenseCounter {
+    /// Creates a counter for columns `0..width`.
+    pub fn new(width: usize) -> Self {
+        DenseCounter { stamps: vec![0; width], generation: 1, count: 0 }
+    }
+}
+
+impl SymbolicCounter for DenseCounter {
+    #[inline]
+    fn insert(&mut self, col: ColId) {
+        let i = col as usize;
+        debug_assert!(i < self.stamps.len(), "column {col} out of counter width");
+        if self.stamps[i] != self.generation {
+            self.stamps[i] = self.generation;
+            self.count += 1;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamps.fill(0);
+                1
+            }
+        };
+    }
+}
+
+const EMPTY: ColId = ColId::MAX;
+
+/// Open-addressing hash-set counter.
+#[derive(Clone, Debug)]
+pub struct HashCounter {
+    keys: Vec<ColId>,
+    mask: usize,
+    count: usize,
+}
+
+impl HashCounter {
+    /// Creates a set sized for about `expected` distinct columns.
+    pub fn with_expected(expected: usize) -> Self {
+        let cap = (expected.max(4) * 2).next_power_of_two();
+        HashCounter { keys: vec![EMPTY; cap], mask: cap - 1, count: 0 }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        self.mask = new_cap - 1;
+        self.count = 0;
+        for k in old {
+            if k != EMPTY {
+                self.insert(k);
+            }
+        }
+    }
+}
+
+impl SymbolicCounter for HashCounter {
+    fn insert(&mut self, col: ColId) {
+        debug_assert_ne!(col, EMPTY, "column id u32::MAX is reserved");
+        if (self.count + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = (col.wrapping_mul(2654435769) as usize) & self.mask;
+        loop {
+            if self.keys[i] == col {
+                return;
+            }
+            if self.keys[i] == EMPTY {
+                self.keys[i] = col;
+                self.count += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn reset(&mut self) {
+        self.keys.fill(EMPTY);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<C: SymbolicCounter>(mut c: C) {
+        c.insert(5);
+        c.insert(9);
+        c.insert(5);
+        c.insert(0);
+        assert_eq!(c.count(), 3);
+        c.reset();
+        assert_eq!(c.count(), 0);
+        c.insert(5);
+        assert_eq!(c.count(), 1, "reset must forget previous row");
+    }
+
+    #[test]
+    fn dense_counter_counts_distinct() {
+        exercise(DenseCounter::new(16));
+    }
+
+    #[test]
+    fn hash_counter_counts_distinct() {
+        exercise(HashCounter::with_expected(2));
+    }
+
+    #[test]
+    fn hash_counter_grows() {
+        let mut c = HashCounter::with_expected(2);
+        for i in 0..1000u32 {
+            c.insert(i % 357);
+        }
+        assert_eq!(c.count(), 357);
+    }
+
+    #[test]
+    fn counters_agree_on_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut d = DenseCounter::new(512);
+        let mut h = HashCounter::with_expected(8);
+        for _ in 0..50 {
+            for _ in 0..rng.gen_range(0..200) {
+                let col = rng.gen_range(0..512u32);
+                d.insert(col);
+                h.insert(col);
+            }
+            assert_eq!(d.count(), h.count());
+            d.reset();
+            h.reset();
+        }
+    }
+}

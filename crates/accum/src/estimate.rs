@@ -1,0 +1,74 @@
+//! Upper-bound estimation of output row sizes.
+//!
+//! "In the worst case, every single multiplication of elements of
+//! matrices A and B could lead to a distinct element in C" (paper
+//! Section IV-B). The upper bound for row `i` of `C = A·B` is therefore
+//! `min(flops_i / 2, width(B))`. The paper measures that this bound is
+//! far from tight — which is exactly why it rejects worst-case
+//! pre-allocation in favour of pooled memory; the bench crate
+//! reproduces that gap.
+
+use sparse::{CsrMatrix, CsrView};
+
+/// Per-row upper bounds on `nnz(C_i*)` for `C = a * b`.
+pub fn row_upper_bounds(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    let width = b.n_cols();
+    (0..a.n_rows())
+        .map(|r| {
+            let products: usize =
+                a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize)).sum();
+            products.min(width)
+        })
+        .collect()
+}
+
+/// Total upper bound on `nnz(C)` for `C = a * b`.
+pub fn upper_bound_total(a: &CsrView<'_>, b: &CsrMatrix) -> usize {
+    row_upper_bounds(a, b).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::erdos_renyi;
+    use sparse::stats::symbolic_row_nnz;
+
+    #[test]
+    fn bound_dominates_actual_nnz() {
+        let a = erdos_renyi(60, 60, 0.08, 3);
+        let bounds = row_upper_bounds(&CsrView::of(&a), &a);
+        let actual = symbolic_row_nnz(&a, &a);
+        for (r, (&bound, &act)) in bounds.iter().zip(&actual).enumerate() {
+            assert!(bound >= act, "row {r}: bound {bound} < actual {act}");
+        }
+    }
+
+    #[test]
+    fn bound_is_loose_for_overlapping_rows() {
+        // Stencil matrix: heavy neighborhood overlap, bound far above
+        // actual — the paper's argument for pooled allocation.
+        let a = sparse::gen::grid2d_stencil(20, 20, 2, 5);
+        let total_bound = upper_bound_total(&CsrView::of(&a), &a);
+        let actual: usize = symbolic_row_nnz(&a, &a).iter().sum();
+        assert!(
+            total_bound as f64 > 2.0 * actual as f64,
+            "expected a loose bound: {total_bound} vs {actual}"
+        );
+    }
+
+    #[test]
+    fn bound_clamps_at_matrix_width() {
+        let a = erdos_renyi(20, 20, 0.9, 5);
+        for &b in &row_upper_bounds(&CsrView::of(&a), &a) {
+            assert!(b <= 20);
+        }
+    }
+
+    #[test]
+    fn identity_bound_is_exact() {
+        let i = sparse::CsrMatrix::identity(10);
+        let bounds = row_upper_bounds(&CsrView::of(&i), &i);
+        assert_eq!(bounds, vec![1; 10]);
+    }
+}

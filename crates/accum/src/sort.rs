@@ -1,0 +1,118 @@
+//! Expand-sort-compress (ESC) accumulation — the Bell/Dalton/Olson
+//! baseline (paper Section VI): expand all intermediate products into a
+//! list, sort by column, compress runs of equal columns by summation.
+
+use crate::Accumulator;
+use sparse::ColId;
+
+/// ESC accumulator: buffers every intermediate product, sorts at flush.
+#[derive(Clone, Debug, Default)]
+pub struct SortAccumulator {
+    pairs: Vec<(ColId, f64)>,
+    /// Distinct-column count cache, invalidated on insert.
+    distinct: Option<usize>,
+}
+
+impl SortAccumulator {
+    /// Creates an empty ESC accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an ESC accumulator with reserved product capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SortAccumulator { pairs: Vec::with_capacity(cap), distinct: None }
+    }
+
+    /// Number of buffered intermediate products (≥ distinct columns).
+    pub fn products(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+impl Accumulator for SortAccumulator {
+    fn add(&mut self, col: ColId, val: f64) {
+        self.pairs.push((col, val));
+        self.distinct = None;
+    }
+
+    /// `len` for ESC requires counting distinct columns — `O(k log k)`
+    /// on first call after inserts (cached afterwards).
+    fn len(&self) -> usize {
+        if let Some(d) = self.distinct {
+            return d;
+        }
+        let mut cols: Vec<ColId> = self.pairs.iter().map(|&(c, _)| c).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols.len()
+    }
+
+    fn flush_into(&mut self, cols: &mut Vec<ColId>, vals: &mut Vec<f64>) {
+        // Stable sort keeps equal columns in insertion order so the
+        // floating-point summation order is deterministic.
+        self.pairs.sort_by_key(|&(c, _)| c);
+        let mut it = self.pairs.iter().copied();
+        if let Some((mut cur_col, mut cur_val)) = it.next() {
+            for (c, v) in it {
+                if c == cur_col {
+                    cur_val += v;
+                } else {
+                    cols.push(cur_col);
+                    vals.push(cur_val);
+                    cur_col = c;
+                    cur_val = v;
+                }
+            }
+            cols.push(cur_col);
+            vals.push(cur_val);
+        }
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.pairs.clear();
+        self.distinct = Some(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_sort_compress() {
+        let mut a = SortAccumulator::new();
+        a.add(4, 1.0);
+        a.add(1, 2.0);
+        a.add(4, 3.0);
+        a.add(0, 5.0);
+        assert_eq!(a.products(), 4);
+        assert_eq!(a.len(), 3);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        a.flush_into(&mut c, &mut v);
+        assert_eq!(c, vec![0, 1, 4]);
+        assert_eq!(v, vec![5.0, 2.0, 4.0]);
+        assert_eq!(a.products(), 0);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut a = SortAccumulator::new();
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        a.flush_into(&mut c, &mut v);
+        assert!(c.is_empty());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn len_cache_invalidated_by_add() {
+        let mut a = SortAccumulator::new();
+        a.add(1, 1.0);
+        assert_eq!(a.len(), 1);
+        a.add(2, 1.0);
+        assert_eq!(a.len(), 2);
+        a.clear();
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: all three accumulators produce identical sorted
+//! output for arbitrary insertion sequences.
+
+use accum::{Accumulator, DenseAccumulator, HashAccumulator, SortAccumulator};
+use proptest::prelude::*;
+
+const WIDTH: u32 = 256;
+
+fn reference(pairs: &[(u32, f64)]) -> (Vec<u32>, Vec<f64>) {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<u32, f64> = BTreeMap::new();
+    for &(c, v) in pairs {
+        *map.entry(c).or_insert(0.0) += v;
+    }
+    map.into_iter().unzip()
+}
+
+fn values_close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        })
+}
+
+fn run<A: Accumulator>(acc: &mut A, pairs: &[(u32, f64)]) -> (Vec<u32>, Vec<f64>) {
+    for &(c, v) in pairs {
+        acc.add(c, v);
+    }
+    let (mut cols, mut vals) = (Vec::new(), Vec::new());
+    acc.flush_into(&mut cols, &mut vals);
+    (cols, vals)
+}
+
+proptest! {
+    #[test]
+    fn accumulators_match_reference(
+        pairs in prop::collection::vec((0..WIDTH, -100.0f64..100.0), 0..300)
+    ) {
+        let (ref_cols, ref_vals) = reference(&pairs);
+
+        let (c, v) = run(&mut DenseAccumulator::new(WIDTH as usize), &pairs);
+        prop_assert_eq!(&c, &ref_cols);
+        prop_assert!(values_close(&v, &ref_vals), "dense values diverged");
+
+        let (c, v) = run(&mut HashAccumulator::with_expected(4), &pairs);
+        prop_assert_eq!(&c, &ref_cols);
+        prop_assert!(values_close(&v, &ref_vals), "hash values diverged");
+
+        let (c, v) = run(&mut SortAccumulator::new(), &pairs);
+        prop_assert_eq!(&c, &ref_cols);
+        prop_assert!(values_close(&v, &ref_vals), "sort values diverged");
+    }
+
+    #[test]
+    fn accumulators_are_reusable_across_rows(
+        rows in prop::collection::vec(
+            prop::collection::vec((0..WIDTH, -10.0f64..10.0), 0..50), 1..10)
+    ) {
+        let mut dense = DenseAccumulator::new(WIDTH as usize);
+        let mut hash = HashAccumulator::with_expected(4);
+        let mut sort = SortAccumulator::new();
+        for pairs in &rows {
+            let (ref_cols, ref_vals) = reference(pairs);
+            let (c, v) = run(&mut dense, pairs);
+            prop_assert_eq!(&c, &ref_cols);
+            prop_assert!(values_close(&v, &ref_vals));
+            let (c, v) = run(&mut hash, pairs);
+            prop_assert_eq!(&c, &ref_cols);
+            prop_assert!(values_close(&v, &ref_vals));
+            let (c, v) = run(&mut sort, pairs);
+            prop_assert_eq!(&c, &ref_cols);
+            prop_assert!(values_close(&v, &ref_vals));
+        }
+    }
+
+    #[test]
+    fn len_matches_distinct_count(
+        cols in prop::collection::vec(0..WIDTH, 0..200)
+    ) {
+        let distinct = {
+            let mut c = cols.clone();
+            c.sort_unstable();
+            c.dedup();
+            c.len()
+        };
+        let mut dense = DenseAccumulator::new(WIDTH as usize);
+        let mut hash = HashAccumulator::with_expected(4);
+        let mut sort = SortAccumulator::new();
+        for &c in &cols {
+            dense.add(c, 1.0);
+            hash.add(c, 1.0);
+            sort.add(c, 1.0);
+        }
+        prop_assert_eq!(dense.len(), distinct);
+        prop_assert_eq!(hash.len(), distinct);
+        prop_assert_eq!(sort.len(), distinct);
+    }
+}

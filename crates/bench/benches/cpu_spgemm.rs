@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the real (wall-clock) CPU SpGEMM executors:
+//! sequential Gustavson vs the Nagasaka-style multicore hash executor
+//! vs the Patwary-style blocked dense executor, on a skewed graph and a
+//! regular stencil — the two matrix classes of the paper's suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparse::gen::{grid3d_stencil, rmat, RmatConfig};
+use sparse::CsrMatrix;
+use std::hint::black_box;
+
+fn fixtures() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("rmat_skewed", rmat(RmatConfig::skewed(12, 50_000), 3)),
+        ("stencil_3d", grid3d_stencil(14, 14, 14, 1, 4)),
+    ]
+}
+
+fn bench_cpu_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_spgemm");
+    group.sample_size(10);
+    for (name, a) in fixtures() {
+        let flops = sparse::stats::total_flops(&a, &a);
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::new("reference_seq", name), &a, |b, a| {
+            b.iter(|| black_box(cpu_spgemm::reference::multiply(a, a).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_hash", name), &a, |b, a| {
+            b.iter(|| black_box(cpu_spgemm::parallel_hash::multiply(a, a).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_blocked", name), &a, |b, a| {
+            b.iter(|| black_box(cpu_spgemm::dense_blocked::multiply(a, a).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_executors);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10]
+//!       [--scale tiny|small|medium] [--out DIR]
+//! ```
+//!
+//! Text tables go to stdout; machine-readable JSON goes to `DIR`
+//! (default `results/`).
+
+use bench::experiments::{
+    self, fig10_table, fig4_rows, fig7_rows, fig8_rows, fig9_rows, table3_rows, MatrixReport,
+};
+use bench::load_suite;
+use sparse::gen::{SuiteMatrix, SuiteScale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    experiments: Vec<String>,
+    scale: SuiteScale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut experiments = Vec::new();
+    let mut scale = SuiteScale::Small;
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "tiny" => SuiteScale::Tiny,
+                    "small" => SuiteScale::Small,
+                    "medium" => SuiteScale::Medium,
+                    other => {
+                        eprintln!("unknown scale '{other}' (tiny|small|medium)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10]... \
+                     [--scale tiny|small|medium] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Args { experiments, scale, out }
+}
+
+fn wants(args: &Args, name: &str) -> bool {
+    args.experiments.iter().any(|e| e == name || e == "all")
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let t0 = Instant::now();
+
+    if wants(&args, "table1") {
+        println!("## Table I: Nvidia Tesla V100 specifications (simulated)\n");
+        println!("{}", experiments::table1());
+    }
+
+    let needs_suite = ["table2", "table3", "fig4", "fig7", "fig8", "fig9", "fig10"]
+        .iter()
+        .any(|e| wants(&args, e));
+    if !needs_suite {
+        return;
+    }
+
+    eprintln!("[{:6.1}s] generating the 9-matrix suite...", t0.elapsed().as_secs_f64());
+    let entries = load_suite(args.scale);
+
+    if wants(&args, "table2") {
+        println!("## Table II: features of the input matrices (analogue suite)\n");
+        println!("{}", experiments::table2(&entries));
+    }
+
+    let needs_runs =
+        ["table3", "fig4", "fig7", "fig8", "fig9"].iter().any(|e| wants(&args, e));
+    let mut reports: Vec<MatrixReport> = Vec::new();
+    if needs_runs {
+        for e in &entries {
+            eprintln!(
+                "[{:6.1}s] running all executors on {}...",
+                t0.elapsed().as_secs_f64(),
+                e.id.abbr()
+            );
+            reports.push(experiments::run_matrix(e).unwrap_or_else(|err| {
+                panic!("experiments failed on {}: {err}", e.id.abbr())
+            }));
+        }
+        let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+        std::fs::write(args.out.join("matrix_reports.json"), json)
+            .expect("write matrix_reports.json");
+    }
+
+    if wants(&args, "fig4") {
+        println!("## Fig 4: data-transfer share of synchronous spECK (best chunking)\n");
+        println!("{}", fig4_rows(&reports));
+    }
+    if wants(&args, "fig7") {
+        println!("## Fig 7: GFLOPS — multicore CPU vs out-of-core GPU vs hybrid\n");
+        println!("{}", fig7_rows(&reports));
+    }
+    if wants(&args, "fig8") {
+        println!("## Fig 8: asynchronous vs synchronous out-of-core GPU\n");
+        println!("{}", fig8_rows(&reports));
+    }
+    if wants(&args, "fig9") {
+        println!("## Fig 9: hybrid with and without chunk reordering\n");
+        println!("{}", fig9_rows(&reports));
+    }
+    if wants(&args, "table3") {
+        println!("## Table III: GPU chunks — fixed 65% ratio vs exhaustive best\n");
+        println!("{}", table3_rows(&reports));
+    }
+
+    if wants(&args, "fig10") {
+        println!("## Fig 10: hybrid GFLOPS vs GPU flop ratio (two representative matrices)\n");
+        let ratios: Vec<f64> = (35..=95).step_by(10).map(|p| p as f64 / 100.0).collect();
+        let mut sweeps = Vec::new();
+        for id in [SuiteMatrix::ComLj, SuiteMatrix::Nlp] {
+            let entry = entries.iter().find(|e| e.id == id).expect("suite entry");
+            eprintln!(
+                "[{:6.1}s] ratio sweep on {}...",
+                t0.elapsed().as_secs_f64(),
+                id.abbr()
+            );
+            let points = experiments::ratio_sweep(entry, &ratios)
+                .unwrap_or_else(|err| panic!("ratio sweep failed on {}: {err}", id.abbr()));
+            println!("{}", fig10_table(id.abbr(), &points));
+            sweeps.push((id.abbr().to_string(), points));
+        }
+        let json = serde_json::to_string_pretty(&sweeps).expect("serialize sweeps");
+        std::fs::write(args.out.join("fig10_sweeps.json"), json)
+            .expect("write fig10_sweeps.json");
+    }
+
+    eprintln!("[{:6.1}s] done; JSON in {}", t0.elapsed().as_secs_f64(), args.out.display());
+}

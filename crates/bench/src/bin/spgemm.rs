@@ -1,0 +1,264 @@
+//! `spgemm` — command-line front end for the out-of-core executors.
+//!
+//! ```text
+//! spgemm --gen rmat:13:40000:7 --executor hybrid --device-mb 16
+//! spgemm --suite nlp --executor gpu-async --trace timeline.json
+//! spgemm --input A.mtx --executor cpu --out C.mtx
+//! ```
+//!
+//! Computes `C = A · A` (the convention of the paper's evaluation) with
+//! the selected executor, prints statistics, and optionally writes the
+//! result (`.mtx` or `.spb`) and a `chrome://tracing` timeline.
+
+use oocgemm::report::cpu_baseline_ns;
+use oocgemm::{
+    multiply_multi_gpu, multiply_unified, ExecMode, Hybrid, HybridConfig, MultiGpuConfig,
+    OocConfig, OutOfCoreGpu,
+};
+use sparse::gen::{rmat, RmatConfig, SuiteMatrix, SuiteScale};
+use sparse::io::{read_binary, read_matrix_market, write_binary, write_matrix_market};
+use sparse::stats::ProductStats;
+use sparse::CsrMatrix;
+use std::path::{Path, PathBuf};
+
+struct Args {
+    input: Option<PathBuf>,
+    gen: Option<String>,
+    suite: Option<String>,
+    executor: String,
+    device_mb: Option<u64>,
+    ratio: Option<String>,
+    panels: Option<(usize, usize)>,
+    out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spgemm (--input FILE.mtx|FILE.spb | --gen rmat:SCALE:EDGES:SEED | --suite NAME[:tiny|small])\n\
+         \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
+         \x20      [--device-mb N] [--ratio R|auto] [--panels RxC]\n\
+         \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: None,
+        gen: None,
+        suite: None,
+        executor: "gpu-async".into(),
+        device_mb: None,
+        ratio: None,
+        panels: None,
+        out: None,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--input" => args.input = Some(PathBuf::from(value())),
+            "--gen" => args.gen = Some(value()),
+            "--suite" => args.suite = Some(value()),
+            "--executor" => args.executor = value(),
+            "--device-mb" => {
+                args.device_mb = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--ratio" => args.ratio = Some(value()),
+            "--panels" => {
+                let v = value();
+                let (r, c) = v.split_once('x').unwrap_or_else(|| usage());
+                args.panels = Some((
+                    r.parse().unwrap_or_else(|_| usage()),
+                    c.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--out" => args.out = Some(PathBuf::from(value())),
+            "--trace" => args.trace = Some(PathBuf::from(value())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn load_matrix(args: &Args) -> CsrMatrix {
+    if let Some(path) = &args.input {
+        let loaded = match path.extension().and_then(|e| e.to_str()) {
+            Some("spb") => read_binary(path),
+            _ => read_matrix_market(path),
+        };
+        return loaded.unwrap_or_else(|e| {
+            eprintln!("failed to read {}: {e}", path.display());
+            std::process::exit(1)
+        });
+    }
+    if let Some(spec) = &args.gen {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() == 4 && parts[0] == "rmat" {
+            let scale: u32 = parts[1].parse().unwrap_or_else(|_| usage());
+            let edges: usize = parts[2].parse().unwrap_or_else(|_| usage());
+            let seed: u64 = parts[3].parse().unwrap_or_else(|_| usage());
+            return rmat(RmatConfig::skewed(scale, edges), seed);
+        }
+        usage();
+    }
+    if let Some(spec) = &args.suite {
+        let (name, scale) = match spec.split_once(':') {
+            Some((n, "tiny")) => (n, SuiteScale::Tiny),
+            Some((n, "medium")) => (n, SuiteScale::Medium),
+            Some((n, _)) => (n, SuiteScale::Small),
+            None => (spec.as_str(), SuiteScale::Small),
+        };
+        let id = SuiteMatrix::all()
+            .into_iter()
+            .find(|m| m.abbr() == name || m.name() == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown suite matrix '{name}'");
+                std::process::exit(2)
+            });
+        return id.generate(scale);
+    }
+    usage()
+}
+
+fn write_result(path: &Path, c: &CsrMatrix) {
+    let written = match path.extension().and_then(|e| e.to_str()) {
+        Some("spb") => write_binary(path, c),
+        _ => write_matrix_market(path, c),
+    };
+    written.unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1)
+    });
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let a = load_matrix(&args);
+    println!("A: {} x {}, nnz = {}", a.n_rows(), a.n_cols(), a.nnz());
+    let stats = ProductStats::square(&a);
+    println!(
+        "A^2: flops = {}, nnz = {}, compression ratio = {:.2}",
+        stats.flops, stats.nnz_c, stats.compression_ratio
+    );
+
+    // Device size: explicit, or output/3.5 (paper-regime out-of-core).
+    let device_bytes = args
+        .device_mb
+        .map(|mb| mb << 20)
+        .unwrap_or_else(|| ((stats.nnz_c * 12) as f64 / 3.5) as u64)
+        .max(1 << 20);
+    let mut config = OocConfig::with_device_memory(device_bytes);
+    if let Some(p) = args.panels {
+        config = config.panels(p.0, p.1);
+    }
+    println!("simulated device: {:.1} MiB", device_bytes as f64 / (1 << 20) as f64);
+
+    let ratio = match args.ratio.as_deref() {
+        Some("auto") => oocgemm::auto_gpu_ratio(&config.cost, stats.flops, stats.nnz_c, true),
+        Some(v) => v.parse().unwrap_or_else(|_| usage()),
+        None => 0.65,
+    };
+
+    let (c, sim_ns, timeline) = match args.executor.as_str() {
+        "cpu" => {
+            let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("cpu multiply");
+            let ns = cpu_baseline_ns(&config.cost, stats.flops, stats.nnz_c);
+            (c, ns, None)
+        }
+        "gpu-sync" | "gpu-async" => {
+            let mode = if args.executor == "gpu-sync" { ExecMode::Sync } else { ExecMode::Async };
+            let run = OutOfCoreGpu::new(config.clone().mode(mode))
+                .multiply(&a, &a)
+                .unwrap_or_else(|e| {
+                    eprintln!("executor failed: {e}");
+                    std::process::exit(1)
+                });
+            println!(
+                "plan: {} x {} panels ({} chunks); transfers {:.1}% of makespan",
+                run.plan.row_panels(),
+                run.plan.col_panels(),
+                run.plan.num_chunks(),
+                run.transfer_fraction() * 100.0
+            );
+            (run.c, run.sim_ns, Some(run.timeline))
+        }
+        "hybrid" => {
+            let cfg = HybridConfig { gpu: config.clone(), ..HybridConfig::paper_default() }
+                .ratio(ratio);
+            let run = Hybrid::new(cfg).multiply_threaded(&a, &a).unwrap_or_else(|e| {
+                eprintln!("executor failed: {e}");
+                std::process::exit(1)
+            });
+            println!(
+                "assignment: {} GPU / {} CPU chunks at ratio {:.0}% (gpu {:.3} ms, cpu {:.3} ms)",
+                run.num_gpu_chunks,
+                run.num_cpu_chunks,
+                ratio * 100.0,
+                run.gpu_ns as f64 / 1e6,
+                run.cpu_ns as f64 / 1e6
+            );
+            (run.c, run.sim_ns, Some(run.timeline))
+        }
+        "unified" => {
+            let run = multiply_unified(&a, &a, &config.device, &config.cost)
+                .unwrap_or_else(|e| {
+                    eprintln!("executor failed: {e}");
+                    std::process::exit(1)
+                });
+            println!(
+                "unified memory: {} page faults{}",
+                run.faults,
+                if run.thrashed { " (thrashing)" } else { "" }
+            );
+            // UM computes the same product; reuse the CPU path for values.
+            let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("multiply");
+            (c, run.sim_ns, None)
+        }
+        other => {
+            if let Some(n) = other.strip_prefix("multi-gpu:") {
+                let num_gpus: usize = n.parse().unwrap_or_else(|_| usage());
+                let cfg = MultiGpuConfig { gpu: config.clone(), num_gpus, use_cpu: true };
+                let run = multiply_multi_gpu(&a, &a, &cfg).unwrap_or_else(|e| {
+                    eprintln!("executor failed: {e}");
+                    std::process::exit(1)
+                });
+                println!(
+                    "chunks per GPU: {:?}, CPU chunks: {}",
+                    run.gpu_chunks, run.cpu_chunks
+                );
+                let t = run.timelines.into_iter().next();
+                (run.c, run.sim_ns, t)
+            } else {
+                usage()
+            }
+        }
+    };
+
+    println!(
+        "done: {:.3} ms simulated, {:.3} GFLOPS, nnz(C) = {}",
+        sim_ns as f64 / 1e6,
+        stats.flops as f64 / sim_ns.max(1) as f64,
+        c.nnz()
+    );
+
+    if let Some(path) = &args.trace {
+        match &timeline {
+            Some(t) => {
+                std::fs::write(path, t.to_chrome_trace()).unwrap_or_else(|e| {
+                    eprintln!("failed to write trace: {e}");
+                    std::process::exit(1)
+                });
+                println!("wrote chrome trace to {}", path.display());
+            }
+            None => eprintln!("note: --trace ignored (executor has no device timeline)"),
+        }
+    }
+    if let Some(path) = &args.out {
+        write_result(path, &c);
+    }
+}

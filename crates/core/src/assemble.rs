@@ -1,0 +1,108 @@
+//! Re-assembly of output chunks into the final matrix.
+//!
+//! In the real system the chunks live in (pinned) host memory after
+//! their transfers; assembling them into one CSR matrix is host-side
+//! work. Chunks carry panel-local column ids; assembly re-bases them.
+
+use crate::chunks::ChunkId;
+use crate::plan::PanelPlan;
+use sparse::{ColId, CsrMatrix};
+
+/// Assembles the full `C` from per-chunk results.
+///
+/// `chunks` may arrive in any order (the executors reorder them); each
+/// entry pairs the chunk id with its local-column result matrix.
+pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix {
+    let k_r = plan.row_panels();
+    let k_c = plan.col_panels();
+    assert_eq!(chunks.len(), k_r * k_c, "every chunk must be present exactly once");
+    let mut grid: Vec<Option<&CsrMatrix>> = vec![None; k_r * k_c];
+    for (id, m) in chunks {
+        let slot = &mut grid[id.row * k_c + id.col];
+        assert!(slot.is_none(), "duplicate chunk ({}, {})", id.row, id.col);
+        *slot = Some(m);
+    }
+    let n_rows = plan.row_ranges.last().map_or(0, |r| r.end);
+    let n_cols = plan.col_ranges.last().map_or(0, |c| c.end);
+    let nnz: usize = grid.iter().map(|m| m.unwrap().nnz()).sum();
+
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    let mut cols: Vec<ColId> = Vec::with_capacity(nnz);
+    let mut vals: Vec<f64> = Vec::with_capacity(nnz);
+    offsets.push(0);
+    for (r, row_range) in plan.row_ranges.iter().enumerate() {
+        for local_row in 0..row_range.len() {
+            for (c, col_range) in plan.col_ranges.iter().enumerate() {
+                let m = grid[r * k_c + c].unwrap();
+                debug_assert_eq!(m.n_rows(), row_range.len(), "chunk row count mismatch");
+                debug_assert_eq!(m.n_cols(), col_range.len(), "chunk col count mismatch");
+                let base = col_range.start as ColId;
+                for (col, v) in m.row_iter(local_row) {
+                    cols.push(base + col);
+                    vals.push(v);
+                }
+            }
+            offsets.push(cols.len());
+        }
+    }
+    CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use cpu_spgemm::{parallel_hash, reference};
+    use sparse::gen::erdos_renyi;
+    use sparse::partition::col::ColPartitioner;
+    use sparse::CsrView;
+
+    #[test]
+    fn assemble_reconstructs_full_product() {
+        let a = erdos_renyi(90, 90, 0.08, 1);
+        let planner = Planner::new(&a, &a).unwrap();
+        let plan = planner.fixed(3, 2).unwrap();
+        let panels = ColPartitioner::Cursor.partition(&a, &plan.col_ranges);
+        let mut results = Vec::new();
+        for (r, range) in plan.row_ranges.iter().enumerate() {
+            let view = CsrView::rows(&a, range.start, range.end);
+            for (c, panel) in panels.iter().enumerate() {
+                let m = parallel_hash::multiply_view(&view, &panel.matrix).unwrap();
+                results.push((ChunkId { row: r, col: c }, m));
+            }
+        }
+        // Shuffle the order to prove order-independence.
+        results.reverse();
+        let refs: Vec<(ChunkId, &CsrMatrix)> = results.iter().map(|(id, m)| (*id, m)).collect();
+        let c = assemble(&plan, &refs);
+        c.validate().unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(c.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "every chunk must be present")]
+    fn missing_chunk_panics() {
+        let a = erdos_renyi(20, 20, 0.2, 2);
+        let planner = Planner::new(&a, &a).unwrap();
+        let plan = planner.fixed(2, 2).unwrap();
+        let dummy = CsrMatrix::zeros(10, 10);
+        assemble(&plan, &[(ChunkId { row: 0, col: 0 }, &dummy)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate chunk")]
+    fn duplicate_chunk_panics() {
+        let a = erdos_renyi(20, 20, 0.2, 2);
+        let planner = Planner::new(&a, &a).unwrap();
+        let plan = planner.fixed(1, 2).unwrap();
+        let dummy = CsrMatrix::zeros(20, 10);
+        assemble(
+            &plan,
+            &[
+                (ChunkId { row: 0, col: 0 }, &dummy),
+                (ChunkId { row: 0, col: 0 }, &dummy),
+            ],
+        );
+    }
+}

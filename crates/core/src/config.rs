@@ -1,0 +1,223 @@
+//! Configuration of the out-of-core and hybrid executors.
+
+use gpu_sim::{CostModel, DeviceProps};
+use sparse::partition::ColPartitioner;
+
+/// Synchronous vs asynchronous out-of-core execution (Section IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// "Synchronous, partitioned spECK": one stream, dynamic device
+    /// allocations, no overlap — the paper's baseline.
+    Sync,
+    /// The paper's asynchronous design: two streams, pre-allocated
+    /// pool, Figure 6 transfer schedule.
+    #[default]
+    Async,
+}
+
+/// Default simulated device memory: the paper's 16 GB V100 scaled by
+/// the same ~500× factor as the matrix suite (DESIGN.md), so every
+/// suite matrix stays genuinely out-of-core.
+pub const DEFAULT_DEVICE_MEMORY: u64 = 32 << 20;
+
+/// Fraction of output rows in the first transfer portion of the
+/// Figure 6 schedule ("the first portion contains 33 % of the total
+/// number of rows").
+pub const DEFAULT_SPLIT_FRACTION: f64 = 0.33;
+
+/// Default fraction of total flops assigned to the GPU in the hybrid
+/// executor ("a fixed value of 65 % can achieve good performance for
+/// all of our input matrices", Section III-C).
+pub const DEFAULT_GPU_RATIO: f64 = 0.65;
+
+/// Configuration of the out-of-core GPU executor.
+#[derive(Clone, Debug)]
+pub struct OocConfig {
+    /// Simulated device.
+    pub device: DeviceProps,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Explicit panel counts `(row_panels, col_panels)`; `None` lets
+    /// the planner choose from the memory budget.
+    pub panels: Option<(usize, usize)>,
+    /// Reorder chunks by decreasing flops (Section IV-C). Only
+    /// meaningful in async mode.
+    pub reorder_chunks: bool,
+    /// First-portion row fraction of the Figure 6 output split.
+    pub split_fraction: f64,
+    /// Column partitioner implementation.
+    pub col_partitioner: ColPartitioner,
+    /// Use pinned host buffers for transfers.
+    pub pinned: bool,
+    /// Number of streams/buffer epochs in the async pipeline. The
+    /// paper uses 2 (double buffering); deeper pipelines trade device
+    /// memory for slack in hiding host-side gaps.
+    pub pipeline_depth: usize,
+}
+
+impl OocConfig {
+    /// Paper-default configuration at the scaled device size.
+    pub fn paper_default() -> Self {
+        Self::with_device_memory(DEFAULT_DEVICE_MEMORY)
+    }
+
+    /// Paper-default configuration with an explicit device memory.
+    pub fn with_device_memory(bytes: u64) -> Self {
+        OocConfig {
+            device: DeviceProps::v100_scaled(bytes),
+            cost: CostModel::calibrated(),
+            mode: ExecMode::Async,
+            panels: None,
+            reorder_chunks: true,
+            split_fraction: DEFAULT_SPLIT_FRACTION,
+            col_partitioner: ColPartitioner::ParallelPrefixSum,
+            pinned: true,
+            pipeline_depth: 2,
+        }
+    }
+
+    /// Switches the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Fixes the panel grid explicitly.
+    pub fn panels(mut self, rows: usize, cols: usize) -> Self {
+        self.panels = Some((rows, cols));
+        self
+    }
+
+    /// Enables/disables flop-descending chunk reordering.
+    pub fn reorder(mut self, on: bool) -> Self {
+        self.reorder_chunks = on;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(0.0..=1.0).contains(&self.split_fraction) {
+            return Err(crate::OocError::Config(format!(
+                "split fraction {} outside [0, 1]",
+                self.split_fraction
+            )));
+        }
+        if let Some((r, c)) = self.panels {
+            if r == 0 || c == 0 {
+                return Err(crate::OocError::Config("panel counts must be positive".into()));
+            }
+        }
+        if self.pipeline_depth < 2 {
+            return Err(crate::OocError::Config(
+                "the async pipeline needs at least 2 buffer epochs".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for OocConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Configuration of the hybrid CPU+GPU executor (Algorithm 4).
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// The GPU-side configuration.
+    pub gpu: OocConfig,
+    /// Fraction of total flops assigned to the GPU
+    /// (`Ratio = S/(S+1)` in the paper).
+    pub gpu_ratio: f64,
+    /// Assign the *densest* chunks to the GPU (the paper's reordering,
+    /// Fig 9). When false, chunks are assigned in natural grid order
+    /// until the flop ratio is met — the "default implementation".
+    pub reorder_assignment: bool,
+}
+
+impl HybridConfig {
+    /// Paper defaults: 65 % of flops to the GPU, reordered assignment.
+    pub fn paper_default() -> Self {
+        HybridConfig {
+            gpu: OocConfig::paper_default(),
+            gpu_ratio: DEFAULT_GPU_RATIO,
+            reorder_assignment: true,
+        }
+    }
+
+    /// Sets the GPU flop ratio.
+    pub fn ratio(mut self, ratio: f64) -> Self {
+        self.gpu_ratio = ratio;
+        self
+    }
+
+    /// Enables/disables density-ordered assignment.
+    pub fn reorder(mut self, on: bool) -> Self {
+        self.reorder_assignment = on;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> crate::Result<()> {
+        self.gpu.validate()?;
+        if !(0.0..=1.0).contains(&self.gpu_ratio) {
+            return Err(crate::OocError::Config(format!(
+                "GPU ratio {} outside [0, 1]",
+                self.gpu_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_paper_shaped() {
+        let c = OocConfig::paper_default();
+        c.validate().unwrap();
+        assert_eq!(c.mode, ExecMode::Async);
+        assert!(c.reorder_chunks);
+        assert!((c.split_fraction - 0.33).abs() < 1e-12);
+        let h = HybridConfig::paper_default();
+        h.validate().unwrap();
+        assert!((h.gpu_ratio - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = OocConfig::paper_default();
+        c.split_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = OocConfig::paper_default();
+        c.pipeline_depth = 1;
+        assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().panels(0, 3);
+        assert!(c.validate().is_err());
+        let h = HybridConfig::paper_default().ratio(-0.1);
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = OocConfig::with_device_memory(1 << 20)
+            .mode(ExecMode::Sync)
+            .panels(2, 3)
+            .reorder(false);
+        assert_eq!(c.mode, ExecMode::Sync);
+        assert_eq!(c.panels, Some((2, 3)));
+        assert!(!c.reorder_chunks);
+        assert_eq!(c.device.device_memory_bytes, 1 << 20);
+    }
+}

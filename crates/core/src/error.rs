@@ -1,0 +1,70 @@
+//! Error type for the out-of-core framework.
+
+use gpu_sim::OutOfDeviceMemory;
+use sparse::SparseError;
+use std::fmt;
+
+/// Errors produced by the out-of-core executors.
+#[derive(Debug)]
+pub enum OocError {
+    /// The underlying sparse operation failed.
+    Sparse(SparseError),
+    /// A chunk did not fit in simulated device memory; the plan needs
+    /// more panels.
+    DeviceMemory(OutOfDeviceMemory),
+    /// No panel plan satisfies the device-memory budget.
+    Planning(String),
+    /// Configuration is internally inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for OocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OocError::Sparse(e) => write!(f, "sparse error: {e}"),
+            OocError::DeviceMemory(e) => {
+                write!(f, "{e} — increase panel counts or device memory")
+            }
+            OocError::Planning(msg) => write!(f, "planning failed: {msg}"),
+            OocError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocError::Sparse(e) => Some(e),
+            OocError::DeviceMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for OocError {
+    fn from(e: SparseError) -> Self {
+        OocError::Sparse(e)
+    }
+}
+
+impl From<OutOfDeviceMemory> for OocError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        OocError::DeviceMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OocError::Planning("too small".into());
+        assert!(e.to_string().contains("too small"));
+        let e: OocError =
+            OutOfDeviceMemory { requested: 10, free: 5, capacity: 8 }.into();
+        assert!(e.to_string().contains("panel counts"));
+        let e = OocError::Config("bad ratio".into());
+        assert!(e.to_string().contains("bad ratio"));
+    }
+}

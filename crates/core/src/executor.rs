@@ -1,0 +1,363 @@
+//! The out-of-core GPU executor (Algorithm 3 + Section IV).
+
+use crate::assemble::assemble;
+use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
+use crate::config::{ExecMode, OocConfig};
+use crate::plan::{PanelPlan, Planner};
+use crate::Result;
+use gpu_sim::{GpuSim, SimTime, Timeline};
+use gpu_spgemm::{phases, ChunkJob, PreparedChunk};
+use sparse::{CsrMatrix, CsrView};
+
+/// All chunks of a plan, prepared (real results + descriptors), in
+/// row-major grid order. Shared by the GPU-only and hybrid executors.
+pub(crate) struct PreparedGrid {
+    pub plan: PanelPlan,
+    pub grid: ChunkGrid,
+    /// Row-major; `prepared[r * col_panels + c]`.
+    pub prepared: Vec<PreparedChunk>,
+}
+
+impl PreparedGrid {
+    pub(crate) fn chunk(&self, id: ChunkId) -> &PreparedChunk {
+        &self.prepared[id.row * self.plan.col_panels() + id.col]
+    }
+
+    pub(crate) fn total_flops(&self) -> u64 {
+        self.grid.total_flops()
+    }
+
+    pub(crate) fn total_nnz(&self) -> u64 {
+        self.prepared.iter().map(|p| p.nnz).sum()
+    }
+}
+
+/// Plans, partitions and prepares every chunk of `C = a · b`.
+pub(crate) fn prepare_grid(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    config: &OocConfig,
+) -> Result<PreparedGrid> {
+    config.validate()?;
+    let planner = Planner::new(a, b)?;
+    let plan = match config.panels {
+        Some((r, c)) => planner.fixed(r, c)?,
+        None => planner.auto(config.device.device_memory_bytes)?,
+    };
+    let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
+    let grid = ChunkGrid::compute(a, &plan, &col_panels);
+    let k_c = plan.col_panels();
+    let mut prepared = Vec::with_capacity(plan.num_chunks());
+    for (r, range) in plan.row_ranges.iter().enumerate() {
+        let a_view = CsrView::rows(a, range.start, range.end);
+        for (c, panel) in col_panels.iter().enumerate() {
+            prepared.push(phases::prepare_chunk(ChunkJob {
+                a_panel: a_view,
+                b_panel: &panel.matrix,
+                chunk_id: r * k_c + c,
+            }));
+        }
+    }
+    Ok(PreparedGrid { plan, grid, prepared })
+}
+
+/// Simulates the chosen execution mode over an ordered chunk list and
+/// returns the completion time.
+pub(crate) fn simulate_order(
+    sim: &mut GpuSim,
+    pg: &PreparedGrid,
+    order: &[ChunkInfo],
+    config: &OocConfig,
+) -> Result<SimTime> {
+    // The A panel stays resident while consecutive chunks share it.
+    let transfer_a: Vec<bool> = order
+        .iter()
+        .enumerate()
+        .map(|(i, info)| i == 0 || order[i - 1].id.row != info.id.row)
+        .collect();
+    match config.mode {
+        ExecMode::Sync => {
+            let stream = sim.create_stream();
+            let mut done = sim.now();
+            for (info, &xfer_a) in order.iter().zip(&transfer_a) {
+                done = gpu_spgemm::simulate_sync_chunk(
+                    sim,
+                    stream,
+                    pg.chunk(info.id),
+                    xfer_a,
+                )?;
+            }
+            Ok(done)
+        }
+        ExecMode::Async => {
+            let refs: Vec<&PreparedChunk> =
+                order.iter().map(|info| pg.chunk(info.id)).collect();
+            crate::pipeline::simulate_pipeline_depth(
+                sim,
+                &refs,
+                &transfer_a,
+                config.split_fraction,
+                config.pinned,
+                config.pipeline_depth,
+            )
+        }
+    }
+}
+
+/// The out-of-core GPU SpGEMM executor.
+pub struct OutOfCoreGpu {
+    config: OocConfig,
+}
+
+/// A completed out-of-core run.
+#[derive(Debug)]
+pub struct OocRun {
+    /// The full product matrix.
+    pub c: CsrMatrix,
+    /// Simulated end-to-end time, ns (includes all output transfers).
+    pub sim_ns: SimTime,
+    /// Total flops of the multiplication.
+    pub flops: u64,
+    /// Output nonzeros.
+    pub nnz_c: u64,
+    /// The device timeline.
+    pub timeline: Timeline,
+    /// The panel plan used.
+    pub plan: PanelPlan,
+    /// Chunk execution order.
+    pub order: Vec<ChunkId>,
+}
+
+impl OocRun {
+    /// GFLOPS over simulated time — the paper's Figure 7 metric ("the
+    /// execution times measured for GFLOPS calculation include the time
+    /// for transferring all chunks of the output matrix").
+    pub fn gflops(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.sim_ns as f64
+    }
+
+    /// Simulated milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.sim_ns as f64 / 1e6
+    }
+
+    /// Fraction of the makespan spent on transfers (Figure 4 metric).
+    pub fn transfer_fraction(&self) -> f64 {
+        self.timeline.transfer_fraction()
+    }
+}
+
+impl OutOfCoreGpu {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: OocConfig) -> Self {
+        OutOfCoreGpu { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &OocConfig {
+        &self.config
+    }
+
+    /// Computes `C = a · b` out-of-core.
+    pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<OocRun> {
+        let pg = prepare_grid(a, b, &self.config)?;
+        // Sync mode follows Algorithm 3's natural loop; async mode
+        // reorders by decreasing flops when configured (Section IV-C),
+        // grouped by row panel to keep the A panel resident.
+        let order = match (self.config.mode, self.config.reorder_chunks) {
+            (ExecMode::Async, true) => ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
+            _ => pg.grid.natural_order(),
+        };
+        let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
+        let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
+        let timeline = sim.into_timeline();
+        debug_assert!(timeline.validate().is_ok(), "timeline invariants violated");
+
+        let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = order
+            .iter()
+            .map(|info| (info.id, &pg.chunk(info.id).result))
+            .collect();
+        let c = assemble(&pg.plan, &chunk_refs);
+        Ok(OocRun {
+            flops: pg.total_flops(),
+            nnz_c: pg.total_nnz(),
+            sim_ns,
+            timeline,
+            order: order.iter().map(|i| i.id).collect(),
+            plan: pg.plan,
+            c,
+        })
+    }
+}
+
+impl OutOfCoreGpu {
+    /// Galerkin triple product `R · A · P` — the algebraic-multigrid
+    /// kernel the paper's introduction motivates ("preconditioners such
+    /// as algebraic multigrid"). Two chained out-of-core
+    /// multiplications; the returned time is their sum (the products
+    /// are data-dependent and cannot overlap).
+    pub fn triple_product(
+        &self,
+        r: &CsrMatrix,
+        a: &CsrMatrix,
+        p: &CsrMatrix,
+    ) -> Result<(CsrMatrix, SimTime)> {
+        let ra = self.multiply(r, a)?;
+        let rap = self.multiply(&ra.c, p)?;
+        Ok((rap.c, ra.sim_ns + rap.sim_ns))
+    }
+
+    /// Matrix power `A^k` (`k >= 1`) by repeated out-of-core
+    /// multiplication — the expansion step of Markov clustering run
+    /// `k - 1` times.
+    pub fn power(&self, a: &CsrMatrix, k: u32) -> Result<(CsrMatrix, SimTime)> {
+        if k == 0 {
+            return Err(crate::OocError::Config("power requires k >= 1".into()));
+        }
+        let mut acc = a.clone();
+        let mut total: SimTime = 0;
+        for _ in 1..k {
+            let run = self.multiply(&acc, a)?;
+            acc = run.c;
+            total += run.sim_ns;
+        }
+        Ok((acc, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_spgemm::reference;
+    use sparse::gen::{erdos_renyi, grid2d_stencil};
+
+    #[test]
+    fn triple_product_matches_chained_reference() {
+        let r = erdos_renyi(40, 80, 0.05, 1);
+        let a = erdos_renyi(80, 80, 0.05, 2);
+        let p = erdos_renyi(80, 40, 0.05, 3);
+        let exec = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19));
+        let (rap, ns) = exec.triple_product(&r, &a, &p).unwrap();
+        assert!(ns > 0);
+        let expect = reference::multiply(&reference::multiply(&r, &a).unwrap(), &p).unwrap();
+        assert!(rap.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn power_matches_repeated_reference() {
+        let a = erdos_renyi(60, 60, 0.05, 4);
+        let exec = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19));
+        let (p1, t1) = exec.power(&a, 1).unwrap();
+        assert_eq!(p1, a);
+        assert_eq!(t1, 0);
+        let (p3, t3) = exec.power(&a, 3).unwrap();
+        assert!(t3 > 0);
+        let expect = reference::multiply(&reference::multiply(&a, &a).unwrap(), &a).unwrap();
+        assert!(p3.approx_eq(&expect, 1e-9));
+        assert!(exec.power(&a, 0).is_err());
+    }
+
+    fn fixture() -> CsrMatrix {
+        erdos_renyi(600, 600, 0.03, 7)
+    }
+
+    fn small_config() -> OocConfig {
+        // ~1.5 MiB device; the fixture's product is a few MiB, so the
+        // run is genuinely out-of-core.
+        OocConfig::with_device_memory(3 << 19)
+    }
+
+    #[test]
+    fn async_result_matches_reference() {
+        let a = fixture();
+        let run = OutOfCoreGpu::new(small_config()).multiply(&a, &a).unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+        assert!(run.plan.num_chunks() > 1, "must be partitioned");
+        assert!(run.sim_ns > 0);
+        run.timeline.validate().unwrap();
+    }
+
+    #[test]
+    fn sync_result_matches_reference() {
+        let a = fixture();
+        let run = OutOfCoreGpu::new(small_config().mode(ExecMode::Sync))
+            .multiply(&a, &a)
+            .unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn async_beats_sync() {
+        // The headline claim of Section IV: overlap + pre-allocation
+        // beat the synchronous baseline.
+        let a = grid2d_stencil(36, 36, 2, 3);
+        let cfg = OocConfig::with_device_memory(2 << 20).panels(3, 3);
+        let sync = OutOfCoreGpu::new(cfg.clone().mode(ExecMode::Sync))
+            .multiply(&a, &a)
+            .unwrap();
+        let asyn = OutOfCoreGpu::new(cfg.mode(ExecMode::Async)).multiply(&a, &a).unwrap();
+        assert!(
+            asyn.sim_ns < sync.sim_ns,
+            "async {} !< sync {}",
+            asyn.sim_ns,
+            sync.sim_ns
+        );
+        assert!(asyn.c.approx_eq(&sync.c, 1e-9), "both modes must agree numerically");
+    }
+
+    #[test]
+    fn reordering_executes_descending_flops() {
+        let a = fixture();
+        let run = OutOfCoreGpu::new(small_config().panels(2, 3)).multiply(&a, &a).unwrap();
+        assert_eq!(run.order.len(), 6);
+        // Order must be a permutation of the grid.
+        let mut seen = run.order.clone();
+        seen.sort_by_key(|id| (id.row, id.col));
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn explicit_panels_are_respected() {
+        let a = fixture();
+        let run = OutOfCoreGpu::new(OocConfig::with_device_memory(64 << 20).panels(2, 2))
+            .multiply(&a, &a)
+            .unwrap();
+        assert_eq!(run.plan.row_panels(), 2);
+        assert_eq!(run.plan.col_panels(), 2);
+    }
+
+    #[test]
+    fn gflops_is_flops_over_time() {
+        let a = fixture();
+        let run = OutOfCoreGpu::new(small_config()).multiply(&a, &a).unwrap();
+        let expect = run.flops as f64 / run.sim_ns as f64;
+        assert!((run.gflops() - expect).abs() < 1e-12);
+        assert!(run.transfer_fraction() > 0.0);
+    }
+
+    #[test]
+    fn rectangular_product_works() {
+        let a = erdos_renyi(300, 200, 0.05, 1);
+        let b = erdos_renyi(200, 400, 0.05, 2);
+        let run = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19))
+            .multiply(&a, &b)
+            .unwrap();
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+        assert_eq!(run.c.n_rows(), 300);
+        assert_eq!(run.c.n_cols(), 400);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = CsrMatrix::zeros(10, 20);
+        let b = CsrMatrix::zeros(30, 10);
+        assert!(OutOfCoreGpu::new(small_config()).multiply(&a, &b).is_err());
+    }
+}

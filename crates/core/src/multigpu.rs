@@ -1,0 +1,241 @@
+//! Multi-GPU extension — the paper's stated future direction ("our
+//! ultimate goal of continuing to scale SpGEMM computations to
+//! arbitrarily large matrices", Section III-A).
+//!
+//! The chunk decomposition of Algorithm 3 makes chunks independent, so
+//! they schedule naturally across several devices. Each simulated GPU
+//! keeps its own streams, copy engines and memory — the model assumes
+//! one PCIe root per device (no shared-bus contention), the
+//! best-case assumption a single-node multi-GPU box approximates.
+//!
+//! Assignment is longest-processing-time (LPT) list scheduling over
+//! estimated chunk costs: chunks sorted by decreasing flops, each
+//! placed on the currently least-loaded worker, where a GPU's cost
+//! estimate is its transfer-bound output size and the (optional) CPU
+//! worker is costed by the calibrated CPU model — a direct
+//! generalization of Algorithm 4's two-worker split.
+
+use crate::assemble::assemble;
+use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
+use crate::config::OocConfig;
+use crate::executor::{prepare_grid, simulate_order};
+use crate::plan::PanelPlan;
+use crate::Result;
+use gpu_sim::{GpuSim, SimTime, Timeline};
+use sparse::CsrMatrix;
+
+/// Configuration of the multi-device executor.
+#[derive(Clone, Debug)]
+pub struct MultiGpuConfig {
+    /// Per-device GPU configuration (device memory, cost model, async
+    /// pipeline settings).
+    pub gpu: OocConfig,
+    /// Number of simulated GPUs (≥ 1).
+    pub num_gpus: usize,
+    /// Also keep a CPU worker in the pool.
+    pub use_cpu: bool,
+}
+
+impl MultiGpuConfig {
+    /// `num_gpus` devices with the paper-default per-device config.
+    pub fn new(num_gpus: usize) -> Self {
+        MultiGpuConfig { gpu: OocConfig::paper_default(), num_gpus, use_cpu: true }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.gpu.validate()?;
+        if self.num_gpus == 0 {
+            return Err(crate::OocError::Config("need at least one GPU".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a multi-device run.
+#[derive(Debug)]
+pub struct MultiGpuRun {
+    /// The full product.
+    pub c: CsrMatrix,
+    /// Completion time: the slowest worker.
+    pub sim_ns: SimTime,
+    /// Per-GPU completion times.
+    pub gpu_ns: Vec<SimTime>,
+    /// CPU worker completion time (0 when unused).
+    pub cpu_ns: SimTime,
+    /// Chunks per GPU.
+    pub gpu_chunks: Vec<usize>,
+    /// Chunks on the CPU worker.
+    pub cpu_chunks: usize,
+    /// Total flops.
+    pub flops: u64,
+    /// Per-GPU timelines.
+    pub timelines: Vec<Timeline>,
+    /// The panel plan used.
+    pub plan: PanelPlan,
+}
+
+impl MultiGpuRun {
+    /// GFLOPS over the makespan.
+    pub fn gflops(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.sim_ns as f64
+    }
+}
+
+/// Computes `C = a · b` across `num_gpus` simulated devices (plus an
+/// optional CPU worker).
+pub fn multiply_multi_gpu(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    config: &MultiGpuConfig,
+) -> Result<MultiGpuRun> {
+    config.validate()?;
+    let pg = prepare_grid(a, b, &config.gpu)?;
+    let order = pg.grid.sorted_desc();
+    let cost = &config.gpu.cost;
+
+    // LPT list scheduling over estimated per-chunk costs.
+    let workers = config.num_gpus + usize::from(config.use_cpu);
+    let mut loads = vec![0u64; workers];
+    let mut assignment: Vec<Vec<ChunkInfo>> = vec![Vec::new(); workers];
+    for info in &order {
+        let p = pg.chunk(info.id);
+        // Cost estimates: GPU ≈ transfer-bound output; CPU ≈ model.
+        let gpu_est = cost.copy_duration(p.out_bytes, true, config.gpu.pinned);
+        let cpu_est = cost.cpu_chunk_duration(p.flops, p.nnz);
+        let (best_w, _) = (0..workers)
+            .map(|w| {
+                let est = if w < config.num_gpus { gpu_est } else { cpu_est };
+                (w, loads[w] + est)
+            })
+            .min_by_key(|&(_, load)| load)
+            .expect("at least one worker");
+        let est = if best_w < config.num_gpus { gpu_est } else { cpu_est };
+        loads[best_w] += est;
+        assignment[best_w].push(*info);
+    }
+
+    // Simulate each GPU on its own device; cost the CPU worker.
+    let mut gpu_ns = Vec::with_capacity(config.num_gpus);
+    let mut timelines = Vec::with_capacity(config.num_gpus);
+    let mut gpu_chunks = Vec::with_capacity(config.num_gpus);
+    for chunks in assignment.iter().take(config.num_gpus) {
+        let grouped = ChunkGrid::grouped_desc(chunks);
+        let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
+        let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
+        gpu_ns.push(t);
+        timelines.push(sim.into_timeline());
+        gpu_chunks.push(chunks.len());
+    }
+    let (cpu_ns, cpu_chunks) = if config.use_cpu {
+        let chunks = &assignment[config.num_gpus];
+        let t: SimTime = chunks
+            .iter()
+            .map(|info| {
+                let p = pg.chunk(info.id);
+                cost.cpu_chunk_duration(p.flops, p.nnz)
+            })
+            .sum();
+        (t, chunks.len())
+    } else {
+        (0, 0)
+    };
+
+    let chunk_refs: Vec<(ChunkId, &CsrMatrix)> =
+        order.iter().map(|info| (info.id, &pg.chunk(info.id).result)).collect();
+    let c = assemble(&pg.plan, &chunk_refs);
+    let sim_ns = gpu_ns.iter().copied().max().unwrap_or(0).max(cpu_ns);
+    Ok(MultiGpuRun {
+        c,
+        sim_ns,
+        gpu_ns,
+        cpu_ns,
+        gpu_chunks,
+        cpu_chunks,
+        flops: pg.total_flops(),
+        timelines,
+        plan: pg.plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_spgemm::reference;
+    use sparse::gen::erdos_renyi;
+
+    fn fixture() -> CsrMatrix {
+        erdos_renyi(700, 700, 0.03, 11)
+    }
+
+    fn config(num_gpus: usize) -> MultiGpuConfig {
+        MultiGpuConfig {
+            gpu: OocConfig::with_device_memory(3 << 19).panels(4, 4),
+            num_gpus,
+            use_cpu: true,
+        }
+    }
+
+    #[test]
+    fn result_matches_reference() {
+        let a = fixture();
+        let run = multiply_multi_gpu(&a, &a, &config(2)).unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+        assert_eq!(
+            run.gpu_chunks.iter().sum::<usize>() + run.cpu_chunks,
+            run.plan.num_chunks()
+        );
+        for t in &run.timelines {
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn more_gpus_never_slower() {
+        let a = fixture();
+        let one = multiply_multi_gpu(&a, &a, &config(1)).unwrap();
+        let two = multiply_multi_gpu(&a, &a, &config(2)).unwrap();
+        let four = multiply_multi_gpu(&a, &a, &config(4)).unwrap();
+        assert!(two.sim_ns <= one.sim_ns, "2 GPUs slower than 1");
+        assert!(four.sim_ns <= two.sim_ns, "4 GPUs slower than 2");
+        // And scaling actually buys something on a chunky workload.
+        assert!(
+            (four.sim_ns as f64) < 0.8 * one.sim_ns as f64,
+            "no speedup from 4x devices: {} vs {}",
+            four.sim_ns,
+            one.sim_ns
+        );
+    }
+
+    #[test]
+    fn single_gpu_no_cpu_degenerates_to_plain_executor_shape() {
+        let a = fixture();
+        let mut cfg = config(1);
+        cfg.use_cpu = false;
+        let run = multiply_multi_gpu(&a, &a, &cfg).unwrap();
+        assert_eq!(run.cpu_chunks, 0);
+        assert_eq!(run.cpu_ns, 0);
+        assert_eq!(run.gpu_chunks[0], run.plan.num_chunks());
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn zero_gpus_rejected() {
+        let a = fixture();
+        assert!(multiply_multi_gpu(&a, &a, &config(0)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fixture();
+        let r1 = multiply_multi_gpu(&a, &a, &config(3)).unwrap();
+        let r2 = multiply_multi_gpu(&a, &a, &config(3)).unwrap();
+        assert_eq!(r1.sim_ns, r2.sim_ns);
+        assert_eq!(r1.gpu_chunks, r2.gpu_chunks);
+    }
+}

@@ -1,0 +1,269 @@
+//! Panel planning: choose `num_row_panels × num_col_panels` so every
+//! chunk — and the double-buffered pipeline's working set — fits in
+//! device memory.
+//!
+//! The paper selects chunk sizes empirically per matrix; this planner
+//! automates the choice. It runs one global symbolic pass over
+//! `C = A·B` (the same analysis the in-core symbolic phase performs,
+//! hoisted to planning time) and grows the panel grid until the
+//! estimated working set of two in-flight chunks fits the budget.
+
+use crate::{OocError, Result};
+use sparse::partition::weighted_ranges;
+use sparse::stats;
+use sparse::CsrMatrix;
+use std::ops::Range;
+
+/// Bytes per stored entry in device CSR (u32 col id + f64 value).
+const ENTRY_BYTES: u64 = 12;
+/// Bytes per row offset.
+const OFFSET_BYTES: u64 = 8;
+/// Safety slack on the exact chunk byte count (covers pool alignment
+/// and per-structure rounding).
+const OUT_SLACK: f64 = 1.05;
+/// Fraction of device memory the working set may occupy.
+const BUDGET_FRACTION: f64 = 0.95;
+/// Give up beyond this many chunks.
+const MAX_CHUNKS: usize = 4096;
+
+/// A chosen partitioning of `A`'s rows and `B`'s columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanelPlan {
+    /// Row ranges of `A`'s panels.
+    pub row_ranges: Vec<Range<usize>>,
+    /// Column ranges of `B`'s panels.
+    pub col_ranges: Vec<Range<usize>>,
+}
+
+impl PanelPlan {
+    /// Number of row panels.
+    pub fn row_panels(&self) -> usize {
+        self.row_ranges.len()
+    }
+
+    /// Number of column panels.
+    pub fn col_panels(&self) -> usize {
+        self.col_ranges.len()
+    }
+
+    /// Total chunks in the grid.
+    pub fn num_chunks(&self) -> usize {
+        self.row_panels() * self.col_panels()
+    }
+}
+
+/// Plans panel grids.
+pub struct Planner<'a> {
+    a: &'a CsrMatrix,
+    b: &'a CsrMatrix,
+    row_flops: Vec<u64>,
+    /// Symbolic structure of C: row offsets and sorted column ids.
+    c_offsets: Vec<usize>,
+    c_cols: Vec<sparse::ColId>,
+    col_nnz: Vec<u64>,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner for `C = a · b`, running the global row
+    /// analysis and symbolic pass.
+    pub fn new(a: &'a CsrMatrix, b: &'a CsrMatrix) -> Result<Self> {
+        if a.n_cols() != b.n_rows() {
+            return Err(OocError::Sparse(sparse::SparseError::DimensionMismatch {
+                op: "out-of-core spgemm",
+                lhs: (a.n_rows(), a.n_cols()),
+                rhs: (b.n_rows(), b.n_cols()),
+            }));
+        }
+        let row_flops = stats::row_flops(a, b);
+        let (c_offsets, c_cols) = stats::symbolic_structure(a, b);
+        let mut col_nnz = vec![0u64; b.n_cols()];
+        for &c in b.col_ids() {
+            col_nnz[c as usize] += 1;
+        }
+        Ok(Planner { a, b, row_flops, c_offsets, c_cols, col_nnz })
+    }
+
+    /// Total flops of the product.
+    pub fn total_flops(&self) -> u64 {
+        self.row_flops.iter().sum()
+    }
+
+    /// Total output nonzeros.
+    pub fn total_nnz_c(&self) -> u64 {
+        self.c_cols.len() as u64
+    }
+
+    /// Exact output nonzeros of the chunk `row_range x col_range`,
+    /// from the symbolic structure of C.
+    pub fn chunk_nnz(&self, row_range: &Range<usize>, col_range: &Range<usize>) -> u64 {
+        let (start, end) = (col_range.start as sparse::ColId, col_range.end as sparse::ColId);
+        row_range
+            .clone()
+            .map(|r| {
+                let row = &self.c_cols[self.c_offsets[r]..self.c_offsets[r + 1]];
+                (row.partition_point(|&c| c < end) - row.partition_point(|&c| c < start))
+                    as u64
+            })
+            .sum()
+    }
+
+    /// A fixed `k_r × k_c` grid: rows balanced by flops, columns
+    /// balanced by `B` nnz.
+    pub fn fixed(&self, k_r: usize, k_c: usize) -> Result<PanelPlan> {
+        if k_r == 0 || k_c == 0 {
+            return Err(OocError::Planning("panel counts must be positive".into()));
+        }
+        let empty = |n: usize| std::iter::once(0..n).collect::<Vec<_>>();
+        let row_ranges = if self.a.n_rows() == 0 {
+            empty(0)
+        } else {
+            weighted_ranges(&self.row_flops, k_r)
+        };
+        let col_ranges = if self.b.n_cols() == 0 {
+            empty(0)
+        } else {
+            weighted_ranges(&self.col_nnz, k_c)
+        };
+        Ok(PanelPlan { row_ranges, col_ranges })
+    }
+
+    /// Estimated device bytes of the pipeline working set for a plan:
+    /// two in-flight chunks, each with its panels, per-row scratch and
+    /// output buffer.
+    pub fn working_set_bytes(&self, plan: &PanelPlan) -> u64 {
+        let a_panel_bytes: Vec<u64> = plan
+            .row_ranges
+            .iter()
+            .map(|r| {
+                let nnz = (self.a.row_offsets()[r.end] - self.a.row_offsets()[r.start]) as u64;
+                nnz * ENTRY_BYTES + (r.len() as u64 + 1) * OFFSET_BYTES
+            })
+            .collect();
+        let b_panel_bytes: Vec<u64> = plan
+            .col_ranges
+            .iter()
+            .map(|c| {
+                let nnz: u64 = self.col_nnz[c.clone()].iter().sum();
+                // A column panel stores full-height row offsets.
+                nnz * ENTRY_BYTES + (self.b.n_rows() as u64 + 1) * OFFSET_BYTES
+            })
+            .collect();
+        // The pipeline keeps the A panel in a dedicated resident slot
+        // and double-buffers everything else (B panel, per-row scratch,
+        // output) across two epochs.
+        let mut max_a = 0u64;
+        let mut max_rest = 0u64;
+        for (r, &ab) in plan.row_ranges.iter().zip(&a_panel_bytes) {
+            max_a = max_a.max(ab);
+            let scratch = 2 * (r.len() as u64 + 1) * OFFSET_BYTES;
+            for (c, &bb) in plan.col_ranges.iter().zip(&b_panel_bytes) {
+                let out = self.chunk_nnz(r, c) * ENTRY_BYTES
+                    + (r.len() as u64 + 1) * OFFSET_BYTES;
+                max_rest = max_rest.max(bb + scratch + out);
+            }
+        }
+        ((max_a + 2 * max_rest) as f64 * OUT_SLACK) as u64
+    }
+
+    /// Chooses the smallest panel grid whose working set fits the
+    /// device budget.
+    pub fn auto(&self, device_bytes: u64) -> Result<PanelPlan> {
+        let budget = (device_bytes as f64 * BUDGET_FRACTION) as u64;
+        let (mut k_r, mut k_c) = (1usize, 1usize);
+        loop {
+            let plan = self.fixed(k_r, k_c)?;
+            if self.working_set_bytes(&plan) <= budget {
+                return Ok(plan);
+            }
+            if k_r * k_c >= MAX_CHUNKS
+                || (k_r >= self.a.n_rows().max(1) && k_c >= self.b.n_cols().max(1))
+            {
+                return Err(OocError::Planning(format!(
+                    "no grid up to {k_r}x{k_c} panels fits {device_bytes} bytes of device \
+                     memory"
+                )));
+            }
+            // Split whichever dimension relieves more of the working
+            // set: rows shrink the A panel and the output chunk;
+            // columns shrink the B panel and the output chunk.
+            let try_r = self.fixed((k_r + 1).min(self.a.n_rows().max(1)), k_c)?;
+            let try_c = self.fixed(k_r, (k_c + 1).min(self.b.n_cols().max(1)))?;
+            let ws_r = self.working_set_bytes(&try_r);
+            let ws_c = self.working_set_bytes(&try_c);
+            if ws_r <= ws_c && k_r < self.a.n_rows().max(1) {
+                k_r += 1;
+            } else {
+                k_c += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{erdos_renyi, grid2d_stencil};
+
+    #[test]
+    fn fixed_plan_covers_matrix() {
+        let a = erdos_renyi(200, 200, 0.05, 1);
+        let p = Planner::new(&a, &a).unwrap();
+        let plan = p.fixed(3, 4).unwrap();
+        assert_eq!(plan.row_panels(), 3);
+        assert_eq!(plan.col_panels(), 4);
+        assert_eq!(plan.num_chunks(), 12);
+        assert_eq!(plan.row_ranges[0].start, 0);
+        assert_eq!(plan.row_ranges.last().unwrap().end, 200);
+        assert_eq!(plan.col_ranges.last().unwrap().end, 200);
+    }
+
+    #[test]
+    fn auto_plan_fits_budget() {
+        let a = grid2d_stencil(40, 40, 2, 2);
+        let p = Planner::new(&a, &a).unwrap();
+        let budget = 400_000u64;
+        let plan = p.auto(budget).unwrap();
+        assert!(plan.num_chunks() > 1, "small budget must force partitioning");
+        assert!(p.working_set_bytes(&plan) <= budget);
+    }
+
+    #[test]
+    fn bigger_budget_fewer_chunks() {
+        let a = erdos_renyi(300, 300, 0.05, 3);
+        let p = Planner::new(&a, &a).unwrap();
+        let small = p.auto(200_000).unwrap();
+        let large = p.auto(4_000_000).unwrap();
+        assert!(large.num_chunks() <= small.num_chunks());
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let a = erdos_renyi(100, 100, 0.1, 4);
+        let p = Planner::new(&a, &a).unwrap();
+        assert!(matches!(p.auto(64), Err(OocError::Planning(_))));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = CsrMatrix::zeros(4, 5);
+        let b = CsrMatrix::zeros(6, 4);
+        assert!(Planner::new(&a, &b).is_err());
+    }
+
+    #[test]
+    fn totals_match_stats() {
+        let a = erdos_renyi(150, 150, 0.06, 5);
+        let p = Planner::new(&a, &a).unwrap();
+        assert_eq!(p.total_flops(), sparse::stats::total_flops(&a, &a));
+        assert_eq!(p.total_nnz_c(), sparse::stats::symbolic_nnz(&a, &a));
+    }
+
+    #[test]
+    fn working_set_shrinks_with_more_panels() {
+        let a = erdos_renyi(300, 300, 0.05, 6);
+        let p = Planner::new(&a, &a).unwrap();
+        let w1 = p.working_set_bytes(&p.fixed(1, 1).unwrap());
+        let w4 = p.working_set_bytes(&p.fixed(4, 4).unwrap());
+        assert!(w4 < w1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Serializable run summaries for the experiment harness.
+
+use gpu_sim::{CostModel, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Modeled CPU-baseline time for a whole multiplication (the Fig 7
+/// comparator): the Nagasaka-style multicore executor processing the
+/// full product as one job.
+pub fn cpu_baseline_ns(cost: &CostModel, flops: u64, nnz_c: u64) -> SimTime {
+    cost.cpu_chunk_duration(flops, nnz_c)
+}
+
+/// GFLOPS for a flop count over a simulated duration.
+pub fn gflops(flops: u64, ns: SimTime) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    flops as f64 / ns as f64
+}
+
+/// One executor's result on one matrix — a row in the harness output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Matrix abbreviation (paper Figure labels).
+    pub matrix: String,
+    /// Executor name (`cpu`, `gpu-sync`, `gpu-async`, `hybrid`, ...).
+    pub executor: String,
+    /// Total flops.
+    pub flops: u64,
+    /// Output nonzeros.
+    pub nnz_c: u64,
+    /// Completion time, simulated ns.
+    pub sim_ns: SimTime,
+    /// GFLOPS (flops / sim time).
+    pub gflops: f64,
+    /// Transfer fraction of the makespan, if a GPU was involved.
+    pub transfer_fraction: Option<f64>,
+    /// Chunks in the plan, if partitioned.
+    pub num_chunks: Option<usize>,
+    /// Chunks assigned to the GPU, for hybrid runs.
+    pub gpu_chunks: Option<usize>,
+}
+
+impl RunReport {
+    /// Creates a report with the derived GFLOPS filled in.
+    pub fn new(
+        matrix: impl Into<String>,
+        executor: impl Into<String>,
+        flops: u64,
+        nnz_c: u64,
+        sim_ns: SimTime,
+    ) -> Self {
+        RunReport {
+            matrix: matrix.into(),
+            executor: executor.into(),
+            flops,
+            nnz_c,
+            sim_ns,
+            gflops: gflops(flops, sim_ns),
+            transfer_fraction: None,
+            num_chunks: None,
+            gpu_chunks: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(1_000_000_000, 1_000_000_000), 1.0);
+        assert_eq!(gflops(500, 0), 0.0);
+        assert!((gflops(2_000_000, 1_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = RunReport::new("nlp", "gpu-async", 1000, 100, 500);
+        r.transfer_fraction = Some(0.8);
+        r.num_chunks = Some(6);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.matrix, "nlp");
+        assert_eq!(back.sim_ns, 500);
+        assert_eq!(back.transfer_fraction, Some(0.8));
+    }
+
+    #[test]
+    fn cpu_baseline_uses_cost_model() {
+        let cost = CostModel::calibrated();
+        let t = cpu_baseline_ns(&cost, 1_000_000, 500_000);
+        assert_eq!(t, cost.cpu_chunk_duration(1_000_000, 500_000));
+        assert!(t > 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Unified-memory baseline — the alternative the paper's introduction
+//! argues against.
+//!
+//! "Recently, unified memory ... allows the applications to access the
+//! memory on the host side transparently, and load the data to GPU
+//! memory when there are page faults. ... However, without the
+//! knowledge of the SpGEMM, the loaded memory pages may contain some
+//! data which are useless and waste the bandwidth. Besides, there are
+//! overheads with page faults." (Section I)
+//!
+//! This module models exactly that: an *in-core style* SpGEMM over the
+//! whole matrices where every access is demand-paged. When the working
+//! set (`A + B + C`) exceeds device memory, each phase re-faults the
+//! pages the previous phase evicted, so the same bytes cross PCIe
+//! repeatedly — with a per-fault overhead on top. The comparison
+//! against the explicit out-of-core executor (see the `ablate` binary
+//! and integration tests) reproduces the paper's motivation for
+//! building one.
+
+use crate::{OocError, Result};
+use gpu_sim::{CostModel, DeviceProps, KernelKind, SimTime};
+use sparse::stats;
+use sparse::CsrMatrix;
+
+/// Unified-memory page size (CUDA UM migrates at 64 KiB granularity).
+pub const UM_PAGE_BYTES: u64 = 64 << 10;
+
+/// Per-page-fault handling overhead (GPU fault + host driver + map).
+pub const UM_FAULT_NS: u64 = 25_000;
+
+/// Outcome of a unified-memory run.
+#[derive(Debug, Clone)]
+pub struct UnifiedRun {
+    /// End-to-end simulated time, ns.
+    pub sim_ns: SimTime,
+    /// Total bytes migrated host→device across all fault storms.
+    pub h2d_bytes: u64,
+    /// Total bytes written back device→host.
+    pub d2h_bytes: u64,
+    /// Total page faults taken.
+    pub faults: u64,
+    /// Flops of the product.
+    pub flops: u64,
+    /// Whether the working set thrashed (exceeded device memory).
+    pub thrashed: bool,
+}
+
+impl UnifiedRun {
+    /// GFLOPS over simulated time.
+    pub fn gflops(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.sim_ns as f64
+    }
+
+    /// Simulated milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.sim_ns as f64 / 1e6
+    }
+}
+
+fn pages(bytes: u64) -> u64 {
+    bytes.div_ceil(UM_PAGE_BYTES)
+}
+
+/// Migration cost of faulting `bytes` onto the device: one fault
+/// overhead per page plus the page traffic at H2D bandwidth.
+fn fault_cost(cost: &CostModel, bytes: u64) -> (SimTime, u64) {
+    let n = pages(bytes);
+    let traffic = ((n * UM_PAGE_BYTES) as f64 / cost.h2d_bandwidth * 1e9).round() as SimTime;
+    (n * UM_FAULT_NS + traffic, n)
+}
+
+/// Simulates `C = a · b` under demand-paged unified memory.
+pub fn multiply_unified(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    device: &DeviceProps,
+    cost: &CostModel,
+) -> Result<UnifiedRun> {
+    if a.n_cols() != b.n_rows() {
+        return Err(OocError::Sparse(sparse::SparseError::DimensionMismatch {
+            op: "unified spgemm",
+            lhs: (a.n_rows(), a.n_cols()),
+            rhs: (b.n_rows(), b.n_cols()),
+        }));
+    }
+    let flops = stats::total_flops(a, b);
+    let nnz_c = stats::symbolic_nnz(a, b);
+    let ratio = if nnz_c == 0 { 1.0 } else { flops as f64 / nnz_c as f64 };
+
+    let a_bytes = a.storage_bytes() as u64;
+    let b_bytes = b.storage_bytes() as u64;
+    let c_bytes = nnz_c * 12 + (a.n_rows() as u64 + 1) * 8;
+    let capacity = device.device_memory_bytes;
+    let thrashed = a_bytes + b_bytes + c_bytes > capacity;
+
+    let mut sim_ns: SimTime = 0;
+    let mut h2d_bytes = 0u64;
+    let mut faults = 0u64;
+
+    // Phase inputs: (touched bytes, kernel). When the working set fits,
+    // pages fault only the first time they are touched; when it
+    // thrashes, every phase re-faults its whole footprint because the
+    // previous phase evicted it.
+    let phases: [(u64, KernelKind); 3] = [
+        (a_bytes, KernelKind::RowAnalysis { ops: a.nnz() as u64 }),
+        (a_bytes + b_bytes, KernelKind::Symbolic { flops, compression_ratio: ratio }),
+        (a_bytes + b_bytes + c_bytes, KernelKind::Numeric { flops, compression_ratio: ratio }),
+    ];
+    let mut resident = 0u64;
+    for (touched, kernel) in phases {
+        let to_fault = if thrashed { touched } else { touched.saturating_sub(resident) };
+        resident = resident.max(touched.min(capacity));
+        let (t, n) = fault_cost(cost, to_fault);
+        sim_ns += t;
+        faults += n;
+        h2d_bytes += pages(to_fault) * UM_PAGE_BYTES;
+        // Faults serialize with the kernel (the kernel stalls on them),
+        // so the phase cost is additive — the concurrency loss the
+        // paper attributes to UM.
+        sim_ns += cost.kernel_duration(kernel);
+    }
+
+    // C is written on the device and must migrate back (writeback at
+    // D2H bandwidth, page granularity).
+    let wb_pages = pages(c_bytes);
+    let d2h_bytes = wb_pages * UM_PAGE_BYTES;
+    sim_ns += wb_pages * UM_FAULT_NS
+        + (d2h_bytes as f64 / cost.d2h_bandwidth * 1e9).round() as SimTime;
+
+    Ok(UnifiedRun { sim_ns, h2d_bytes, d2h_bytes, faults, flops, thrashed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OocConfig, OutOfCoreGpu};
+    use sparse::gen::erdos_renyi;
+
+    #[test]
+    fn fits_in_core_faults_once() {
+        let a = erdos_renyi(300, 300, 0.05, 1);
+        let big = DeviceProps::v100(); // 16 GB — everything fits
+        let run = multiply_unified(&a, &a, &big, &CostModel::calibrated()).unwrap();
+        assert!(!run.thrashed);
+        // Cold faults only: bytes faulted ≈ A + B + C (page-rounded).
+        let nnz_c = sparse::stats::symbolic_nnz(&a, &a);
+        let upper = 2 * a.storage_bytes() as u64 + nnz_c * 12 + 301 * 8 + 6 * UM_PAGE_BYTES;
+        assert!(run.h2d_bytes <= upper, "{} > {}", run.h2d_bytes, upper);
+    }
+
+    #[test]
+    fn thrashing_multiplies_traffic() {
+        let a = erdos_renyi(600, 600, 0.03, 2);
+        let small = DeviceProps::v100_scaled(1 << 19);
+        let big = DeviceProps::v100();
+        let cost = CostModel::calibrated();
+        let thrash = multiply_unified(&a, &a, &small, &cost).unwrap();
+        let fits = multiply_unified(&a, &a, &big, &cost).unwrap();
+        assert!(thrash.thrashed);
+        // Thrashing re-faults A and B once per phase: H2D traffic grows
+        // by 2(A+B) over the cold-fault total.
+        let extra = 2 * (2 * a.storage_bytes() as u64);
+        assert!(
+            thrash.h2d_bytes >= fits.h2d_bytes + extra / 2,
+            "no re-fault traffic modeled: {} vs {}",
+            thrash.h2d_bytes,
+            fits.h2d_bytes
+        );
+        assert!(thrash.sim_ns > fits.sim_ns);
+        assert!(thrash.faults > fits.faults);
+    }
+
+    #[test]
+    fn explicit_out_of_core_beats_unified_memory() {
+        // The paper's motivating claim (Section I).
+        let a = erdos_renyi(600, 600, 0.03, 7);
+        let device = 3u64 << 19;
+        let um = multiply_unified(
+            &a,
+            &a,
+            &DeviceProps::v100_scaled(device),
+            &CostModel::calibrated(),
+        )
+        .unwrap();
+        let ooc = OutOfCoreGpu::new(OocConfig::with_device_memory(device))
+            .multiply(&a, &a)
+            .unwrap();
+        assert!(
+            ooc.sim_ns < um.sim_ns,
+            "out-of-core {} must beat unified memory {}",
+            ooc.sim_ns,
+            um.sim_ns
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(5, 3);
+        assert!(multiply_unified(
+            &a,
+            &b,
+            &DeviceProps::v100(),
+            &CostModel::calibrated()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Cheap independent verification of SpGEMM results.
+//!
+//! Verifying a large product against the sequential reference is as
+//! expensive as computing it again. This module offers two cheaper
+//! checks a downstream user can run on every result:
+//!
+//! * **structural** — the result's row sizes must match an independent
+//!   symbolic pass (`O(flops)` but no numeric work, no allocation of a
+//!   second product);
+//! * **probabilistic** — the *Freivalds check*: for a random vector
+//!   `x`, `C·x` must equal `A·(B·x)` up to rounding. Each trial costs
+//!   three SpMVs (`O(nnz)`); a wrong product survives `t` trials with
+//!   probability at most `2⁻ᵗ` for random sign vectors.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sparse::ops::spmv;
+use sparse::{stats, CsrMatrix};
+
+/// Outcome of a verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All checks passed.
+    Verified,
+    /// A check failed; the string says which and where.
+    Failed(String),
+}
+
+impl Verdict {
+    /// True if verification passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+}
+
+/// Structural check: `c`'s shape and row sizes match the symbolic
+/// structure of `a · b`.
+pub fn verify_structure(a: &CsrMatrix, b: &CsrMatrix, c: &CsrMatrix) -> Verdict {
+    if c.n_rows() != a.n_rows() || c.n_cols() != b.n_cols() {
+        return Verdict::Failed(format!(
+            "shape mismatch: product is {}x{}, result is {}x{}",
+            a.n_rows(),
+            b.n_cols(),
+            c.n_rows(),
+            c.n_cols()
+        ));
+    }
+    let expect = stats::symbolic_row_nnz(a, b);
+    for (r, &n) in expect.iter().enumerate() {
+        if c.row_nnz(r) != n {
+            return Verdict::Failed(format!(
+                "row {r}: result has {} entries, symbolic pass says {n}",
+                c.row_nnz(r)
+            ));
+        }
+    }
+    Verdict::Verified
+}
+
+/// Freivalds probabilistic check with `trials` random sign vectors.
+pub fn verify_freivalds(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    c: &CsrMatrix,
+    trials: u32,
+    seed: u64,
+) -> Verdict {
+    if a.n_cols() != b.n_rows() || c.n_rows() != a.n_rows() || c.n_cols() != b.n_cols() {
+        return Verdict::Failed("dimension mismatch".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for t in 0..trials {
+        let x: Vec<f64> =
+            (0..b.n_cols()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let via_c = spmv(c, &x).expect("dims checked");
+        let bx = spmv(b, &x).expect("dims checked");
+        let via_ab = spmv(a, &bx).expect("dims checked");
+        for (r, (&l, &rhs)) in via_c.iter().zip(&via_ab).enumerate() {
+            let scale = l.abs().max(rhs.abs()).max(1.0);
+            if (l - rhs).abs() > 1e-8 * scale {
+                return Verdict::Failed(format!(
+                    "Freivalds trial {t} row {r}: C·x = {l} but A·(B·x) = {rhs}"
+                ));
+            }
+        }
+    }
+    Verdict::Verified
+}
+
+/// Runs both checks (structure + 3 Freivalds trials).
+pub fn verify_product(a: &CsrMatrix, b: &CsrMatrix, c: &CsrMatrix) -> Verdict {
+    match verify_structure(a, b, c) {
+        Verdict::Verified => verify_freivalds(a, b, c, 3, 0xF2E1),
+        failed => failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OocConfig, OutOfCoreGpu};
+    use sparse::gen::erdos_renyi;
+
+    fn product() -> (CsrMatrix, CsrMatrix) {
+        let a = erdos_renyi(120, 120, 0.06, 1);
+        let c = cpu_spgemm::reference::multiply(&a, &a).unwrap();
+        (a, c)
+    }
+
+    #[test]
+    fn correct_product_verifies() {
+        let (a, c) = product();
+        assert!(verify_product(&a, &a, &c).is_ok());
+    }
+
+    #[test]
+    fn wrong_value_caught_by_freivalds_not_structure() {
+        let (a, mut c) = product();
+        let mid = c.nnz() / 2;
+        c.values_mut()[mid] += 0.5;
+        assert!(verify_structure(&a, &a, &c).is_ok(), "structure unchanged");
+        match verify_freivalds(&a, &a, &c, 3, 7) {
+            Verdict::Failed(msg) => assert!(msg.contains("Freivalds")),
+            Verdict::Verified => panic!("corrupted value slipped through"),
+        }
+    }
+
+    #[test]
+    fn wrong_structure_caught() {
+        let (a, c) = product();
+        let truncated = c.slice_rows(0, c.n_rows() - 1);
+        assert!(!verify_structure(&a, &a, &truncated).is_ok());
+        let wrong_rows = erdos_renyi(120, 120, 0.06, 99);
+        match verify_structure(&a, &a, &wrong_rows) {
+            Verdict::Failed(msg) => assert!(msg.contains("row")),
+            Verdict::Verified => panic!("wrong structure slipped through"),
+        }
+    }
+
+    #[test]
+    fn out_of_core_run_verifies_end_to_end() {
+        let a = erdos_renyi(400, 400, 0.04, 3);
+        let run = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19))
+            .multiply(&a, &a)
+            .unwrap();
+        assert!(verify_product(&a, &a, &run.c).is_ok());
+    }
+
+    #[test]
+    fn rectangular_products_verify() {
+        let a = erdos_renyi(50, 80, 0.08, 4);
+        let b = erdos_renyi(80, 60, 0.08, 5);
+        let c = cpu_spgemm::reference::multiply(&a, &b).unwrap();
+        assert!(verify_product(&a, &b, &c).is_ok());
+        // Wrong shape rejected.
+        assert!(!verify_structure(&a, &b, &a).is_ok());
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! CPU SpGEMM executors.
+//!
+//! Four implementations with one signature, `C = A · B` on CSR inputs:
+//!
+//! * [`reference::multiply`] — sequential Gustavson (paper Algorithm 1);
+//!   the ground truth every other executor in the workspace is verified
+//!   against.
+//! * [`parallel_hash`] — a Nagasaka-et-al.-style multicore two-phase
+//!   hash SpGEMM: per-row flop analysis, symbolic count, exact
+//!   allocation, numeric fill with per-worker accumulators. This is the
+//!   paper's CPU baseline and the CPU side of its hybrid executor
+//!   (Section III-C).
+//! * [`dense_blocked`] — a Patwary-et-al.-style variant that partitions
+//!   `B` into column panels so a dense accumulator stays cache-resident.
+//! * [`mkl_like`] — a baseline constrained to 32-bit `row_offsets` /
+//!   `col_ids`, reproducing the MKL limitation that made the paper
+//!   reject it ("it can not handle large matrices", Section III-C).
+//!
+//! ```
+//! use sparse::gen::erdos_renyi;
+//!
+//! let a = erdos_renyi(100, 100, 0.05, 1);
+//! let fast = cpu_spgemm::multiply_parallel(&a, &a).unwrap();
+//! let reference = cpu_spgemm::multiply_reference(&a, &a).unwrap();
+//! assert!(fast.approx_eq(&reference, 1e-9));
+//! ```
+
+pub mod dense_blocked;
+pub mod mkl_like;
+pub mod parallel_hash;
+pub mod reference;
+pub mod semiring;
+
+pub use parallel_hash::{multiply as multiply_parallel, multiply_view as multiply_parallel_view};
+pub use reference::multiply as multiply_reference;
+pub use semiring::{multiply_semiring, Semiring};
+
+use sparse::{Result, SparseError};
+
+pub(crate) fn check_dims(
+    a_rows: usize,
+    a_cols: usize,
+    b_rows: usize,
+    b_cols: usize,
+) -> Result<()> {
+    if a_cols != b_rows {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (a_rows, a_cols),
+            rhs: (b_rows, b_cols),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dim_check() {
+        assert!(super::check_dims(2, 3, 3, 4).is_ok());
+        assert!(super::check_dims(2, 3, 4, 4).is_err());
+    }
+}

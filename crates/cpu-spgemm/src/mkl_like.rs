@@ -1,0 +1,136 @@
+//! An MKL-like baseline constrained to 32-bit index arrays.
+//!
+//! The paper considered Intel MKL as the CPU comparator and rejected
+//! it: "since MKL Library only supports integer as the data type for
+//! the arrays row_offsets and col_ids, it can not handle large
+//! matrices" (Section III-C). This module reproduces that constraint
+//! faithfully: products whose output needs `row_offsets` beyond
+//! `i32::MAX` fail with [`Int32Overflow`], while small products succeed
+//! (and are verified against the reference).
+//!
+//! The limit is configurable so tests can trigger the overflow without
+//! materializing a 2-billion-nnz matrix.
+
+use crate::{check_dims, parallel_hash};
+use sparse::{CsrMatrix, SparseError};
+use std::fmt;
+
+/// Error raised when a product exceeds 32-bit index capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Int32Overflow {
+    /// The offset value that did not fit.
+    pub required: u64,
+    /// The maximum representable offset.
+    pub limit: u64,
+}
+
+impl fmt::Display for Int32Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output needs row offsets up to {} but 32-bit indices cap at {}",
+            self.required, self.limit
+        )
+    }
+}
+
+impl std::error::Error for Int32Overflow {}
+
+/// Outcome of an MKL-like multiplication attempt.
+pub type MklResult = std::result::Result<CsrMatrix, MklError>;
+
+/// Failure modes of the MKL-like baseline.
+#[derive(Debug)]
+pub enum MklError {
+    /// The 32-bit index limitation was hit.
+    Overflow(Int32Overflow),
+    /// An ordinary sparse error (dimension mismatch etc.).
+    Sparse(SparseError),
+}
+
+impl fmt::Display for MklError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MklError::Overflow(e) => write!(f, "{e}"),
+            MklError::Sparse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MklError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MklError::Overflow(e) => Some(e),
+            MklError::Sparse(e) => Some(e),
+        }
+    }
+}
+
+/// Computes `C = a · b` under the real `i32::MAX` offset limit.
+pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> MklResult {
+    multiply_with_limit(a, b, i32::MAX as u64)
+}
+
+/// [`multiply`] with an artificial offset limit (for tests and the
+/// bench harness, which demonstrate the failure mode at tractable
+/// sizes).
+pub fn multiply_with_limit(a: &CsrMatrix, b: &CsrMatrix, limit: u64) -> MklResult {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols()).map_err(MklError::Sparse)?;
+    // MKL would also reject inputs that already violate the limit.
+    for m in [a, b] {
+        if m.nnz() as u64 > limit {
+            return Err(MklError::Overflow(Int32Overflow { required: m.nnz() as u64, limit }));
+        }
+    }
+    // Symbolic sizing first — exactly where a 32-bit implementation
+    // discovers it cannot address the output.
+    let required: u64 = sparse::stats::symbolic_nnz(a, b);
+    if required > limit {
+        return Err(MklError::Overflow(Int32Overflow { required, limit }));
+    }
+    parallel_hash::multiply(a, b).map_err(MklError::Sparse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen::erdos_renyi;
+
+    #[test]
+    fn small_products_succeed_and_match() {
+        let a = erdos_renyi(60, 60, 0.1, 1);
+        let got = multiply(&a, &a).unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_computed() {
+        let a = erdos_renyi(80, 80, 0.2, 2);
+        let needed = sparse::stats::symbolic_nnz(&a, &a);
+        let err = multiply_with_limit(&a, &a, needed - 1).unwrap_err();
+        match err {
+            MklError::Overflow(o) => {
+                assert_eq!(o.required, needed);
+                assert_eq!(o.limit, needed - 1);
+                assert!(o.to_string().contains("32-bit"));
+            }
+            other => panic!("expected overflow, got {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_input_rejected_up_front() {
+        let a = erdos_renyi(40, 40, 0.3, 3);
+        let err = multiply_with_limit(&a, &a, (a.nnz() - 1) as u64).unwrap_err();
+        assert!(matches!(err, MklError::Overflow(_)));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_sparse_error() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(5, 3);
+        assert!(matches!(multiply(&a, &b), Err(MklError::Sparse(_))));
+    }
+}

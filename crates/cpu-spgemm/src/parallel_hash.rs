@@ -1,0 +1,264 @@
+//! Multicore two-phase hash SpGEMM — the paper's CPU baseline
+//! (Nagasaka et al., "the hashmap implementation available from them",
+//! Section III-C).
+//!
+//! Structure:
+//!
+//! 1. **Row analysis** — per-row flop counts (`2 · Σ nnz(B_k*)`).
+//! 2. **Symbolic phase** — parallel over row chunks; each worker keeps a
+//!    reusable counter (dense stamps for narrow outputs, hash set
+//!    otherwise) and produces exact `nnz(C_i*)`.
+//! 3. **Exact allocation** — prefix sum of row sizes.
+//! 4. **Numeric phase** — parallel fill into disjoint output slices;
+//!    each worker reuses a dense or hash accumulator chosen per row by
+//!    the measured output density ([`accum::choose_accumulator`]).
+//!
+//! Rows are processed in flop-sorted *bins* inside each phase chunk so
+//! one pathological row cannot serialize a whole chunk — the
+//! load-balancing idea Nagasaka et al. use OpenMP dynamic scheduling
+//! for; rayon's work stealing plays that role here.
+
+use crate::check_dims;
+use accum::{
+    choose_accumulator, Accumulator, AccumulatorKind, DenseAccumulator, DenseCounter,
+    HashAccumulator, HashCounter, SymbolicCounter,
+};
+use rayon::prelude::*;
+use sparse::{ColId, CsrMatrix, CsrView, Result};
+
+/// Row-chunk granularity for the parallel phases. Small enough for work
+/// stealing to balance skewed matrices, large enough to amortize
+/// accumulator setup.
+const CHUNK: usize = 256;
+
+/// Width above which symbolic counting and numeric accumulation switch
+/// from dense stamp arrays to hashing by default (dense arrays of this
+/// size still fit comfortably in L2, matching the Patwary argument).
+const DENSE_WIDTH_LIMIT: usize = 1 << 17;
+
+/// Computes `C = a · b` with the multicore hash algorithm.
+pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    multiply_view(&CsrView::of(a), b)
+}
+
+/// [`multiply`] over a borrowed row panel of `A` — the entry point the
+/// hybrid executor uses for CPU-assigned chunks.
+pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
+    let n_rows = a.n_rows();
+    let width = b.n_cols();
+
+    // Phase 2: symbolic row sizes (exact).
+    let row_nnz: Vec<usize> = symbolic(a, b);
+
+    // Phase 3: exact allocation via prefix sum.
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    offsets.push(0usize);
+    for &n in &row_nnz {
+        offsets.push(offsets.last().unwrap() + n);
+    }
+    let nnz = *offsets.last().unwrap();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+
+    // Phase 4: numeric fill into disjoint row-chunk slices.
+    {
+        let mut col_chunks: Vec<(usize, &mut [ColId], &mut [f64])> = Vec::new();
+        let mut rest_c: &mut [ColId] = &mut cols;
+        let mut rest_v: &mut [f64] = &mut vals;
+        let mut chunk_start = 0usize;
+        while chunk_start < n_rows {
+            let chunk_end = (chunk_start + CHUNK).min(n_rows);
+            let len = offsets[chunk_end] - offsets[chunk_start];
+            let (head_c, tail_c) = rest_c.split_at_mut(len);
+            let (head_v, tail_v) = rest_v.split_at_mut(len);
+            col_chunks.push((chunk_start, head_c, head_v));
+            rest_c = tail_c;
+            rest_v = tail_v;
+            chunk_start = chunk_end;
+        }
+        col_chunks.into_par_iter().for_each(|(chunk_start, out_c, out_v)| {
+            numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v);
+        });
+    }
+
+    Ok(CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals))
+}
+
+/// Symbolic phase: exact output row sizes, parallel over row chunks.
+fn symbolic(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
+    let n_rows = a.n_rows();
+    let width = b.n_cols();
+    let rows: Vec<usize> = (0..n_rows).collect();
+    rows.par_chunks(CHUNK)
+        .flat_map_iter(|chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            if width <= DENSE_WIDTH_LIMIT {
+                let mut counter = DenseCounter::new(width);
+                for &r in chunk {
+                    count_row(a, b, r, &mut counter);
+                    out.push(counter.count());
+                    counter.reset();
+                }
+            } else {
+                let mut counter = HashCounter::with_expected(64);
+                for &r in chunk {
+                    count_row(a, b, r, &mut counter);
+                    out.push(counter.count());
+                    counter.reset();
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[inline]
+fn count_row<C: SymbolicCounter>(a: &CsrView<'_>, b: &CsrMatrix, r: usize, counter: &mut C) {
+    for &k in a.row_cols(r) {
+        for &c in b.row_cols(k as usize) {
+            counter.insert(c);
+        }
+    }
+}
+
+/// Numeric phase for one row chunk, writing into its disjoint slices.
+fn numeric_chunk(
+    a: &CsrView<'_>,
+    b: &CsrMatrix,
+    row_nnz: &[usize],
+    chunk_start: usize,
+    out_c: &mut [ColId],
+    out_v: &mut [f64],
+) {
+    let width = b.n_cols();
+    let chunk_len = out_c.len();
+    let rows = chunk_start..(chunk_start + CHUNK).min(row_nnz.len());
+    let mut dense: Option<DenseAccumulator> = None;
+    let mut hash = HashAccumulator::with_expected(64);
+    let mut scratch_c: Vec<ColId> = Vec::new();
+    let mut scratch_v: Vec<f64> = Vec::new();
+    let mut cursor = 0usize;
+    for r in rows {
+        let expect = row_nnz[r];
+        if expect == 0 {
+            continue;
+        }
+        scratch_c.clear();
+        scratch_v.clear();
+        let kind = if width <= DENSE_WIDTH_LIMIT {
+            choose_accumulator(expect, width)
+        } else {
+            AccumulatorKind::Hash
+        };
+        match kind {
+            AccumulatorKind::Dense => {
+                let acc = dense.get_or_insert_with(|| DenseAccumulator::new(width));
+                fill_row(a, b, r, acc);
+                acc.flush_into(&mut scratch_c, &mut scratch_v);
+            }
+            AccumulatorKind::Hash => {
+                fill_row(a, b, r, &mut hash);
+                hash.flush_into(&mut scratch_c, &mut scratch_v);
+            }
+        }
+        debug_assert_eq!(scratch_c.len(), expect, "symbolic/numeric mismatch at row {r}");
+        out_c[cursor..cursor + expect].copy_from_slice(&scratch_c);
+        out_v[cursor..cursor + expect].copy_from_slice(&scratch_v);
+        cursor += expect;
+    }
+    debug_assert_eq!(cursor, chunk_len, "chunk fill incomplete");
+}
+
+#[inline]
+fn fill_row<A: Accumulator>(a: &CsrView<'_>, b: &CsrMatrix, r: usize, acc: &mut A) {
+    for (k, a_rk) in a.row_iter(r) {
+        for (c, b_kc) in b.row_iter(k as usize) {
+            acc.add(c, a_rk * b_kc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen::{erdos_renyi, grid2d_stencil, rmat, RmatConfig};
+
+    fn check_against_reference(a: &CsrMatrix, b: &CsrMatrix) {
+        let expect = reference::multiply(a, b).unwrap();
+        let got = multiply(a, b).unwrap();
+        got.validate().unwrap();
+        assert!(
+            got.approx_eq(&expect, 1e-9),
+            "parallel hash result diverged from reference"
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_random() {
+        let a = erdos_renyi(120, 100, 0.08, 1);
+        let b = erdos_renyi(100, 140, 0.08, 2);
+        check_against_reference(&a, &b);
+    }
+
+    #[test]
+    fn matches_reference_on_skewed() {
+        let a = rmat(RmatConfig::skewed(9, 4000), 3);
+        check_against_reference(&a, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_stencil() {
+        let a = grid2d_stencil(16, 16, 2, 4);
+        check_against_reference(&a, &a);
+    }
+
+    #[test]
+    fn view_panel_multiplication() {
+        let a = erdos_renyi(90, 80, 0.1, 5);
+        let b = erdos_renyi(80, 70, 0.1, 6);
+        let full = multiply(&a, &b).unwrap();
+        let panel = CsrView::rows(&a, 30, 60);
+        let part = multiply_view(&panel, &b).unwrap();
+        assert_eq!(part, full.slice_rows(30, 60));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let z = CsrMatrix::zeros(10, 10);
+        assert_eq!(multiply(&z, &z).unwrap().nnz(), 0);
+        let a = erdos_renyi(10, 0, 0.0, 1);
+        let b = CsrMatrix::zeros(0, 5);
+        let c = multiply(&a, &b).unwrap();
+        assert_eq!(c.n_rows(), 10);
+        assert_eq!(c.n_cols(), 5);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn rejects_mismatch() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(5, 3);
+        assert!(multiply(&a, &b).is_err());
+    }
+
+    #[test]
+    fn wide_matrix_uses_hash_path() {
+        // Width above DENSE_WIDTH_LIMIT forces hash counters/accumulators.
+        let width = super::DENSE_WIDTH_LIMIT + 10;
+        let mut coo = sparse::CooMatrix::new(4, width);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, width - 1, 2.0).unwrap();
+        coo.push(1, 5, 3.0).unwrap();
+        let b = coo.to_csr();
+        let mut coo = sparse::CooMatrix::new(3, 4);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        let c = multiply(&a, &b).unwrap();
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+}

@@ -1,0 +1,123 @@
+//! Sequential Gustavson SpGEMM — the workspace's ground truth.
+//!
+//! Direct transcription of the paper's Algorithm 1 with a sort-based
+//! accumulator standing in for the (expensive) ordered insertion the
+//! pseudo-code assumes. Deterministic: products are generated in
+//! row-major order and summed in insertion order.
+
+use crate::check_dims;
+use accum::{Accumulator, SortAccumulator};
+use sparse::{CsrBuilder, CsrMatrix, Result};
+
+/// Computes `C = a · b` sequentially.
+pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
+    let mut builder = CsrBuilder::new(b.n_cols());
+    let mut acc = SortAccumulator::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.n_rows() {
+        for (k, a_ik) in a.row_iter(i) {
+            for (j, b_kj) in b.row_iter(k as usize) {
+                acc.add(j, a_ik * b_kj);
+            }
+        }
+        cols.clear();
+        vals.clear();
+        acc.flush_into(&mut cols, &mut vals);
+        builder.push_row(&cols, &vals)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{erdos_renyi, kronecker, tridiagonal};
+    use sparse::ops::{spmv, transpose};
+
+    #[test]
+    fn paper_figure2_style_example() {
+        // A = [1 0 2 0; 0 3 0 0; 4 0 0 5; 0 0 6 0]
+        let a = CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 6],
+            vec![0, 2, 1, 0, 3, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap();
+        let c = multiply(&a, &a).unwrap();
+        c.validate().unwrap();
+        // Row 0 = 1*row0 + 2*row2 = [1,0,2,0] + 2*[4,0,0,5] = [9,0,2,10]
+        assert_eq!(c.get(0, 0), 9.0);
+        assert_eq!(c.get(0, 2), 2.0);
+        assert_eq!(c.get(0, 3), 10.0);
+        assert_eq!(c.get(0, 1), 0.0);
+        // Row 1 = 3*row1 = [0,9,0,0]
+        assert_eq!(c.get(1, 1), 9.0);
+        // Row 3 = 6*row2 = [24,0,0,30]
+        assert_eq!(c.get(3, 0), 24.0);
+        assert_eq!(c.get(3, 3), 30.0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = erdos_renyi(30, 30, 0.15, 1);
+        let i = CsrMatrix::identity(30);
+        assert_eq!(multiply(&a, &i).unwrap(), a);
+        assert_eq!(multiply(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(4, 2);
+        assert!(multiply(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matches_spmv_composition() {
+        // (A·B)·x == A·(B·x)
+        let a = erdos_renyi(40, 35, 0.1, 2);
+        let b = erdos_renyi(35, 45, 0.1, 3);
+        let c = multiply(&a, &b).unwrap();
+        let x: Vec<f64> = (0..45).map(|i| (i as f64 * 0.37).sin()).collect();
+        let lhs = spmv(&c, &x).unwrap();
+        let rhs = spmv(&a, &spmv(&b, &x).unwrap()).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-9 * l.abs().max(1.0), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn kronecker_mixed_product_identity() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = tridiagonal(4);
+        let b = erdos_renyi(3, 3, 0.5, 4);
+        let c = erdos_renyi(4, 4, 0.5, 5);
+        let d = tridiagonal(3);
+        let lhs = multiply(&kronecker(&a, &b), &kronecker(&c, &d)).unwrap();
+        let rhs = kronecker(&multiply(&a, &c).unwrap(), &multiply(&b, &d).unwrap());
+        assert!(lhs.approx_eq(&rhs.prune(0.0), 1e-12) || lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn transpose_identity_on_product() {
+        // (A·B)^T == B^T · A^T
+        let a = erdos_renyi(25, 30, 0.12, 6);
+        let b = erdos_renyi(30, 20, 0.12, 7);
+        let lhs = transpose(&multiply(&a, &b).unwrap());
+        let rhs = multiply(&transpose(&b), &transpose(&a)).unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn empty_rows_produce_empty_rows() {
+        let a = CsrMatrix::zeros(5, 5);
+        let b = erdos_renyi(5, 5, 0.5, 8);
+        let c = multiply(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.n_rows(), 5);
+    }
+}

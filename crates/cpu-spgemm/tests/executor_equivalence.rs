@@ -1,0 +1,80 @@
+//! Property tests: every CPU executor agrees with the sequential
+//! reference on arbitrary sparse inputs.
+
+use proptest::prelude::*;
+use sparse::{CooMatrix, CsrMatrix};
+
+/// Strategy: a random square sparse matrix of order up to `max_n`.
+fn arb_square(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        let max_entries = (n * n).min(300);
+        prop::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..=max_entries).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(n, n);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v).unwrap();
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+/// Pair of multiplication-compatible matrices.
+fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..40usize, 1..40usize, 1..40usize).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec((0..m, 0..k, -10.0f64..10.0), 0..200).prop_map(
+                move |entries| {
+                    let mut coo = CooMatrix::new(m, k);
+                    for (i, j, v) in entries {
+                        coo.push(i, j, v).unwrap();
+                    }
+                    coo.to_csr()
+                },
+            ),
+            prop::collection::vec((0..k, 0..n, -10.0f64..10.0), 0..200).prop_map(
+                move |entries| {
+                    let mut coo = CooMatrix::new(k, n);
+                    for (i, j, v) in entries {
+                        coo.push(i, j, v).unwrap();
+                    }
+                    coo.to_csr()
+                },
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_hash_matches_reference((a, b) in arb_pair()) {
+        let expect = cpu_spgemm::reference::multiply(&a, &b).unwrap();
+        let got = cpu_spgemm::parallel_hash::multiply(&a, &b).unwrap();
+        got.validate().unwrap();
+        prop_assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn dense_blocked_matches_reference((a, b) in arb_pair()) {
+        let expect = cpu_spgemm::reference::multiply(&a, &b).unwrap();
+        // Narrow panels stress the stitch path.
+        let got = cpu_spgemm::dense_blocked::multiply_with_width(&a, &b, 7).unwrap();
+        got.validate().unwrap();
+        prop_assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn square_product_spmv_identity(a in arb_square(30)) {
+        let c = cpu_spgemm::parallel_hash::multiply(&a, &a).unwrap();
+        let x: Vec<f64> = (0..a.n_cols()).map(|i| ((i * 37 + 11) % 97) as f64 / 13.0).collect();
+        let via_c = sparse::ops::spmv(&c, &x).unwrap();
+        let via_aa = sparse::ops::spmv(&a, &sparse::ops::spmv(&a, &x).unwrap()).unwrap();
+        for (l, r) in via_c.iter().zip(&via_aa) {
+            let scale = l.abs().max(r.abs()).max(1.0);
+            prop_assert!((l - r).abs() <= 1e-8 * scale, "{l} vs {r}");
+        }
+    }
+}

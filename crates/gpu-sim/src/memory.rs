@@ -1,0 +1,259 @@
+//! Device memory accounting: a capacity-checked allocator and the
+//! paper's pre-allocated bump pool.
+
+use crate::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error: the device is out of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub free: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} free of {}",
+            self.requested, self.free, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// Handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceAlloc(pub(crate) u64);
+
+/// Capacity-checked device memory book-keeping.
+///
+/// Tracks live allocations and the high-water mark. It does not store
+/// data — executors keep real data host-side; this enforces the paper's
+/// "does it fit in 16 GB?" constraint at the simulator's scale.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    in_use: u64,
+    high_water: u64,
+    next_id: u64,
+    live: BTreeMap<u64, u64>,
+}
+
+impl DeviceMemory {
+    /// Creates a device memory of the given capacity.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, in_use: 0, high_water: 0, next_id: 0, live: BTreeMap::new() }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Bytes free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Peak bytes ever allocated simultaneously.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates `bytes`, failing if capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DeviceAlloc, OutOfDeviceMemory> {
+        if self.in_use + bytes > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.high_water = self.high_water.max(self.in_use);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        Ok(DeviceAlloc(id))
+    }
+
+    /// Frees an allocation. Panics on double free.
+    pub fn dealloc(&mut self, handle: DeviceAlloc) {
+        let bytes = self.live.remove(&handle.0).expect("double free of device allocation");
+        self.in_use -= bytes;
+    }
+}
+
+/// The paper's pre-allocated shared memory pool (Section IV-B,
+/// "Pre-Allocation to Avoid Dynamic Memory Allocation").
+///
+/// One large device allocation made before the pipeline starts; every
+/// per-chunk data structure takes an incrementally-assigned offset.
+/// `reset` recycles the pool between chunks without touching the
+/// device allocator — which is what keeps the streams concurrent.
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    cursor: u64,
+    high_water: u64,
+    allocations: u64,
+    resets: u64,
+}
+
+impl MemoryPool {
+    /// Creates a pool of `capacity` bytes (already device-allocated by
+    /// the caller).
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool { capacity, cursor: 0, high_water: 0, allocations: 0, resets: 0 }
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes handed out since the last reset.
+    pub fn used(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Peak bytes used in any epoch.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Total sub-allocations served (across resets).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of epochs (resets).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Takes `bytes` from the pool (aligned to 256, as CUDA would),
+    /// returning the offset, or an error if the pool is exhausted.
+    pub fn bump(&mut self, bytes: u64) -> Result<u64, OutOfDeviceMemory> {
+        let aligned = bytes.div_ceil(256) * 256;
+        if self.cursor + aligned > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: aligned,
+                free: self.capacity - self.cursor,
+                capacity: self.capacity,
+            });
+        }
+        let offset = self.cursor;
+        self.cursor += aligned;
+        self.high_water = self.high_water.max(self.cursor);
+        self.allocations += 1;
+        Ok(offset)
+    }
+
+    /// Recycles the pool for the next chunk: `O(1)`, no device
+    /// synchronization — the whole point of the design.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.resets += 1;
+    }
+}
+
+/// A host-side timestamped memory usage sample, for capacity traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSample {
+    /// Host time of the sample.
+    pub at: SimTime,
+    /// Bytes in use.
+    pub in_use: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(400).unwrap();
+        let b = m.alloc(500).unwrap();
+        assert_eq!(m.in_use(), 900);
+        assert_eq!(m.free_bytes(), 100);
+        assert!(m.alloc(200).is_err());
+        m.dealloc(a);
+        assert_eq!(m.in_use(), 500);
+        let _c = m.alloc(200).unwrap();
+        m.dealloc(b);
+        assert_eq!(m.high_water(), 900);
+        assert_eq!(m.live_allocations(), 1);
+    }
+
+    #[test]
+    fn oom_error_reports_numbers() {
+        let mut m = DeviceMemory::new(100);
+        let e = m.alloc(150).unwrap_err();
+        assert_eq!(e.requested, 150);
+        assert_eq!(e.free, 100);
+        assert!(e.to_string().contains("150"));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = DeviceMemory::new(100);
+        let a = m.alloc(10).unwrap();
+        m.dealloc(a);
+        m.dealloc(a);
+    }
+
+    #[test]
+    fn pool_bump_and_reset() {
+        let mut p = MemoryPool::new(4096);
+        let o1 = p.bump(100).unwrap();
+        let o2 = p.bump(100).unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 256, "offsets are 256-aligned");
+        assert_eq!(p.used(), 512);
+        p.reset();
+        assert_eq!(p.used(), 0);
+        let o3 = p.bump(1).unwrap();
+        assert_eq!(o3, 0, "reset recycles from the start");
+        assert_eq!(p.high_water(), 512);
+        assert_eq!(p.allocations(), 3);
+        assert_eq!(p.resets(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut p = MemoryPool::new(1024);
+        p.bump(512).unwrap();
+        p.bump(512).unwrap();
+        assert!(p.bump(1).is_err());
+        p.reset();
+        assert!(p.bump(1024).is_ok());
+    }
+
+    #[test]
+    fn pool_zero_byte_bump_is_free() {
+        let mut p = MemoryPool::new(256);
+        let o = p.bump(0).unwrap();
+        assert_eq!(o, 0);
+        assert_eq!(p.used(), 0);
+    }
+}

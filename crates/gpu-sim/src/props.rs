@@ -1,0 +1,85 @@
+//! Device properties — the paper's Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Static properties of the simulated GPU (Table I: "Nvidia Tesla V100
+/// Specifications").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceProps {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Device memory capacity in bytes.
+    pub device_memory_bytes: u64,
+    /// FP32 CUDA cores.
+    pub fp32_cores: u32,
+    /// Memory interface description.
+    pub memory_interface: &'static str,
+    /// Register file size per SM, bytes.
+    pub register_file_per_sm_bytes: u32,
+    /// Maximum registers per thread.
+    pub max_registers_per_thread: u32,
+    /// Maximum shared memory per SM, bytes.
+    pub shared_memory_per_sm_bytes: u32,
+    /// Maximum thread block size.
+    pub max_thread_block_size: u32,
+}
+
+impl DeviceProps {
+    /// The paper's evaluation GPU (Table I), full 16 GB.
+    pub fn v100() -> Self {
+        DeviceProps {
+            name: "Tesla V100",
+            architecture: "Volta",
+            sm_count: 80,
+            device_memory_bytes: 16 * (1 << 30),
+            fp32_cores: 5120,
+            memory_interface: "4096-bit HBM2",
+            // Table I lists 65536 (32-bit) registers per SM = 256 KiB.
+            register_file_per_sm_bytes: 65536 * 4,
+            max_registers_per_thread: 255,
+            shared_memory_per_sm_bytes: 96 * 1024,
+            max_thread_block_size: 1024,
+        }
+    }
+
+    /// A V100 with its memory capacity scaled down by the same factor
+    /// as the evaluation matrices (DESIGN.md), so the suite remains
+    /// out-of-core. The default experiment configuration uses 24 MiB.
+    pub fn v100_scaled(device_memory_bytes: u64) -> Self {
+        DeviceProps { device_memory_bytes, ..Self::v100() }
+    }
+}
+
+impl Default for DeviceProps {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_table_i() {
+        let p = DeviceProps::v100();
+        assert_eq!(p.sm_count, 80);
+        assert_eq!(p.fp32_cores, 5120);
+        assert_eq!(p.device_memory_bytes, 16 * 1024 * 1024 * 1024);
+        assert_eq!(p.max_thread_block_size, 1024);
+        assert_eq!(p.shared_memory_per_sm_bytes, 96 * 1024);
+        assert_eq!(p.max_registers_per_thread, 255);
+        assert_eq!(p.register_file_per_sm_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn scaled_keeps_everything_but_memory() {
+        let p = DeviceProps::v100_scaled(24 << 20);
+        assert_eq!(p.device_memory_bytes, 24 << 20);
+        assert_eq!(p.sm_count, 80);
+    }
+}

@@ -1,0 +1,261 @@
+//! Execution timeline: every simulated operation, with validation.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What kind of operation a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Kernel on the compute engine.
+    Kernel,
+    /// Host→device copy.
+    CopyH2D,
+    /// Device→host copy.
+    CopyD2H,
+    /// Host-side computation (grouping, prefix sums, ...).
+    HostCompute,
+    /// Device allocation/deallocation barrier.
+    AllocBarrier,
+}
+
+impl OpKind {
+    /// The exclusive engine this op occupies, if any.
+    fn engine(&self) -> Option<u8> {
+        match self {
+            OpKind::Kernel => Some(0),
+            OpKind::CopyH2D => Some(1),
+            OpKind::CopyD2H => Some(2),
+            OpKind::HostCompute | OpKind::AllocBarrier => None,
+        }
+    }
+}
+
+/// One completed operation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Free-form label (e.g. `"numeric(chunk 3)"`).
+    pub label: String,
+    /// Stream the op was issued to (`u32::MAX` for host ops).
+    pub stream: u32,
+    /// Start time, ns.
+    pub start: SimTime,
+    /// End time, ns.
+    pub end: SimTime,
+    /// Payload size: bytes for copies, flops/ops for kernels.
+    pub payload: u64,
+}
+
+/// The full, ordered (by issue) record of a simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// All records in issue order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Timeline {
+    /// Latest end time across all records (total elapsed time).
+    pub fn makespan(&self) -> SimTime {
+        self.records.iter().map(|r| r.end).max().unwrap_or(0)
+    }
+
+    /// Total busy time of an op kind (sum of durations).
+    pub fn busy_time(&self, kind: OpKind) -> SimTime {
+        self.records.iter().filter(|r| r.kind == kind).map(|r| r.end - r.start).sum()
+    }
+
+    /// Fraction of the makespan spent on D2H+H2D copies
+    /// (the Figure 4 metric).
+    pub fn transfer_fraction(&self) -> f64 {
+        let total = self.makespan();
+        if total == 0 {
+            return 0.0;
+        }
+        let t = self.busy_time(OpKind::CopyD2H) + self.busy_time(OpKind::CopyH2D);
+        t as f64 / total as f64
+    }
+
+    /// Records of one kind.
+    pub fn of_kind(&self, kind: OpKind) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Validates the physical invariants of the timeline:
+    ///
+    /// * every record has `start <= end`;
+    /// * no two operations overlap on the same exclusive engine
+    ///   (compute, H2D, D2H) — "GPU only supports one data transfer in
+    ///   one direction at one time";
+    /// * operations issued to the same stream do not overlap and
+    ///   complete in issue order (FIFO streams).
+    pub fn validate(&self) -> Result<(), String> {
+        for r in &self.records {
+            if r.start > r.end {
+                return Err(format!("record '{}' ends before it starts", r.label));
+            }
+        }
+        // Engine exclusivity.
+        for engine in 0u8..3 {
+            let mut spans: Vec<(SimTime, SimTime, &str)> = self
+                .records
+                .iter()
+                .filter(|r| r.kind.engine() == Some(engine))
+                .map(|r| (r.start, r.end, r.label.as_str()))
+                .collect();
+            spans.sort_unstable_by_key(|&(s, e, _)| (s, e));
+            for w in spans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(format!(
+                        "engine {engine} overlap: '{}' [{}, {}) vs '{}' [{}, {})",
+                        w[0].2, w[0].0, w[0].1, w[1].2, w[1].0, w[1].1
+                    ));
+                }
+            }
+        }
+        // Stream FIFO order (host ops excluded).
+        let mut last_end: std::collections::HashMap<u32, SimTime> =
+            std::collections::HashMap::new();
+        for r in &self.records {
+            if r.stream == u32::MAX {
+                continue;
+            }
+            let prev = last_end.entry(r.stream).or_insert(0);
+            if r.start < *prev {
+                return Err(format!(
+                    "stream {} FIFO violation at '{}': starts {} before previous end {}",
+                    r.stream, r.label, r.start, prev
+                ));
+            }
+            *prev = r.end;
+        }
+        Ok(())
+    }
+}
+
+impl Timeline {
+    /// Exports the timeline in the Chrome trace-event format
+    /// (`chrome://tracing` / Perfetto): one complete event (`ph: "X"`)
+    /// per record, with engines as threads of process 0 and host
+    /// activity as process 1. Times are exported in microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'static str,
+            ph: &'static str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+            args: EventArgs,
+        }
+        #[derive(serde::Serialize)]
+        struct EventArgs {
+            stream: u32,
+            payload: u64,
+        }
+        let events: Vec<Event<'_>> = self
+            .records
+            .iter()
+            .map(|r| {
+                let (pid, tid, cat) = match r.kind {
+                    OpKind::Kernel => (0, 0, "kernel"),
+                    OpKind::CopyH2D => (0, 1, "copy_h2d"),
+                    OpKind::CopyD2H => (0, 2, "copy_d2h"),
+                    OpKind::HostCompute => (1, 0, "host"),
+                    OpKind::AllocBarrier => (1, 1, "alloc"),
+                };
+                Event {
+                    name: &r.label,
+                    cat,
+                    ph: "X",
+                    ts: r.start as f64 / 1e3,
+                    dur: (r.end - r.start) as f64 / 1e3,
+                    pid,
+                    tid,
+                    args: EventArgs { stream: r.stream, payload: r.payload },
+                }
+            })
+            .collect();
+        serde_json::to_string_pretty(&events).expect("trace events serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, stream: u32, start: SimTime, end: SimTime) -> TraceRecord {
+        TraceRecord { kind, label: format!("{kind:?}@{start}"), stream, start, end, payload: 0 }
+    }
+
+    #[test]
+    fn makespan_and_busy_time() {
+        let t = Timeline {
+            records: vec![
+                rec(OpKind::Kernel, 0, 0, 10),
+                rec(OpKind::CopyD2H, 0, 10, 40),
+                rec(OpKind::Kernel, 1, 10, 25),
+            ],
+        };
+        assert_eq!(t.makespan(), 40);
+        assert_eq!(t.busy_time(OpKind::Kernel), 25);
+        assert_eq!(t.busy_time(OpKind::CopyD2H), 30);
+        assert!((t.transfer_fraction() - 0.75).abs() < 1e-12);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn detects_engine_overlap() {
+        let t = Timeline {
+            records: vec![rec(OpKind::Kernel, 0, 0, 10), rec(OpKind::Kernel, 1, 5, 15)],
+        };
+        assert!(t.validate().unwrap_err().contains("engine 0 overlap"));
+    }
+
+    #[test]
+    fn copies_in_different_directions_may_overlap() {
+        let t = Timeline {
+            records: vec![rec(OpKind::CopyH2D, 0, 0, 10), rec(OpKind::CopyD2H, 1, 0, 10)],
+        };
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn detects_stream_fifo_violation() {
+        let t = Timeline {
+            records: vec![rec(OpKind::Kernel, 0, 10, 20), rec(OpKind::CopyD2H, 0, 5, 9)],
+        };
+        assert!(t.validate().unwrap_err().contains("FIFO"));
+    }
+
+    #[test]
+    fn chrome_trace_exports_all_records() {
+        let t = Timeline {
+            records: vec![
+                rec(OpKind::Kernel, 0, 0, 10_000),
+                rec(OpKind::CopyD2H, 1, 10_000, 40_000),
+                rec(OpKind::HostCompute, u32::MAX, 5_000, 6_000),
+            ],
+        };
+        let json = t.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["cat"], "kernel");
+        assert_eq!(events[1]["cat"], "copy_d2h");
+        assert_eq!(events[1]["ts"], 10.0, "microsecond timestamps");
+        assert_eq!(events[1]["dur"], 30.0);
+        assert_eq!(events[2]["pid"], 1, "host events on their own process");
+    }
+
+    #[test]
+    fn empty_timeline_is_valid() {
+        let t = Timeline::default();
+        assert_eq!(t.makespan(), 0);
+        assert_eq!(t.transfer_fraction(), 0.0);
+        t.validate().unwrap();
+    }
+}

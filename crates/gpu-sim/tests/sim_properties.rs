@@ -1,0 +1,130 @@
+//! Property tests: arbitrary operation sequences never violate the
+//! simulator's physical invariants.
+
+use gpu_sim::{CopyDir, CostModel, DeviceProps, GpuSim, HostMem, KernelKind, OpKind, Stream};
+use proptest::prelude::*;
+
+/// An abstract operation the fuzzer can issue.
+#[derive(Debug, Clone)]
+enum Op {
+    Kernel { stream: usize, flops: u64 },
+    Copy { stream: usize, d2h: bool, bytes: u64 },
+    RecordWait { from: usize, to: usize },
+    HostCompute { ns: u64 },
+    StreamSync { stream: usize },
+    DeviceSync,
+    MallocFree { bytes: u64 },
+}
+
+fn arb_op(n_streams: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_streams, 1u64..10_000_000).prop_map(|(stream, flops)| Op::Kernel { stream, flops }),
+        (0..n_streams, any::<bool>(), 1u64..50_000_000)
+            .prop_map(|(stream, d2h, bytes)| Op::Copy { stream, d2h, bytes }),
+        (0..n_streams, 0..n_streams).prop_map(|(from, to)| Op::RecordWait { from, to }),
+        (1u64..100_000).prop_map(|ns| Op::HostCompute { ns }),
+        (0..n_streams).prop_map(|stream| Op::StreamSync { stream }),
+        Just(Op::DeviceSync),
+        (1u64..1_000_000).prop_map(|bytes| Op::MallocFree { bytes }),
+    ]
+}
+
+fn run(ops: &[Op], n_streams: usize) -> GpuSim {
+    let mut sim = GpuSim::new(DeviceProps::v100_scaled(64 << 20), CostModel::calibrated());
+    let streams: Vec<Stream> = (0..n_streams).map(|_| sim.create_stream()).collect();
+    for op in ops {
+        match op {
+            Op::Kernel { stream, flops } => {
+                sim.enqueue_kernel(
+                    streams[*stream],
+                    KernelKind::Numeric { flops: *flops, compression_ratio: 2.0 },
+                    "k",
+                );
+            }
+            Op::Copy { stream, d2h, bytes } => {
+                let dir = if *d2h { CopyDir::D2H } else { CopyDir::H2D };
+                sim.enqueue_copy(streams[*stream], dir, *bytes, HostMem::Pinned, "c");
+            }
+            Op::RecordWait { from, to } => {
+                let ev = sim.record_event(streams[*from]);
+                sim.wait_event(streams[*to], ev);
+            }
+            Op::HostCompute { ns } => sim.host_compute(*ns, "h"),
+            Op::StreamSync { stream } => sim.stream_synchronize(streams[*stream]),
+            Op::DeviceSync => sim.device_synchronize(),
+            Op::MallocFree { bytes } => {
+                if let Ok(h) = sim.malloc(*bytes, "m") {
+                    sim.free(h, "m");
+                }
+            }
+        }
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_sequences_yield_valid_timelines(
+        ops in prop::collection::vec(arb_op(4), 0..60)
+    ) {
+        let mut sim = run(&ops, 4);
+        let makespan = sim.finish();
+        prop_assert!(sim.timeline().validate().is_ok(),
+            "{:?}", sim.timeline().validate());
+        prop_assert!(makespan >= sim.timeline().makespan());
+        // Memory fully released (every malloc paired with free).
+        prop_assert_eq!(sim.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn makespan_is_at_least_any_engine_busy_time(
+        ops in prop::collection::vec(arb_op(3), 1..40)
+    ) {
+        let mut sim = run(&ops, 3);
+        let makespan = sim.finish();
+        for kind in [OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H] {
+            prop_assert!(sim.timeline().busy_time(kind) <= makespan);
+        }
+    }
+
+    #[test]
+    fn host_clock_is_monotone_and_bounded(
+        ops in prop::collection::vec(arb_op(2), 1..40)
+    ) {
+        let mut sim = GpuSim::new(DeviceProps::v100_scaled(64 << 20), CostModel::calibrated());
+        let streams = [sim.create_stream(), sim.create_stream()];
+        let mut last = sim.now();
+        for op in &ops {
+            match op {
+                Op::Kernel { stream, flops } => {
+                    sim.enqueue_kernel(
+                        streams[stream % 2],
+                        KernelKind::Symbolic { flops: *flops, compression_ratio: 1.5 },
+                        "k",
+                    );
+                }
+                Op::HostCompute { ns } => sim.host_compute(*ns, "h"),
+                Op::StreamSync { stream } => sim.stream_synchronize(streams[stream % 2]),
+                Op::DeviceSync => sim.device_synchronize(),
+                _ => {}
+            }
+            prop_assert!(sim.now() >= last, "host clock went backwards");
+            last = sim.now();
+        }
+    }
+
+    #[test]
+    fn identical_sequences_identical_timelines(
+        ops in prop::collection::vec(arb_op(3), 0..30)
+    ) {
+        let mut s1 = run(&ops, 3);
+        let mut s2 = run(&ops, 3);
+        prop_assert_eq!(s1.finish(), s2.finish());
+        prop_assert_eq!(s1.timeline().records.len(), s2.timeline().records.len());
+        for (a, b) in s1.timeline().records.iter().zip(&s2.timeline().records) {
+            prop_assert_eq!((a.start, a.end), (b.start, b.end));
+        }
+    }
+}

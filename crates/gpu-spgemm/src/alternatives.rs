@@ -1,0 +1,355 @@
+//! Alternative in-core GPU SpGEMM algorithms from the paper's related
+//! work (Section VI), for comparison against the spECK-style executor:
+//!
+//! * **ESC** (Bell, Dalton, Olson) — "breaks the computation into
+//!   Expansion, Sorting, and Compression. It first generates
+//!   intermediate products (Expand), then it sorts these immediate
+//!   results by their row and column identifies (Sort). Finally, it
+//!   combines the values with colliding indices (Compress)."
+//! * **RMerge** (Gremse et al.) — "splits the matrix into sub-matrices
+//!   with limited row length and computes the product of these
+//!   matrices in an iterative way", i.e. hierarchical merging of
+//!   sorted scaled rows.
+//!
+//! Both compute real results (verified against the reference) and
+//! charge simulator kernels that reflect their distinctive costs: ESC
+//! materializes and sorts *every* intermediate product; RMerge runs
+//! `⌈log₂(row width)⌉` merge passes over shrinking intermediate lists.
+//! Neither needs a symbolic phase — ESC sizes its output while
+//! compressing, RMerge while merging — which is exactly why they spend
+//! more memory and bandwidth than the two-phase design the paper
+//! builds on.
+
+use crate::phases::{ChunkJob, BYTES_PER_NNZ};
+use accum::{Accumulator, SortAccumulator};
+use gpu_sim::{CopyDir, GpuSim, HostMem, KernelKind, OutOfDeviceMemory, SimTime, Stream};
+use sparse::{ColId, CsrBuilder, CsrMatrix};
+
+/// Throughput of the expansion kernel, products/s.
+const EXPAND_RATE: f64 = 6.0e9;
+/// Throughput of the (radix-ish) sort kernel, elements/s per pass.
+const SORT_RATE: f64 = 2.0e9;
+/// Throughput of the compression kernel, elements/s.
+const COMPRESS_RATE: f64 = 4.0e9;
+/// Throughput of one merge pass, elements/s.
+const MERGE_RATE: f64 = 3.0e9;
+
+/// Result of an alternative in-core chunk execution.
+#[derive(Debug)]
+pub struct AltChunkReport {
+    /// The real product (local column ids).
+    pub result: CsrMatrix,
+    /// Completion time on the simulator.
+    pub done_at: SimTime,
+    /// Peak intermediate elements held on the device.
+    pub peak_intermediate: u64,
+}
+
+/// Executes one chunk with the ESC algorithm.
+///
+/// Device cost: H2D panels, an expansion kernel over all `flops/2`
+/// products, a sort charged `P·log₂P` element-steps, a compression
+/// kernel over `P` elements, and the output transfer. Device memory
+/// must hold the *entire* expanded intermediate (16 bytes per product:
+/// row + col + value) — the memory blow-up that made ESC unattractive
+/// for large chunks.
+pub fn esc_chunk(
+    sim: &mut GpuSim,
+    stream: Stream,
+    job: ChunkJob<'_>,
+    transfer_a: bool,
+) -> Result<AltChunkReport, OutOfDeviceMemory> {
+    let a = &job.a_panel;
+    let b = job.b_panel;
+    let id = job.chunk_id;
+
+    // Real computation: per-row expand/sort/compress via the sort
+    // accumulator (the CPU realization of exactly this algorithm).
+    let mut builder = CsrBuilder::new(b.n_cols());
+    let mut acc = SortAccumulator::new();
+    let (mut cols, mut vals) = (Vec::new(), Vec::new());
+    let mut products: u64 = 0;
+    for r in 0..a.n_rows() {
+        for (k, a_rk) in a.row_iter(r) {
+            for (c, b_kc) in b.row_iter(k as usize) {
+                acc.add(c, a_rk * b_kc);
+                products += 1;
+            }
+        }
+        cols.clear();
+        vals.clear();
+        acc.flush_into(&mut cols, &mut vals);
+        builder.push_row(&cols, &vals).expect("accumulator rows are sorted");
+    }
+    let result = builder.finish();
+
+    // Simulated cost.
+    let a_bytes = a.storage_bytes() as u64;
+    let b_bytes = b.storage_bytes() as u64;
+    let intermediate_bytes = products * 16;
+    let out_bytes = result.nnz() as u64 * BYTES_PER_NNZ + (a.n_rows() as u64 + 1) * 8;
+
+    let a_alloc = if transfer_a {
+        let h = sim.malloc(a_bytes, format!("ESC A (chunk {id})"))?;
+        sim.enqueue_copy(stream, CopyDir::H2D, a_bytes, HostMem::Pinned, "ESC H2D A");
+        Some(h)
+    } else {
+        None
+    };
+    let b_alloc = sim.malloc(b_bytes, format!("ESC B (chunk {id})"))?;
+    sim.enqueue_copy(stream, CopyDir::H2D, b_bytes, HostMem::Pinned, "ESC H2D B");
+    let inter_alloc = sim.malloc(intermediate_bytes, format!("ESC intermediate (chunk {id})"))?;
+
+    sim.enqueue_kernel(
+        stream,
+        KernelKind::Generic { ops: products, rate: EXPAND_RATE },
+        format!("ESC expand (chunk {id})"),
+    );
+    let sort_steps = products * (64 - products.max(1).leading_zeros() as u64).max(1);
+    sim.enqueue_kernel(
+        stream,
+        KernelKind::Generic { ops: sort_steps, rate: SORT_RATE },
+        format!("ESC sort (chunk {id})"),
+    );
+    sim.enqueue_kernel(
+        stream,
+        KernelKind::Generic { ops: products, rate: COMPRESS_RATE },
+        format!("ESC compress (chunk {id})"),
+    );
+    let out_alloc = sim.malloc(out_bytes, format!("ESC output (chunk {id})"))?;
+    sim.enqueue_copy(stream, CopyDir::D2H, out_bytes, HostMem::Pinned, "ESC D2H output");
+    sim.stream_synchronize(stream);
+
+    sim.free(out_alloc, "ESC output");
+    sim.free(inter_alloc, "ESC intermediate");
+    sim.free(b_alloc, "ESC B");
+    if let Some(h) = a_alloc {
+        sim.free(h, "ESC A");
+    }
+    Ok(AltChunkReport { result, done_at: sim.now(), peak_intermediate: products })
+}
+
+/// Executes one chunk with the RMerge algorithm.
+///
+/// Real computation: every output row is built by hierarchically
+/// merging the sorted, scaled B rows selected by the A row (pairwise
+/// merge rounds, like merge sort over lists). Simulated cost: one
+/// kernel per global merge pass, each charged the number of elements
+/// still in flight; `⌈log₂(max row width of A)⌉` passes total.
+pub fn rmerge_chunk(
+    sim: &mut GpuSim,
+    stream: Stream,
+    job: ChunkJob<'_>,
+    transfer_a: bool,
+) -> Result<AltChunkReport, OutOfDeviceMemory> {
+    let a = &job.a_panel;
+    let b = job.b_panel;
+    let id = job.chunk_id;
+
+    // Real computation + per-pass element counts.
+    let mut builder = CsrBuilder::new(b.n_cols());
+    let mut max_width = 0usize;
+    // pass_elements[p] = elements processed in global merge pass p.
+    let mut pass_elements: Vec<u64> = Vec::new();
+    for r in 0..a.n_rows() {
+        let mut lists: Vec<Vec<(ColId, f64)>> = a
+            .row_iter(r)
+            .map(|(k, a_rk)| {
+                b.row_iter(k as usize).map(|(c, v)| (c, a_rk * v)).collect::<Vec<_>>()
+            })
+            .collect();
+        max_width = max_width.max(lists.len());
+        let mut pass = 0usize;
+        while lists.len() > 1 {
+            let mut merged = Vec::with_capacity(lists.len().div_ceil(2));
+            let elements: u64 = lists.iter().map(|l| l.len() as u64).sum();
+            if pass_elements.len() <= pass {
+                pass_elements.push(0);
+            }
+            pass_elements[pass] += elements;
+            let mut it = lists.into_iter();
+            while let Some(first) = it.next() {
+                match it.next() {
+                    Some(second) => merged.push(merge_two(&first, &second)),
+                    None => merged.push(first),
+                }
+            }
+            lists = merged;
+            pass += 1;
+        }
+        match lists.pop() {
+            Some(row) => {
+                let (cols, vals): (Vec<ColId>, Vec<f64>) = row.into_iter().unzip();
+                builder.push_row(&cols, &vals).expect("merged rows are sorted");
+            }
+            None => builder.push_empty_row(),
+        }
+    }
+    let result = builder.finish();
+
+    // Simulated cost.
+    let a_bytes = a.storage_bytes() as u64;
+    let b_bytes = b.storage_bytes() as u64;
+    let peak: u64 = pass_elements.first().copied().unwrap_or(0);
+    let out_bytes = result.nnz() as u64 * BYTES_PER_NNZ + (a.n_rows() as u64 + 1) * 8;
+
+    let a_alloc = if transfer_a {
+        let h = sim.malloc(a_bytes, format!("RMerge A (chunk {id})"))?;
+        sim.enqueue_copy(stream, CopyDir::H2D, a_bytes, HostMem::Pinned, "RMerge H2D A");
+        Some(h)
+    } else {
+        None
+    };
+    let b_alloc = sim.malloc(b_bytes, format!("RMerge B (chunk {id})"))?;
+    sim.enqueue_copy(stream, CopyDir::H2D, b_bytes, HostMem::Pinned, "RMerge H2D B");
+    // Double buffering of merge lists: peak intermediate x2 (ping-pong).
+    let inter_alloc = sim.malloc(peak * 12 * 2, format!("RMerge buffers (chunk {id})"))?;
+    for (p, &elements) in pass_elements.iter().enumerate() {
+        sim.enqueue_kernel(
+            stream,
+            KernelKind::Generic { ops: elements, rate: MERGE_RATE },
+            format!("RMerge pass {p} (chunk {id})"),
+        );
+    }
+    let out_alloc = sim.malloc(out_bytes, format!("RMerge output (chunk {id})"))?;
+    sim.enqueue_copy(stream, CopyDir::D2H, out_bytes, HostMem::Pinned, "RMerge D2H output");
+    sim.stream_synchronize(stream);
+
+    sim.free(out_alloc, "RMerge output");
+    sim.free(inter_alloc, "RMerge buffers");
+    sim.free(b_alloc, "RMerge B");
+    if let Some(h) = a_alloc {
+        sim.free(h, "RMerge A");
+    }
+    Ok(AltChunkReport { result, done_at: sim.now(), peak_intermediate: peak })
+}
+
+/// Merges two column-sorted scaled rows, summing collisions.
+fn merge_two(x: &[(ColId, f64)], y: &[(ColId, f64)]) -> Vec<(ColId, f64)> {
+    let mut out = Vec::with_capacity(x.len() + y.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < x.len() && j < y.len() {
+        match x[i].0.cmp(&y[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(x[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(y[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((x[i].0, x[i].1 + y[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&x[i..]);
+    out.extend_from_slice(&y[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_spgemm::reference;
+    use gpu_sim::{CostModel, DeviceProps};
+    use sparse::gen::{erdos_renyi, rmat, RmatConfig};
+    use sparse::CsrView;
+
+    fn new_sim(bytes: u64) -> GpuSim {
+        GpuSim::new(DeviceProps::v100_scaled(bytes), CostModel::calibrated())
+    }
+
+    fn job<'a>(a: &'a CsrMatrix, b: &'a CsrMatrix) -> ChunkJob<'a> {
+        ChunkJob { a_panel: CsrView::of(a), b_panel: b, chunk_id: 0 }
+    }
+
+    #[test]
+    fn esc_matches_reference() {
+        let a = erdos_renyi(120, 100, 0.08, 1);
+        let b = erdos_renyi(100, 130, 0.08, 2);
+        let mut sim = new_sim(64 << 20);
+        let stream = sim.create_stream();
+        let report = esc_chunk(&mut sim, stream, job(&a, &b), true).unwrap();
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert!(report.result.approx_eq(&expect, 1e-9));
+        assert!(report.done_at > 0);
+        sim.timeline().validate().unwrap();
+        assert_eq!(sim.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn rmerge_matches_reference() {
+        let a = rmat(RmatConfig::skewed(8, 2500), 3);
+        let mut sim = new_sim(64 << 20);
+        let stream = sim.create_stream();
+        let report = rmerge_chunk(&mut sim, stream, job(&a, &a), true).unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(report.result.approx_eq(&expect, 1e-9));
+        sim.timeline().validate().unwrap();
+    }
+
+    #[test]
+    fn esc_needs_intermediate_memory() {
+        // A chunk whose expanded intermediate exceeds the device fails
+        // under ESC but fits the two-phase spECK-style executor.
+        let a = erdos_renyi(400, 400, 0.1, 5);
+        let products = sparse::stats::total_flops(&a, &a) / 2;
+        let device = products * 16 / 2; // half of what ESC needs
+        let mut sim = new_sim(device);
+        let stream = sim.create_stream();
+        assert!(esc_chunk(&mut sim, stream, job(&a, &a), true).is_err());
+        let mut sim2 = new_sim(device);
+        let stream2 = sim2.create_stream();
+        let ok = crate::sync::sync_chunk(&mut sim2, stream2, job(&a, &a), true);
+        assert!(ok.is_ok(), "two-phase must fit where ESC does not");
+    }
+
+    #[test]
+    fn speck_style_is_fastest_on_hash_friendly_chunks() {
+        // The reason the paper builds on spECK: on a skewed chunk, the
+        // two-phase executor beats both alternatives on simulated time.
+        let a = rmat(RmatConfig::skewed(10, 12_000), 9);
+        let run = |f: &dyn Fn(&mut GpuSim, Stream) -> SimTime| {
+            let mut sim = new_sim(512 << 20);
+            let stream = sim.create_stream();
+            f(&mut sim, stream)
+        };
+        let speck = run(&|sim, st| {
+            crate::sync::sync_chunk(sim, st, job(&a, &a), true).unwrap().done_at
+        });
+        let esc = run(&|sim, st| esc_chunk(sim, st, job(&a, &a), true).unwrap().done_at);
+        let rmerge =
+            run(&|sim, st| rmerge_chunk(sim, st, job(&a, &a), true).unwrap().done_at);
+        assert!(speck < esc, "spECK-style {speck} !< ESC {esc}");
+        assert!(speck < rmerge, "spECK-style {speck} !< RMerge {rmerge}");
+    }
+
+    #[test]
+    fn merge_two_sums_collisions() {
+        let x = vec![(1u32, 1.0), (3, 2.0), (5, 3.0)];
+        let y = vec![(2u32, 1.5), (3, 0.5), (6, 4.0)];
+        let m = merge_two(&x, &y);
+        assert_eq!(
+            m,
+            vec![(1, 1.0), (2, 1.5), (3, 2.5), (5, 3.0), (6, 4.0)]
+        );
+        assert_eq!(merge_two(&[], &y), y);
+        assert_eq!(merge_two(&x, &[]), x);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 6);
+        let mut sim = new_sim(1 << 20);
+        let stream = sim.create_stream();
+        let r1 = esc_chunk(&mut sim, stream, job(&a, &b), true).unwrap();
+        assert_eq!(r1.result.nnz(), 0);
+        let r2 = rmerge_chunk(&mut sim, stream, job(&a, &b), false).unwrap();
+        assert_eq!(r2.result.nnz(), 0);
+        assert_eq!(r2.result.n_rows(), 5);
+    }
+}

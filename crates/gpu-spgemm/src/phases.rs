@@ -1,0 +1,324 @@
+//! Real per-phase computation plus the workload descriptors charged to
+//! the simulator.
+//!
+//! "Simulated time, real results": every phase here produces the exact
+//! numbers a GPU implementation would (row flop counts, symbolic row
+//! sizes, the numeric output chunk) using host code, together with the
+//! sizes (`flops`, bytes, compression ratio) that the
+//! [`gpu_sim::CostModel`] needs to charge simulated durations.
+
+use crate::kernels::{numeric_by_groups, NumericGroups};
+use accum::{DenseCounter, HashCounter, SymbolicCounter};
+use sparse::{CsrMatrix, CsrView};
+
+/// Flop boundaries of the row groups used for load balancing, matching
+/// the magnitude binning spECK performs host-side. A row with flop
+/// count `f` goes to the first group with `f <= bound`.
+pub const GROUP_BOUNDS: [u64; 4] = [64, 1024, 16384, u64::MAX];
+
+/// One chunk multiplication job: a row panel of `A` times a column
+/// panel of `B` (already column-localized).
+#[derive(Clone, Copy)]
+pub struct ChunkJob<'a> {
+    /// Row panel of `A`.
+    pub a_panel: CsrView<'a>,
+    /// Column panel of `B` with local column ids.
+    pub b_panel: &'a CsrMatrix,
+    /// Chunk identifier, for labels.
+    pub chunk_id: usize,
+}
+
+/// Host-side row grouping (the step between row analysis and symbolic
+/// execution in Figure 3).
+#[derive(Clone, Debug, Default)]
+pub struct RowGroups {
+    /// Row indices per group, ordered small → large.
+    pub groups: Vec<Vec<u32>>,
+    /// Total flops per group.
+    pub group_flops: Vec<u64>,
+}
+
+impl RowGroups {
+    /// Bins rows by their flop counts into [`GROUP_BOUNDS`] magnitude
+    /// classes; empty groups are dropped.
+    pub fn from_row_flops(row_flops: &[u64]) -> Self {
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); GROUP_BOUNDS.len()];
+        let mut group_flops = vec![0u64; GROUP_BOUNDS.len()];
+        for (r, &f) in row_flops.iter().enumerate() {
+            if f == 0 {
+                continue;
+            }
+            let g = GROUP_BOUNDS.iter().position(|&b| f <= b).unwrap();
+            groups[g].push(r as u32);
+            group_flops[g] += f;
+        }
+        let kept: Vec<(Vec<u32>, u64)> = groups
+            .into_iter()
+            .zip(group_flops)
+            .filter(|(g, _)| !g.is_empty())
+            .collect();
+        let (groups, group_flops) = kept.into_iter().unzip();
+        RowGroups { groups, group_flops }
+    }
+
+    /// Number of non-empty groups (== kernel launches per phase).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no row has any work.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// A fully prepared chunk: real output plus everything the simulator
+/// needs to charge its phases.
+#[derive(Clone, Debug)]
+pub struct PreparedChunk {
+    /// Chunk identifier.
+    pub chunk_id: usize,
+    /// The real product of the panels (local column ids).
+    pub result: CsrMatrix,
+    /// Symbolic-phase row groups (binned by flops).
+    pub groups: RowGroups,
+    /// Numeric-phase row groups (re-binned by output size — the
+    /// "re-assign rows ... based on the number of non-zero elements"
+    /// step of Figure 3).
+    pub numeric_groups: NumericGroups,
+    /// Total flops of the chunk (multiply-add = 2).
+    pub flops: u64,
+    /// Output nonzeros.
+    pub nnz: u64,
+    /// `flops / nnz` (1.0 for empty chunks).
+    pub compression_ratio: f64,
+    /// Rows in the A panel.
+    pub rows: usize,
+    /// Nonzeros in the A panel (row-analysis workload).
+    pub a_nnz: u64,
+    /// Bytes of the A panel in CSR form.
+    pub a_bytes: u64,
+    /// Bytes of the B panel in CSR form.
+    pub b_bytes: u64,
+    /// Bytes of the row-analysis result (one u64 per row).
+    pub row_info_bytes: u64,
+    /// Bytes of the symbolic result (one u64 per row).
+    pub row_nnz_bytes: u64,
+    /// Bytes of the output chunk (col ids + values + offsets).
+    pub out_bytes: u64,
+}
+
+/// Bytes per output nonzero in transfers (u32 column id + f64 value).
+pub const BYTES_PER_NNZ: u64 = 12;
+
+/// Row analysis: flops of each A-panel row against the B panel.
+pub fn row_analysis(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<u64> {
+    (0..a_panel.n_rows())
+        .map(|r| {
+            2 * a_panel
+                .row_cols(r)
+                .iter()
+                .map(|&k| b_panel.row_nnz(k as usize) as u64)
+                .sum::<u64>()
+        })
+        .collect()
+}
+
+/// Symbolic execution: exact output size of each row.
+pub fn symbolic(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<usize> {
+    let width = b_panel.n_cols();
+    let use_dense = width <= (1 << 17);
+    let mut dense = if use_dense { Some(DenseCounter::new(width)) } else { None };
+    let mut hash = HashCounter::with_expected(64);
+    (0..a_panel.n_rows())
+        .map(|r| {
+            if let Some(c) = dense.as_mut() {
+                for &k in a_panel.row_cols(r) {
+                    for &col in b_panel.row_cols(k as usize) {
+                        c.insert(col);
+                    }
+                }
+                let n = c.count();
+                c.reset();
+                n
+            } else {
+                for &k in a_panel.row_cols(r) {
+                    for &col in b_panel.row_cols(k as usize) {
+                        hash.insert(col);
+                    }
+                }
+                let n = hash.count();
+                hash.reset();
+                n
+            }
+        })
+        .collect()
+}
+
+/// Prepares a chunk: runs all phases for real — in the same structure
+/// the simulated kernels are charged (row analysis, flop grouping,
+/// symbolic sizing, output-size regrouping, per-group numeric
+/// execution) — and records the descriptors.
+pub fn prepare_chunk(job: ChunkJob<'_>) -> PreparedChunk {
+    let a = &job.a_panel;
+    let b = job.b_panel;
+    assert_eq!(a.n_cols(), b.n_rows(), "panel dimensions must agree");
+    let row_flops = row_analysis(a, b);
+    let flops: u64 = row_flops.iter().sum();
+    let groups = RowGroups::from_row_flops(&row_flops);
+    let row_nnz = symbolic(a, b);
+    let numeric_groups = NumericGroups::from_row_nnz(&row_nnz, &row_flops);
+    let result = numeric_by_groups(a, b, &row_nnz, &numeric_groups);
+    let nnz = result.nnz() as u64;
+    let rows = a.n_rows();
+    PreparedChunk {
+        chunk_id: job.chunk_id,
+        compression_ratio: if nnz == 0 { 1.0 } else { flops as f64 / nnz as f64 },
+        flops,
+        nnz,
+        rows,
+        a_nnz: a.nnz() as u64,
+        a_bytes: a.storage_bytes() as u64,
+        b_bytes: b.storage_bytes() as u64,
+        row_info_bytes: rows as u64 * 8,
+        row_nnz_bytes: rows as u64 * 8,
+        out_bytes: nnz * BYTES_PER_NNZ + (rows as u64 + 1) * 8,
+        groups,
+        numeric_groups,
+        result,
+    }
+}
+
+impl PreparedChunk {
+    /// Device bytes this chunk needs resident at once: both panels,
+    /// per-row scratch, and the output arrays.
+    pub fn device_bytes(&self) -> u64 {
+        self.a_bytes + self.b_bytes + self.row_info_bytes + self.row_nnz_bytes + self.out_bytes
+    }
+
+    /// Splits the output transfer at `fraction` of the rows (the
+    /// Figure 6 two-portion schedule), returning the byte sizes of the
+    /// two portions. Both portions carry their share of col ids and
+    /// values; the first also carries the row offsets.
+    pub fn split_output_bytes(&self, fraction: f64) -> (u64, u64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let rows_first = (self.rows as f64 * fraction).round() as usize;
+        let entries_first: u64 = if self.rows == 0 {
+            0
+        } else {
+            self.result.row_offsets()[rows_first] as u64
+        };
+        let first = entries_first * BYTES_PER_NNZ + (self.rows as u64 + 1) * 8;
+        let second = self.out_bytes.saturating_sub(first);
+        (first, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_spgemm::reference;
+    use sparse::gen::erdos_renyi;
+    use sparse::partition::col::{even_col_ranges, ColPartitioner};
+
+    fn job_fixture() -> (CsrMatrix, CsrMatrix) {
+        let a = erdos_renyi(60, 50, 0.1, 1);
+        let b = erdos_renyi(50, 80, 0.1, 2);
+        (a, b)
+    }
+
+    #[test]
+    fn row_analysis_matches_stats() {
+        let (a, b) = job_fixture();
+        let got = row_analysis(&CsrView::of(&a), &b);
+        let expect = sparse::stats::row_flops(&a, &b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn symbolic_matches_stats() {
+        let (a, b) = job_fixture();
+        let got = symbolic(&CsrView::of(&a), &b);
+        let expect = sparse::stats::symbolic_row_nnz(&a, &b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn groups_partition_nonempty_rows() {
+        let row_flops = vec![0, 10, 100, 2000, 64, 1_000_000];
+        let g = RowGroups::from_row_flops(&row_flops);
+        let total_rows: usize = g.groups.iter().map(|v| v.len()).sum();
+        assert_eq!(total_rows, 5, "zero-flop rows are dropped");
+        let total_flops: u64 = g.group_flops.iter().sum();
+        assert_eq!(total_flops, row_flops.iter().sum::<u64>());
+        // 10 and 64 share the first group; 100 and 2000 sit separately.
+        assert_eq!(g.groups[0], vec![1, 4]);
+        assert!(g.len() >= 3);
+    }
+
+    #[test]
+    fn prepared_chunk_is_real_product() {
+        let (a, b) = job_fixture();
+        let prepared = prepare_chunk(ChunkJob {
+            a_panel: CsrView::of(&a),
+            b_panel: &b,
+            chunk_id: 0,
+        });
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert!(prepared.result.approx_eq(&expect, 1e-9));
+        assert_eq!(prepared.nnz, expect.nnz() as u64);
+        assert_eq!(prepared.flops, sparse::stats::total_flops(&a, &b));
+        assert!(prepared.compression_ratio >= 1.0);
+        assert_eq!(prepared.out_bytes, prepared.nnz * 12 + 61 * 8);
+    }
+
+    #[test]
+    fn prepared_chunk_on_column_panels_reassembles() {
+        let (a, b) = job_fixture();
+        let panels = ColPartitioner::Cursor.partition(&b, &even_col_ranges(&b, 3));
+        let full = reference::multiply(&a, &b).unwrap();
+        let chunks: Vec<CsrMatrix> = panels
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: &p.matrix,
+                    chunk_id: i,
+                })
+                .result
+            })
+            .collect();
+        let refs: Vec<&CsrMatrix> = chunks.iter().collect();
+        let joined = sparse::ops::hstack(&refs).unwrap();
+        assert!(joined.approx_eq(&full, 1e-9));
+    }
+
+    #[test]
+    fn split_output_respects_fraction() {
+        let (a, b) = job_fixture();
+        let p = prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 });
+        let (first, second) = p.split_output_bytes(0.33);
+        assert_eq!(first + second, p.out_bytes);
+        assert!(first > 0);
+        let (all, none) = p.split_output_bytes(1.0);
+        assert_eq!(all, p.out_bytes);
+        assert_eq!(none, 0);
+        let (offsets_only, rest) = p.split_output_bytes(0.0);
+        assert_eq!(offsets_only, (p.rows as u64 + 1) * 8);
+        assert_eq!(rest, p.nnz * 12);
+    }
+
+    #[test]
+    fn empty_chunk_is_well_formed() {
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 6);
+        let p = prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 7 });
+        assert_eq!(p.flops, 0);
+        assert_eq!(p.nnz, 0);
+        assert!(p.groups.is_empty());
+        assert!(p.numeric_groups.is_empty());
+        assert_eq!(p.compression_ratio, 1.0);
+        assert_eq!(p.result.n_rows(), 5);
+    }
+}

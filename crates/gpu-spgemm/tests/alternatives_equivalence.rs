@@ -1,0 +1,48 @@
+//! Property tests: the alternative in-core algorithms (ESC, RMerge)
+//! agree with the spECK-style engine on arbitrary inputs.
+
+use gpu_sim::{CostModel, DeviceProps, GpuSim};
+use gpu_spgemm::{esc_chunk, rmerge_chunk, ChunkJob};
+use proptest::prelude::*;
+use sparse::{CooMatrix, CsrMatrix, CsrView};
+
+fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..30usize, 1..30usize, 1..30usize).prop_flat_map(|(m, k, n)| {
+        let left = prop::collection::vec((0..m, 0..k, -5.0f64..5.0), 0..120).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(m, k);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v).unwrap();
+                }
+                coo.to_csr()
+            },
+        );
+        let right = prop::collection::vec((0..k, 0..n, -5.0f64..5.0), 0..120).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(k, n);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v).unwrap();
+                }
+                coo.to_csr()
+            },
+        );
+        (left, right)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn esc_and_rmerge_match_reference((a, b) in arb_pair()) {
+        let expect = cpu_spgemm::reference::multiply(&a, &b).unwrap();
+        let mut sim = GpuSim::new(DeviceProps::v100_scaled(64 << 20), CostModel::calibrated());
+        let stream = sim.create_stream();
+        let job = || ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 };
+        let esc = esc_chunk(&mut sim, stream, job(), true).unwrap();
+        prop_assert!(esc.result.approx_eq(&expect, 1e-9), "ESC diverged");
+        let rm = rmerge_chunk(&mut sim, stream, job(), false).unwrap();
+        prop_assert!(rm.result.approx_eq(&expect, 1e-9), "RMerge diverged");
+        prop_assert!(sim.timeline().validate().is_ok());
+    }
+}

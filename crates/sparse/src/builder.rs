@@ -1,0 +1,148 @@
+//! Incremental row-by-row CSR construction.
+
+use crate::csr::{ColId, CsrMatrix};
+use crate::{Result, SparseError};
+
+/// Builds a [`CsrMatrix`] one row at a time.
+///
+/// This is the natural construction path for SpGEMM executors: Gustavson's
+/// algorithm (paper Algorithm 1) produces output rows in order, and each
+/// accumulator flush appends one finished row.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    n_cols: usize,
+    row_offsets: Vec<usize>,
+    col_ids: Vec<ColId>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for a matrix with `n_cols` columns.
+    pub fn new(n_cols: usize) -> Self {
+        CsrBuilder { n_cols, row_offsets: vec![0], col_ids: Vec::new(), values: Vec::new() }
+    }
+
+    /// Starts a builder with reserved capacity for `rows` rows and `nnz`
+    /// entries.
+    pub fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        row_offsets.push(0);
+        CsrBuilder {
+            n_cols,
+            row_offsets,
+            col_ids: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of completed rows so far.
+    pub fn rows_built(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of entries appended so far.
+    pub fn nnz(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// Appends a finished row given parallel `cols`/`vals` slices.
+    ///
+    /// # Errors
+    /// Rejects unsorted or duplicate columns, out-of-range columns, and
+    /// mismatched slice lengths.
+    pub fn push_row(&mut self, cols: &[ColId], vals: &[f64]) -> Result<()> {
+        if cols.len() != vals.len() {
+            return Err(SparseError::InvalidCsr(format!(
+                "row has {} cols but {} values",
+                cols.len(),
+                vals.len()
+            )));
+        }
+        for w in cols.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidCsr(
+                    "row columns must be strictly increasing".into(),
+                ));
+            }
+        }
+        if let Some(&last) = cols.last() {
+            if last as usize >= self.n_cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: self.rows_built(),
+                    col: last as usize,
+                    n_rows: usize::MAX,
+                    n_cols: self.n_cols,
+                });
+            }
+        }
+        self.col_ids.extend_from_slice(cols);
+        self.values.extend_from_slice(vals);
+        self.row_offsets.push(self.col_ids.len());
+        Ok(())
+    }
+
+    /// Appends an empty row.
+    pub fn push_empty_row(&mut self) {
+        self.row_offsets.push(self.col_ids.len());
+    }
+
+    /// Finishes construction.
+    pub fn finish(self) -> CsrMatrix {
+        let n_rows = self.row_offsets.len() - 1;
+        CsrMatrix::from_parts_unchecked(
+            n_rows,
+            self.n_cols,
+            self.row_offsets,
+            self.col_ids,
+            self.values,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_rows_in_order() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[0, 2], &[1.0, 2.0]).unwrap();
+        b.push_empty_row();
+        b.push_row(&[3], &[4.0]).unwrap();
+        assert_eq!(b.rows_built(), 3);
+        assert_eq!(b.nnz(), 3);
+        let m = b.finish();
+        m.validate().unwrap();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.get(2, 3), 4.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_row() {
+        let mut b = CsrBuilder::new(4);
+        assert!(b.push_row(&[2, 0], &[1.0, 2.0]).is_err());
+        assert!(b.push_row(&[1, 1], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_column() {
+        let mut b = CsrBuilder::new(2);
+        assert!(b.push_row(&[2], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut b = CsrBuilder::new(4);
+        assert!(b.push_row(&[0, 1], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_zero_row_matrix() {
+        let m = CsrBuilder::new(3).finish();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 3);
+        m.validate().unwrap();
+    }
+}

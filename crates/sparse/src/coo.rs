@@ -1,0 +1,219 @@
+//! Coordinate (triplet) format — the usual construction and interchange
+//! format (Matrix Market files are triplet lists).
+
+use crate::csr::{ColId, CsrMatrix};
+use crate::{Result, SparseError};
+
+/// A sparse matrix as an unordered list of `(row, col, value)` triplets.
+///
+/// Duplicate coordinates are allowed and are *summed* when converting to
+/// CSR, matching Matrix Market semantics.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<ColId>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty triplet matrix of the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with storage reserved for `cap`
+    /// entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate is
+    /// outside the matrix shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col as ColId);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Iterator over stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ColId, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    ///
+    /// Uses a counting sort over rows (`O(nnz + n_rows)`) followed by a
+    /// per-row sort by column, so conversion is near-linear for the
+    /// matrices in this study.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let nnz = self.values.len();
+        // Counting sort by row.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let row_starts = counts.clone();
+        let mut cols = vec![0 as ColId; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        {
+            let mut cursor = row_starts.clone();
+            for i in 0..nnz {
+                let r = self.rows[i];
+                let dst = cursor[r];
+                cols[dst] = self.cols[i];
+                vals[dst] = self.values[i];
+                cursor[r] += 1;
+            }
+        }
+        // Per-row: sort by column, then sum duplicates while compacting.
+        let mut out_offsets = Vec::with_capacity(self.n_rows + 1);
+        let mut out_cols = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        out_offsets.push(0);
+        let mut perm: Vec<u32> = Vec::new();
+        for r in 0..self.n_rows {
+            let (lo, hi) = (row_starts[r], row_starts[r + 1]);
+            let rc = &cols[lo..hi];
+            let rv = &vals[lo..hi];
+            perm.clear();
+            perm.extend(0..(hi - lo) as u32);
+            // Stable order for duplicate columns (sort key includes the
+            // original index) so summation order — and hence the exact
+            // floating-point result — is insertion order. This keeps
+            // symmetric inputs exactly symmetric.
+            perm.sort_unstable_by_key(|&i| (rc[i as usize], i));
+            let mut last_col: Option<ColId> = None;
+            for &i in &perm {
+                let (c, v) = (rc[i as usize], rv[i as usize]);
+                if last_col == Some(c) {
+                    *out_vals.last_mut().unwrap() += v;
+                } else {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                    last_col = Some(c);
+                }
+            }
+            out_offsets.push(out_cols.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, self.n_cols, out_offsets, out_cols, out_vals)
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(m: &CsrMatrix) -> Self {
+        let mut coo = CooMatrix::with_capacity(m.n_rows(), m.n_cols(), m.nnz());
+        for (r, c, v) in m.iter() {
+            coo.rows.push(r);
+            coo.cols.push(c);
+            coo.values.push(v);
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 2, 1.0).is_err());
+        assert!(m.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn to_csr_sorts_and_sums_duplicates() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(2, 1, 1.0).unwrap();
+        m.push(0, 2, 2.0).unwrap();
+        m.push(0, 0, 3.0).unwrap();
+        m.push(2, 1, 4.0).unwrap(); // duplicate of first
+        m.push(0, 2, -2.0).unwrap(); // cancels (but stays structurally)
+        let csr = m.to_csr();
+        csr.validate().unwrap();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_cols(0), &[0, 2]);
+        assert_eq!(csr.row_values(0), &[3.0, 0.0]);
+        assert_eq!(csr.get(2, 1), 5.0);
+        assert_eq!(csr.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn empty_coo_converts_to_empty_csr() {
+        let m = CooMatrix::new(4, 5);
+        let csr = m.to_csr();
+        csr.validate().unwrap();
+        assert_eq!(csr.n_rows(), 4);
+        assert_eq!(csr.n_cols(), 5);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_coo_roundtrip() {
+        let csr = crate::csr::CsrMatrix::from_parts(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let coo = CooMatrix::from(&csr);
+        assert_eq!(coo.nnz(), 3);
+        let back = coo.to_csr();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 0, 9.0).unwrap();
+        m.push(0, 1, 8.0).unwrap();
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v, vec![(1, 0, 9.0), (0, 1, 8.0)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Compressed sparse column format.
+//!
+//! CSC is the column-major dual of CSR. The out-of-core framework needs
+//! *column panels* of `B` (Section III-D); once a matrix is in CSC,
+//! slicing a column range is as trivial as row slicing is for CSR —
+//! which makes CSC the basis of the fourth column-partitioner strategy
+//! (built once in `O(nnz)`, then every panel is a contiguous gather).
+
+use crate::csr::{ColId, CsrMatrix};
+use crate::{Result, SparseError};
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Invariants mirror [`CsrMatrix`]'s, transposed: `col_offsets` has
+/// `n_cols + 1` non-decreasing entries, and row ids are strictly
+/// increasing within each column.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CscMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    col_offsets: Vec<usize>,
+    row_ids: Vec<ColId>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Converts from CSR in `O(nnz + n_cols)` via a counting sort.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let nnz = m.nnz();
+        let (n_rows, n_cols) = (m.n_rows(), m.n_cols());
+        let mut counts = vec![0usize; n_cols + 1];
+        for &c in m.col_ids() {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let col_offsets = counts.clone();
+        let mut row_ids = vec![0 as ColId; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = col_offsets.clone();
+        for r in 0..n_rows {
+            for (c, v) in m.row_iter(r) {
+                let dst = cursor[c as usize];
+                row_ids[dst] = r as ColId;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CscMatrix { n_rows, n_cols, col_offsets, row_ids, values }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let nnz = self.row_ids.len();
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.row_ids {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut cols = vec![0 as ColId; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = row_offsets.clone();
+        for c in 0..self.n_cols {
+            for i in self.col_offsets[c]..self.col_offsets[c + 1] {
+                let r = self.row_ids[i] as usize;
+                let dst = cursor[r];
+                cols[dst] = c as ColId;
+                vals[dst] = self.values[i];
+                cursor[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, self.n_cols, row_offsets, cols, vals)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Entries in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_offsets[c + 1] - self.col_offsets[c]
+    }
+
+    /// Row ids of column `c`.
+    pub fn col_rows(&self, c: usize) -> &[ColId] {
+        &self.row_ids[self.col_offsets[c]..self.col_offsets[c + 1]]
+    }
+
+    /// Values of column `c`.
+    pub fn col_values(&self, c: usize) -> &[f64] {
+        &self.values[self.col_offsets[c]..self.col_offsets[c + 1]]
+    }
+
+    /// Extracts columns `[start, end)` as a CSR matrix with *local*
+    /// column ids — exactly the column-panel shape the out-of-core
+    /// framework consumes.
+    pub fn slice_cols_to_csr(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.n_cols, "column slice out of bounds");
+        let width = end - start;
+        let lo = self.col_offsets[start];
+        let hi = self.col_offsets[end];
+        let nnz = hi - lo;
+        // Counting sort the slice back to row-major.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.row_ids[lo..hi] {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut cols = vec![0 as ColId; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = row_offsets.clone();
+        for c in start..end {
+            for i in self.col_offsets[c]..self.col_offsets[c + 1] {
+                let r = self.row_ids[i] as usize;
+                let dst = cursor[r];
+                cols[dst] = (c - start) as ColId;
+                vals[dst] = self.values[i];
+                cursor[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, width, row_offsets, cols, vals)
+    }
+
+    /// Checks the CSC invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.col_offsets.len() != self.n_cols + 1 {
+            return Err(SparseError::InvalidCsr("col_offsets length mismatch".into()));
+        }
+        if self.col_offsets[0] != 0
+            || *self.col_offsets.last().unwrap() != self.row_ids.len()
+            || self.row_ids.len() != self.values.len()
+        {
+            return Err(SparseError::InvalidCsr("CSC array bounds mismatch".into()));
+        }
+        for c in 0..self.n_cols {
+            if self.col_offsets[c] > self.col_offsets[c + 1] {
+                return Err(SparseError::InvalidCsr(format!(
+                    "col_offsets decreasing at column {c}"
+                )));
+            }
+            let rows = self.col_rows(c);
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "column {c} row ids not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if last as usize >= self.n_rows {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: last as usize,
+                        col: c,
+                        n_rows: self.n_rows,
+                        n_cols: self.n_cols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::erdos_renyi;
+    use crate::ops::transpose;
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let m = erdos_renyi(40, 55, 0.1, 3);
+        let csc = CscMatrix::from_csr(&m);
+        csc.validate().unwrap();
+        assert_eq!(csc.nnz(), m.nnz());
+        assert_eq!(csc.to_csr(), m);
+    }
+
+    #[test]
+    fn csc_columns_match_transpose_rows() {
+        let m = erdos_renyi(30, 25, 0.15, 4);
+        let csc = CscMatrix::from_csr(&m);
+        let t = transpose(&m);
+        for c in 0..25 {
+            assert_eq!(csc.col_rows(c), t.row_cols(c), "column {c} structure");
+            assert_eq!(csc.col_values(c), t.row_values(c), "column {c} values");
+        }
+    }
+
+    #[test]
+    fn slice_cols_matches_naive_panel() {
+        let m = erdos_renyi(50, 60, 0.1, 5);
+        let csc = CscMatrix::from_csr(&m);
+        let ranges = crate::partition::col::even_col_ranges(&m, 4);
+        let naive = crate::partition::col::ColPartitioner::Naive.partition(&m, &ranges);
+        for (range, expect) in ranges.iter().zip(&naive) {
+            let got = csc.slice_cols_to_csr(range.start, range.end);
+            assert_eq!(got, expect.matrix, "panel {range:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let z = CsrMatrix::zeros(4, 6);
+        let csc = CscMatrix::from_csr(&z);
+        csc.validate().unwrap();
+        assert_eq!(csc.to_csr(), z);
+        assert_eq!(csc.slice_cols_to_csr(2, 2).n_cols(), 0);
+        assert_eq!(csc.slice_cols_to_csr(0, 6), z);
+    }
+}

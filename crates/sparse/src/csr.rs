@@ -1,0 +1,498 @@
+//! Compressed sparse row matrix (Section II-A of the paper).
+
+use crate::{Result, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// Column index type.
+///
+/// The paper notes (Section III-C) that MKL is limited to 32-bit indices
+/// in `row_offsets` *and* `col_ids`; we keep `u32` column ids (a matrix
+/// never has more than 2³² columns in this study) but use full `usize`
+/// row offsets so the total nnz is unbounded — exactly the combination
+/// the paper's own implementation needs for large matrices.
+pub type ColId = u32;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], and upheld by every
+/// constructor in this crate):
+///
+/// * `row_offsets.len() == n_rows + 1`, `row_offsets[0] == 0`,
+///   `row_offsets` is non-decreasing and ends at `col_ids.len()`.
+/// * `col_ids.len() == values.len()`.
+/// * within each row, column ids are strictly increasing (sorted, no
+///   duplicates) — the paper sorts column ids per row (Section II-A).
+/// * every column id is `< n_cols`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_offsets: Vec<usize>,
+    col_ids: Vec<ColId>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty matrix with the given shape (all zeros).
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            row_offsets: vec![0; n_rows + 1],
+            col_ids: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_offsets: (0..=n).collect(),
+            col_ids: (0..n as ColId).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from raw parts, validating every invariant.
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_offsets: Vec<usize>,
+        col_ids: Vec<ColId>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from raw parts without validation.
+    ///
+    /// Not `unsafe` in the memory-safety sense (all accesses are checked),
+    /// but violating the CSR invariants produces garbage results
+    /// downstream. Intended for hot paths that construct provably valid
+    /// structures; debug builds still validate.
+    pub fn from_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        row_offsets: Vec<usize>,
+        col_ids: Vec<ColId>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values };
+        debug_assert!(m.validate().is_ok(), "invalid CSR passed to from_parts_unchecked");
+        m
+    }
+
+    /// Builds a dense `n_rows x n_cols` matrix from a row-major slice,
+    /// dropping exact zeros.
+    pub fn from_dense(n_rows: usize, n_cols: usize, data: &[f64]) -> Result<Self> {
+        if data.len() != n_rows * n_cols {
+            return Err(SparseError::InvalidCsr(format!(
+                "dense data length {} != {}x{}",
+                data.len(),
+                n_rows,
+                n_cols
+            )));
+        }
+        if n_cols > ColId::MAX as usize {
+            return Err(SparseError::TooManyColumns(n_cols));
+        }
+        let mut row_offsets = Vec::with_capacity(n_rows + 1);
+        let mut col_ids = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0);
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                let v = data[r * n_cols + c];
+                if v != 0.0 {
+                    col_ids.push(c as ColId);
+                    values.push(v);
+                }
+            }
+            row_offsets.push(col_ids.len());
+        }
+        Ok(CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (structurally non-zero) elements.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// The `row_offsets` array (`n_rows + 1` entries).
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// The `col_ids` array, row by row.
+    #[inline]
+    pub fn col_ids(&self) -> &[ColId] {
+        &self.col_ids
+    }
+
+    /// The `data` array of the paper (stored values, row by row).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of stored elements in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_offsets[r + 1] - self.row_offsets[r]
+    }
+
+    /// Column ids of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[ColId] {
+        &self.col_ids[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        &self.values[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (ColId, f64)> + '_ {
+        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+    }
+
+    /// Iterator over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ColId, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |r| self.row_iter(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Value at `(row, col)`, or 0.0 if the entry is structurally zero.
+    ///
+    /// Binary search over the sorted row — `O(log row_nnz)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        let cols = self.row_cols(row);
+        match cols.binary_search(&(col as ColId)) {
+            Ok(i) => self.row_values(row)[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Checks all CSR invariants; returns a descriptive error on failure.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_cols > ColId::MAX as usize {
+            return Err(SparseError::TooManyColumns(self.n_cols));
+        }
+        if self.row_offsets.len() != self.n_rows + 1 {
+            return Err(SparseError::InvalidCsr(format!(
+                "row_offsets length {} != n_rows + 1 = {}",
+                self.row_offsets.len(),
+                self.n_rows + 1
+            )));
+        }
+        if self.row_offsets[0] != 0 {
+            return Err(SparseError::InvalidCsr("row_offsets[0] != 0".into()));
+        }
+        if *self.row_offsets.last().unwrap() != self.col_ids.len() {
+            return Err(SparseError::InvalidCsr(format!(
+                "row_offsets ends at {} but nnz is {}",
+                self.row_offsets.last().unwrap(),
+                self.col_ids.len()
+            )));
+        }
+        if self.col_ids.len() != self.values.len() {
+            return Err(SparseError::InvalidCsr(format!(
+                "col_ids length {} != values length {}",
+                self.col_ids.len(),
+                self.values.len()
+            )));
+        }
+        for r in 0..self.n_rows {
+            let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
+            if lo > hi {
+                return Err(SparseError::InvalidCsr(format!(
+                    "row_offsets decreasing at row {r}"
+                )));
+            }
+            let cols = &self.col_ids[lo..hi];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "row {r} column ids not strictly increasing ({} then {})",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= self.n_cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: last as usize,
+                        n_rows: self.n_rows,
+                        n_cols: self.n_cols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total heap bytes used by the three CSR arrays.
+    ///
+    /// This is the quantity device-memory planning reasons about: the
+    /// paper's planner must fit panels of `A`, `B`, and the output chunk
+    /// into the 16 GB of a V100 (Table I).
+    pub fn storage_bytes(&self) -> usize {
+        self.row_offsets.len() * std::mem::size_of::<usize>()
+            + self.col_ids.len() * std::mem::size_of::<ColId>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Extracts rows `[start, end)` as an owned CSR matrix with the same
+    /// column dimension (a *row panel*, Section III-A).
+    pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.n_rows, "row slice out of bounds");
+        let lo = self.row_offsets[start];
+        let hi = self.row_offsets[end];
+        let row_offsets = self.row_offsets[start..=end].iter().map(|&o| o - lo).collect();
+        CsrMatrix {
+            n_rows: end - start,
+            n_cols: self.n_cols,
+            row_offsets,
+            col_ids: self.col_ids[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Consumes the matrix, returning `(n_rows, n_cols, row_offsets,
+    /// col_ids, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColId>, Vec<f64>) {
+        (self.n_rows, self.n_cols, self.row_offsets, self.col_ids, self.values)
+    }
+
+    /// Compares two matrices for equal structure and values within
+    /// `rel_tol` relative tolerance (used to verify SpGEMM executors
+    /// against the sequential reference despite different accumulation
+    /// orders).
+    pub fn approx_eq(&self, other: &CsrMatrix, rel_tol: f64) -> bool {
+        if self.n_rows != other.n_rows
+            || self.n_cols != other.n_cols
+            || self.row_offsets != other.row_offsets
+            || self.col_ids != other.col_ids
+        {
+            return false;
+        }
+        self.values.iter().zip(&other.values).all(|(&a, &b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= rel_tol * scale
+        })
+    }
+
+    /// Drops stored entries whose absolute value is below `eps`,
+    /// compacting the structure.
+    pub fn prune(&self, eps: f64) -> CsrMatrix {
+        let mut row_offsets = Vec::with_capacity(self.n_rows + 1);
+        let mut col_ids = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_iter(r) {
+                if v.abs() > eps {
+                    col_ids.push(c);
+                    values.push(v);
+                }
+            }
+            row_offsets.push(col_ids.len());
+        }
+        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, row_offsets, col_ids, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4x4 example in the spirit of the paper's Figure 1.
+    pub(crate) fn example() -> CsrMatrix {
+        // [ 1 0 2 0 ]
+        // [ 0 3 0 0 ]
+        // [ 4 0 0 5 ]
+        // [ 0 0 6 0 ]
+        CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 6],
+            vec![0, 2, 1, 0, 3, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zeros_has_valid_structure() {
+        let m = CsrMatrix::zeros(5, 7);
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.n_cols(), 7);
+        assert_eq!(m.nnz(), 0);
+        m.validate().unwrap();
+        for r in 0..5 {
+            assert_eq!(m.row_nnz(r), 0);
+        }
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = CsrMatrix::identity(6);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 6);
+        for r in 0..6 {
+            assert_eq!(m.get(r, r), 1.0);
+            assert_eq!(m.get(r, (r + 1) % 6), if 6 == 1 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn example_accessors() {
+        let m = example();
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_cols(2), &[0, 3]);
+        assert_eq!(m.row_values(2), &[4.0, 5.0]);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        let trips: Vec<_> = m.iter().collect();
+        assert_eq!(trips.len(), 6);
+        assert_eq!(trips[0], (0, 0, 1.0));
+        assert_eq!(trips[5], (3, 2, 6.0));
+    }
+
+    #[test]
+    fn from_dense_drops_zeros() {
+        #[rustfmt::skip]
+        let d = [
+            1.0, 0.0,
+            0.0, 2.0,
+        ];
+        let m = CsrMatrix::from_dense(2, 2, &d).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn from_dense_rejects_wrong_len() {
+        assert!(CsrMatrix::from_dense(2, 2, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_columns() {
+        let r = CsrMatrix::from_parts(1, 4, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(matches!(r, Err(SparseError::InvalidCsr(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_columns() {
+        let r = CsrMatrix::from_parts(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert!(matches!(r, Err(SparseError::InvalidCsr(_))));
+    }
+
+    #[test]
+    fn validate_rejects_column_out_of_range() {
+        let r = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(r, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_offsets() {
+        let r = CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(r.is_err());
+        let r = CsrMatrix::from_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(r.is_err());
+        let r = CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(r.is_err(), "row_offsets length must be n_rows + 1");
+    }
+
+    #[test]
+    fn validate_rejects_len_mismatch() {
+        let r = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![0, 1], vec![1.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn slice_rows_produces_valid_panel() {
+        let m = example();
+        let p = m.slice_rows(1, 3);
+        p.validate().unwrap();
+        assert_eq!(p.n_rows(), 2);
+        assert_eq!(p.n_cols(), 4);
+        assert_eq!(p.row_cols(0), &[1]);
+        assert_eq!(p.row_cols(1), &[0, 3]);
+        assert_eq!(p.row_values(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn slice_rows_full_and_empty() {
+        let m = example();
+        assert_eq!(m.slice_rows(0, 4), m);
+        let e = m.slice_rows(2, 2);
+        assert_eq!(e.n_rows(), 0);
+        assert_eq!(e.nnz(), 0);
+        e.validate().unwrap();
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_value_noise() {
+        let a = example();
+        let mut b = example();
+        b.values_mut()[0] += 1e-12;
+        assert!(a.approx_eq(&b, 1e-9));
+        b.values_mut()[0] += 1.0;
+        assert!(!a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_requires_same_structure() {
+        let a = example();
+        let b = CsrMatrix::zeros(4, 4);
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    fn prune_removes_small_entries() {
+        let mut m = example();
+        m.values_mut()[2] = 1e-15;
+        let p = m.prune(1e-12);
+        assert_eq!(p.nnz(), 5);
+        p.validate().unwrap();
+        assert_eq!(p.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn storage_bytes_counts_all_arrays() {
+        let m = example();
+        let expect = 5 * std::mem::size_of::<usize>() + 6 * 4 + 6 * 8;
+        assert_eq!(m.storage_bytes(), expect);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by the sparse-matrix substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, reading, or transforming sparse
+/// matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// A structural invariant of the CSR format was violated.
+    InvalidCsr(String),
+    /// An entry referenced a row or column outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        n_rows: usize,
+        /// Number of columns in the matrix.
+        n_cols: usize,
+    },
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand side shape.
+        lhs: (usize, usize),
+        /// Right-hand side shape.
+        rhs: (usize, usize),
+    },
+    /// The matrix has more columns than a `u32` column id can address.
+    TooManyColumns(usize),
+    /// A parse error while reading an external format.
+    Parse {
+        /// Line number (1-based) where parsing failed, if known.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::TooManyColumns(n) => {
+                write!(f, "{n} columns exceeds u32 column-id range")
+            }
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 7, col: 9, n_rows: 5, n_cols: 5 };
+        assert!(e.to_string().contains("(7, 9)"));
+        assert!(e.to_string().contains("5x5"));
+
+        let e = SparseError::DimensionMismatch { op: "spgemm", lhs: (3, 4), rhs: (5, 6) };
+        assert!(e.to_string().contains("spgemm"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = SparseError::Parse { line: 12, msg: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

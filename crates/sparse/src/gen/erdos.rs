@@ -1,0 +1,101 @@
+//! Erdős–Rényi uniform random sparse matrices.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates an `n_rows x n_cols` matrix where each entry is non-zero
+/// independently with probability `p`; values are uniform in `(0, 1]`.
+///
+/// Sampling is done per row with a binomial draw approximated by
+/// `row_len = round(p * n_cols)`-free exact Bernoulli thinning when `p`
+/// is large, or geometric skipping when `p` is small, so generation is
+/// `O(nnz)` rather than `O(n_rows * n_cols)` for sparse settings.
+pub fn erdos_renyi(n_rows: usize, n_cols: usize, p: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(
+        n_rows,
+        n_cols,
+        ((n_rows * n_cols) as f64 * p * 1.1) as usize + 16,
+    );
+    if p == 0.0 || n_rows == 0 || n_cols == 0 {
+        return coo.to_csr();
+    }
+    let log1mp = (1.0 - p).ln();
+    for r in 0..n_rows {
+        if p >= 0.3 {
+            // Dense-ish rows: direct Bernoulli per column.
+            for c in 0..n_cols {
+                if rng.gen::<f64>() < p {
+                    coo.push(r, c, rng.gen_range(f64::EPSILON..=1.0)).unwrap();
+                }
+            }
+        } else {
+            // Geometric skipping: distance to next success.
+            let mut c = 0usize;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (u.ln() / log1mp).floor() as usize;
+                c += skip;
+                if c >= n_cols {
+                    break;
+                }
+                coo.push(r, c, rng.gen_range(f64::EPSILON..=1.0)).unwrap();
+                c += 1;
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = erdos_renyi(50, 60, 0.05, 123);
+        let b = erdos_renyi(50, 60, 0.05, 123);
+        assert_eq!(a, b);
+        let c = erdos_renyi(50, 60, 0.05, 124);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn density_is_close_to_p() {
+        let n = 400;
+        let p = 0.05;
+        let m = erdos_renyi(n, n, p, 7);
+        let density = m.nnz() as f64 / (n * n) as f64;
+        assert!((density - p).abs() < 0.01, "density {density} too far from {p}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_branch_density() {
+        let n = 150;
+        let p = 0.5;
+        let m = erdos_renyi(n, n, p, 7);
+        let density = m.nnz() as f64 / (n * n) as f64;
+        assert!((density - p).abs() < 0.05);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(erdos_renyi(10, 10, 0.0, 1).nnz(), 0);
+        assert_eq!(erdos_renyi(0, 10, 0.5, 1).n_rows(), 0);
+        let full = erdos_renyi(20, 20, 1.0, 1);
+        assert_eq!(full.nnz(), 400);
+    }
+
+    #[test]
+    fn values_are_nonzero_and_bounded() {
+        let m = erdos_renyi(30, 30, 0.2, 99);
+        for &v in m.values() {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+}

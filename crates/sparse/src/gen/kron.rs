@@ -1,0 +1,82 @@
+//! Exact Kronecker products — structure-controlled test matrices.
+//!
+//! `kron(A, B)` has a fully predictable product structure:
+//! `kron(A,B) · kron(C,D) = kron(A·C, B·D)`, which makes it a useful
+//! ground truth for SpGEMM tests.
+
+use crate::csr::{ColId, CsrMatrix};
+
+/// Computes the Kronecker product `A ⊗ B`.
+///
+/// # Panics
+/// Panics if the result would exceed the `u32` column-id range.
+pub fn kronecker(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    let n_rows = a.n_rows() * b.n_rows();
+    let n_cols = a.n_cols() * b.n_cols();
+    assert!(n_cols <= ColId::MAX as usize, "Kronecker product too wide for u32 column ids");
+    let nnz = a.nnz() * b.nnz();
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    offsets.push(0);
+    for ar in 0..a.n_rows() {
+        for br in 0..b.n_rows() {
+            for (ac, av) in a.row_iter(ar) {
+                let base = ac as usize * b.n_cols();
+                for (bc, bv) in b.row_iter(br) {
+                    cols.push((base + bc as usize) as ColId);
+                    vals.push(av * bv);
+                }
+            }
+            offsets.push(cols.len());
+        }
+    }
+    CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::banded::tridiagonal;
+
+    #[test]
+    fn kron_with_identity_is_block_diagonal() {
+        let i = CsrMatrix::identity(3);
+        let t = tridiagonal(4);
+        let k = kronecker(&i, &t);
+        k.validate().unwrap();
+        assert_eq!(k.n_rows(), 12);
+        assert_eq!(k.nnz(), 3 * t.nnz());
+        // Block (1,1) equals t shifted by 4.
+        assert_eq!(k.get(4, 4), 2.0);
+        assert_eq!(k.get(4, 5), -1.0);
+        assert_eq!(k.get(4, 0), 0.0);
+    }
+
+    #[test]
+    fn kron_nnz_is_product_of_nnz() {
+        let a = tridiagonal(3);
+        let b = tridiagonal(5);
+        let k = kronecker(&a, &b);
+        assert_eq!(k.nnz(), a.nnz() * b.nnz());
+        assert_eq!(k.n_rows(), 15);
+        assert_eq!(k.n_cols(), 15);
+    }
+
+    #[test]
+    fn kron_value_identity() {
+        // (A ⊗ B)[(i*p + k), (j*q + l)] = A[i,j] * B[k,l]
+        let a = tridiagonal(3);
+        let b = tridiagonal(4);
+        let k = kronecker(&a, &b);
+        for i in 0..3 {
+            for j in 0..3 {
+                for kk in 0..4 {
+                    for l in 0..4 {
+                        assert_eq!(k.get(i * 4 + kk, j * 4 + l), a.get(i, j) * b.get(kk, l));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Power-law graphs with neighborhood locality — the `uk-2002`
+//! (web-crawl) analogue.
+//!
+//! Web graphs combine skewed degrees with strong *locality*: pages link
+//! mostly to pages of the same site, which lexicographic URL ordering
+//! places nearby. The neighborhoods of a row's neighbors therefore
+//! overlap heavily, giving `uk-2002` the second-highest compression
+//! ratio in Table II (9.14) despite being a graph.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates an `n x n` power-law graph with locality.
+///
+/// Each vertex `v` draws a degree from a Pareto-like distribution with
+/// mean ≈ `avg_deg` (clamped to `max_deg`), then picks that many
+/// neighbors from a window centered on `v` (wrapped at the ends),
+/// biased toward the window center. The window half-width is
+/// `max(spread, deg)` — big sites have proportionally more local pages
+/// to link to — which keeps hub rows from collapsing under
+/// deduplication. A small fraction `long_range` of edges instead go to
+/// uniformly random vertices (cross-site links).
+pub fn locality_graph(
+    n: usize,
+    avg_deg: f64,
+    spread: usize,
+    long_range: f64,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(n > 0, "graph must have at least one vertex");
+    assert!(spread > 0, "spread must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, (n as f64 * avg_deg * 1.1) as usize + 16);
+    // Pareto with alpha = 2 has mean 2*x_m; choose x_m = avg_deg / 2.
+    let x_m = (avg_deg / 2.0).max(1.0);
+    let max_deg = (avg_deg * 50.0) as usize;
+    for v in 0..n {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let deg = ((x_m / u.sqrt()) as usize).clamp(1, max_deg.max(1));
+        let w = spread.max(deg);
+        for _ in 0..deg {
+            let target = if rng.gen::<f64>() < long_range {
+                rng.gen_range(0..n)
+            } else {
+                // Triangular-ish bias toward the center of the window:
+                // average of two uniforms concentrates near 0.
+                let off = ((rng.gen::<f64>() + rng.gen::<f64>()) / 2.0 * (2 * w) as f64) as isize
+                    - w as isize;
+                let t = v as isize + off;
+                t.rem_euclid(n as isize) as usize
+            };
+            coo.push(v, target, rng.gen_range(f64::EPSILON..=1.0)).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{MatrixStats, ProductStats};
+
+    #[test]
+    fn deterministic() {
+        let a = locality_graph(300, 8.0, 20, 0.05, 4);
+        let b = locality_graph(300, 8.0, 20, 0.05, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let m = locality_graph(2000, 10.0, 40, 0.05, 9);
+        let mean = m.nnz() as f64 / 2000.0;
+        // Dedup trims some edges; accept a broad band.
+        assert!(mean > 5.0 && mean < 20.0, "mean degree {mean}");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let m = locality_graph(2000, 10.0, 40, 0.05, 9);
+        let s = MatrixStats::of(&m);
+        assert!(s.max_row_nnz > 5 * s.avg_row_nnz as usize, "power-law tail expected");
+    }
+
+    #[test]
+    fn locality_raises_compression_ratio() {
+        let local = locality_graph(8192, 16.0, 14, 0.01, 3);
+        let cfg = crate::gen::rmat::RmatConfig::mild(13, local.nnz());
+        let scattered = crate::gen::rmat::rmat(cfg, 3);
+        let r_local = ProductStats::square(&local).compression_ratio;
+        let r_scattered = ProductStats::square(&scattered).compression_ratio;
+        assert!(
+            r_local > 1.5 * r_scattered,
+            "locality should compress much better: {r_local} vs {r_scattered}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic synthetic matrix generators.
+//!
+//! The paper evaluates on 9 SuiteSparse matrices (Table II) that cannot
+//! be redistributed here; these generators produce scaled-down analogues
+//! with matched *shape statistics* — row-degree skew and, crucially, the
+//! compression ratio `flop(A²)/nnz(A²)` that Section V-C identifies as
+//! the performance driver:
+//!
+//! * [`rmat()`] — R-MAT power-law graphs (social-network analogues:
+//!   LiveJournal, wikipedia-*; low compression ratio, high skew);
+//! * [`locality`] — power-law graphs with strong neighborhood locality
+//!   (web-crawl analogue: uk-2002; high compression ratio *and* skew);
+//! * [`banded`] — regular grid stencils (PDE/optimization analogues:
+//!   stokes, nlpkkt200; high compression ratio, no skew);
+//! * [`erdos`] — Erdős–Rényi uniform random (tests and baselines);
+//! * [`kron`] — exact Kronecker products (ground-truth structure for
+//!   tests).
+//!
+//! All generators are seeded ([`rand_chacha::ChaCha8Rng`]) and
+//! byte-reproducible across runs and platforms. [`suite()`] instantiates
+//! the 9-matrix evaluation suite.
+
+pub mod banded;
+pub mod erdos;
+pub mod kron;
+pub mod locality;
+pub mod rmat;
+pub mod suite;
+
+pub use banded::{grid2d_stencil, grid3d_stencil, saddle_stencil, tridiagonal};
+pub use erdos::erdos_renyi;
+pub use kron::kronecker;
+pub use locality::locality_graph;
+pub use rmat::{rmat, RmatConfig};
+pub use suite::{suite, suite_matrix, SuiteMatrix, SuiteScale};

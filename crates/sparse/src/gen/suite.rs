@@ -1,0 +1,275 @@
+//! The 9-matrix evaluation suite — scaled analogues of Table II.
+//!
+//! The paper evaluates on 9 SuiteSparse matrices. Those files are
+//! multi-gigabyte and not redistributable here, so each is replaced by
+//! a deterministic generator chosen to match its *class* and its
+//! compression-ratio regime (see DESIGN.md "Substitutions"):
+//!
+//! | paper matrix        | class                   | analogue                 |
+//! |---------------------|-------------------------|--------------------------|
+//! | ljournal-2008       | social graph, skewed    | R-MAT (skewed)           |
+//! | com-LiveJournal     | social graph, skewed    | R-MAT (skewed)           |
+//! | soc-LiveJournal1    | social graph, skewed    | R-MAT (skewed)           |
+//! | stokes              | PDE, regular            | 2-D stencil + noise      |
+//! | uk-2002             | web crawl, local+skewed | locality graph           |
+//! | wikipedia-20070206  | link graph, mild skew   | R-MAT (mild)             |
+//! | nlpkkt200           | KKT system, regular     | 3-D 27-point stencil     |
+//! | wikipedia-20061104  | link graph, mild skew   | R-MAT (mild)             |
+//! | wikipedia-20060925  | link graph, mild skew   | R-MAT (mild)             |
+//!
+//! Matrices are scaled down by roughly 150–700× in rows; the simulated
+//! device memory is scaled down correspondingly (see the `oocgemm`
+//! planner defaults) so every matrix remains genuinely out-of-core.
+
+use crate::csr::CsrMatrix;
+use crate::gen::banded::{grid2d_stencil, grid3d_stencil, saddle_stencil};
+use crate::gen::erdos::erdos_renyi;
+use crate::gen::locality::locality_graph;
+use crate::gen::rmat::{rmat, RmatConfig};
+use crate::ops::{add, random_symmetric_permutation};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's 9 evaluation matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteMatrix {
+    /// `ljournal-2008` — LiveJournal follower graph.
+    Lj2008,
+    /// `com-LiveJournal` — LiveJournal community graph.
+    ComLj,
+    /// `soc-LiveJournal1` — LiveJournal social graph.
+    SocLj,
+    /// `stokes` — fluid-dynamics matrix.
+    Stokes,
+    /// `uk-2002` — .uk web crawl.
+    Uk2002,
+    /// `wikipedia-20070206` — Wikipedia link graph.
+    Wiki0206,
+    /// `nlpkkt200` — nonlinear-programming KKT matrix.
+    Nlp,
+    /// `wikipedia-20061104` — Wikipedia link graph.
+    Wiki1104,
+    /// `wikipedia-20060925` — Wikipedia link graph.
+    Wiki0925,
+}
+
+/// Generation scale: `Tiny` for unit tests (milliseconds), `Small` for
+/// the experiment harness (the default), `Medium` for longer runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SuiteScale {
+    /// ~2-4 k rows; for tests.
+    Tiny,
+    /// ~16-32 k rows; the experiment default.
+    #[default]
+    Small,
+    /// ~64-128 k rows; for stress runs.
+    Medium,
+}
+
+/// Paper-reported Table II values (all counts in millions, as printed).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Rows/columns, millions.
+    pub n_millions: f64,
+    /// `nnz(A)`, millions.
+    pub nnz_millions: f64,
+    /// `flop(A²)`, millions.
+    pub flop_millions: f64,
+    /// `nnz(A²)`, millions.
+    pub nnz_c_millions: f64,
+    /// Compression ratio `flop/nnz(A²)`.
+    pub compression_ratio: f64,
+}
+
+impl SuiteMatrix {
+    /// All nine matrices, in Table II order.
+    pub fn all() -> [SuiteMatrix; 9] {
+        [
+            SuiteMatrix::Lj2008,
+            SuiteMatrix::ComLj,
+            SuiteMatrix::SocLj,
+            SuiteMatrix::Stokes,
+            SuiteMatrix::Uk2002,
+            SuiteMatrix::Wiki0206,
+            SuiteMatrix::Nlp,
+            SuiteMatrix::Wiki1104,
+            SuiteMatrix::Wiki0925,
+        ]
+    }
+
+    /// Full SuiteSparse name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuiteMatrix::Lj2008 => "ljournal-2008",
+            SuiteMatrix::ComLj => "com-LiveJournal",
+            SuiteMatrix::SocLj => "soc-LiveJournal1",
+            SuiteMatrix::Stokes => "stokes",
+            SuiteMatrix::Uk2002 => "uk-2002",
+            SuiteMatrix::Wiki0206 => "wikipedia-20070206",
+            SuiteMatrix::Nlp => "nlpkkt200",
+            SuiteMatrix::Wiki1104 => "wikipedia-20061104",
+            SuiteMatrix::Wiki0925 => "wikipedia-20060925",
+        }
+    }
+
+    /// Abbreviation used in the paper's figures.
+    pub fn abbr(&self) -> &'static str {
+        match self {
+            SuiteMatrix::Lj2008 => "lj2008",
+            SuiteMatrix::ComLj => "com-lj",
+            SuiteMatrix::SocLj => "soc-lj",
+            SuiteMatrix::Stokes => "stokes",
+            SuiteMatrix::Uk2002 => "uk-2002",
+            SuiteMatrix::Wiki0206 => "wiki0206",
+            SuiteMatrix::Nlp => "nlp",
+            SuiteMatrix::Wiki1104 => "wiki1104",
+            SuiteMatrix::Wiki0925 => "wiki0925",
+        }
+    }
+
+    /// The row of the paper's Table II for this matrix.
+    pub fn paper_row(&self) -> PaperRow {
+        let (n, nnz, flop, nnz_c, cr) = match self {
+            SuiteMatrix::Lj2008 => (5.36, 79.02, 7828.66, 4245.41, 1.84),
+            SuiteMatrix::ComLj => (4.00, 69.36, 8580.90, 4859.09, 1.77),
+            SuiteMatrix::SocLj => (4.85, 68.99, 5915.63, 3366.05, 1.76),
+            SuiteMatrix::Stokes => (11.45, 349.32, 9424.18, 2115.15, 4.46),
+            SuiteMatrix::Uk2002 => (18.52, 298.11, 29206.61, 3194.99, 9.14),
+            SuiteMatrix::Wiki0206 => (3.57, 45.03, 12796.04, 4802.94, 2.66),
+            SuiteMatrix::Nlp => (16.24, 440.23, 24932.82, 2425.94, 10.28),
+            SuiteMatrix::Wiki1104 => (3.15, 39.38, 10728.99, 4018.47, 2.67),
+            SuiteMatrix::Wiki0925 => (2.98, 37.27, 10030.09, 3750.38, 2.67),
+        };
+        PaperRow {
+            n_millions: n,
+            nnz_millions: nnz,
+            flop_millions: flop,
+            nnz_c_millions: nnz_c,
+            compression_ratio: cr,
+        }
+    }
+
+    /// Generates the analogue matrix at the given scale.
+    pub fn generate(&self, scale: SuiteScale) -> CsrMatrix {
+        // `shift` scales R-MAT vertex counts; grids scale per-axis.
+        let (shift, axis) = match scale {
+            SuiteScale::Tiny => (3u32, 2usize),
+            SuiteScale::Small => (0, 1),
+            SuiteScale::Medium => (0, 1), // rows x2 via explicit params below
+        };
+        let medium = scale == SuiteScale::Medium;
+        let e = |base: usize| {
+            let e = base >> (2 * shift);
+            if medium {
+                e * 2
+            } else {
+                e
+            }
+        };
+        let s = |base: u32| {
+            if medium {
+                base + 1 - shift
+            } else {
+                base - shift
+            }
+        };
+        match self {
+            SuiteMatrix::Lj2008 => rmat(RmatConfig::mild(s(16), e(560_000)), 0x1D2008),
+            SuiteMatrix::ComLj => rmat(RmatConfig::mild(s(16), e(640_000)), 0xC0313),
+            SuiteMatrix::SocLj => rmat(RmatConfig::mild(s(16), e(500_000)), 0x50C13),
+            SuiteMatrix::Stokes => {
+                // Velocity-pressure saddle system over a 2-D grid, plus
+                // light irregularity to pull the ratio to stokes' 4.46.
+                let side = 132 / axis * if medium { 2 } else { 1 };
+                let h = grid2d_stencil(side, side, 2, 0x570CE5);
+                let saddle = saddle_stencil(&h, 4, 1.0, 0x570CE7);
+                let n = saddle.n_rows();
+                let noise = erdos_renyi(n, n, 6.0 / n as f64, 0x570CE6);
+                let sum = add(&saddle, &noise).expect("same shape");
+                // SuiteSparse's stokes interleaves the saddle blocks;
+                // a seeded symmetric permutation reproduces that
+                // distribution (A^2 statistics are invariant).
+                random_symmetric_permutation(&sum, 0x570CE8)
+            }
+            SuiteMatrix::Uk2002 => {
+                let n = (32_768 / (1 << (2 * shift))) * if medium { 2 } else { 1 };
+                locality_graph(n, 28.0, 8, 0.002, 0x0CE2002)
+            }
+            SuiteMatrix::Wiki0206 => rmat(RmatConfig::mild(s(14), e(210_000)), 0x31C10206),
+            SuiteMatrix::Nlp => {
+                // KKT saddle system over a 3-D 27-point stencil.
+                let side = 24 / axis * if medium { 2 } else { 1 };
+                let h = grid3d_stencil(side, side, side, 1, 0x1214200);
+                let saddle = saddle_stencil(&h, 8, 1.0, 0x1214201);
+                // Same interleaving argument as stokes: the published
+                // nlpkkt orderings are not band-contiguous.
+                random_symmetric_permutation(&saddle, 0x1214202)
+            }
+            SuiteMatrix::Wiki1104 => rmat(RmatConfig::mild(s(14), e(190_000)), 0x31C11104),
+            SuiteMatrix::Wiki0925 => rmat(RmatConfig::mild(s(14), e(180_000)), 0x31C10925),
+        }
+    }
+}
+
+/// Generates the analogue for one matrix at the default (`Small`) scale.
+pub fn suite_matrix(m: SuiteMatrix) -> CsrMatrix {
+    m.generate(SuiteScale::Small)
+}
+
+/// Generates the whole 9-matrix suite at the given scale, in Table II
+/// order.
+pub fn suite(scale: SuiteScale) -> Vec<(SuiteMatrix, CsrMatrix)> {
+    SuiteMatrix::all().into_iter().map(|m| (m, m.generate(scale))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ProductStats;
+
+    #[test]
+    fn names_and_abbrs_are_unique() {
+        let names: std::collections::HashSet<_> =
+            SuiteMatrix::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 9);
+        let abbrs: std::collections::HashSet<_> =
+            SuiteMatrix::all().iter().map(|m| m.abbr()).collect();
+        assert_eq!(abbrs.len(), 9);
+    }
+
+    #[test]
+    fn tiny_suite_generates_valid_matrices() {
+        for (id, m) in suite(SuiteScale::Tiny) {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert!(m.n_rows() > 0, "{} empty", id.name());
+            assert!(m.nnz() > 0, "{} has no entries", id.name());
+            assert_eq!(m.n_rows(), m.n_cols(), "{} must be square", id.name());
+        }
+    }
+
+    #[test]
+    fn tiny_regular_matrices_beat_graphs_on_compression() {
+        let nlp = ProductStats::square(&SuiteMatrix::Nlp.generate(SuiteScale::Tiny));
+        let lj = ProductStats::square(&SuiteMatrix::ComLj.generate(SuiteScale::Tiny));
+        assert!(
+            nlp.compression_ratio > 2.0 * lj.compression_ratio,
+            "nlp {} vs com-lj {}",
+            nlp.compression_ratio,
+            lj.compression_ratio
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SuiteMatrix::Uk2002.generate(SuiteScale::Tiny);
+        let b = SuiteMatrix::Uk2002.generate(SuiteScale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_rows_match_table_ii_spot_checks() {
+        let nlp = SuiteMatrix::Nlp.paper_row();
+        assert_eq!(nlp.compression_ratio, 10.28);
+        let soc = SuiteMatrix::SocLj.paper_row();
+        assert_eq!(soc.nnz_millions, 68.99);
+    }
+}

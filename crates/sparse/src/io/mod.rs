@@ -1,0 +1,9 @@
+//! Matrix I/O: Matrix Market text files (the SuiteSparse interchange
+//! format the paper's inputs ship in) and a compact binary format for
+//! fast reloads.
+
+pub mod binary;
+pub mod market;
+
+pub use binary::{read_binary, write_binary};
+pub use market::{read_matrix_market, read_matrix_market_str, write_matrix_market};

@@ -1,0 +1,386 @@
+//! Structural and numeric matrix operations.
+//!
+//! These are not the SpGEMM kernels themselves (those live in the
+//! executor crates) but the supporting operations the framework and its
+//! tests need: transpose, sparse matrix-vector product, element-wise
+//! addition, and scaling.
+
+use crate::csr::{ColId, CsrMatrix};
+use crate::{Result, SparseError};
+
+/// Transposes `m` (CSR → CSR of the transpose) in `O(nnz + n)` time via
+/// a counting sort over columns.
+///
+/// Rows of the result are sorted because the input is traversed in
+/// row-major (hence for a fixed output row, increasing column) order.
+pub fn transpose(m: &CsrMatrix) -> CsrMatrix {
+    let nnz = m.nnz();
+    let (n_rows, n_cols) = (m.n_rows(), m.n_cols());
+    let mut counts = vec![0usize; n_cols + 1];
+    for &c in m.col_ids() {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 0..n_cols {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    let mut cursor = offsets.clone();
+    for r in 0..n_rows {
+        for (c, v) in m.row_iter(r) {
+            let dst = cursor[c as usize];
+            cols[dst] = r as ColId;
+            vals[dst] = v;
+            cursor[c as usize] += 1;
+        }
+    }
+    CsrMatrix::from_parts_unchecked(n_cols, n_rows, offsets, cols, vals)
+}
+
+/// Sparse matrix-vector product `y = m * x`.
+///
+/// # Errors
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != m.n_cols()`.
+pub fn spmv(m: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>> {
+    if x.len() != m.n_cols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv",
+            lhs: (m.n_rows(), m.n_cols()),
+            rhs: (x.len(), 1),
+        });
+    }
+    let y = (0..m.n_rows())
+        .map(|r| m.row_iter(r).map(|(c, v)| v * x[c as usize]).sum())
+        .collect();
+    Ok(y)
+}
+
+/// Element-wise sum `a + b` (merged structure; entries that cancel to
+/// exactly zero are kept structurally, matching SpGEMM conventions).
+///
+/// # Errors
+/// Returns [`SparseError::DimensionMismatch`] on shape mismatch.
+pub fn add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.n_rows() != b.n_rows() || a.n_cols() != b.n_cols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "add",
+            lhs: (a.n_rows(), a.n_cols()),
+            rhs: (b.n_rows(), b.n_cols()),
+        });
+    }
+    let mut offsets = Vec::with_capacity(a.n_rows() + 1);
+    let mut cols = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    offsets.push(0);
+    for r in 0..a.n_rows() {
+        let (ac, av) = (a.row_cols(r), a.row_values(r));
+        let (bc, bv) = (b.row_cols(r), b.row_values(r));
+        let (mut i, mut j) = (0, 0);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => {
+                    cols.push(ac[i]);
+                    vals.push(av[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    cols.push(bc[j]);
+                    vals.push(bv[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    cols.push(ac[i]);
+                    vals.push(av[i] + bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cols.extend_from_slice(&ac[i..]);
+        vals.extend_from_slice(&av[i..]);
+        cols.extend_from_slice(&bc[j..]);
+        vals.extend_from_slice(&bv[j..]);
+        offsets.push(cols.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(a.n_rows(), a.n_cols(), offsets, cols, vals))
+}
+
+/// Returns `m` with every stored value multiplied by `s`.
+pub fn scale(m: &CsrMatrix, s: f64) -> CsrMatrix {
+    let mut out = m.clone();
+    for v in out.values_mut() {
+        *v *= s;
+    }
+    out
+}
+
+/// Horizontally concatenates matrices with identical row counts:
+/// `[a | b | c ...]`. This is how output chunks `C[r][0..k]` of one row
+/// panel are re-assembled into full rows of `C` (paper Algorithm 3).
+pub fn hstack(parts: &[&CsrMatrix]) -> Result<CsrMatrix> {
+    let n_rows = parts.first().map_or(0, |m| m.n_rows());
+    let mut n_cols = 0usize;
+    let mut nnz = 0usize;
+    for m in parts {
+        if m.n_rows() != n_rows {
+            return Err(SparseError::DimensionMismatch {
+                op: "hstack",
+                lhs: (n_rows, 0),
+                rhs: (m.n_rows(), m.n_cols()),
+            });
+        }
+        n_cols += m.n_cols();
+        nnz += m.nnz();
+    }
+    if n_cols > ColId::MAX as usize {
+        return Err(SparseError::TooManyColumns(n_cols));
+    }
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    offsets.push(0);
+    for r in 0..n_rows {
+        let mut base = 0 as ColId;
+        for m in parts {
+            for (c, v) in m.row_iter(r) {
+                cols.push(base + c);
+                vals.push(v);
+            }
+            base += m.n_cols() as ColId;
+        }
+        offsets.push(cols.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals))
+}
+
+/// Vertically concatenates matrices with identical column counts — the
+/// row-panel inverse of [`CsrMatrix::slice_rows`].
+pub fn vstack(parts: &[&CsrMatrix]) -> Result<CsrMatrix> {
+    let n_cols = parts.first().map_or(0, |m| m.n_cols());
+    let mut nnz = 0usize;
+    let mut n_rows = 0usize;
+    for m in parts {
+        if m.n_cols() != n_cols {
+            return Err(SparseError::DimensionMismatch {
+                op: "vstack",
+                lhs: (0, n_cols),
+                rhs: (m.n_rows(), m.n_cols()),
+            });
+        }
+        nnz += m.nnz();
+        n_rows += m.n_rows();
+    }
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    offsets.push(0);
+    for m in parts {
+        for r in 0..m.n_rows() {
+            cols.extend_from_slice(m.row_cols(r));
+            vals.extend_from_slice(m.row_values(r));
+            offsets.push(cols.len());
+        }
+    }
+    Ok(CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals))
+}
+
+/// Frobenius norm of the stored values.
+pub fn frobenius_norm(m: &CsrMatrix) -> f64 {
+    m.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Applies a symmetric permutation `P·M·Pᵀ`: row (and column) `i` of
+/// the result is row (and column) `perm[i]` of the input.
+///
+/// `perm` must be a permutation of `0..n` for a square matrix.
+/// Symmetric permutations preserve every SpGEMM-relevant statistic of
+/// `M²` (flops, output nnz, compression ratio) while redistributing
+/// the nonzeros across panel grids.
+pub fn symmetric_permutation(m: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
+    let n = m.n_rows();
+    assert_eq!(n, m.n_cols(), "symmetric permutation needs a square matrix");
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut pos = vec![usize::MAX; n];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < n && pos[p] == usize::MAX, "not a permutation");
+        pos[p] = i;
+    }
+    // Row i of the result is row perm[i] of m, with columns remapped
+    // through pos and re-sorted.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols: Vec<ColId> = Vec::with_capacity(m.nnz());
+    let mut vals: Vec<f64> = Vec::with_capacity(m.nnz());
+    offsets.push(0);
+    let mut scratch: Vec<(ColId, f64)> = Vec::new();
+    for &src in perm.iter() {
+        scratch.clear();
+        for (c, v) in m.row_iter(src) {
+            scratch.push((pos[c as usize] as ColId, v));
+        }
+        scratch.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, v) in &scratch {
+            cols.push(c);
+            vals.push(v);
+        }
+        offsets.push(cols.len());
+    }
+    CsrMatrix::from_parts_unchecked(n, n, offsets, cols, vals)
+}
+
+/// [`symmetric_permutation`] with a seeded random permutation.
+pub fn random_symmetric_permutation(m: &CsrMatrix, seed: u64) -> CsrMatrix {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..m.n_rows()).collect();
+    perm.shuffle(&mut rng);
+    symmetric_permutation(m, &perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        CsrMatrix::from_parts(
+            3,
+            4,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = example();
+        let t = transpose(&m);
+        t.validate().unwrap();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        assert_eq!(transpose(&t), m);
+    }
+
+    #[test]
+    fn transpose_identity_is_identity() {
+        let i = CsrMatrix::identity(5);
+        assert_eq!(transpose(&i), i);
+    }
+
+    #[test]
+    fn spmv_basic() {
+        let m = example();
+        let y = spmv(&m, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 3.0, 9.0]);
+        assert!(spmv(&m, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn add_merges_structures() {
+        let a = example();
+        let b = transpose(&transpose(&a)); // same matrix
+        let s = add(&a, &b).unwrap();
+        s.validate().unwrap();
+        assert!(s.approx_eq(&scale(&a, 2.0), 0.0));
+    }
+
+    #[test]
+    fn add_disjoint_structures() {
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).unwrap();
+        let b = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0, 3.0]).unwrap();
+        let s = add(&a, &b).unwrap();
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn hstack_reassembles_column_chunks() {
+        let m = example();
+        let left = CsrMatrix::from_parts(3, 2, vec![0, 1, 2, 3], vec![0, 1, 0], vec![1.0, 3.0, 4.0])
+            .unwrap();
+        let right =
+            CsrMatrix::from_parts(3, 2, vec![0, 1, 1, 2], vec![0, 1], vec![2.0, 5.0]).unwrap();
+        let joined = hstack(&[&left, &right]).unwrap();
+        assert_eq!(joined, m);
+    }
+
+    #[test]
+    fn vstack_reassembles_row_panels() {
+        let m = example();
+        let top = m.slice_rows(0, 1);
+        let bottom = m.slice_rows(1, 3);
+        let joined = vstack(&[&top, &bottom]).unwrap();
+        assert_eq!(joined, m);
+    }
+
+    #[test]
+    fn stack_shape_errors() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(3, 2);
+        assert!(hstack(&[&a, &b]).is_err());
+        let c = CsrMatrix::zeros(2, 3);
+        assert!(vstack(&[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_product_stats() {
+        let m = crate::gen::grid2d_stencil(12, 12, 1, 3);
+        let p = crate::ops::random_symmetric_permutation(&m, 9);
+        p.validate().unwrap();
+        assert_eq!(p.nnz(), m.nnz());
+        use crate::stats::ProductStats;
+        let sm = ProductStats::square(&m);
+        let sp = ProductStats::square(&p);
+        assert_eq!(sm.flops, sp.flops);
+        assert_eq!(sm.nnz_c, sp.nnz_c);
+    }
+
+    #[test]
+    fn symmetric_permutation_identity_perm_is_noop() {
+        let m = example();
+        let sq = crate::gen::tridiagonal(4);
+        let perm: Vec<usize> = (0..4).collect();
+        assert_eq!(symmetric_permutation(&sq, &perm), sq);
+        let _ = m; // example() is rectangular; only square inputs allowed.
+    }
+
+    #[test]
+    fn symmetric_permutation_reverses_correctly() {
+        let sq = crate::gen::tridiagonal(4);
+        let perm = vec![3usize, 2, 1, 0];
+        let r = symmetric_permutation(&sq, &perm);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(r.get(i, j), sq.get(3 - i, 3 - j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn symmetric_permutation_rejects_duplicates() {
+        let sq = crate::gen::tridiagonal(3);
+        symmetric_permutation(&sq, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = example();
+        let expect = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0).sqrt();
+        assert!((frobenius_norm(&m) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Panel partitioning (paper Section III-D).
+//!
+//! The out-of-core framework partitions `A` into *row panels* and `B`
+//! into *column panels*; the product of row panel `i` and column panel
+//! `j` is the output chunk `C[i][j]` (Algorithm 3).
+//!
+//! * [`row`] — row panels are trivial for CSR (contiguous row ranges).
+//! * [`col`] — column panels require a gather; this module implements
+//!   the paper's naive rescan algorithm, its `col_offset` cursor
+//!   optimization, and the prefix-sum parallel variant.
+
+pub mod col;
+pub mod row;
+
+pub use col::{ColPanel, ColPartitioner};
+pub use row::RowPartition;
+
+use std::ops::Range;
+
+/// Splits `n` items into `k` contiguous ranges whose sizes differ by at
+/// most one. Panics if `k == 0` (unless `n == 0`, which yields no
+/// ranges).
+pub fn even_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(k > 0, "cannot split {n} items into 0 panels");
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Splits `0..weights.len()` into at most `k` contiguous ranges with
+/// approximately equal total weight (greedy sweep against the ideal
+/// cumulative target). Used to balance panels by nnz or flops rather
+/// than raw row/column count.
+pub fn weighted_ranges(weights: &[u64], k: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(k > 0, "cannot split {n} items into 0 panels");
+    let k = k.min(n);
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return even_ranges(n, k);
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut consumed = 0u64;
+    for panel in 0..k {
+        let remaining_panels = (k - panel) as u64;
+        let target = (total - consumed).div_ceil(remaining_panels);
+        let mut end = start;
+        while end < n && (acc < target || end == start) {
+            // Leave at least one item per remaining panel.
+            if n - end < k - panel {
+                break;
+            }
+            acc += weights[end];
+            end += 1;
+        }
+        out.push(start..end);
+        consumed += acc;
+        acc = 0;
+        start = end;
+        if start == n {
+            break;
+        }
+    }
+    if start < n {
+        out.last_mut().unwrap().end = n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for k in [1usize, 2, 3, 7] {
+                let r = even_ranges(n, k);
+                if n == 0 {
+                    assert!(r.is_empty());
+                    continue;
+                }
+                assert_eq!(r.len(), k.min(n));
+                assert_eq!(r[0].start, 0);
+                assert_eq!(r.last().unwrap().end, n);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let sizes: Vec<_> = r.iter().map(|x| x.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_balance_weight() {
+        let w = [10u64, 1, 1, 1, 1, 10, 1, 1, 1, 1];
+        let r = weighted_ranges(&w, 2);
+        assert_eq!(r.len(), 2);
+        let sum0: u64 = w[r[0].clone()].iter().sum();
+        let sum1: u64 = w[r[1].clone()].iter().sum();
+        // Ideal is 14/14; greedy should land near that.
+        assert!(sum0.abs_diff(sum1) <= 6, "got {sum0} vs {sum1}");
+        assert_eq!(r[0].start, 0);
+        assert_eq!(r[1].end, w.len());
+    }
+
+    #[test]
+    fn weighted_ranges_handles_zero_weights() {
+        let w = [0u64; 8];
+        let r = weighted_ranges(&w, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.last().unwrap().end, 8);
+    }
+
+    #[test]
+    fn weighted_ranges_more_panels_than_items() {
+        let w = [5u64, 5];
+        let r = weighted_ranges(&w, 10);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], 0..1);
+        assert_eq!(r[1], 1..2);
+    }
+
+    #[test]
+    fn weighted_ranges_single_heavy_item() {
+        let w = [100u64, 1, 1, 1];
+        let r = weighted_ranges(&w, 3);
+        assert_eq!(r.iter().map(|x| x.len()).sum::<usize>(), 4);
+        assert_eq!(r[0], 0..1, "heavy head takes its own panel");
+    }
+}

@@ -1,0 +1,156 @@
+//! Row panels of `A`.
+//!
+//! "With the use of the CSR format (which stores each sparse row
+//! contiguously), partitioning the matrix A to row panels is
+//! straight-forward" (Section III-D). A row panel is just a row range;
+//! panels can be materialized as views ([`CsrView`]) or owned matrices.
+
+use crate::csr::CsrMatrix;
+use crate::partition::{even_ranges, weighted_ranges};
+use crate::view::CsrView;
+use std::ops::Range;
+
+/// A partition of a matrix's rows into contiguous panels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowPartition {
+    ranges: Vec<Range<usize>>,
+}
+
+impl RowPartition {
+    /// Splits `m` into `k` panels of (nearly) equal row count.
+    pub fn even(m: &CsrMatrix, k: usize) -> Self {
+        RowPartition { ranges: even_ranges(m.n_rows(), k) }
+    }
+
+    /// Splits `m` into at most `k` panels with approximately equal nnz.
+    pub fn by_nnz(m: &CsrMatrix, k: usize) -> Self {
+        let weights: Vec<u64> = (0..m.n_rows()).map(|r| m.row_nnz(r) as u64).collect();
+        RowPartition { ranges: weighted_ranges(&weights, k) }
+    }
+
+    /// Splits `m` into at most `k` panels with approximately equal
+    /// weight, for caller-supplied per-row weights (e.g. flops).
+    pub fn by_weight(weights: &[u64], k: usize) -> Self {
+        RowPartition { ranges: weighted_ranges(weights, k) }
+    }
+
+    /// Builds a partition from explicit ranges. Panics unless the ranges
+    /// are contiguous, start at 0, and are non-overlapping.
+    pub fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
+        let mut expect = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "row panels must be contiguous");
+            assert!(r.end >= r.start, "row panel end before start");
+            expect = r.end;
+        }
+        RowPartition { ranges }
+    }
+
+    /// Number of panels.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if there are no panels.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The row range of panel `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.ranges[i].clone()
+    }
+
+    /// All ranges.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Borrowed view of panel `i` of `m`.
+    pub fn view<'a>(&self, m: &'a CsrMatrix, i: usize) -> CsrView<'a> {
+        let r = self.range(i);
+        CsrView::rows(m, r.start, r.end)
+    }
+
+    /// Owned copy of panel `i` of `m`.
+    pub fn extract(&self, m: &CsrMatrix, i: usize) -> CsrMatrix {
+        let r = self.range(i);
+        m.slice_rows(r.start, r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::vstack;
+
+    fn skewed() -> CsrMatrix {
+        // Row 0 holds almost all nnz.
+        let mut offsets = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for c in 0..90u32 {
+            cols.push(c);
+            vals.push(1.0);
+        }
+        offsets.push(cols.len());
+        for r in 1..10usize {
+            cols.push(r as u32);
+            vals.push(1.0);
+            offsets.push(cols.len());
+        }
+        CsrMatrix::from_parts(10, 100, offsets, cols, vals).unwrap()
+    }
+
+    #[test]
+    fn even_partition_covers_all_rows() {
+        let m = skewed();
+        let p = RowPartition::even(&m, 3);
+        assert_eq!(p.len(), 3);
+        let total: usize = p.ranges().iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nnz_partition_isolates_heavy_row() {
+        let m = skewed();
+        let p = RowPartition::by_nnz(&m, 2);
+        assert_eq!(p.range(0), 0..1, "heavy row gets its own panel");
+    }
+
+    #[test]
+    fn extract_then_vstack_roundtrips() {
+        let m = skewed();
+        let p = RowPartition::even(&m, 4);
+        let panels: Vec<CsrMatrix> = (0..p.len()).map(|i| p.extract(&m, i)).collect();
+        let refs: Vec<&CsrMatrix> = panels.iter().collect();
+        assert_eq!(vstack(&refs).unwrap(), m);
+    }
+
+    #[test]
+    fn view_matches_extract() {
+        let m = skewed();
+        let p = RowPartition::even(&m, 3);
+        for i in 0..p.len() {
+            assert_eq!(p.view(&m, i).to_owned_matrix(), p.extract(&m, i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_ranges_rejects_gaps() {
+        RowPartition::from_ranges(vec![0..2, 3..5]);
+    }
+
+    #[test]
+    fn by_weight_balances_custom_weights() {
+        let weights = vec![1u64, 1, 1, 100, 1, 1];
+        let p = RowPartition::by_weight(&weights, 2);
+        // The heavy row must not share a panel with everything else.
+        let heavy_panel = p.ranges().iter().position(|r| r.contains(&3)).unwrap();
+        let heavy_weight: u64 = weights[p.range(heavy_panel)].iter().sum();
+        let other: u64 = 106 - heavy_weight;
+        assert!(heavy_weight >= other, "{heavy_weight} vs {other}");
+        assert_eq!(p.ranges().last().unwrap().end, 6);
+    }
+}

@@ -1,0 +1,302 @@
+//! Matrix and product statistics — everything in the paper's Table II.
+//!
+//! * `flop(A·B)` — the number of floating-point operations Gustavson's
+//!   algorithm performs (a multiply-add counts as 2 flops, per the
+//!   paper's convention).
+//! * `nnz(A·B)` — computed with a symbolic pass (no values).
+//! * *compression ratio* — `flop / nnz(product)`, the paper's key
+//!   predictor of out-of-core performance (Section V-C).
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-row flop counts for the product `a * b`: row `i` costs
+/// `2 * Σ_{k ∈ row i of a} nnz(b row k)`.
+pub fn row_flops(a: &CsrMatrix, b: &CsrMatrix) -> Vec<u64> {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    (0..a.n_rows())
+        .into_par_iter()
+        .map(|r| 2 * a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+        .collect()
+}
+
+/// Total flops of the product `a * b` (multiply-add = 2 flops).
+pub fn total_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    (0..a.n_rows())
+        .into_par_iter()
+        .map(|r| 2 * a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+        .sum()
+}
+
+/// Symbolic nnz of each row of the product `a * b`.
+///
+/// Parallel over rows; each worker keeps a generation-stamped dense
+/// marker array (no clearing between rows), which is the standard
+/// symbolic-phase trick the GPU implementations in the paper also use.
+pub fn symbolic_row_nnz(a: &CsrMatrix, b: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    let n_cols = b.n_cols();
+    let rows: Vec<usize> = (0..a.n_rows()).collect();
+    rows.par_chunks(4096)
+        .flat_map_iter(|chunk| {
+            let mut marker = vec![u32::MAX; n_cols];
+            let mut out = Vec::with_capacity(chunk.len());
+            for &r in chunk {
+                let stamp = r as u32;
+                let mut count = 0usize;
+                for &k in a.row_cols(r) {
+                    for &c in b.row_cols(k as usize) {
+                        if marker[c as usize] != stamp {
+                            marker[c as usize] = stamp;
+                            count += 1;
+                        }
+                    }
+                }
+                out.push(count);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Total nnz of the product `a * b`, computed symbolically.
+pub fn symbolic_nnz(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    symbolic_row_nnz(a, b).iter().map(|&n| n as u64).sum()
+}
+
+/// The full symbolic *structure* of `a * b`: row offsets and sorted
+/// column ids of the product, without values.
+///
+/// This is what the out-of-core planner uses to evaluate panel grids
+/// exactly — the distribution of output nonzeros across column panels
+/// is highly non-uniform for matrices with locality (e.g. web crawls),
+/// so proportional estimates undershoot badly.
+pub fn symbolic_structure(a: &CsrMatrix, b: &CsrMatrix) -> (Vec<usize>, Vec<crate::ColId>) {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    let n_cols = b.n_cols();
+    let rows: Vec<usize> = (0..a.n_rows()).collect();
+    let per_row: Vec<Vec<crate::ColId>> = rows
+        .par_chunks(2048)
+        .flat_map_iter(|chunk| {
+            let mut marker = vec![u32::MAX; n_cols];
+            let mut out = Vec::with_capacity(chunk.len());
+            for &r in chunk {
+                let stamp = r as u32;
+                let mut cols: Vec<crate::ColId> = Vec::new();
+                for &k in a.row_cols(r) {
+                    for &c in b.row_cols(k as usize) {
+                        if marker[c as usize] != stamp {
+                            marker[c as usize] = stamp;
+                            cols.push(c);
+                        }
+                    }
+                }
+                cols.sort_unstable();
+                out.push(cols);
+            }
+            out
+        })
+        .collect();
+    let mut offsets = Vec::with_capacity(a.n_rows() + 1);
+    offsets.push(0usize);
+    let total: usize = per_row.iter().map(|r| r.len()).sum();
+    let mut cols = Vec::with_capacity(total);
+    for row in per_row {
+        cols.extend_from_slice(&row);
+        offsets.push(cols.len());
+    }
+    (offsets, cols)
+}
+
+/// Summary statistics of a single matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Mean entries per row.
+    pub avg_row_nnz: f64,
+    /// Largest row.
+    pub max_row_nnz: usize,
+    /// Number of empty rows.
+    pub empty_rows: usize,
+    /// Coefficient of variation of row lengths (skew indicator — the
+    /// paper observes skewed graph matrices compress poorly).
+    pub row_nnz_cv: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `m`.
+    pub fn of(m: &CsrMatrix) -> Self {
+        let n = m.n_rows();
+        let nnz = m.nnz();
+        let mean = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
+        let mut max = 0usize;
+        let mut empty = 0usize;
+        let mut var_acc = 0.0f64;
+        for r in 0..n {
+            let len = m.row_nnz(r);
+            max = max.max(len);
+            if len == 0 {
+                empty += 1;
+            }
+            let d = len as f64 - mean;
+            var_acc += d * d;
+        }
+        let std = if n == 0 { 0.0 } else { (var_acc / n as f64).sqrt() };
+        MatrixStats {
+            n_rows: n,
+            n_cols: m.n_cols(),
+            nnz,
+            avg_row_nnz: mean,
+            max_row_nnz: max,
+            empty_rows: empty,
+            row_nnz_cv: if mean > 0.0 { std / mean } else { 0.0 },
+        }
+    }
+}
+
+/// The Table II row for a matrix: features of `A` and of the product
+/// `A·A`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProductStats {
+    /// Number of rows/columns of the (square) matrix.
+    pub n: usize,
+    /// `nnz(A)`.
+    pub nnz_a: usize,
+    /// `flop(A²)` — multiply-add counts as 2.
+    pub flops: u64,
+    /// `nnz(A²)` from the symbolic pass.
+    pub nnz_c: u64,
+    /// `flop(A²) / nnz(A²)` — the compression ratio.
+    pub compression_ratio: f64,
+}
+
+impl ProductStats {
+    /// Computes the Table II features of `C = A·A`.
+    pub fn square(a: &CsrMatrix) -> Self {
+        Self::of(a, a)
+    }
+
+    /// Computes product features for general `C = A·B`.
+    pub fn of(a: &CsrMatrix, b: &CsrMatrix) -> Self {
+        let flops = total_flops(a, b);
+        let nnz_c = symbolic_nnz(a, b);
+        ProductStats {
+            n: a.n_rows(),
+            nnz_a: a.nnz(),
+            flops,
+            nnz_c,
+            compression_ratio: if nnz_c == 0 { 0.0 } else { flops as f64 / nnz_c as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [ 1 0 2 0 ]
+        // [ 0 3 0 0 ]
+        // [ 4 0 0 5 ]
+        // [ 0 0 6 0 ]
+        CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 6],
+            vec![0, 2, 1, 0, 3, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_flops_counts_scaled_b_rows() {
+        let a = example();
+        // row 0 of A hits B rows 0 (2 nnz) and 2 (2 nnz) -> 2*(2+2) = 8
+        let f = row_flops(&a, &a);
+        assert_eq!(f, vec![8, 2, 6, 4]);
+        assert_eq!(total_flops(&a, &a), 20);
+    }
+
+    #[test]
+    fn symbolic_nnz_matches_manual_product() {
+        let a = example();
+        // A^2 computed by hand:
+        // row0 = 1*row0 + 2*row2 = {0:1, 2:2} + {0:8, 3:10} -> cols {0,2,3}
+        // row1 = 3*row1 -> {1}
+        // row2 = 4*row0 + 5*row3 -> {0,2} + {2} -> {0,2}
+        // row3 = 6*row2 -> {0,3}
+        assert_eq!(symbolic_row_nnz(&a, &a), vec![3, 1, 2, 2]);
+        assert_eq!(symbolic_nnz(&a, &a), 8);
+    }
+
+    #[test]
+    fn symbolic_identity_product_keeps_structure() {
+        let a = example();
+        let i = CsrMatrix::identity(4);
+        assert_eq!(symbolic_nnz(&a, &i), a.nnz() as u64);
+        assert_eq!(symbolic_nnz(&i, &a), a.nnz() as u64);
+        assert_eq!(total_flops(&i, &a), 2 * a.nnz() as u64);
+    }
+
+    #[test]
+    fn symbolic_structure_matches_counts() {
+        let a = example();
+        let (offsets, cols) = symbolic_structure(&a, &a);
+        let counts = symbolic_row_nnz(&a, &a);
+        assert_eq!(offsets.len(), 5);
+        for r in 0..4 {
+            let row = &cols[offsets[r]..offsets[r + 1]];
+            assert_eq!(row.len(), counts[r]);
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "columns must be sorted and distinct");
+            }
+        }
+        // Row 0 of A^2 hits columns {0, 2, 3}.
+        assert_eq!(&cols[offsets[0]..offsets[1]], &[0, 2, 3]);
+    }
+
+    #[test]
+    fn matrix_stats_basic() {
+        let s = MatrixStats::of(&example());
+        assert_eq!(s.n_rows, 4);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.max_row_nnz, 2);
+        assert_eq!(s.empty_rows, 0);
+        assert!((s.avg_row_nnz - 1.5).abs() < 1e-12);
+        assert!(s.row_nnz_cv > 0.0);
+    }
+
+    #[test]
+    fn matrix_stats_uniform_rows_have_zero_cv() {
+        let i = CsrMatrix::identity(8);
+        let s = MatrixStats::of(&i);
+        assert_eq!(s.row_nnz_cv, 0.0);
+        assert_eq!(s.max_row_nnz, 1);
+    }
+
+    #[test]
+    fn product_stats_compression_ratio() {
+        let a = example();
+        let p = ProductStats::square(&a);
+        assert_eq!(p.flops, 20);
+        assert_eq!(p.nnz_c, 8);
+        assert!((p.compression_ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let z = CsrMatrix::zeros(3, 3);
+        let p = ProductStats::square(&z);
+        assert_eq!(p.flops, 0);
+        assert_eq!(p.nnz_c, 0);
+        assert_eq!(p.compression_ratio, 0.0);
+    }
+}

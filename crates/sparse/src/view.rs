@@ -1,0 +1,160 @@
+//! Borrowed CSR views — zero-copy row panels.
+//!
+//! Because CSR stores each row contiguously, a *row panel* (paper
+//! Section III-D: "partitioning the matrix A to row panels is
+//! straight-forward") is just a sub-range of the parent arrays plus an
+//! offset rebase. [`CsrView`] captures that without copying, so the CPU
+//! side of the hybrid executor can hand panels to workers with no
+//! allocation.
+
+use crate::csr::{ColId, CsrMatrix};
+
+/// An immutable view of a contiguous row range of a [`CsrMatrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct CsrView<'a> {
+    n_cols: usize,
+    /// Offset subtracted from the parent `row_offsets` entries.
+    base: usize,
+    row_offsets: &'a [usize],
+    col_ids: &'a [ColId],
+    values: &'a [f64],
+}
+
+impl<'a> CsrView<'a> {
+    /// Views the whole matrix.
+    pub fn of(m: &'a CsrMatrix) -> Self {
+        Self::rows(m, 0, m.n_rows())
+    }
+
+    /// Views rows `[start, end)` of `m`.
+    pub fn rows(m: &'a CsrMatrix, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= m.n_rows(), "row view out of bounds");
+        let offsets = &m.row_offsets()[start..=end];
+        let lo = offsets[0];
+        let hi = *offsets.last().unwrap();
+        CsrView {
+            n_cols: m.n_cols(),
+            base: lo,
+            row_offsets: offsets,
+            col_ids: &m.col_ids()[lo..hi],
+            values: &m.values()[lo..hi],
+        }
+    }
+
+    /// Number of rows in the view.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of columns (same as the parent matrix).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries in the view.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// Number of stored entries in local row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_offsets[r + 1] - self.row_offsets[r]
+    }
+
+    /// Column ids of local row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &'a [ColId] {
+        &self.col_ids[self.row_offsets[r] - self.base..self.row_offsets[r + 1] - self.base]
+    }
+
+    /// Values of local row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &'a [f64] {
+        &self.values[self.row_offsets[r] - self.base..self.row_offsets[r + 1] - self.base]
+    }
+
+    /// Iterator over `(col, value)` pairs of local row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (ColId, f64)> + 'a {
+        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+    }
+
+    /// Copies the view into an owned [`CsrMatrix`].
+    pub fn to_owned_matrix(&self) -> CsrMatrix {
+        let offsets = self.row_offsets.iter().map(|&o| o - self.base).collect();
+        CsrMatrix::from_parts_unchecked(
+            self.n_rows(),
+            self.n_cols,
+            offsets,
+            self.col_ids.to_vec(),
+            self.values.to_vec(),
+        )
+    }
+
+    /// Bytes this view would occupy as an owned CSR (planning input).
+    pub fn storage_bytes(&self) -> usize {
+        std::mem::size_of_val(self.row_offsets)
+            + std::mem::size_of_val(self.col_ids)
+            + std::mem::size_of_val(self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 6],
+            vec![0, 2, 1, 0, 3, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_view_matches_matrix() {
+        let m = example();
+        let v = CsrView::of(&m);
+        assert_eq!(v.n_rows(), 4);
+        assert_eq!(v.nnz(), 6);
+        for r in 0..4 {
+            assert_eq!(v.row_cols(r), m.row_cols(r));
+            assert_eq!(v.row_values(r), m.row_values(r));
+        }
+    }
+
+    #[test]
+    fn middle_view_rebases_rows() {
+        let m = example();
+        let v = CsrView::rows(&m, 1, 3);
+        assert_eq!(v.n_rows(), 2);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.row_cols(0), &[1]);
+        assert_eq!(v.row_values(1), &[4.0, 5.0]);
+        assert_eq!(v.row_nnz(1), 2);
+    }
+
+    #[test]
+    fn to_owned_equals_slice_rows() {
+        let m = example();
+        let v = CsrView::rows(&m, 1, 4).to_owned_matrix();
+        assert_eq!(v, m.slice_rows(1, 4));
+        v.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_view() {
+        let m = example();
+        let v = CsrView::rows(&m, 2, 2);
+        assert_eq!(v.n_rows(), 0);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.to_owned_matrix().n_rows(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests of the `spgemm` command-line tool, driven through
+//! the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn spgemm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spgemm"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oocgemm_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn generated_input_runs_every_executor() {
+    for executor in ["cpu", "gpu-sync", "gpu-async", "hybrid", "multi-gpu:2", "unified"] {
+        let out = spgemm()
+            .args(["--gen", "rmat:10:8000:7", "--executor", executor])
+            .output()
+            .expect("spawn spgemm");
+        assert!(
+            out.status.success(),
+            "executor {executor} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("GFLOPS"), "{executor}: no GFLOPS line:\n{stdout}");
+        assert!(stdout.contains("nnz(C)"), "{executor}: no result size:\n{stdout}");
+    }
+}
+
+#[test]
+fn mtx_roundtrip_through_cli() {
+    // Write an input, multiply via CLI, read the result back, verify.
+    let a = sparse::gen::erdos_renyi(80, 80, 0.06, 3);
+    let input = temp("in.mtx");
+    let output = temp("out.mtx");
+    sparse::io::write_matrix_market(&input, &a).unwrap();
+
+    let out = spgemm()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--executor",
+            "gpu-async",
+            "--out",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn spgemm");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let c = sparse::io::read_matrix_market(&output).unwrap();
+    let expect = cpu_spgemm::reference::multiply(&a, &a).unwrap();
+    assert!(c.approx_eq(&expect, 1e-9), "CLI result diverged");
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&output).ok();
+}
+
+#[test]
+fn trace_output_is_valid_chrome_json() {
+    let trace = temp("trace.json");
+    let out = spgemm()
+        .args([
+            "--gen",
+            "rmat:9:4000:1",
+            "--executor",
+            "gpu-async",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn spgemm");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let events: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let events = events.as_array().unwrap();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e["ph"] == "X"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn suite_input_and_auto_ratio() {
+    let out = spgemm()
+        .args(["--suite", "nlp:tiny", "--executor", "hybrid", "--ratio", "auto"])
+        .output()
+        .expect("spawn spgemm");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("assignment:"), "no hybrid assignment line:\n{stdout}");
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    for args in [
+        vec!["--executor", "warp-drive"],
+        vec!["--gen", "not-a-spec"],
+        vec!["--suite", "not-a-matrix"],
+    ] {
+        let out = spgemm().args(&args).output().expect("spawn spgemm");
+        assert!(!out.status.success(), "args {args:?} unexpectedly succeeded");
+    }
+}

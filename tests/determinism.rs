@@ -1,0 +1,76 @@
+//! Reproducibility: generators are byte-stable, simulated timelines are
+//! exactly repeatable, and results are independent of thread count.
+
+use oocgemm::{Hybrid, HybridConfig, OocConfig, OutOfCoreGpu};
+use sparse::gen::{suite, SuiteMatrix, SuiteScale};
+
+#[test]
+fn suite_generation_is_byte_stable() {
+    let a = suite(SuiteScale::Tiny);
+    let b = suite(SuiteScale::Tiny);
+    for ((id_a, m_a), (id_b, m_b)) in a.iter().zip(&b) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(m_a, m_b, "{} not reproducible", id_a.abbr());
+    }
+}
+
+#[test]
+fn simulated_times_are_exactly_repeatable() {
+    let m = SuiteMatrix::Wiki0925.generate(SuiteScale::Tiny);
+    let run = || {
+        OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 20))
+            .multiply(&m, &m)
+            .unwrap()
+    };
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.sim_ns, r2.sim_ns);
+    assert_eq!(r1.order, r2.order);
+    assert_eq!(r1.timeline.records.len(), r2.timeline.records.len());
+    for (a, b) in r1.timeline.records.iter().zip(&r2.timeline.records) {
+        assert_eq!((a.start, a.end, &a.label), (b.start, b.end, &b.label));
+    }
+    assert!(r1.c.approx_eq(&r2.c, 0.0), "numeric results must be bit-identical");
+}
+
+#[test]
+fn hybrid_times_are_exactly_repeatable() {
+    let m = SuiteMatrix::Stokes.generate(SuiteScale::Tiny);
+    let cfg = || HybridConfig {
+        gpu: OocConfig::with_device_memory(1 << 21),
+        ..HybridConfig::paper_default()
+    };
+    let r1 = Hybrid::new(cfg()).multiply(&m, &m).unwrap();
+    let r2 = Hybrid::new(cfg()).multiply(&m, &m).unwrap();
+    assert_eq!(r1.sim_ns, r2.sim_ns);
+    assert_eq!(r1.gpu_ns, r2.gpu_ns);
+    assert_eq!(r1.cpu_ns, r2.cpu_ns);
+    assert_eq!(r1.num_gpu_chunks, r2.num_gpu_chunks);
+}
+
+#[test]
+fn results_independent_of_thread_count() {
+    // The parallel executors must produce the same structure regardless
+    // of worker count; values agree to tolerance (summation order
+    // inside a row is fixed by the algorithm, so exact equality holds).
+    let m = SuiteMatrix::Wiki1104.generate(SuiteScale::Tiny);
+    let wide = cpu_spgemm::parallel_hash::multiply(&m, &m).unwrap();
+    let narrow_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let narrow = narrow_pool.install(|| cpu_spgemm::parallel_hash::multiply(&m, &m).unwrap());
+    assert_eq!(wide.row_offsets(), narrow.row_offsets());
+    assert_eq!(wide.col_ids(), narrow.col_ids());
+    assert!(wide.approx_eq(&narrow, 1e-12));
+}
+
+#[test]
+fn ratio_search_is_deterministic() {
+    let m = SuiteMatrix::Uk2002.generate(SuiteScale::Tiny);
+    let cfg = || HybridConfig {
+        gpu: OocConfig::with_device_memory(1 << 21),
+        ..HybridConfig::paper_default()
+    };
+    let s1 = Hybrid::new(cfg()).ratio_search(&m, &m).unwrap();
+    let s2 = Hybrid::new(cfg()).ratio_search(&m, &m).unwrap();
+    assert_eq!(s1.per_g, s2.per_g);
+    assert_eq!(s1.best_g, s2.best_g);
+}

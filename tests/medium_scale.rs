@@ -1,0 +1,20 @@
+//! Medium-scale stress run — ignored by default (several minutes);
+//! run with `cargo test --release -- --ignored medium_scale`.
+
+use oocgemm::{OocConfig, OutOfCoreGpu};
+use sparse::gen::{SuiteMatrix, SuiteScale};
+
+#[test]
+#[ignore = "several minutes; run explicitly for stress coverage"]
+fn medium_scale_nlp_full_pipeline() {
+    let m = SuiteMatrix::Nlp.generate(SuiteScale::Medium);
+    assert!(m.n_rows() > 100_000, "medium scale should be substantially larger");
+    let nnz_c = sparse::stats::symbolic_nnz(&m, &m);
+    let device = ((nnz_c * 12) as f64 / 1.78) as u64;
+    let run = OutOfCoreGpu::new(OocConfig::with_device_memory(device))
+        .multiply(&m, &m)
+        .expect("medium-scale run");
+    run.timeline.validate().unwrap();
+    assert_eq!(run.c.nnz() as u64, nnz_c);
+    assert!(oocgemm::verify_product(&m, &m, &run.c).is_ok());
+}
