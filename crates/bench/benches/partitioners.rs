@@ -24,6 +24,7 @@ fn bench_partitioners(c: &mut Criterion) {
             ("naive", ColPartitioner::Naive),
             ("cursor", ColPartitioner::Cursor),
             ("parallel", ColPartitioner::ParallelPrefixSum),
+            ("parallel_cursor", ColPartitioner::ParallelCursor),
             ("via_csc", ColPartitioner::ViaCsc),
         ] {
             group.bench_with_input(

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the panel planner hot path: the global
+//! analysis (`Planner::new`), the grid search (incremental `auto` with
+//! 2D chunk-nnz prefix sums vs the from-scratch greedy reference), and
+//! chunk re-assembly (parallel disjoint-slice fill vs serial sweep).
+//!
+//! The search space of `auto` is bounded at `MAX_CHUNKS = 4096`; the
+//! budgets below force deep searches inside that bound, the regime
+//! where the reference's `O(steps × chunks × rows·log)` cost blows up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oocgemm::assemble::{assemble, assemble_serial};
+use oocgemm::{ChunkId, Planner};
+use sparse::gen::{grid2d_stencil, rmat, RmatConfig};
+use sparse::partition::col::ColPartitioner;
+use sparse::{CsrMatrix, CsrView};
+use std::hint::black_box;
+
+fn suite() -> Vec<(&'static str, CsrMatrix, u64)> {
+    // (name, matrix, device budget): an R-MAT analogue (skewed rows)
+    // and a stencil analogue (uniform rows), budgets sized to push the
+    // search to deep grids.
+    vec![
+        ("rmat_s11", rmat(RmatConfig::skewed(11, 30_000), 9), 1 << 20),
+        ("stencil_64x64", grid2d_stencil(64, 64, 2, 2), 1 << 17),
+    ]
+}
+
+fn bench_planner_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_new");
+    group.sample_size(10);
+    for (name, a, _) in suite() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(Planner::new(&a, &a).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_auto_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_auto");
+    group.sample_size(10);
+    for (name, a, budget) in suite() {
+        let planner = Planner::new(&a, &a).unwrap();
+        group.bench_function(BenchmarkId::new("incremental", name), |b| {
+            b.iter(|| black_box(planner.auto(budget).ok()));
+        });
+        group.bench_function(BenchmarkId::new("reference", name), |b| {
+            b.iter(|| black_box(planner.auto_reference(budget).ok()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    group.sample_size(10);
+    for (name, a, budget) in suite() {
+        let planner = Planner::new(&a, &a).unwrap();
+        let plan = planner
+            .auto(budget)
+            .unwrap_or_else(|_| planner.fixed(8, 8).expect("fallback plan"));
+        let panels = ColPartitioner::ParallelCursor.partition(&a, &plan.col_ranges);
+        let mut results = Vec::new();
+        for (r, range) in plan.row_ranges.iter().enumerate() {
+            let view = CsrView::rows(&a, range.start, range.end);
+            for (cc, panel) in panels.iter().enumerate() {
+                let m = cpu_spgemm::parallel_hash::multiply_view(&view, &panel.matrix)
+                    .expect("chunk multiply");
+                results.push((ChunkId { row: r, col: cc }, m));
+            }
+        }
+        let refs: Vec<(ChunkId, &CsrMatrix)> =
+            results.iter().map(|(id, m)| (*id, m)).collect();
+        group.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| black_box(assemble(&plan, &refs)));
+        });
+        group.bench_function(BenchmarkId::new("serial", name), |b| {
+            b.iter(|| black_box(assemble_serial(&plan, &refs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner_new, bench_auto_search, bench_assemble);
+criterion_main!(benches);

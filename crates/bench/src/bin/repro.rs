@@ -44,7 +44,7 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10]... \
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|planner]... \
                      [--scale tiny|small|medium] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -70,6 +70,15 @@ fn main() {
     if wants(&args, "table1") {
         println!("## Table I: Nvidia Tesla V100 specifications (simulated)\n");
         println!("{}", experiments::table1());
+    }
+
+    if wants(&args, "planner") {
+        println!("## Planner: incremental grid search + parallel assembly baseline\n");
+        eprintln!("[{:6.1}s] running planner benchmark...", t0.elapsed().as_secs_f64());
+        let rows = bench::planner_bench::run_all();
+        println!("{}", bench::planner_bench::table(&rows));
+        std::fs::write(args.out.join("BENCH_planner.json"), bench::planner_bench::to_json(&rows))
+            .expect("write BENCH_planner.json");
     }
 
     let needs_suite = ["table2", "table3", "fig4", "fig7", "fig8", "fig9", "fig10"]

@@ -13,6 +13,7 @@
 //! paper's runs solve.
 
 pub mod experiments;
+pub mod planner_bench;
 pub mod table;
 
 use sparse::gen::{suite, SuiteMatrix, SuiteScale};

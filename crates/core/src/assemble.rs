@@ -6,13 +6,15 @@
 
 use crate::chunks::ChunkId;
 use crate::plan::PanelPlan;
+use rayon::prelude::*;
 use sparse::{ColId, CsrMatrix};
 
-/// Assembles the full `C` from per-chunk results.
-///
-/// `chunks` may arrive in any order (the executors reorder them); each
-/// entry pairs the chunk id with its local-column result matrix.
-pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix {
+/// Rows per parallel fill task.
+const ROW_BLOCK: usize = 1024;
+
+/// Checks the chunk set and arranges it row-major; panics exactly like
+/// the original serial assembly on missing or duplicated chunks.
+fn chunk_grid<'m>(plan: &PanelPlan, chunks: &[(ChunkId, &'m CsrMatrix)]) -> Vec<&'m CsrMatrix> {
     let k_r = plan.row_panels();
     let k_c = plan.col_panels();
     assert_eq!(chunks.len(), k_r * k_c, "every chunk must be present exactly once");
@@ -22,9 +24,102 @@ pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix
         assert!(slot.is_none(), "duplicate chunk ({}, {})", id.row, id.col);
         *slot = Some(m);
     }
+    // The count and duplicate checks above leave no slot empty.
+    grid.into_iter().map(|m| m.unwrap()).collect()
+}
+
+/// Assembles the full `C` from per-chunk results.
+///
+/// `chunks` may arrive in any order (the executors reorder them); each
+/// entry pairs the chunk id with its local-column result matrix.
+///
+/// Parallel: global row offsets are derived exactly from the chunks'
+/// row lengths, then disjoint row blocks are filled concurrently.
+/// Output is byte-identical to [`assemble_serial`].
+pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix {
+    let k_c = plan.col_panels();
+    let grid = chunk_grid(plan, chunks);
     let n_rows = plan.row_ranges.last().map_or(0, |r| r.end);
     let n_cols = plan.col_ranges.last().map_or(0, |c| c.end);
-    let nnz: usize = grid.iter().map(|m| m.unwrap().nnz()).sum();
+
+    // Exact per-row output lengths, written into disjoint per-panel
+    // windows of the offsets buffer, then prefix-summed in place.
+    let mut offsets = vec![0usize; n_rows + 1];
+    {
+        let mut windows: Vec<(usize, &mut [usize])> = Vec::with_capacity(plan.row_panels());
+        let mut rem = &mut offsets[1..];
+        for (i, row_range) in plan.row_ranges.iter().enumerate() {
+            let (head, tail) = std::mem::take(&mut rem).split_at_mut(row_range.len());
+            windows.push((i, head));
+            rem = tail;
+        }
+        windows.into_par_iter().for_each(|(i, lens)| {
+            let mats = &grid[i * k_c..(i + 1) * k_c];
+            if cfg!(debug_assertions) {
+                let row_range = &plan.row_ranges[i];
+                for (m, col_range) in mats.iter().zip(&plan.col_ranges) {
+                    debug_assert_eq!(m.n_rows(), row_range.len(), "chunk row count mismatch");
+                    debug_assert_eq!(m.n_cols(), col_range.len(), "chunk col count mismatch");
+                }
+            }
+            for (local_row, len) in lens.iter_mut().enumerate() {
+                *len = mats.iter().map(|m| m.row_nnz(local_row)).sum();
+            }
+        });
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+
+    // Parallel fill of disjoint row blocks. Per block the chunk row and
+    // column-rebase setup is hoisted out of the inner loops.
+    let nnz = offsets[n_rows];
+    let mut cols: Vec<ColId> = vec![0; nnz];
+    let mut vals: Vec<f64> = vec![0.0; nnz];
+    let mut tasks: Vec<(usize, usize, usize, &mut [ColId], &mut [f64])> = Vec::new();
+    let mut cols_rem: &mut [ColId] = &mut cols;
+    let mut vals_rem: &mut [f64] = &mut vals;
+    for (i, row_range) in plan.row_ranges.iter().enumerate() {
+        let mut lo = 0usize;
+        while lo < row_range.len() {
+            let hi = (lo + ROW_BLOCK).min(row_range.len());
+            let len = offsets[row_range.start + hi] - offsets[row_range.start + lo];
+            let (c_head, c_tail) = std::mem::take(&mut cols_rem).split_at_mut(len);
+            let (v_head, v_tail) = std::mem::take(&mut vals_rem).split_at_mut(len);
+            tasks.push((i, lo, hi, c_head, v_head));
+            cols_rem = c_tail;
+            vals_rem = v_tail;
+            lo = hi;
+        }
+    }
+    tasks.into_par_iter().for_each(|(i, lo, hi, c_out, v_out)| {
+        let mats = &grid[i * k_c..(i + 1) * k_c];
+        let bases: Vec<ColId> =
+            plan.col_ranges.iter().map(|col_range| col_range.start as ColId).collect();
+        let mut w = 0usize;
+        for local_row in lo..hi {
+            for (m, &base) in mats.iter().zip(&bases) {
+                for (&c, &v) in m.row_cols(local_row).iter().zip(m.row_values(local_row)) {
+                    c_out[w] = base + c;
+                    v_out[w] = v;
+                    w += 1;
+                }
+            }
+        }
+        debug_assert_eq!(w, c_out.len(), "fill must match the offset pass");
+    });
+    CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals)
+}
+
+/// Serial reference assembly: one row-major sweep appending into
+/// growing buffers, exactly the pre-parallel implementation. Kept for
+/// equivalence tests and benchmarks.
+pub fn assemble_serial(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix {
+    let k_c = plan.col_panels();
+    let grid = chunk_grid(plan, chunks);
+    let n_rows = plan.row_ranges.last().map_or(0, |r| r.end);
+    let n_cols = plan.col_ranges.last().map_or(0, |c| c.end);
+    let nnz: usize = grid.iter().map(|m| m.nnz()).sum();
 
     let mut offsets = Vec::with_capacity(n_rows + 1);
     let mut cols: Vec<ColId> = Vec::with_capacity(nnz);
@@ -33,7 +128,7 @@ pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix
     for (r, row_range) in plan.row_ranges.iter().enumerate() {
         for local_row in 0..row_range.len() {
             for (c, col_range) in plan.col_ranges.iter().enumerate() {
-                let m = grid[r * k_c + c].unwrap();
+                let m = grid[r * k_c + c];
                 debug_assert_eq!(m.n_rows(), row_range.len(), "chunk row count mismatch");
                 debug_assert_eq!(m.n_cols(), col_range.len(), "chunk col count mismatch");
                 let base = col_range.start as ColId;
@@ -78,6 +173,11 @@ mod tests {
         c.validate().unwrap();
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(c.approx_eq(&expect, 1e-9));
+        // The parallel fill is byte-identical to the serial sweep.
+        let serial = assemble_serial(&plan, &refs);
+        assert_eq!(c.row_offsets(), serial.row_offsets());
+        assert_eq!(c.col_ids(), serial.col_ids());
+        assert!(c.approx_eq(&serial, 0.0));
     }
 
     #[test]

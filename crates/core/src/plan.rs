@@ -9,7 +9,7 @@
 //! estimated working set of two in-flight chunks fits the budget.
 
 use crate::{OocError, Result};
-use sparse::partition::weighted_ranges;
+use sparse::partition::weighted_ranges_from_prefix;
 use sparse::stats;
 use sparse::CsrMatrix;
 use std::ops::Range;
@@ -25,6 +25,11 @@ const OUT_SLACK: f64 = 1.05;
 const BUDGET_FRACTION: f64 = 0.95;
 /// Give up beyond this many chunks.
 const MAX_CHUNKS: usize = 4096;
+/// Cap (in entries) on the cached 2D chunk-nnz prefix table the
+/// incremental search keeps per column-boundary set. Beyond this the
+/// search re-bins from the symbolic structure per candidate instead —
+/// still `O(nnz(C))`, just without the `O(1)`-per-chunk lookups.
+const BIN_PREFIX_LIMIT: usize = 1 << 23;
 
 /// A chosen partitioning of `A`'s rows and `B`'s columns.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,11 +61,17 @@ impl PanelPlan {
 pub struct Planner<'a> {
     a: &'a CsrMatrix,
     b: &'a CsrMatrix,
-    row_flops: Vec<u64>,
+    /// Exclusive prefix sum of per-row flops (`n_rows + 1` entries):
+    /// the row-partitioning weights, queryable per panel in O(1).
+    row_flops_prefix: Vec<u64>,
     /// Symbolic structure of C: row offsets and sorted column ids.
     c_offsets: Vec<usize>,
     c_cols: Vec<sparse::ColId>,
-    col_nnz: Vec<u64>,
+    /// Exclusive prefix sum of per-column nnz of `B` (`n_cols + 1`
+    /// entries): the column-partitioning weights.
+    col_nnz_prefix: Vec<u64>,
+    total_flops: u64,
+    total_nnz_c: u64,
 }
 
 impl<'a> Planner<'a> {
@@ -80,17 +91,38 @@ impl<'a> Planner<'a> {
         for &c in b.col_ids() {
             col_nnz[c as usize] += 1;
         }
-        Ok(Planner { a, b, row_flops, c_offsets, c_cols, col_nnz })
+        let mut row_flops_prefix = Vec::with_capacity(a.n_rows() + 1);
+        row_flops_prefix.push(0);
+        for &f in &row_flops {
+            row_flops_prefix.push(row_flops_prefix.last().unwrap() + f);
+        }
+        let mut col_nnz_prefix = Vec::with_capacity(b.n_cols() + 1);
+        col_nnz_prefix.push(0);
+        for &n in &col_nnz {
+            col_nnz_prefix.push(col_nnz_prefix.last().unwrap() + n);
+        }
+        let total_flops = *row_flops_prefix.last().unwrap();
+        let total_nnz_c = c_cols.len() as u64;
+        Ok(Planner {
+            a,
+            b,
+            row_flops_prefix,
+            c_offsets,
+            c_cols,
+            col_nnz_prefix,
+            total_flops,
+            total_nnz_c,
+        })
     }
 
-    /// Total flops of the product.
+    /// Total flops of the product (cached at construction).
     pub fn total_flops(&self) -> u64 {
-        self.row_flops.iter().sum()
+        self.total_flops
     }
 
-    /// Total output nonzeros.
+    /// Total output nonzeros (cached at construction).
     pub fn total_nnz_c(&self) -> u64 {
-        self.c_cols.len() as u64
+        self.total_nnz_c
     }
 
     /// Exact output nonzeros of the chunk `row_range x col_range`,
@@ -107,56 +139,108 @@ impl<'a> Planner<'a> {
             .sum()
     }
 
+    /// Row ranges for `k_r` panels, balanced by flops.
+    fn row_ranges_for(&self, k_r: usize) -> Vec<Range<usize>> {
+        if self.a.n_rows() == 0 {
+            vec![0..0]
+        } else {
+            weighted_ranges_from_prefix(&self.row_flops_prefix, k_r)
+        }
+    }
+
+    /// Column ranges for `k_c` panels, balanced by `B` nnz.
+    fn col_ranges_for(&self, k_c: usize) -> Vec<Range<usize>> {
+        if self.b.n_cols() == 0 {
+            vec![0..0]
+        } else {
+            weighted_ranges_from_prefix(&self.col_nnz_prefix, k_c)
+        }
+    }
+
     /// A fixed `k_r × k_c` grid: rows balanced by flops, columns
     /// balanced by `B` nnz.
     pub fn fixed(&self, k_r: usize, k_c: usize) -> Result<PanelPlan> {
         if k_r == 0 || k_c == 0 {
             return Err(OocError::Planning("panel counts must be positive".into()));
         }
-        let empty = |n: usize| std::iter::once(0..n).collect::<Vec<_>>();
-        let row_ranges = if self.a.n_rows() == 0 {
-            empty(0)
-        } else {
-            weighted_ranges(&self.row_flops, k_r)
-        };
-        let col_ranges = if self.b.n_cols() == 0 {
-            empty(0)
-        } else {
-            weighted_ranges(&self.col_nnz, k_c)
-        };
-        Ok(PanelPlan { row_ranges, col_ranges })
+        Ok(PanelPlan {
+            row_ranges: self.row_ranges_for(k_r),
+            col_ranges: self.col_ranges_for(k_c),
+        })
     }
 
-    /// Estimated device bytes of the pipeline working set for a plan:
-    /// two in-flight chunks, each with its panels, per-row scratch and
-    /// output buffer.
-    pub fn working_set_bytes(&self, plan: &PanelPlan) -> u64 {
-        let a_panel_bytes: Vec<u64> = plan
-            .row_ranges
-            .iter()
-            .map(|r| {
-                let nnz = (self.a.row_offsets()[r.end] - self.a.row_offsets()[r.start]) as u64;
-                nnz * ENTRY_BYTES + (r.len() as u64 + 1) * OFFSET_BYTES
-            })
-            .collect();
-        let b_panel_bytes: Vec<u64> = plan
-            .col_ranges
-            .iter()
-            .map(|c| {
-                let nnz: u64 = self.col_nnz[c.clone()].iter().sum();
-                // A column panel stores full-height row offsets.
-                nnz * ENTRY_BYTES + (self.b.n_rows() as u64 + 1) * OFFSET_BYTES
-            })
-            .collect();
+    /// Device bytes of one `A` row panel.
+    fn a_panel_bytes(&self, r: &Range<usize>) -> u64 {
+        let nnz = (self.a.row_offsets()[r.end] - self.a.row_offsets()[r.start]) as u64;
+        nnz * ENTRY_BYTES + (r.len() as u64 + 1) * OFFSET_BYTES
+    }
+
+    /// Device bytes of one `B` column panel (full-height row offsets).
+    fn b_panel_bytes(&self, c: &Range<usize>) -> u64 {
+        let nnz = self.col_nnz_prefix[c.end] - self.col_nnz_prefix[c.start];
+        nnz * ENTRY_BYTES + (self.b.n_rows() as u64 + 1) * OFFSET_BYTES
+    }
+
+    /// Working set given the precomputed chunk-nnz `grid` (row-major
+    /// `k_r × k_c`). `O(k_r × k_c)`.
+    fn working_set_from_grid(
+        &self,
+        row_ranges: &[Range<usize>],
+        col_ranges: &[Range<usize>],
+        grid: &[u64],
+    ) -> u64 {
+        let k_c = col_ranges.len();
+        let b_bytes: Vec<u64> = col_ranges.iter().map(|c| self.b_panel_bytes(c)).collect();
         // The pipeline keeps the A panel in a dedicated resident slot
         // and double-buffers everything else (B panel, per-row scratch,
         // output) across two epochs.
         let mut max_a = 0u64;
         let mut max_rest = 0u64;
-        for (r, &ab) in plan.row_ranges.iter().zip(&a_panel_bytes) {
-            max_a = max_a.max(ab);
+        for (i, r) in row_ranges.iter().enumerate() {
+            max_a = max_a.max(self.a_panel_bytes(r));
             let scratch = 2 * (r.len() as u64 + 1) * OFFSET_BYTES;
-            for (c, &bb) in plan.col_ranges.iter().zip(&b_panel_bytes) {
+            let out_offsets = (r.len() as u64 + 1) * OFFSET_BYTES;
+            for (j, &bb) in b_bytes.iter().enumerate() {
+                let out = grid[i * k_c + j] * ENTRY_BYTES + out_offsets;
+                max_rest = max_rest.max(bb + scratch + out);
+            }
+        }
+        ((max_a + 2 * max_rest) as f64 * OUT_SLACK) as u64
+    }
+
+    /// Chunk-nnz grid for a panel layout, binning the symbolic columns
+    /// of C once (`O(nnz(C) + chunks)`).
+    fn chunk_grid(&self, row_ranges: &[Range<usize>], col_ranges: &[Range<usize>]) -> Vec<u64> {
+        let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
+        stats::chunk_nnz_grid(&self.c_offsets, &self.c_cols, row_ranges, &col_bounds)
+    }
+
+    /// Estimated device bytes of the pipeline working set for a plan:
+    /// two in-flight chunks, each with its panels, per-row scratch and
+    /// output buffer.
+    ///
+    /// The plan's column ranges must be contiguous from column 0 (every
+    /// plan this planner produces is). `O(nnz(C) + chunks)`.
+    pub fn working_set_bytes(&self, plan: &PanelPlan) -> u64 {
+        debug_assert!(plan.col_ranges.first().is_none_or(|c| c.start == 0));
+        debug_assert!(plan.col_ranges.windows(2).all(|w| w[0].end == w[1].start));
+        let grid = self.chunk_grid(&plan.row_ranges, &plan.col_ranges);
+        self.working_set_from_grid(&plan.row_ranges, &plan.col_ranges, &grid)
+    }
+
+    /// Reference implementation of [`working_set_bytes`]: per-chunk
+    /// binary searches over every row's symbolic columns,
+    /// `O(rows × chunks × log)`. Kept for equivalence tests and as the
+    /// baseline the planner benchmarks compare against; handles
+    /// arbitrary (even non-contiguous) column ranges.
+    pub fn working_set_bytes_reference(&self, plan: &PanelPlan) -> u64 {
+        let mut max_a = 0u64;
+        let mut max_rest = 0u64;
+        let b_bytes: Vec<u64> = plan.col_ranges.iter().map(|c| self.b_panel_bytes(c)).collect();
+        for r in plan.row_ranges.iter() {
+            max_a = max_a.max(self.a_panel_bytes(r));
+            let scratch = 2 * (r.len() as u64 + 1) * OFFSET_BYTES;
+            for (c, &bb) in plan.col_ranges.iter().zip(&b_bytes) {
                 let out = self.chunk_nnz(r, c) * ENTRY_BYTES
                     + (r.len() as u64 + 1) * OFFSET_BYTES;
                 max_rest = max_rest.max(bb + scratch + out);
@@ -165,14 +249,118 @@ impl<'a> Planner<'a> {
         ((max_a + 2 * max_rest) as f64 * OUT_SLACK) as u64
     }
 
+    /// 2D chunk-nnz prefix table for a fixed column layout:
+    /// `prefix[(r + 1) * k_c + j]` is the number of C nonzeros in rows
+    /// `0..=r` falling in column panel `j`. With it, the grid of any
+    /// row partition follows by `O(1)` subtractions per chunk. Returns
+    /// `None` when the table would exceed [`BIN_PREFIX_LIMIT`].
+    fn bin_prefix(&self, col_ranges: &[Range<usize>]) -> Option<Vec<u64>> {
+        let n_rows = self.a.n_rows();
+        let k_c = col_ranges.len();
+        if (n_rows + 1).checked_mul(k_c)? > BIN_PREFIX_LIMIT {
+            return None;
+        }
+        let unit_rows: Vec<Range<usize>> = (0..n_rows).map(|r| r..r + 1).collect();
+        let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
+        let mut table =
+            stats::chunk_nnz_grid(&self.c_offsets, &self.c_cols, &unit_rows, &col_bounds);
+        // In-place inclusive prefix over rows, shifted one row down so
+        // row 0 of the table is all zeros.
+        table.splice(0..0, std::iter::repeat_n(0, k_c));
+        for i in k_c..table.len() {
+            table[i] += table[i - k_c];
+        }
+        Some(table)
+    }
+
+    /// Grid of a row partition from a 2D prefix table.
+    fn grid_from_prefix(prefix: &[u64], k_c: usize, row_ranges: &[Range<usize>]) -> Vec<u64> {
+        let mut grid = Vec::with_capacity(row_ranges.len() * k_c);
+        for r in row_ranges {
+            for j in 0..k_c {
+                grid.push(prefix[r.end * k_c + j] - prefix[r.start * k_c + j]);
+            }
+        }
+        grid
+    }
+
     /// Chooses the smallest panel grid whose working set fits the
     /// device budget.
+    ///
+    /// Incremental search: per step only the split dimension's panels
+    /// are recomputed — the row candidate reuses the current column
+    /// binning through the 2D chunk-nnz prefix table, and the two
+    /// candidates are evaluated in parallel. Returns the same plan as
+    /// [`Planner::auto_reference`].
     pub fn auto(&self, device_bytes: u64) -> Result<PanelPlan> {
+        let budget = (device_bytes as f64 * BUDGET_FRACTION) as u64;
+        let n_rows = self.a.n_rows();
+        let n_cols = self.b.n_cols();
+        let (mut k_r, mut k_c) = (1usize, 1usize);
+        let mut row_ranges = self.row_ranges_for(1);
+        let mut col_ranges = self.col_ranges_for(1);
+        let mut col_prefix = self.bin_prefix(&col_ranges);
+        let mut grid = match &col_prefix {
+            Some(p) => Self::grid_from_prefix(p, col_ranges.len(), &row_ranges),
+            None => self.chunk_grid(&row_ranges, &col_ranges),
+        };
+        loop {
+            if self.working_set_from_grid(&row_ranges, &col_ranges, &grid) <= budget {
+                return Ok(PanelPlan { row_ranges, col_ranges });
+            }
+            if k_r * k_c >= MAX_CHUNKS || (k_r >= n_rows.max(1) && k_c >= n_cols.max(1)) {
+                return Err(OocError::Planning(format!(
+                    "no grid up to {k_r}x{k_c} panels fits {device_bytes} bytes of device \
+                     memory"
+                )));
+            }
+            // Split whichever dimension relieves more of the working
+            // set: rows shrink the A panel and the output chunk;
+            // columns shrink the B panel and the output chunk.
+            let row_candidate = || {
+                let rr = self.row_ranges_for((k_r + 1).min(n_rows.max(1)));
+                let g = match &col_prefix {
+                    Some(p) => Self::grid_from_prefix(p, col_ranges.len(), &rr),
+                    None => self.chunk_grid(&rr, &col_ranges),
+                };
+                let ws = self.working_set_from_grid(&rr, &col_ranges, &g);
+                (rr, g, ws)
+            };
+            let col_candidate = || {
+                let cc = self.col_ranges_for((k_c + 1).min(n_cols.max(1)));
+                let p = self.bin_prefix(&cc);
+                let g = match &p {
+                    Some(p) => Self::grid_from_prefix(p, cc.len(), &row_ranges),
+                    None => self.chunk_grid(&row_ranges, &cc),
+                };
+                let ws = self.working_set_from_grid(&row_ranges, &cc, &g);
+                (cc, p, g, ws)
+            };
+            let ((rr, g_r, ws_r), (cc, p_c, g_c, ws_c)) =
+                rayon::join(row_candidate, col_candidate);
+            if ws_r <= ws_c && k_r < n_rows.max(1) {
+                row_ranges = rr;
+                grid = g_r;
+                k_r += 1;
+            } else {
+                col_ranges = cc;
+                col_prefix = p_c;
+                grid = g_c;
+                k_c += 1;
+            }
+        }
+    }
+
+    /// Reference implementation of [`Planner::auto`]: recomputes both
+    /// dimensions' panel statistics from scratch at every step through
+    /// [`Planner::working_set_bytes_reference`]. Kept for equivalence
+    /// tests and as the planner benchmark baseline.
+    pub fn auto_reference(&self, device_bytes: u64) -> Result<PanelPlan> {
         let budget = (device_bytes as f64 * BUDGET_FRACTION) as u64;
         let (mut k_r, mut k_c) = (1usize, 1usize);
         loop {
             let plan = self.fixed(k_r, k_c)?;
-            if self.working_set_bytes(&plan) <= budget {
+            if self.working_set_bytes_reference(&plan) <= budget {
                 return Ok(plan);
             }
             if k_r * k_c >= MAX_CHUNKS
@@ -183,13 +371,10 @@ impl<'a> Planner<'a> {
                      memory"
                 )));
             }
-            // Split whichever dimension relieves more of the working
-            // set: rows shrink the A panel and the output chunk;
-            // columns shrink the B panel and the output chunk.
             let try_r = self.fixed((k_r + 1).min(self.a.n_rows().max(1)), k_c)?;
             let try_c = self.fixed(k_r, (k_c + 1).min(self.b.n_cols().max(1)))?;
-            let ws_r = self.working_set_bytes(&try_r);
-            let ws_c = self.working_set_bytes(&try_c);
+            let ws_r = self.working_set_bytes_reference(&try_r);
+            let ws_c = self.working_set_bytes_reference(&try_c);
             if ws_r <= ws_c && k_r < self.a.n_rows().max(1) {
                 k_r += 1;
             } else {

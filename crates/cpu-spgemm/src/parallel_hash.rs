@@ -85,24 +85,27 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
     Ok(CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals))
 }
 
-/// Symbolic phase: exact output row sizes, parallel over row chunks.
+/// Symbolic phase: exact output row sizes, parallel over row chunks
+/// (chunk index ranges iterated directly — no materialized row list).
 fn symbolic(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
     let n_rows = a.n_rows();
     let width = b.n_cols();
-    let rows: Vec<usize> = (0..n_rows).collect();
-    rows.par_chunks(CHUNK)
+    (0..n_rows.div_ceil(CHUNK).max(1))
+        .into_par_iter()
         .flat_map_iter(|chunk| {
-            let mut out = Vec::with_capacity(chunk.len());
+            let lo = chunk * CHUNK;
+            let hi = (lo + CHUNK).min(n_rows);
+            let mut out = Vec::with_capacity(hi - lo);
             if width <= DENSE_WIDTH_LIMIT {
                 let mut counter = DenseCounter::new(width);
-                for &r in chunk {
+                for r in lo..hi {
                     count_row(a, b, r, &mut counter);
                     out.push(counter.count());
                     counter.reset();
                 }
             } else {
                 let mut counter = HashCounter::with_expected(64);
-                for &r in chunk {
+                for r in lo..hi {
                     count_row(a, b, r, &mut counter);
                     out.push(counter.count());
                     counter.reset();

@@ -14,10 +14,14 @@
 //!    partitioning in a prefix sum fashion"): per panel, rows are
 //!    binary-searched in parallel for the panel boundaries, a prefix
 //!    sum turns per-row counts into write offsets, and rows are filled
-//!    into disjoint output slices in parallel.
+//!    into disjoint output slices in parallel;
+//! 4. a **parallel cursor** variant combining 2 and 3 — rows are swept
+//!    in parallel, each with its own forward cursor across all panels
+//!    (every entry compared once, no binary searches), then panels are
+//!    materialized with the same prefix-sum + disjoint-slice fill.
 //!
-//! All three produce identical [`ColPanel`]s; tests assert it and the
-//! bench crate ablates their cost.
+//! All variants produce identical [`ColPanel`]s; tests assert it and
+//! the bench crate ablates their cost.
 
 use crate::csr::{ColId, CsrMatrix};
 use crate::partition::{even_ranges, weighted_ranges};
@@ -50,6 +54,9 @@ pub enum ColPartitioner {
     Cursor,
     /// Parallel two-stage (binary search + prefix sum + parallel fill).
     ParallelPrefixSum,
+    /// Parallel per-row cursor sweep (every entry compared once, like
+    /// `Cursor`) feeding the same prefix-sum + parallel fill.
+    ParallelCursor,
     /// Convert to CSC once (`O(nnz)`), then slice each panel out of
     /// the column-major layout — the format-conversion alternative to
     /// the paper's in-place algorithms.
@@ -67,6 +74,7 @@ impl ColPartitioner {
             ColPartitioner::Naive => naive(b, ranges),
             ColPartitioner::Cursor => cursor(b, ranges),
             ColPartitioner::ParallelPrefixSum => parallel_prefix_sum(b, ranges),
+            ColPartitioner::ParallelCursor => parallel_cursor(b, ranges),
             ColPartitioner::ViaCsc => via_csc(b, ranges),
         }
     }
@@ -204,7 +212,6 @@ fn parallel_prefix_sum(b: &CsrMatrix, ranges: &[Range<usize>]) -> Vec<ColPanel> 
     let n_rows = b.n_rows();
     let row_offsets = b.row_offsets();
     let col_ids = b.col_ids();
-    let values = b.values();
 
     ranges
         .iter()
@@ -220,53 +227,107 @@ fn parallel_prefix_sum(b: &CsrMatrix, ranges: &[Range<usize>]) -> Vec<ColPanel> 
                     (row_offsets[r] + lo, row_offsets[r] + hi)
                 })
                 .collect();
-            // Stage 2: exclusive prefix sum of counts.
-            let mut offsets = Vec::with_capacity(n_rows + 1);
-            offsets.push(0usize);
-            for &(lo, hi) in &bounds {
-                offsets.push(offsets.last().unwrap() + (hi - lo));
-            }
-            let nnz = *offsets.last().unwrap();
-            // Stage 3: parallel fill into disjoint slices.
-            let mut cols = vec![0 as ColId; nnz];
-            let mut vals = vec![0.0f64; nnz];
-            let mut col_slices: Vec<&mut [ColId]> = Vec::with_capacity(n_rows);
-            let mut val_slices: Vec<&mut [f64]> = Vec::with_capacity(n_rows);
-            {
-                let mut rest_c: &mut [ColId] = &mut cols;
-                let mut rest_v: &mut [f64] = &mut vals;
-                for r in 0..n_rows {
-                    let len = offsets[r + 1] - offsets[r];
-                    let (head_c, tail_c) = rest_c.split_at_mut(len);
-                    let (head_v, tail_v) = rest_v.split_at_mut(len);
-                    col_slices.push(head_c);
-                    val_slices.push(head_v);
-                    rest_c = tail_c;
-                    rest_v = tail_v;
-                }
-            }
-            col_slices
-                .par_iter_mut()
-                .zip(val_slices.par_iter_mut())
-                .zip(bounds.par_iter())
-                .for_each(|((cdst, vdst), &(lo, hi))| {
-                    for (k, i) in (lo..hi).enumerate() {
-                        cdst[k] = col_ids[i] - start;
-                        vdst[k] = values[i];
-                    }
-                });
-            ColPanel {
-                col_range: range.clone(),
-                matrix: CsrMatrix::from_parts_unchecked(
-                    n_rows,
-                    range.len(),
-                    offsets,
-                    cols,
-                    vals,
-                ),
-            }
+            fill_panel(b, range, &bounds)
         })
         .collect()
+}
+
+/// Parallel cursor partitioner: one forward cursor per row, advanced
+/// across all panels in a single sweep (rows in parallel), so every
+/// entry of `B` is compared exactly once — the work profile of
+/// [`ColPartitioner::Cursor`] with the parallelism of
+/// [`ColPartitioner::ParallelPrefixSum`]. The sweep yields the same
+/// per-row source spans the binary searches would; panels are then
+/// materialized with the shared prefix-sum fill.
+fn parallel_cursor(b: &CsrMatrix, ranges: &[Range<usize>]) -> Vec<ColPanel> {
+    let n_rows = b.n_rows();
+    let row_offsets = b.row_offsets();
+    let col_ids = b.col_ids();
+    let k = ranges.len();
+    let panel_ends: Vec<ColId> = ranges.iter().map(|range| range.end as ColId).collect();
+
+    // Stage 1: row-major (row, panel) source spans from parallel
+    // cursor sweeps, in blocks to amortize the per-task output vector.
+    const BLOCK: usize = 256;
+    let spans: Vec<(usize, usize)> = (0..n_rows.div_ceil(BLOCK))
+        .into_par_iter()
+        .flat_map_iter(|block| {
+            let lo = block * BLOCK;
+            let hi = (lo + BLOCK).min(n_rows);
+            let mut out = Vec::with_capacity((hi - lo) * k);
+            for r in lo..hi {
+                let row_end = row_offsets[r + 1];
+                let mut i = row_offsets[r];
+                for &end in &panel_ends {
+                    let from = i;
+                    while i < row_end && col_ids[i] < end {
+                        i += 1;
+                    }
+                    out.push((from, i));
+                }
+            }
+            out
+        })
+        .collect();
+
+    // Stage 2: materialize each panel from its span column.
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(p, range)| {
+            let bounds: Vec<(usize, usize)> =
+                (0..n_rows).map(|r| spans[r * k + p]).collect();
+            fill_panel(b, range, &bounds)
+        })
+        .collect()
+}
+
+/// Materializes one column panel given per-row source spans
+/// `[lo, hi)` into `b`'s entry arrays: an exclusive prefix sum turns
+/// span lengths into write offsets, and rows are filled into disjoint
+/// output slices in parallel.
+fn fill_panel(b: &CsrMatrix, range: &Range<usize>, bounds: &[(usize, usize)]) -> ColPanel {
+    let n_rows = b.n_rows();
+    let col_ids = b.col_ids();
+    let values = b.values();
+    let start = range.start as ColId;
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    offsets.push(0usize);
+    for &(lo, hi) in bounds {
+        offsets.push(offsets.last().unwrap() + (hi - lo));
+    }
+    let nnz = *offsets.last().unwrap();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    let mut col_slices: Vec<&mut [ColId]> = Vec::with_capacity(n_rows);
+    let mut val_slices: Vec<&mut [f64]> = Vec::with_capacity(n_rows);
+    {
+        let mut rest_c: &mut [ColId] = &mut cols;
+        let mut rest_v: &mut [f64] = &mut vals;
+        for r in 0..n_rows {
+            let len = offsets[r + 1] - offsets[r];
+            let (head_c, tail_c) = rest_c.split_at_mut(len);
+            let (head_v, tail_v) = rest_v.split_at_mut(len);
+            col_slices.push(head_c);
+            val_slices.push(head_v);
+            rest_c = tail_c;
+            rest_v = tail_v;
+        }
+    }
+    col_slices
+        .par_iter_mut()
+        .zip(val_slices.par_iter_mut())
+        .zip(bounds.par_iter())
+        .for_each(|((cdst, vdst), &(lo, hi))| {
+            for (k, i) in (lo..hi).enumerate() {
+                cdst[k] = col_ids[i] - start;
+                vdst[k] = values[i];
+            }
+        });
+    ColPanel {
+        col_range: range.clone(),
+        matrix: CsrMatrix::from_parts_unchecked(n_rows, range.len(), offsets, cols, vals),
+    }
 }
 
 /// CSC-based partitioner: one conversion, then contiguous slices.
@@ -323,11 +384,12 @@ mod tests {
         .unwrap()
     }
 
-    fn all_strategies() -> [ColPartitioner; 4] {
+    fn all_strategies() -> [ColPartitioner; 5] {
         [
             ColPartitioner::Naive,
             ColPartitioner::Cursor,
             ColPartitioner::ParallelPrefixSum,
+            ColPartitioner::ParallelCursor,
             ColPartitioner::ViaCsc,
         ]
     }
@@ -357,9 +419,12 @@ mod tests {
         for k in [1usize, 2, 3, 7, 80] {
             let ranges = even_col_ranges(&b, k);
             let reference = ColPartitioner::Naive.partition(&b, &ranges);
-            for strat in
-                [ColPartitioner::Cursor, ColPartitioner::ParallelPrefixSum, ColPartitioner::ViaCsc]
-            {
+            for strat in [
+                ColPartitioner::Cursor,
+                ColPartitioner::ParallelPrefixSum,
+                ColPartitioner::ParallelCursor,
+                ColPartitioner::ViaCsc,
+            ] {
                 let panels = strat.partition(&b, &ranges);
                 assert_eq!(panels, reference, "strategy {strat:?} diverged at k={k}");
             }

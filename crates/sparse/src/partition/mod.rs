@@ -84,6 +84,48 @@ pub fn weighted_ranges(weights: &[u64], k: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// [`weighted_ranges`] computed from an exclusive prefix sum of the
+/// weights (`prefix[i]` = sum of the first `i` weights, so
+/// `prefix.len() == n + 1`). Produces bit-identical ranges to the
+/// greedy sweep but costs `O(k log n)` instead of `O(n)` per call,
+/// which matters when the same weights are re-partitioned many times
+/// (the planner's incremental grid search).
+pub fn weighted_ranges_from_prefix(prefix: &[u64], k: usize) -> Vec<Range<usize>> {
+    assert!(!prefix.is_empty(), "prefix sum must have n + 1 entries");
+    let n = prefix.len() - 1;
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(k > 0, "cannot split {n} items into 0 panels");
+    let k = k.min(n);
+    let total = prefix[n] - prefix[0];
+    if total == 0 {
+        return even_ranges(n, k);
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for panel in 0..k {
+        let remaining_panels = (k - panel) as u64;
+        let target = (prefix[n] - prefix[start]).div_ceil(remaining_panels);
+        // The greedy sweep consumes items while the panel weight is
+        // below target, always takes at least one, and never takes an
+        // item that would leave fewer than one per remaining panel.
+        let want = prefix[start] + target;
+        let searched = start + 1 + prefix[start + 1..=n].partition_point(|&p| p < want);
+        let cap = n - (k - panel) + 1;
+        let end = searched.min(cap);
+        out.push(start..end);
+        start = end;
+        if start == n {
+            break;
+        }
+    }
+    if start < n {
+        out.last_mut().unwrap().end = n;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +189,45 @@ mod tests {
         let r = weighted_ranges(&w, 3);
         assert_eq!(r.iter().map(|x| x.len()).sum::<usize>(), 4);
         assert_eq!(r[0], 0..1, "heavy head takes its own panel");
+    }
+
+    #[test]
+    fn prefix_variant_matches_greedy_sweep() {
+        // Deterministic pseudo-random weights with heavy items, zero
+        // runs, and skew — the shapes that exercise the greedy guards.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 3, 7, 16, 100, 257] {
+            let mut weights = vec![0u64; n];
+            for w in weights.iter_mut() {
+                let r = next();
+                *w = match r % 5 {
+                    0 => 0,
+                    1 => r % 7,
+                    2 => r % 1000,
+                    _ => r % 50,
+                };
+            }
+            let mut prefix = Vec::with_capacity(n + 1);
+            prefix.push(0u64);
+            for &w in &weights {
+                prefix.push(prefix.last().unwrap() + w);
+            }
+            for k in [1usize, 2, 3, 5, 8, n, 2 * n] {
+                assert_eq!(
+                    weighted_ranges(&weights, k),
+                    weighted_ranges_from_prefix(&prefix, k),
+                    "n={n} k={k} weights={weights:?}"
+                );
+            }
+        }
+        // All-zero weights fall back to even splitting in both.
+        let prefix = vec![0u64; 9];
+        assert_eq!(weighted_ranges(&[0; 8], 3), weighted_ranges_from_prefix(&prefix, 3));
     }
 }

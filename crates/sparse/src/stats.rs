@@ -32,18 +32,21 @@ pub fn total_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
 
 /// Symbolic nnz of each row of the product `a * b`.
 ///
-/// Parallel over rows; each worker keeps a generation-stamped dense
-/// marker array (no clearing between rows), which is the standard
+/// Parallel over row blocks; each worker keeps a generation-stamped
+/// dense marker array (no clearing between rows), which is the standard
 /// symbolic-phase trick the GPU implementations in the paper also use.
 pub fn symbolic_row_nnz(a: &CsrMatrix, b: &CsrMatrix) -> Vec<usize> {
     assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
     let n_cols = b.n_cols();
-    let rows: Vec<usize> = (0..a.n_rows()).collect();
-    rows.par_chunks(4096)
-        .flat_map_iter(|chunk| {
+    let n_rows = a.n_rows();
+    (0..n_rows.div_ceil(SYMBOLIC_BLOCK).max(1))
+        .into_par_iter()
+        .flat_map_iter(|block| {
+            let lo = block * SYMBOLIC_BLOCK;
+            let hi = (lo + SYMBOLIC_BLOCK).min(n_rows);
             let mut marker = vec![u32::MAX; n_cols];
-            let mut out = Vec::with_capacity(chunk.len());
-            for &r in chunk {
+            let mut out = Vec::with_capacity(hi - lo);
+            for r in lo..hi {
                 let stamp = r as u32;
                 let mut count = 0usize;
                 for &k in a.row_cols(r) {
@@ -61,6 +64,9 @@ pub fn symbolic_row_nnz(a: &CsrMatrix, b: &CsrMatrix) -> Vec<usize> {
         .collect()
 }
 
+/// Rows handled per worker in the blocked symbolic passes.
+const SYMBOLIC_BLOCK: usize = 2048;
+
 /// Total nnz of the product `a * b`, computed symbolically.
 pub fn symbolic_nnz(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
     symbolic_row_nnz(a, b).iter().map(|&n| n as u64).sum()
@@ -76,38 +82,105 @@ pub fn symbolic_nnz(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
 pub fn symbolic_structure(a: &CsrMatrix, b: &CsrMatrix) -> (Vec<usize>, Vec<crate::ColId>) {
     assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
     let n_cols = b.n_cols();
-    let rows: Vec<usize> = (0..a.n_rows()).collect();
-    let per_row: Vec<Vec<crate::ColId>> = rows
-        .par_chunks(2048)
-        .flat_map_iter(|chunk| {
-            let mut marker = vec![u32::MAX; n_cols];
-            let mut out = Vec::with_capacity(chunk.len());
-            for &r in chunk {
-                let stamp = r as u32;
-                let mut cols: Vec<crate::ColId> = Vec::new();
-                for &k in a.row_cols(r) {
-                    for &c in b.row_cols(k as usize) {
-                        if marker[c as usize] != stamp {
-                            marker[c as usize] = stamp;
-                            cols.push(c);
-                        }
+    let n_rows = a.n_rows();
+    // Pass 1: parallel symbolic count, then an exclusive prefix sum
+    // giving every row its final slot in the flat column buffer.
+    let row_nnz = symbolic_row_nnz(a, b);
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &n in &row_nnz {
+        acc += n;
+        offsets.push(acc);
+    }
+    // Pass 2: parallel fill. Each worker owns the disjoint sub-slice of
+    // the output covering its row block, so no per-row vectors and no
+    // serial concatenation are needed.
+    let mut cols = vec![0 as crate::ColId; acc];
+    let n_blocks = n_rows.div_ceil(SYMBOLIC_BLOCK);
+    let mut slices: Vec<(usize, &mut [crate::ColId])> = Vec::with_capacity(n_blocks);
+    let mut rem: &mut [crate::ColId] = &mut cols;
+    for block in 0..n_blocks {
+        let lo = block * SYMBOLIC_BLOCK;
+        let hi = (lo + SYMBOLIC_BLOCK).min(n_rows);
+        let (head, tail) = rem.split_at_mut(offsets[hi] - offsets[lo]);
+        slices.push((lo, head));
+        rem = tail;
+    }
+    slices.into_par_iter().for_each(|(lo, slice)| {
+        let hi = (lo + SYMBOLIC_BLOCK).min(n_rows);
+        let mut marker = vec![u32::MAX; n_cols];
+        let base = offsets[lo];
+        for r in lo..hi {
+            let row = &mut slice[offsets[r] - base..offsets[r + 1] - base];
+            let stamp = r as u32;
+            let mut w = 0usize;
+            for &k in a.row_cols(r) {
+                for &c in b.row_cols(k as usize) {
+                    if marker[c as usize] != stamp {
+                        marker[c as usize] = stamp;
+                        row[w] = c;
+                        w += 1;
                     }
                 }
-                cols.sort_unstable();
-                out.push(cols);
             }
-            out
+            debug_assert_eq!(w, row.len(), "fill must match the counting pass");
+            row.sort_unstable();
+        }
+    });
+    (offsets, cols)
+}
+
+/// Exact per-chunk output nonzeros of a `row_ranges × col_bounds` panel
+/// grid, computed from the symbolic structure `(offsets, cols)` of the
+/// product (as returned by [`symbolic_structure`]).
+///
+/// `col_bounds[j]` is the exclusive upper bound of column panel `j`
+/// (for contiguous panels starting at 0 this is `col_ranges[j].end`);
+/// bounds must be ascending and the last bound must cover every column
+/// id present. Each row's sorted column list is binned adaptively:
+/// sparse rows use a single forward cursor over the bounds
+/// (`O(row_nnz + k_c)`), while rows much longer than `k_c · log(row_nnz)`
+/// use one binary search per boundary instead — so a re-bin of the whole
+/// structure costs `O(Σ_r min(row_nnz, k_c·log row_nnz))`, never worse
+/// than either strategy alone.
+///
+/// Returns a row-major `row_ranges.len() × col_bounds.len()` grid.
+pub fn chunk_nnz_grid(
+    offsets: &[usize],
+    cols: &[crate::ColId],
+    row_ranges: &[std::ops::Range<usize>],
+    col_bounds: &[usize],
+) -> Vec<u64> {
+    let k_c = col_bounds.len();
+    let per_panel: Vec<Vec<u64>> = row_ranges
+        .par_iter()
+        .map(|rr| {
+            let mut counts = vec![0u64; k_c];
+            for r in rr.clone() {
+                let row = &cols[offsets[r]..offsets[r + 1]];
+                let bits = usize::BITS - row.len().leading_zeros();
+                if row.len() > 2 * k_c * bits as usize {
+                    let mut lo = 0usize;
+                    for (j, &bound) in col_bounds.iter().enumerate() {
+                        let hi = lo + row[lo..].partition_point(|&c| (c as usize) < bound);
+                        counts[j] += (hi - lo) as u64;
+                        lo = hi;
+                    }
+                } else {
+                    let mut j = 0usize;
+                    for &c in row {
+                        while (c as usize) >= col_bounds[j] {
+                            j += 1;
+                        }
+                        counts[j] += 1;
+                    }
+                }
+            }
+            counts
         })
         .collect();
-    let mut offsets = Vec::with_capacity(a.n_rows() + 1);
-    offsets.push(0usize);
-    let total: usize = per_row.iter().map(|r| r.len()).sum();
-    let mut cols = Vec::with_capacity(total);
-    for row in per_row {
-        cols.extend_from_slice(&row);
-        offsets.push(cols.len());
-    }
-    (offsets, cols)
+    per_panel.into_iter().flatten().collect()
 }
 
 /// Summary statistics of a single matrix.
@@ -261,6 +334,63 @@ mod tests {
         }
         // Row 0 of A^2 hits columns {0, 2, 3}.
         assert_eq!(&cols[offsets[0]..offsets[1]], &[0, 2, 3]);
+    }
+
+    #[test]
+    fn chunk_nnz_grid_matches_filter_counts() {
+        let a = example();
+        let (offsets, cols) = symbolic_structure(&a, &a);
+        let row_ranges = vec![0..2, 2..4];
+        let col_ranges = [0..1usize, 1..3, 3..4];
+        let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
+        let grid = chunk_nnz_grid(&offsets, &cols, &row_ranges, &col_bounds);
+        assert_eq!(grid.len(), 6);
+        for (i, rr) in row_ranges.iter().enumerate() {
+            for (j, cr) in col_ranges.iter().enumerate() {
+                let expect: u64 = rr
+                    .clone()
+                    .map(|r| {
+                        cols[offsets[r]..offsets[r + 1]]
+                            .iter()
+                            .filter(|&&c| cr.contains(&(c as usize)))
+                            .count() as u64
+                    })
+                    .sum();
+                assert_eq!(grid[i * col_ranges.len() + j], expect, "chunk ({i}, {j})");
+            }
+        }
+        assert_eq!(grid.iter().sum::<u64>(), cols.len() as u64, "grid partitions nnz(C)");
+    }
+
+    #[test]
+    fn chunk_nnz_grid_dense_rows_take_binary_path() {
+        // Rows long enough to cross the `2·k_c·log` threshold must agree
+        // with the linear-cursor counts (here recomputed by filtering).
+        let n_cols = 512usize;
+        let offsets = vec![0, n_cols, n_cols, 2 * n_cols];
+        let mut cols: Vec<crate::ColId> = (0..n_cols as crate::ColId).collect();
+        cols.extend(0..n_cols as crate::ColId);
+        let row_ranges = vec![0..2, 2..3];
+        let col_bounds = vec![100usize, 101, 400, n_cols];
+        let grid = chunk_nnz_grid(&offsets, &cols, &row_ranges, &col_bounds);
+        let expect = |rr: &std::ops::Range<usize>, lo: usize, hi: usize| -> u64 {
+            rr.clone()
+                .map(|r| {
+                    cols[offsets[r]..offsets[r + 1]]
+                        .iter()
+                        .filter(|&&c| (lo..hi).contains(&(c as usize)))
+                        .count() as u64
+                })
+                .sum()
+        };
+        for (i, rr) in row_ranges.iter().enumerate() {
+            let mut lo = 0usize;
+            for (j, &hi) in col_bounds.iter().enumerate() {
+                assert_eq!(grid[i * col_bounds.len() + j], expect(rr, lo, hi), "chunk ({i}, {j})");
+                lo = hi;
+            }
+        }
+        assert_eq!(grid.iter().sum::<u64>(), cols.len() as u64);
     }
 
     #[test]
