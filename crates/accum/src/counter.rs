@@ -28,7 +28,11 @@ pub struct DenseCounter {
 impl DenseCounter {
     /// Creates a counter for columns `0..width`.
     pub fn new(width: usize) -> Self {
-        DenseCounter { stamps: vec![0; width], generation: 1, count: 0 }
+        DenseCounter {
+            stamps: vec![0; width],
+            generation: 1,
+            count: 0,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl HashCounter {
     /// Creates a set sized for about `expected` distinct columns.
     pub fn with_expected(expected: usize) -> Self {
         let cap = (expected.max(4) * 2).next_power_of_two();
-        HashCounter { keys: vec![EMPTY; cap], mask: cap - 1, count: 0 }
+        HashCounter {
+            keys: vec![EMPTY; cap],
+            mask: cap - 1,
+            count: 0,
+        }
     }
 
     fn grow(&mut self) {

@@ -51,7 +51,10 @@ impl Accumulator for DenseAccumulator {
     #[inline]
     fn add(&mut self, col: ColId, val: f64) {
         let i = col as usize;
-        debug_assert!(i < self.values.len(), "column {col} out of accumulator width");
+        debug_assert!(
+            i < self.values.len(),
+            "column {col} out of accumulator width"
+        );
         if self.stamps[i] == self.generation {
             self.values[i] += val;
         } else {

@@ -16,8 +16,7 @@ pub fn row_upper_bounds(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
     let width = b.n_cols();
     (0..a.n_rows())
         .map(|r| {
-            let products: usize =
-                a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize)).sum();
+            let products: usize = a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize)).sum();
             products.min(width)
         })
         .collect()

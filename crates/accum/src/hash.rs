@@ -34,7 +34,12 @@ impl HashAccumulator {
     /// (the upper-bound estimate from the symbolic analysis).
     pub fn with_expected(expected: usize) -> Self {
         let cap = (expected.max(4) * 2).next_power_of_two();
-        HashAccumulator { keys: vec![EMPTY; cap], vals: vec![0.0; cap], mask: cap - 1, len: 0 }
+        HashAccumulator {
+            keys: vec![EMPTY; cap],
+            vals: vec![0.0; cap],
+            mask: cap - 1,
+            len: 0,
+        }
     }
 
     /// Current table capacity (slots).

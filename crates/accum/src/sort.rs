@@ -21,7 +21,10 @@ impl SortAccumulator {
 
     /// Creates an ESC accumulator with reserved product capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        SortAccumulator { pairs: Vec::with_capacity(cap), distinct: None }
+        SortAccumulator {
+            pairs: Vec::with_capacity(cap),
+            distinct: None,
+        }
     }
 
     /// Number of buffered intermediate products (≥ distinct columns).

@@ -14,14 +14,20 @@ const WIDTH: usize = 1 << 16;
 /// `distinct` distinct columns.
 fn sequence(products: usize, distinct: usize, seed: u64) -> Vec<(u32, f64)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let cols: Vec<u32> =
-        (0..distinct).map(|_| rng.gen_range(0..WIDTH as u32)).collect();
+    let cols: Vec<u32> = (0..distinct)
+        .map(|_| rng.gen_range(0..WIDTH as u32))
+        .collect();
     (0..products)
         .map(|_| (cols[rng.gen_range(0..distinct)], rng.gen_range(-1.0..1.0)))
         .collect()
 }
 
-fn run<A: Accumulator>(acc: &mut A, seq: &[(u32, f64)], out_c: &mut Vec<u32>, out_v: &mut Vec<f64>) {
+fn run<A: Accumulator>(
+    acc: &mut A,
+    seq: &[(u32, f64)],
+    out_c: &mut Vec<u32>,
+    out_v: &mut Vec<f64>,
+) {
     for &(c, v) in seq {
         acc.add(c, v);
     }

@@ -27,13 +27,9 @@ fn bench_partitioners(c: &mut Criterion) {
             ("parallel_cursor", ColPartitioner::ParallelCursor),
             ("via_csc", ColPartitioner::ViaCsc),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, panels),
-                &ranges,
-                |bench, ranges| {
-                    bench.iter(|| black_box(strat.partition(&b, ranges)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, panels), &ranges, |bench, ranges| {
+                bench.iter(|| black_box(strat.partition(&b, ranges)));
+            });
         }
     }
     group.finish();

@@ -69,8 +69,7 @@ fn bench_assemble(c: &mut Criterion) {
                 results.push((ChunkId { row: r, col: cc }, m));
             }
         }
-        let refs: Vec<(ChunkId, &CsrMatrix)> =
-            results.iter().map(|(id, m)| (*id, m)).collect();
+        let refs: Vec<(ChunkId, &CsrMatrix)> = results.iter().map(|(id, m)| (*id, m)).collect();
         group.bench_function(BenchmarkId::new("parallel", name), |b| {
             b.iter(|| black_box(assemble(&plan, &refs)));
         });
@@ -81,5 +80,10 @@ fn bench_assemble(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planner_new, bench_auto_search, bench_assemble);
+criterion_group!(
+    benches,
+    bench_planner_new,
+    bench_auto_search,
+    bench_assemble
+);
 criterion_main!(benches);

@@ -19,7 +19,11 @@ fn bench_sim(c: &mut Criterion) {
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: &p.matrix, chunk_id: i })
+            prepare_chunk(ChunkJob {
+                a_panel: CsrView::of(&a),
+                b_panel: &p.matrix,
+                chunk_id: i,
+            })
         })
         .collect();
     let refs: Vec<&_> = prepared.iter().collect();
@@ -29,23 +33,18 @@ fn bench_sim(c: &mut Criterion) {
     group.throughput(Throughput::Elements(refs.len() as u64));
     group.bench_function("async_pipeline_8_chunks", |b| {
         b.iter(|| {
-            let mut sim =
-                GpuSim::new(DeviceProps::v100_scaled(256 << 20), CostModel::calibrated());
+            let mut sim = GpuSim::new(DeviceProps::v100_scaled(256 << 20), CostModel::calibrated());
             black_box(
-                oocgemm::pipeline::simulate_pipeline(&mut sim, &refs, &flags, 0.33, true)
-                    .unwrap(),
+                oocgemm::pipeline::simulate_pipeline(&mut sim, &refs, &flags, 0.33, true).unwrap(),
             )
         });
     });
     group.bench_function("sync_driver_8_chunks", |b| {
         b.iter(|| {
-            let mut sim =
-                GpuSim::new(DeviceProps::v100_scaled(256 << 20), CostModel::calibrated());
+            let mut sim = GpuSim::new(DeviceProps::v100_scaled(256 << 20), CostModel::calibrated());
             let stream = sim.create_stream();
             for (i, p) in prepared.iter().enumerate() {
-                black_box(
-                    gpu_spgemm::simulate_sync_chunk(&mut sim, stream, p, i == 0).unwrap(),
-                );
+                black_box(gpu_spgemm::simulate_sync_chunk(&mut sim, stream, p, i == 0).unwrap());
             }
         });
     });

@@ -52,15 +52,24 @@ fn split_fraction_sweep(entry: &SuiteEntry) {
     for frac in [0.0, 0.15, 0.33, 0.5, 0.67, 0.85, 1.0] {
         let mut cfg = base_config(entry);
         cfg.split_fraction = frac;
-        t.row(vec![format!("{:.0}%", frac * 100.0), format!("{:.3}", gflops(entry, cfg))]);
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.3}", gflops(entry, cfg)),
+        ]);
     }
     println!("{}", t.render());
 }
 
 fn reorder_ablation(entry: &SuiteEntry) {
-    println!("### Chunk reordering (pure GPU pipeline, {})\n", entry.id.abbr());
+    println!(
+        "### Chunk reordering (pure GPU pipeline, {})\n",
+        entry.id.abbr()
+    );
     let mut t = TextTable::new(&["ordering", "async GFLOPS"]);
-    t.row(vec!["natural grid order".into(), format!("{:.3}", gflops(entry, base_config(entry).reorder(false)))]);
+    t.row(vec![
+        "natural grid order".into(),
+        format!("{:.3}", gflops(entry, base_config(entry).reorder(false))),
+    ]);
     t.row(vec![
         "flops descending".into(),
         format!("{:.3}", gflops(entry, base_config(entry).reorder(true))),
@@ -69,12 +78,21 @@ fn reorder_ablation(entry: &SuiteEntry) {
 }
 
 fn pinned_ablation(entry: &SuiteEntry) {
-    println!("### Pinned vs pageable host buffers ({})\n", entry.id.abbr());
+    println!(
+        "### Pinned vs pageable host buffers ({})\n",
+        entry.id.abbr()
+    );
     let mut t = TextTable::new(&["host memory", "async GFLOPS"]);
     let mut pageable = base_config(entry);
     pageable.pinned = false;
-    t.row(vec!["pinned".into(), format!("{:.3}", gflops(entry, base_config(entry)))]);
-    t.row(vec!["pageable".into(), format!("{:.3}", gflops(entry, pageable))]);
+    t.row(vec![
+        "pinned".into(),
+        format!("{:.3}", gflops(entry, base_config(entry))),
+    ]);
+    t.row(vec![
+        "pageable".into(),
+        format!("{:.3}", gflops(entry, pageable)),
+    ]);
     println!("{}", t.render());
 }
 
@@ -86,7 +104,10 @@ fn alloc_cost_ablation(entry: &SuiteEntry) {
     let mut t = TextTable::new(&["configuration", "sync GFLOPS"]);
     t.row(vec![
         "cudaMalloc per structure".into(),
-        format!("{:.3}", gflops(entry, base_config(entry).mode(ExecMode::Sync))),
+        format!(
+            "{:.3}",
+            gflops(entry, base_config(entry).mode(ExecMode::Sync))
+        ),
     ]);
     let mut free_alloc = base_config(entry).mode(ExecMode::Sync);
     free_alloc.cost.alloc_overhead_ns = 0;
@@ -95,12 +116,18 @@ fn alloc_cost_ablation(entry: &SuiteEntry) {
         format!("{:.3}", gflops(entry, free_alloc)),
     ]);
     let async_gf = gflops(entry, base_config(entry));
-    t.row(vec!["async pipeline (pool + overlap)".into(), format!("{async_gf:.3}")]);
+    t.row(vec![
+        "async pipeline (pool + overlap)".into(),
+        format!("{async_gf:.3}"),
+    ]);
     println!("{}", t.render());
 }
 
 fn unified_memory_comparison(entry: &SuiteEntry) {
-    println!("### Unified memory vs explicit out-of-core ({})\n", entry.id.abbr());
+    println!(
+        "### Unified memory vs explicit out-of-core ({})\n",
+        entry.id.abbr()
+    );
     let cfg = base_config(entry);
     let um = oocgemm::multiply_unified(&entry.matrix, &entry.matrix, &cfg.device, &cfg.cost)
         .expect("unified run");
@@ -108,7 +135,11 @@ fn unified_memory_comparison(entry: &SuiteEntry) {
     t.row(vec![
         "unified memory (demand paging)".into(),
         format!("{:.3}", um.gflops()),
-        format!("{} page faults{}", um.faults, if um.thrashed { ", thrashing" } else { "" }),
+        format!(
+            "{} page faults{}",
+            um.faults,
+            if um.thrashed { ", thrashing" } else { "" }
+        ),
     ]);
     t.row(vec![
         "explicit out-of-core (this paper)".into(),
@@ -119,18 +150,27 @@ fn unified_memory_comparison(entry: &SuiteEntry) {
 }
 
 fn pipeline_depth_sweep(entry: &SuiteEntry) {
-    println!("### Pipeline depth ({}): the paper double-buffers (depth 2)\n", entry.id.abbr());
+    println!(
+        "### Pipeline depth ({}): the paper double-buffers (depth 2)\n",
+        entry.id.abbr()
+    );
     let mut t = TextTable::new(&["depth", "async GFLOPS"]);
     for depth in [2usize, 3, 4] {
         let mut cfg = base_config(entry);
         cfg.pipeline_depth = depth;
-        t.row(vec![depth.to_string(), format!("{:.3}", gflops(entry, cfg))]);
+        t.row(vec![
+            depth.to_string(),
+            format!("{:.3}", gflops(entry, cfg)),
+        ]);
     }
     println!("{}", t.render());
 }
 
 fn in_core_algorithm_comparison(entry: &SuiteEntry) {
-    println!("### In-core algorithms on one chunk ({})\n", entry.id.abbr());
+    println!(
+        "### In-core algorithms on one chunk ({})\n",
+        entry.id.abbr()
+    );
     // One representative chunk: a quarter of the rows against a quarter
     // of the columns.
     use gpu_spgemm::ChunkJob;

@@ -55,7 +55,11 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Args { experiments, scale, out }
+    Args {
+        experiments,
+        scale,
+        out,
+    }
 }
 
 fn wants(args: &Args, name: &str) -> bool {
@@ -74,11 +78,17 @@ fn main() {
 
     if wants(&args, "planner") {
         println!("## Planner: incremental grid search + parallel assembly baseline\n");
-        eprintln!("[{:6.1}s] running planner benchmark...", t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[{:6.1}s] running planner benchmark...",
+            t0.elapsed().as_secs_f64()
+        );
         let rows = bench::planner_bench::run_all();
         println!("{}", bench::planner_bench::table(&rows));
-        std::fs::write(args.out.join("BENCH_planner.json"), bench::planner_bench::to_json(&rows))
-            .expect("write BENCH_planner.json");
+        std::fs::write(
+            args.out.join("BENCH_planner.json"),
+            bench::planner_bench::to_json(&rows),
+        )
+        .expect("write BENCH_planner.json");
     }
 
     let needs_suite = ["table2", "table3", "fig4", "fig7", "fig8", "fig9", "fig10"]
@@ -88,7 +98,10 @@ fn main() {
         return;
     }
 
-    eprintln!("[{:6.1}s] generating the 9-matrix suite...", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[{:6.1}s] generating the 9-matrix suite...",
+        t0.elapsed().as_secs_f64()
+    );
     let entries = load_suite(args.scale);
 
     if wants(&args, "table2") {
@@ -96,8 +109,9 @@ fn main() {
         println!("{}", experiments::table2(&entries));
     }
 
-    let needs_runs =
-        ["table3", "fig4", "fig7", "fig8", "fig9"].iter().any(|e| wants(&args, e));
+    let needs_runs = ["table3", "fig4", "fig7", "fig8", "fig9"]
+        .iter()
+        .any(|e| wants(&args, e));
     let mut reports: Vec<MatrixReport> = Vec::new();
     if needs_runs {
         for e in &entries {
@@ -106,9 +120,10 @@ fn main() {
                 t0.elapsed().as_secs_f64(),
                 e.id.abbr()
             );
-            reports.push(experiments::run_matrix(e).unwrap_or_else(|err| {
-                panic!("experiments failed on {}: {err}", e.id.abbr())
-            }));
+            reports.push(
+                experiments::run_matrix(e)
+                    .unwrap_or_else(|err| panic!("experiments failed on {}: {err}", e.id.abbr())),
+            );
         }
         let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
         std::fs::write(args.out.join("matrix_reports.json"), json)
@@ -153,9 +168,12 @@ fn main() {
             sweeps.push((id.abbr().to_string(), points));
         }
         let json = serde_json::to_string_pretty(&sweeps).expect("serialize sweeps");
-        std::fs::write(args.out.join("fig10_sweeps.json"), json)
-            .expect("write fig10_sweeps.json");
+        std::fs::write(args.out.join("fig10_sweeps.json"), json).expect("write fig10_sweeps.json");
     }
 
-    eprintln!("[{:6.1}s] done; JSON in {}", t0.elapsed().as_secs_f64(), args.out.display());
+    eprintln!(
+        "[{:6.1}s] done; JSON in {}",
+        t0.elapsed().as_secs_f64(),
+        args.out.display()
+    );
 }

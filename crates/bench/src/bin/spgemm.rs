@@ -12,8 +12,8 @@
 
 use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
-    multiply_multi_gpu, multiply_unified, ExecMode, Hybrid, HybridConfig, MultiGpuConfig,
-    OocConfig, OutOfCoreGpu,
+    multiply_multi_gpu, multiply_unified, ExecMode, FaultPlan, Hybrid, HybridConfig,
+    MultiGpuConfig, OocConfig, OutOfCoreGpu,
 };
 use sparse::gen::{rmat, RmatConfig, SuiteMatrix, SuiteScale};
 use sparse::io::{read_binary, read_matrix_market, write_binary, write_matrix_market};
@@ -31,6 +31,9 @@ struct Args {
     panels: Option<(usize, usize)>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    fault_seed: Option<u64>,
+    fault_rate: Option<f64>,
+    fault_shrink: Option<(u64, f64)>,
 }
 
 fn usage() -> ! {
@@ -38,6 +41,7 @@ fn usage() -> ! {
         "usage: spgemm (--input FILE.mtx|FILE.spb | --gen rmat:SCALE:EDGES:SEED | --suite NAME[:tiny|small])\n\
          \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
          \x20      [--device-mb N] [--ratio R|auto] [--panels RxC]\n\
+         \x20      [--fault-seed N] [--fault-rate R] [--fault-shrink ALLOC:FACTOR]\n\
          \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json]"
     );
     std::process::exit(2)
@@ -54,6 +58,9 @@ fn parse_args() -> Args {
         panels: None,
         out: None,
         trace: None,
+        fault_seed: None,
+        fault_rate: None,
+        fault_shrink: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,9 +70,7 @@ fn parse_args() -> Args {
             "--gen" => args.gen = Some(value()),
             "--suite" => args.suite = Some(value()),
             "--executor" => args.executor = value(),
-            "--device-mb" => {
-                args.device_mb = Some(value().parse().unwrap_or_else(|_| usage()))
-            }
+            "--device-mb" => args.device_mb = Some(value().parse().unwrap_or_else(|_| usage())),
             "--ratio" => args.ratio = Some(value()),
             "--panels" => {
                 let v = value();
@@ -77,6 +82,16 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(PathBuf::from(value())),
             "--trace" => args.trace = Some(PathBuf::from(value())),
+            "--fault-seed" => args.fault_seed = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--fault-rate" => args.fault_rate = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--fault-shrink" => {
+                let v = value();
+                let (at, factor) = v.split_once(':').unwrap_or_else(|| usage());
+                args.fault_shrink = Some((
+                    at.parse().unwrap_or_else(|_| usage()),
+                    factor.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -156,7 +171,31 @@ fn main() {
     if let Some(p) = args.panels {
         config = config.panels(p.0, p.1);
     }
-    println!("simulated device: {:.1} MiB", device_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "simulated device: {:.1} MiB",
+        device_bytes as f64 / (1 << 20) as f64
+    );
+
+    // Any fault flag switches on the deterministic fault-injection +
+    // recovery layer; results stay bit-identical to a fault-free run.
+    let injecting =
+        args.fault_seed.is_some() || args.fault_rate.is_some() || args.fault_shrink.is_some();
+    if injecting {
+        let mut plan = FaultPlan::seeded(args.fault_seed.unwrap_or(0))
+            .all_rates(args.fault_rate.unwrap_or(0.05));
+        if let Some((at, factor)) = args.fault_shrink {
+            plan = plan.capacity_shrink(at, factor);
+        }
+        println!(
+            "fault injection: seed {}, rate {:.3}{}",
+            plan.seed,
+            args.fault_rate.unwrap_or(0.05),
+            args.fault_shrink
+                .map(|(at, f)| format!(", shrink to {f} at alloc {at}"))
+                .unwrap_or_default()
+        );
+        config = config.fault_plan(plan);
+    }
 
     let ratio = match args.ratio.as_deref() {
         Some("auto") => oocgemm::auto_gpu_ratio(&config.cost, stats.flops, stats.nnz_c, true),
@@ -164,14 +203,18 @@ fn main() {
         None => 0.65,
     };
 
-    let (c, sim_ns, timeline) = match args.executor.as_str() {
+    let (c, sim_ns, timeline, recovery) = match args.executor.as_str() {
         "cpu" => {
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("cpu multiply");
             let ns = cpu_baseline_ns(&config.cost, stats.flops, stats.nnz_c);
-            (c, ns, None)
+            (c, ns, None, None)
         }
         "gpu-sync" | "gpu-async" => {
-            let mode = if args.executor == "gpu-sync" { ExecMode::Sync } else { ExecMode::Async };
+            let mode = if args.executor == "gpu-sync" {
+                ExecMode::Sync
+            } else {
+                ExecMode::Async
+            };
             let run = OutOfCoreGpu::new(config.clone().mode(mode))
                 .multiply(&a, &a)
                 .unwrap_or_else(|e| {
@@ -185,15 +228,20 @@ fn main() {
                 run.plan.num_chunks(),
                 run.transfer_fraction() * 100.0
             );
-            (run.c, run.sim_ns, Some(run.timeline))
+            (run.c, run.sim_ns, Some(run.timeline), Some(run.recovery))
         }
         "hybrid" => {
-            let cfg = HybridConfig { gpu: config.clone(), ..HybridConfig::paper_default() }
-                .ratio(ratio);
-            let run = Hybrid::new(cfg).multiply_threaded(&a, &a).unwrap_or_else(|e| {
-                eprintln!("executor failed: {e}");
-                std::process::exit(1)
-            });
+            let cfg = HybridConfig {
+                gpu: config.clone(),
+                ..HybridConfig::paper_default()
+            }
+            .ratio(ratio);
+            let run = Hybrid::new(cfg)
+                .multiply_threaded(&a, &a)
+                .unwrap_or_else(|e| {
+                    eprintln!("executor failed: {e}");
+                    std::process::exit(1)
+                });
             println!(
                 "assignment: {} GPU / {} CPU chunks at ratio {:.0}% (gpu {:.3} ms, cpu {:.3} ms)",
                 run.num_gpu_chunks,
@@ -202,14 +250,13 @@ fn main() {
                 run.gpu_ns as f64 / 1e6,
                 run.cpu_ns as f64 / 1e6
             );
-            (run.c, run.sim_ns, Some(run.timeline))
+            (run.c, run.sim_ns, Some(run.timeline), Some(run.recovery))
         }
         "unified" => {
-            let run = multiply_unified(&a, &a, &config.device, &config.cost)
-                .unwrap_or_else(|e| {
-                    eprintln!("executor failed: {e}");
-                    std::process::exit(1)
-                });
+            let run = multiply_unified(&a, &a, &config.device, &config.cost).unwrap_or_else(|e| {
+                eprintln!("executor failed: {e}");
+                std::process::exit(1)
+            });
             println!(
                 "unified memory: {} page faults{}",
                 run.faults,
@@ -217,12 +264,16 @@ fn main() {
             );
             // UM computes the same product; reuse the CPU path for values.
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("multiply");
-            (c, run.sim_ns, None)
+            (c, run.sim_ns, None, None)
         }
         other => {
             if let Some(n) = other.strip_prefix("multi-gpu:") {
                 let num_gpus: usize = n.parse().unwrap_or_else(|_| usage());
-                let cfg = MultiGpuConfig { gpu: config.clone(), num_gpus, use_cpu: true };
+                let cfg = MultiGpuConfig {
+                    gpu: config.clone(),
+                    num_gpus,
+                    use_cpu: true,
+                };
                 let run = multiply_multi_gpu(&a, &a, &cfg).unwrap_or_else(|e| {
                     eprintln!("executor failed: {e}");
                     std::process::exit(1)
@@ -232,7 +283,7 @@ fn main() {
                     run.gpu_chunks, run.cpu_chunks
                 );
                 let t = run.timelines.into_iter().next();
-                (run.c, run.sim_ns, t)
+                (run.c, run.sim_ns, t, Some(run.recovery))
             } else {
                 usage()
             }
@@ -245,6 +296,12 @@ fn main() {
         stats.flops as f64 / sim_ns.max(1) as f64,
         c.nnz()
     );
+    if injecting {
+        match recovery {
+            Some(rec) => println!("recovery: {}", rec.summary()),
+            None => eprintln!("note: fault flags ignored (executor has no GPU recovery path)"),
+        }
+    }
 
     if let Some(path) = &args.trace {
         match &timeline {

@@ -90,11 +90,13 @@ pub fn run_matrix(entry: &SuiteEntry) -> oocgemm::Result<MatrixReport> {
     // Fig 8 compares at identical partitioning — "this was achieved
     // through the same partitioning of the output matrix as in our
     // implementation", i.e. the async executor's plan.
-    let sync_same_plan =
-        OutOfCoreGpu::new(pinned.clone().mode(ExecMode::Sync)).multiply(a, a)?;
+    let sync_same_plan = OutOfCoreGpu::new(pinned.clone().mode(ExecMode::Sync)).multiply(a, a)?;
 
     // Hybrid (Fig 7, 9) and the Table III search, on the pinned plan.
-    let hybrid_cfg = HybridConfig { gpu: pinned.clone(), ..HybridConfig::paper_default() };
+    let hybrid_cfg = HybridConfig {
+        gpu: pinned.clone(),
+        ..HybridConfig::paper_default()
+    };
     let hybrid = Hybrid::new(hybrid_cfg.clone()).multiply(a, a)?;
     let hybrid_default = Hybrid::new(hybrid_cfg.clone().reorder(false)).multiply(a, a)?;
     let search = Hybrid::new(hybrid_cfg).ratio_search(a, a)?;
@@ -114,8 +116,7 @@ pub fn run_matrix(entry: &SuiteEntry) -> oocgemm::Result<MatrixReport> {
         hybrid_gflops: hybrid.gflops(),
         sync_gflops: sync_best.gflops(),
         sync_transfer_pct: sync_best.transfer_fraction() * 100.0,
-        async_speedup_pct: (sync_same_plan.sim_ns as f64 / gpu_async.sim_ns as f64 - 1.0)
-            * 100.0,
+        async_speedup_pct: (sync_same_plan.sim_ns as f64 / gpu_async.sim_ns as f64 - 1.0) * 100.0,
         hybrid_default_gflops: hybrid_default.gflops(),
         best_gpu_chunks: search.best_g,
         ratio_gpu_chunks: search.ratio_g,
@@ -126,7 +127,12 @@ pub fn run_matrix(entry: &SuiteEntry) -> oocgemm::Result<MatrixReport> {
 /// Neighbouring panel grids around the auto plan, for the Fig 4 "best
 /// chunk size" selection.
 fn plan_candidates(k_r: usize, k_c: usize) -> Vec<(usize, usize)> {
-    let mut v = vec![(k_r, k_c), (k_r + 1, k_c), (k_r, k_c + 1), (k_r + 1, k_c + 1)];
+    let mut v = vec![
+        (k_r, k_c),
+        (k_r + 1, k_c),
+        (k_r, k_c + 1),
+        (k_r + 1, k_c + 1),
+    ];
     if k_r > 1 {
         v.push((k_r - 1, k_c));
     }
@@ -153,12 +159,21 @@ pub fn table1() -> String {
         "Register File Size / SM (KB)".into(),
         (p.register_file_per_sm_bytes / 1024).to_string(),
     ]);
-    t.row(vec!["Max Registers / Thread".into(), p.max_registers_per_thread.to_string()]);
+    t.row(vec![
+        "Max Registers / Thread".into(),
+        p.max_registers_per_thread.to_string(),
+    ]);
     t.row(vec![
         "Shared Memory Size / SM (KB)".into(),
-        format!("Configurable up to {} KB", p.shared_memory_per_sm_bytes / 1024),
+        format!(
+            "Configurable up to {} KB",
+            p.shared_memory_per_sm_bytes / 1024
+        ),
     ]);
-    t.row(vec!["Max Thread Block Size".into(), p.max_thread_block_size.to_string()]);
+    t.row(vec![
+        "Max Thread Block Size".into(),
+        p.max_thread_block_size.to_string(),
+    ]);
     t.render()
 }
 
@@ -229,8 +244,7 @@ pub fn fig7_rows(reports: &[MatrixReport]) -> String {
 
 /// Fig 8 rows: async speedup over sync at identical partitioning.
 pub fn fig8_rows(reports: &[MatrixReport]) -> String {
-    let mut t =
-        TextTable::new(&["matrix", "sync GF", "async GF", "speedup %", "paper range"]);
+    let mut t = TextTable::new(&["matrix", "sync GF", "async GF", "speedup %", "paper range"]);
     for r in reports {
         t.row(vec![
             r.abbr.clone(),
@@ -251,7 +265,10 @@ pub fn fig9_rows(reports: &[MatrixReport]) -> String {
             r.abbr.clone(),
             format!("{:.3}", r.hybrid_default_gflops),
             format!("{:.3}", r.hybrid_gflops),
-            format!("{:.1}", (r.hybrid_gflops / r.hybrid_default_gflops - 1.0) * 100.0),
+            format!(
+                "{:.1}",
+                (r.hybrid_gflops / r.hybrid_default_gflops - 1.0) * 100.0
+            ),
         ]);
     }
     t.render()
@@ -297,10 +314,16 @@ pub fn ratio_sweep(entry: &SuiteEntry, ratios: &[f64]) -> oocgemm::Result<Vec<Ra
     let pinned = base.panels(probe.plan.row_panels(), probe.plan.col_panels());
     let mut out = Vec::with_capacity(ratios.len());
     for &ratio in ratios {
-        let cfg = HybridConfig { gpu: pinned.clone(), ..HybridConfig::paper_default() }
-            .ratio(ratio);
+        let cfg = HybridConfig {
+            gpu: pinned.clone(),
+            ..HybridConfig::paper_default()
+        }
+        .ratio(ratio);
         let run = Hybrid::new(cfg).multiply(a, a)?;
-        out.push(RatioPoint { ratio, gflops: run.gflops() });
+        out.push(RatioPoint {
+            ratio,
+            gflops: run.gflops(),
+        });
     }
     Ok(out)
 }
@@ -309,7 +332,10 @@ pub fn ratio_sweep(entry: &SuiteEntry, ratios: &[f64]) -> oocgemm::Result<Vec<Ra
 pub fn fig10_table(abbr: &str, points: &[RatioPoint]) -> String {
     let mut t = TextTable::new(&["ratio", &format!("{abbr} GFLOPS")]);
     for p in points {
-        t.row(vec![format!("{:.0}%", p.ratio * 100.0), format!("{:.3}", p.gflops)]);
+        t.row(vec![
+            format!("{:.0}%", p.ratio * 100.0),
+            format!("{:.3}", p.gflops),
+        ]);
     }
     t.render()
 }
@@ -335,7 +361,10 @@ mod tests {
         let nlp = entries.iter().find(|e| e.id == SuiteMatrix::Nlp).unwrap();
         let r = run_matrix(nlp).unwrap();
         assert!(r.gpu_gflops > 0.0);
-        assert!(r.hybrid_gflops >= r.gpu_gflops * 0.8, "hybrid should not collapse");
+        assert!(
+            r.hybrid_gflops >= r.gpu_gflops * 0.8,
+            "hybrid should not collapse"
+        );
         assert!(r.sync_transfer_pct > 0.0 && r.sync_transfer_pct < 100.0);
         assert!(r.ratio_gpu_chunks <= r.panels.0 * r.panels.1);
         assert!(r.best_gpu_chunks <= r.panels.0 * r.panels.1);

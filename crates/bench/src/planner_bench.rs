@@ -131,7 +131,10 @@ pub fn run_case(case: &PlannerCase) -> PlannerBenchRow {
         n: a.n_rows(),
         nnz: a.nnz(),
         device_bytes: case.device_bytes,
-        auto_chunks: planner.auto(case.device_bytes).map(|p| p.num_chunks()).unwrap_or(0),
+        auto_chunks: planner
+            .auto(case.device_bytes)
+            .map(|p| p.num_chunks())
+            .unwrap_or(0),
         planner_new_ns,
         auto_ns,
         auto_reference_ns,

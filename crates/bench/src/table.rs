@@ -9,7 +9,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).

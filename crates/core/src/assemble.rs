@@ -17,7 +17,11 @@ const ROW_BLOCK: usize = 1024;
 fn chunk_grid<'m>(plan: &PanelPlan, chunks: &[(ChunkId, &'m CsrMatrix)]) -> Vec<&'m CsrMatrix> {
     let k_r = plan.row_panels();
     let k_c = plan.col_panels();
-    assert_eq!(chunks.len(), k_r * k_c, "every chunk must be present exactly once");
+    assert_eq!(
+        chunks.len(),
+        k_r * k_c,
+        "every chunk must be present exactly once"
+    );
     let mut grid: Vec<Option<&CsrMatrix>> = vec![None; k_r * k_c];
     for (id, m) in chunks {
         let slot = &mut grid[id.row * k_c + id.col];
@@ -76,7 +80,9 @@ pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix
     let nnz = offsets[n_rows];
     let mut cols: Vec<ColId> = vec![0; nnz];
     let mut vals: Vec<f64> = vec![0.0; nnz];
-    let mut tasks: Vec<(usize, usize, usize, &mut [ColId], &mut [f64])> = Vec::new();
+    // (panel index, local row lo, local row hi, output slices).
+    type FillTask<'a> = (usize, usize, usize, &'a mut [ColId], &'a mut [f64]);
+    let mut tasks: Vec<FillTask> = Vec::new();
     let mut cols_rem: &mut [ColId] = &mut cols;
     let mut vals_rem: &mut [f64] = &mut vals;
     for (i, row_range) in plan.row_ranges.iter().enumerate() {
@@ -94,8 +100,11 @@ pub fn assemble(plan: &PanelPlan, chunks: &[(ChunkId, &CsrMatrix)]) -> CsrMatrix
     }
     tasks.into_par_iter().for_each(|(i, lo, hi, c_out, v_out)| {
         let mats = &grid[i * k_c..(i + 1) * k_c];
-        let bases: Vec<ColId> =
-            plan.col_ranges.iter().map(|col_range| col_range.start as ColId).collect();
+        let bases: Vec<ColId> = plan
+            .col_ranges
+            .iter()
+            .map(|col_range| col_range.start as ColId)
+            .collect();
         let mut w = 0usize;
         for local_row in lo..hi {
             for (m, &base) in mats.iter().zip(&bases) {

@@ -54,7 +54,11 @@ impl ChunkGrid {
                 }
             }
         }
-        ChunkGrid { row_panels: k_r, col_panels: k_c, flops }
+        ChunkGrid {
+            row_panels: k_r,
+            col_panels: k_c,
+            flops,
+        }
     }
 
     /// Number of row panels.
@@ -91,10 +95,11 @@ impl ChunkGrid {
     /// implementation" order of Fig 9.
     pub fn natural_order(&self) -> Vec<ChunkInfo> {
         (0..self.row_panels)
-            .flat_map(|r| {
-                (0..self.col_panels).map(move |c| ChunkId { row: r, col: c })
+            .flat_map(|r| (0..self.col_panels).map(move |c| ChunkId { row: r, col: c }))
+            .map(|id| ChunkInfo {
+                id,
+                flops: self.flops_of(id),
             })
-            .map(|id| ChunkInfo { id, flops: self.flops_of(id) })
             .collect()
     }
 
@@ -103,9 +108,7 @@ impl ChunkGrid {
     /// reordering (Sections III-C and IV-C).
     pub fn sorted_desc(&self) -> Vec<ChunkInfo> {
         let mut v = self.natural_order();
-        v.sort_by_key(|info| {
-            (std::cmp::Reverse(info.flops), info.id.row, info.id.col)
-        });
+        v.sort_by_key(|info| (std::cmp::Reverse(info.flops), info.id.row, info.id.col));
         v
     }
 
@@ -121,8 +124,7 @@ impl ChunkGrid {
     /// kept *mostly* decreasing while panel residency is preserved —
     /// the same trade Algorithm 3's row-major loop makes.
     pub fn grouped_desc(chunks: &[ChunkInfo]) -> Vec<ChunkInfo> {
-        let mut row_max: std::collections::BTreeMap<usize, u64> =
-            std::collections::BTreeMap::new();
+        let mut row_max: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
         for c in chunks {
             let e = row_max.entry(c.id.row).or_insert(0);
             *e = (*e).max(c.flops);
@@ -214,11 +216,26 @@ mod tests {
     #[test]
     fn grouped_desc_keeps_rows_contiguous() {
         let chunks = vec![
-            ChunkInfo { id: ChunkId { row: 0, col: 0 }, flops: 10 },
-            ChunkInfo { id: ChunkId { row: 1, col: 0 }, flops: 100 },
-            ChunkInfo { id: ChunkId { row: 0, col: 1 }, flops: 50 },
-            ChunkInfo { id: ChunkId { row: 1, col: 1 }, flops: 5 },
-            ChunkInfo { id: ChunkId { row: 2, col: 0 }, flops: 60 },
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 0 },
+                flops: 10,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 1, col: 0 },
+                flops: 100,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 1 },
+                flops: 50,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 1, col: 1 },
+                flops: 5,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 2, col: 0 },
+                flops: 60,
+            },
         ];
         let g = ChunkGrid::grouped_desc(&chunks);
         assert_eq!(g.len(), 5, "no chunk lost");
@@ -237,10 +254,22 @@ mod tests {
     #[test]
     fn ratio_split_matches_algorithm4() {
         let chunks = vec![
-            ChunkInfo { id: ChunkId { row: 0, col: 0 }, flops: 50 },
-            ChunkInfo { id: ChunkId { row: 0, col: 1 }, flops: 30 },
-            ChunkInfo { id: ChunkId { row: 1, col: 0 }, flops: 15 },
-            ChunkInfo { id: ChunkId { row: 1, col: 1 }, flops: 5 },
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 0 },
+                flops: 50,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 1 },
+                flops: 30,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 1, col: 0 },
+                flops: 15,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 1, col: 1 },
+                flops: 5,
+            },
         ];
         let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, 0.65);
         // 50 -> 50%, +30 -> 80% >= 65% -> 2 GPU chunks.

@@ -1,6 +1,7 @@
 //! Configuration of the out-of-core and hybrid executors.
 
-use gpu_sim::{CostModel, DeviceProps};
+use crate::recovery::RecoveryPolicy;
+use gpu_sim::{CostModel, DeviceProps, FaultPlan};
 use sparse::partition::ColPartitioner;
 
 /// Synchronous vs asynchronous out-of-core execution (Section IV).
@@ -55,6 +56,12 @@ pub struct OocConfig {
     /// paper uses 2 (double buffering); deeper pipelines trade device
     /// memory for slack in hiding host-side gaps.
     pub pipeline_depth: usize,
+    /// Deterministic fault schedule. `Some` routes the run through the
+    /// self-healing pipeline (retries, re-splits, CPU demotion); the
+    /// assembled output stays bit-identical to the fault-free run.
+    pub fault_plan: Option<FaultPlan>,
+    /// Bounds on the recovery actions taken under a fault plan.
+    pub recovery: RecoveryPolicy,
 }
 
 impl OocConfig {
@@ -75,6 +82,8 @@ impl OocConfig {
             col_partitioner: ColPartitioner::ParallelPrefixSum,
             pinned: true,
             pipeline_depth: 2,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -96,6 +105,18 @@ impl OocConfig {
         self
     }
 
+    /// Installs a deterministic fault plan (see [`FaultPlan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy used under a fault plan.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> crate::Result<()> {
         if !(0.0..=1.0).contains(&self.split_fraction) {
@@ -106,13 +127,38 @@ impl OocConfig {
         }
         if let Some((r, c)) = self.panels {
             if r == 0 || c == 0 {
-                return Err(crate::OocError::Config("panel counts must be positive".into()));
+                return Err(crate::OocError::Config(
+                    "panel counts must be positive".into(),
+                ));
             }
         }
         if self.pipeline_depth < 2 {
             return Err(crate::OocError::Config(
                 "the async pipeline needs at least 2 buffer epochs".into(),
             ));
+        }
+        if let Some(p) = &self.fault_plan {
+            let rates = [
+                ("kernel", p.kernel_rate),
+                ("copy", p.copy_rate),
+                ("alloc", p.alloc_rate),
+                ("pool", p.pool_rate),
+            ];
+            for (name, rate) in rates {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(crate::OocError::Config(format!(
+                        "{name} fault rate {rate} outside [0, 1]"
+                    )));
+                }
+            }
+            if let Some(s) = p.capacity_shrink {
+                if !(0.0..=1.0).contains(&s.factor) || s.factor == 0.0 {
+                    return Err(crate::OocError::Config(format!(
+                        "capacity shrink factor {} outside (0, 1]",
+                        s.factor
+                    )));
+                }
+            }
         }
         Ok(())
     }

@@ -16,6 +16,17 @@ pub enum OocError {
     Planning(String),
     /// Configuration is internally inconsistent.
     Config(String),
+    /// An executor worker thread died; the payload carries the worker
+    /// name and the captured panic message.
+    Worker {
+        /// Which worker died (e.g. `"gpu"`, `"cpu"`).
+        worker: String,
+        /// The captured panic message.
+        message: String,
+    },
+    /// A spill directory or manifest is unusable (missing, corrupt, or
+    /// inconsistent with the requested operation).
+    Spill(String),
 }
 
 impl fmt::Display for OocError {
@@ -27,6 +38,10 @@ impl fmt::Display for OocError {
             }
             OocError::Planning(msg) => write!(f, "planning failed: {msg}"),
             OocError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            OocError::Worker { worker, message } => {
+                write!(f, "{worker} worker panicked: {message}")
+            }
+            OocError::Spill(msg) => write!(f, "spill error: {msg}"),
         }
     }
 }
@@ -61,8 +76,12 @@ mod tests {
     fn display_variants() {
         let e = OocError::Planning("too small".into());
         assert!(e.to_string().contains("too small"));
-        let e: OocError =
-            OutOfDeviceMemory { requested: 10, free: 5, capacity: 8 }.into();
+        let e: OocError = OutOfDeviceMemory {
+            requested: 10,
+            free: 5,
+            capacity: 8,
+        }
+        .into();
         assert!(e.to_string().contains("panel counts"));
         let e = OocError::Config("bad ratio".into());
         assert!(e.to_string().contains("bad ratio"));

@@ -3,11 +3,16 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{ExecMode, OocConfig};
-use crate::plan::{PanelPlan, Planner};
+use crate::pipeline::{simulate_pipeline_recovering, ChunkAttempt, ChunkFailure};
+use crate::plan::{split_range_by_flops, PanelPlan, Planner};
+use crate::recovery::RecoveryReport;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use gpu_spgemm::{phases, ChunkJob, PreparedChunk};
+use sparse::partition::ColPanel;
 use sparse::{CsrMatrix, CsrView};
+use std::collections::HashMap;
+use std::ops::Range;
 
 /// All chunks of a plan, prepared (real results + descriptors), in
 /// row-major grid order. Shared by the GPU-only and hybrid executors.
@@ -16,6 +21,12 @@ pub(crate) struct PreparedGrid {
     pub grid: ChunkGrid,
     /// Row-major; `prepared[r * col_panels + c]`.
     pub prepared: Vec<PreparedChunk>,
+    /// The partitioned B panels, retained so recovery can re-prepare
+    /// sub-chunks against the same panels.
+    pub col_panels: Vec<ColPanel>,
+    /// Global per-row flop prefix sums from the planner, retained for
+    /// recovery re-splitting.
+    pub row_flops_prefix: Vec<u64>,
 }
 
 impl PreparedGrid {
@@ -44,6 +55,7 @@ pub(crate) fn prepare_grid(
         Some((r, c)) => planner.fixed(r, c)?,
         None => planner.auto(config.device.device_memory_bytes)?,
     };
+    let row_flops_prefix = planner.row_flops_prefix().to_vec();
     let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
     let grid = ChunkGrid::compute(a, &plan, &col_panels);
     let k_c = plan.col_panels();
@@ -58,7 +70,13 @@ pub(crate) fn prepare_grid(
             }));
         }
     }
-    Ok(PreparedGrid { plan, grid, prepared })
+    Ok(PreparedGrid {
+        plan,
+        grid,
+        prepared,
+        col_panels,
+        row_flops_prefix,
+    })
 }
 
 /// Simulates the chosen execution mode over an ordered chunk list and
@@ -80,18 +98,12 @@ pub(crate) fn simulate_order(
             let stream = sim.create_stream();
             let mut done = sim.now();
             for (info, &xfer_a) in order.iter().zip(&transfer_a) {
-                done = gpu_spgemm::simulate_sync_chunk(
-                    sim,
-                    stream,
-                    pg.chunk(info.id),
-                    xfer_a,
-                )?;
+                done = gpu_spgemm::simulate_sync_chunk(sim, stream, pg.chunk(info.id), xfer_a)?;
             }
             Ok(done)
         }
         ExecMode::Async => {
-            let refs: Vec<&PreparedChunk> =
-                order.iter().map(|info| pg.chunk(info.id)).collect();
+            let refs: Vec<&PreparedChunk> = order.iter().map(|info| pg.chunk(info.id)).collect();
             crate::pipeline::simulate_pipeline_depth(
                 sim,
                 &refs,
@@ -102,6 +114,178 @@ pub(crate) fn simulate_order(
             )
         }
     }
+}
+
+/// What the self-healing orchestration produced: the final simulated
+/// time, recovery accounting, and result overrides for re-split chunks
+/// (vstacked from their sub-chunk results — bit-identical to the
+/// original chunk result because SpGEMM rows are independent).
+pub(crate) struct RecoveredOutcome {
+    pub sim_ns: SimTime,
+    pub report: RecoveryReport,
+    pub overrides: HashMap<ChunkId, CsrMatrix>,
+}
+
+enum WorkSource {
+    Orig(ChunkId),
+    Sub(usize),
+}
+
+struct WorkItem {
+    parent: ChunkId,
+    rows: Range<usize>,
+    depth: u32,
+    source: WorkSource,
+}
+
+/// Self-healing pass-based orchestration, used whenever a fault plan
+/// is installed (both exec modes route through the pooled async-style
+/// schedule — recovery needs the pool geometry to reason about what
+/// fits). Each pass runs the surviving work list through the
+/// recovering pipeline on one persistent simulator (time accumulates
+/// across passes); failed chunks are re-split along the planner's
+/// row-flop prefix sums (OOM) or demoted to the CPU executor (fault
+/// budget exhausted), until the list is empty.
+pub(crate) fn simulate_order_recovering(
+    sim: &mut GpuSim,
+    a: &CsrMatrix,
+    pg: &PreparedGrid,
+    order: &[ChunkInfo],
+    config: &OocConfig,
+) -> Result<RecoveredOutcome> {
+    let policy = config.recovery;
+    let mut report = RecoveryReport::default();
+    let mut pending: Vec<WorkItem> = order
+        .iter()
+        .map(|info| WorkItem {
+            parent: info.id,
+            rows: pg.plan.row_ranges[info.id.row].clone(),
+            depth: 0,
+            source: WorkSource::Orig(info.id),
+        })
+        .collect();
+    let mut sub_store: Vec<PreparedChunk> = Vec::new();
+    // Completed/demoted sub-chunk results per re-split parent, keyed
+    // by global start row for the final ordered vstack.
+    let mut pieces: HashMap<ChunkId, Vec<(usize, CsrMatrix)>> = HashMap::new();
+    let mut next_sub_id = pg.plan.num_chunks();
+
+    while !pending.is_empty() {
+        let attempts: Vec<ChunkAttempt<'_>> = pending
+            .iter()
+            .map(|w| ChunkAttempt {
+                chunk: match w.source {
+                    WorkSource::Orig(id) => pg.chunk(id),
+                    WorkSource::Sub(i) => &sub_store[i],
+                },
+                row: w.parent.row,
+            })
+            .collect();
+        let outcome = simulate_pipeline_recovering(
+            sim,
+            &attempts,
+            config.split_fraction,
+            config.pinned,
+            config.pipeline_depth,
+            &policy,
+            &mut report,
+        )?;
+        drop(attempts);
+        let failed: HashMap<usize, ChunkFailure> = outcome.failed.into_iter().collect();
+
+        let mut next: Vec<WorkItem> = Vec::new();
+        for (i, w) in pending.iter().enumerate() {
+            match failed.get(&i) {
+                None => {
+                    if let WorkSource::Sub(si) = w.source {
+                        pieces
+                            .entry(w.parent)
+                            .or_default()
+                            .push((w.rows.start, sub_store[si].result.clone()));
+                    }
+                }
+                Some(ChunkFailure::Oom(_))
+                    if w.rows.len() > 1 && w.depth < policy.max_resplit_depth =>
+                {
+                    report.resplits += 1;
+                    sim.note_recovery(format!(
+                        "re-split chunk ({},{}) rows {}..{}",
+                        w.parent.row, w.parent.col, w.rows.start, w.rows.end
+                    ));
+                    for sub in split_range_by_flops(&pg.row_flops_prefix, &w.rows, 2) {
+                        if sub.is_empty() {
+                            continue;
+                        }
+                        let p = phases::prepare_chunk(ChunkJob {
+                            a_panel: CsrView::rows(a, sub.start, sub.end),
+                            b_panel: &pg.col_panels[w.parent.col].matrix,
+                            chunk_id: next_sub_id,
+                        });
+                        next_sub_id += 1;
+                        sub_store.push(p);
+                        next.push(WorkItem {
+                            parent: w.parent,
+                            rows: sub,
+                            depth: w.depth + 1,
+                            source: WorkSource::Sub(sub_store.len() - 1),
+                        });
+                    }
+                }
+                Some(f) => {
+                    if !policy.demote_to_cpu {
+                        return Err(match f {
+                            ChunkFailure::Oom(e) => crate::OocError::DeviceMemory(*e),
+                            ChunkFailure::Faults => crate::OocError::Worker {
+                                worker: "gpu".into(),
+                                message: format!(
+                                    "chunk ({},{}) exhausted its retry budget",
+                                    w.parent.row, w.parent.col
+                                ),
+                            },
+                        });
+                    }
+                    report.demotions += 1;
+                    let p = match w.source {
+                        WorkSource::Orig(id) => pg.chunk(id),
+                        WorkSource::Sub(si) => &sub_store[si],
+                    };
+                    let cpu_ns = sim.cost().cpu_chunk_duration(p.flops, p.nnz);
+                    sim.note_recovery(format!(
+                        "demote chunk ({},{}) rows {}..{} to CPU",
+                        w.parent.row, w.parent.col, w.rows.start, w.rows.end
+                    ));
+                    sim.host_compute(
+                        cpu_ns,
+                        format!("CPU fallback chunk ({},{})", w.parent.row, w.parent.col),
+                    );
+                    if let WorkSource::Sub(si) = w.source {
+                        pieces
+                            .entry(w.parent)
+                            .or_default()
+                            .push((w.rows.start, sub_store[si].result.clone()));
+                    }
+                }
+            }
+        }
+        pending = next;
+    }
+
+    let mut overrides = HashMap::new();
+    for (parent, mut parts) in pieces {
+        parts.sort_by_key(|&(start, _)| start);
+        let refs: Vec<&CsrMatrix> = parts.iter().map(|(_, m)| m).collect();
+        debug_assert_eq!(
+            refs.iter().map(|m| m.n_rows()).sum::<usize>(),
+            pg.plan.row_ranges[parent.row].len(),
+            "sub-chunk results must tile the parent chunk exactly"
+        );
+        overrides.insert(parent, sparse::ops::vstack(&refs)?);
+    }
+    Ok(RecoveredOutcome {
+        sim_ns: sim.finish(),
+        report,
+        overrides,
+    })
 }
 
 /// The out-of-core GPU SpGEMM executor.
@@ -126,6 +310,8 @@ pub struct OocRun {
     pub plan: PanelPlan,
     /// Chunk execution order.
     pub order: Vec<ChunkId>,
+    /// What recovery did (all-zero for a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl OocRun {
@@ -171,14 +357,35 @@ impl OutOfCoreGpu {
             (ExecMode::Async, true) => ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
             _ => pg.grid.natural_order(),
         };
-        let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
-        let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
-        let timeline = sim.into_timeline();
+        let (sim_ns, timeline, overrides, recovery) = match &self.config.fault_plan {
+            Some(plan) => {
+                let mut sim = GpuSim::with_faults(
+                    self.config.device.clone(),
+                    self.config.cost.clone(),
+                    plan.clone(),
+                );
+                let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
+                (rec.sim_ns, sim.into_timeline(), rec.overrides, rec.report)
+            }
+            None => {
+                let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
+                let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
+                (
+                    sim_ns,
+                    sim.into_timeline(),
+                    HashMap::new(),
+                    RecoveryReport::default(),
+                )
+            }
+        };
         debug_assert!(timeline.validate().is_ok(), "timeline invariants violated");
 
         let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = order
             .iter()
-            .map(|info| (info.id, &pg.chunk(info.id).result))
+            .map(|info| {
+                let result = overrides.get(&info.id).unwrap_or(&pg.chunk(info.id).result);
+                (info.id, result)
+            })
             .collect();
         let c = assemble(&pg.plan, &chunk_refs);
         Ok(OocRun {
@@ -188,6 +395,7 @@ impl OutOfCoreGpu {
             timeline,
             order: order.iter().map(|i| i.id).collect(),
             plan: pg.plan,
+            recovery,
             c,
         })
     }
@@ -300,20 +508,27 @@ mod tests {
         let sync = OutOfCoreGpu::new(cfg.clone().mode(ExecMode::Sync))
             .multiply(&a, &a)
             .unwrap();
-        let asyn = OutOfCoreGpu::new(cfg.mode(ExecMode::Async)).multiply(&a, &a).unwrap();
+        let asyn = OutOfCoreGpu::new(cfg.mode(ExecMode::Async))
+            .multiply(&a, &a)
+            .unwrap();
         assert!(
             asyn.sim_ns < sync.sim_ns,
             "async {} !< sync {}",
             asyn.sim_ns,
             sync.sim_ns
         );
-        assert!(asyn.c.approx_eq(&sync.c, 1e-9), "both modes must agree numerically");
+        assert!(
+            asyn.c.approx_eq(&sync.c, 1e-9),
+            "both modes must agree numerically"
+        );
     }
 
     #[test]
     fn reordering_executes_descending_flops() {
         let a = fixture();
-        let run = OutOfCoreGpu::new(small_config().panels(2, 3)).multiply(&a, &a).unwrap();
+        let run = OutOfCoreGpu::new(small_config().panels(2, 3))
+            .multiply(&a, &a)
+            .unwrap();
         assert_eq!(run.order.len(), 6);
         // Order must be a permutation of the grid.
         let mut seen = run.order.clone();

@@ -12,11 +12,25 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::HybridConfig;
-use crate::executor::{prepare_grid, simulate_order, PreparedGrid};
+use crate::error::OocError;
+use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
 use crate::plan::PanelPlan;
+use crate::recovery::RecoveryReport;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use sparse::CsrMatrix;
+use std::collections::HashMap;
+
+/// Extracts a readable message from a captured panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// A completed hybrid run.
 #[derive(Debug)]
@@ -42,6 +56,8 @@ pub struct HybridRun {
     pub timeline: Timeline,
     /// The panel plan used.
     pub plan: PanelPlan,
+    /// What recovery did (all-zero for a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl HybridRun {
@@ -130,8 +146,7 @@ impl Hybrid {
 
     /// GPU-side completion time for an ordered chunk set.
     fn gpu_time(&self, pg: &PreparedGrid, chunks: &[ChunkInfo]) -> Result<(SimTime, Timeline)> {
-        let mut sim =
-            GpuSim::new(self.config.gpu.device.clone(), self.config.gpu.cost.clone());
+        let mut sim = GpuSim::new(self.config.gpu.device.clone(), self.config.gpu.cost.clone());
         let t = simulate_order(&mut sim, pg, chunks, &self.config.gpu)?;
         Ok((t, sim.into_timeline()))
     }
@@ -149,17 +164,34 @@ impl Hybrid {
         self.config.validate()?;
         let pg = prepare_grid(a, b, &self.config.gpu)?;
         let order = self.ordered_chunks(&pg);
-        let (gpu_chunks, cpu_chunks) =
-            ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
+        let (gpu_chunks, cpu_chunks) = ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
         // Assignment follows the configured policy; execution on the
         // GPU groups its chunks by row panel to keep A resident.
         let gpu_order = ChunkGrid::grouped_desc(&gpu_chunks);
-        let (gpu_ns, timeline) = self.gpu_time(&pg, &gpu_order)?;
+        let (gpu_ns, timeline, overrides, recovery) = match &self.config.gpu.fault_plan {
+            Some(plan) => {
+                let mut sim = GpuSim::with_faults(
+                    self.config.gpu.device.clone(),
+                    self.config.gpu.cost.clone(),
+                    plan.clone(),
+                );
+                let rec =
+                    simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
+                (rec.sim_ns, sim.into_timeline(), rec.overrides, rec.report)
+            }
+            None => {
+                let (t, tl) = self.gpu_time(&pg, &gpu_order)?;
+                (t, tl, HashMap::new(), RecoveryReport::default())
+            }
+        };
         let cpu_ns = self.cpu_time(&pg, &cpu_chunks);
 
         let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = order
             .iter()
-            .map(|info| (info.id, &pg.chunk(info.id).result))
+            .map(|info| {
+                let result = overrides.get(&info.id).unwrap_or(&pg.chunk(info.id).result);
+                (info.id, result)
+            })
             .collect();
         let c = assemble(&pg.plan, &chunk_refs);
         Ok(HybridRun {
@@ -172,6 +204,7 @@ impl Hybrid {
             nnz_c: pg.total_nnz(),
             timeline,
             plan: pg.plan,
+            recovery,
             c,
         })
     }
@@ -204,8 +237,7 @@ impl Hybrid {
         } else {
             grid.natural_order()
         };
-        let (gpu_chunks, cpu_chunks) =
-            ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
+        let (gpu_chunks, cpu_chunks) = ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
         let gpu_order = ChunkGrid::grouped_desc(&gpu_chunks);
         let k_c = plan.col_panels();
 
@@ -218,47 +250,177 @@ impl Hybrid {
             })
         };
 
-        type GpuOut = Result<(SimTime, Timeline, Vec<(ChunkId, gpu_spgemm::PreparedChunk)>)>;
-        let (gpu_out, cpu_out) = crossbeam::thread::scope(|s| {
-            let gpu_worker = s.spawn(|_| -> GpuOut {
-                let prepared: Vec<(ChunkId, PreparedChunk)> =
-                    gpu_order.iter().map(|info| (info.id, prepare(info))).collect();
-                let refs: Vec<&PreparedChunk> = prepared.iter().map(|(_, p)| p).collect();
-                let transfer_a: Vec<bool> = gpu_order
-                    .iter()
-                    .enumerate()
-                    .map(|(i, info)| i == 0 || gpu_order[i - 1].id.row != info.id.row)
-                    .collect();
-                let mut sim = GpuSim::new(
-                    self.config.gpu.device.clone(),
-                    self.config.gpu.cost.clone(),
-                );
-                let t = crate::pipeline::simulate_pipeline_depth(
-                    &mut sim,
-                    &refs,
-                    &transfer_a,
-                    self.config.gpu.split_fraction,
-                    self.config.gpu.pinned,
-                    self.config.gpu.pipeline_depth,
-                )?;
-                Ok((t, sim.into_timeline(), prepared))
+        // Each worker body runs under `catch_unwind` and is joined
+        // explicitly, so a panic surfaces here as an `Err` payload
+        // instead of unwinding through the scope; the payload becomes a
+        // structured `OocError::Worker` or, when draining is enabled,
+        // the surviving thread redoes the work.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        type GpuOut = Result<(
+            SimTime,
+            Timeline,
+            Vec<(ChunkId, gpu_spgemm::PreparedChunk)>,
+            Vec<usize>,
+            RecoveryReport,
+        )>;
+        let (gpu_join, cpu_join) = crossbeam::thread::scope(|s| {
+            let gpu_worker = s.spawn(|_| {
+                catch_unwind(AssertUnwindSafe(|| -> GpuOut {
+                    let mut prepared: Vec<(ChunkId, PreparedChunk)> =
+                        Vec::with_capacity(gpu_order.len());
+                    for (i, info) in gpu_order.iter().enumerate() {
+                        if let Some(plan) = &cfg.fault_plan {
+                            if plan.worker_panic_after == Some(i as u64) {
+                                panic!("injected gpu worker fault after {i} prepared chunks");
+                            }
+                        }
+                        prepared.push((info.id, prepare(info)));
+                    }
+                    let transfer_a: Vec<bool> = gpu_order
+                        .iter()
+                        .enumerate()
+                        .map(|(i, info)| i == 0 || gpu_order[i - 1].id.row != info.id.row)
+                        .collect();
+                    match &cfg.fault_plan {
+                        None => {
+                            let refs: Vec<&PreparedChunk> =
+                                prepared.iter().map(|(_, p)| p).collect();
+                            let mut sim = GpuSim::new(cfg.device.clone(), cfg.cost.clone());
+                            let t = crate::pipeline::simulate_pipeline_depth(
+                                &mut sim,
+                                &refs,
+                                &transfer_a,
+                                cfg.split_fraction,
+                                cfg.pinned,
+                                cfg.pipeline_depth,
+                            )?;
+                            Ok((
+                                t,
+                                sim.into_timeline(),
+                                prepared,
+                                Vec::new(),
+                                RecoveryReport::default(),
+                            ))
+                        }
+                        Some(plan) => {
+                            let mut sim = GpuSim::with_faults(
+                                cfg.device.clone(),
+                                cfg.cost.clone(),
+                                plan.clone(),
+                            );
+                            let mut report = RecoveryReport::default();
+                            let (done_at, failed) = {
+                                let attempts: Vec<crate::pipeline::ChunkAttempt> = gpu_order
+                                    .iter()
+                                    .zip(prepared.iter())
+                                    .map(|(info, (_, p))| crate::pipeline::ChunkAttempt {
+                                        chunk: p,
+                                        row: info.id.row,
+                                    })
+                                    .collect();
+                                let outcome = crate::pipeline::simulate_pipeline_recovering(
+                                    &mut sim,
+                                    &attempts,
+                                    cfg.split_fraction,
+                                    cfg.pinned,
+                                    cfg.pipeline_depth,
+                                    &cfg.recovery,
+                                    &mut report,
+                                )?;
+                                let failed: Vec<usize> =
+                                    outcome.failed.iter().map(|&(i, _)| i).collect();
+                                (outcome.done_at, failed)
+                            };
+                            Ok((done_at, sim.into_timeline(), prepared, failed, report))
+                        }
+                    }
+                }))
             });
             let cpu_worker = s.spawn(|_| {
-                let prepared: Vec<(ChunkId, PreparedChunk)> =
-                    cpu_chunks.iter().map(|info| (info.id, prepare(info))).collect();
+                catch_unwind(AssertUnwindSafe(|| {
+                    let prepared: Vec<(ChunkId, PreparedChunk)> = cpu_chunks
+                        .iter()
+                        .map(|info| (info.id, prepare(info)))
+                        .collect();
+                    let time: SimTime = prepared
+                        .iter()
+                        .map(|(_, p)| cfg.cost.cpu_chunk_duration(p.flops, p.nnz))
+                        .sum();
+                    (time, prepared)
+                }))
+            });
+            (gpu_worker.join(), cpu_worker.join())
+        })
+        .map_err(|payload| OocError::Worker {
+            worker: "hybrid scope".to_string(),
+            message: panic_message(payload.as_ref()),
+        })?;
+        // Collapse "panicked before catch" (real threads) and "panic
+        // caught in the worker body" into one payload per worker.
+        let gpu_join = gpu_join.and_then(|caught| caught);
+        let cpu_join = cpu_join.and_then(|caught| caught);
+
+        let mut recovery = RecoveryReport::default();
+        let policy = cfg.recovery;
+
+        // A panicked worker is isolated: the surviving (main) thread
+        // re-prepares everything the dead worker owned and charges the
+        // work to the CPU clock, so the run still completes.
+        let (gpu_ns, timeline, gpu_prepared, gpu_failed) = match gpu_join {
+            Ok(out) => {
+                let (t, tl, prepared, failed, report) = out?;
+                recovery.merge(&report);
+                (t, tl, prepared, failed)
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if !policy.drain_worker_panics {
+                    return Err(OocError::Worker {
+                        worker: "gpu".to_string(),
+                        message,
+                    });
+                }
+                recovery.worker_panics += 1;
+                let prepared: Vec<(ChunkId, PreparedChunk)> = gpu_order
+                    .iter()
+                    .map(|info| (info.id, prepare(info)))
+                    .collect();
+                let failed: Vec<usize> = (0..gpu_order.len()).collect();
+                (0, Timeline::default(), prepared, failed)
+            }
+        };
+        // Chunks the recovering pipeline gave up on (or that a dead GPU
+        // worker never ran) are demoted: their already-prepared host
+        // results are kept and the CPU clock pays for recomputing them.
+        let mut cpu_drain_ns: SimTime = 0;
+        for &i in &gpu_failed {
+            let p = &gpu_prepared[i].1;
+            cpu_drain_ns += cfg.cost.cpu_chunk_duration(p.flops, p.nnz);
+            recovery.demotions += 1;
+        }
+        let (cpu_own_ns, cpu_prepared) = match cpu_join {
+            Ok(out) => out,
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if !policy.drain_worker_panics {
+                    return Err(OocError::Worker {
+                        worker: "cpu".to_string(),
+                        message,
+                    });
+                }
+                recovery.worker_panics += 1;
+                let prepared: Vec<(ChunkId, PreparedChunk)> = cpu_chunks
+                    .iter()
+                    .map(|info| (info.id, prepare(info)))
+                    .collect();
                 let time: SimTime = prepared
                     .iter()
-                    .map(|(_, p)| self.config.gpu.cost.cpu_chunk_duration(p.flops, p.nnz))
+                    .map(|(_, p)| cfg.cost.cpu_chunk_duration(p.flops, p.nnz))
                     .sum();
                 (time, prepared)
-            });
-            (gpu_worker.join().expect("GPU worker panicked"),
-             cpu_worker.join().expect("CPU worker panicked"))
-        })
-        .expect("hybrid worker scope failed");
-
-        let (gpu_ns, timeline, gpu_prepared) = gpu_out?;
-        let (cpu_ns, cpu_prepared) = cpu_out;
+            }
+        };
+        let cpu_ns = cpu_own_ns + cpu_drain_ns;
 
         let mut all: Vec<(ChunkId, &CsrMatrix)> = Vec::with_capacity(order.len());
         for (id, p) in gpu_prepared.iter().chain(cpu_prepared.iter()) {
@@ -281,6 +443,7 @@ impl Hybrid {
             nnz_c,
             timeline,
             plan,
+            recovery,
             c,
         })
     }
@@ -302,10 +465,18 @@ impl Hybrid {
             let cpu_ns = self.cpu_time(&pg, &order[g..]);
             per_g.push((g, gpu_ns.max(cpu_ns)));
         }
-        let &(best_g, best_ns) =
-            per_g.iter().min_by_key(|&&(g, t)| (t, g)).expect("at least g=0 exists");
+        let &(best_g, best_ns) = per_g
+            .iter()
+            .min_by_key(|&&(g, t)| (t, g))
+            .expect("at least g=0 exists");
         let ratio_ns = per_g[ratio_g].1;
-        Ok(RatioSearch { per_g, best_g, best_ns, ratio_g, ratio_ns })
+        Ok(RatioSearch {
+            per_g,
+            best_g,
+            best_ns,
+            ratio_g,
+            ratio_ns,
+        })
     }
 }
 
@@ -336,7 +507,10 @@ mod tests {
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(run.c.approx_eq(&expect, 1e-9));
         assert_eq!(run.num_gpu_chunks + run.num_cpu_chunks, 12);
-        assert!(run.num_gpu_chunks > 0, "65% of flops needs at least one chunk");
+        assert!(
+            run.num_gpu_chunks > 0,
+            "65% of flops needs at least one chunk"
+        );
         assert_eq!(run.sim_ns, run.gpu_ns.max(run.cpu_ns));
     }
 
@@ -362,7 +536,10 @@ mod tests {
         let (gpu, cpu) = ChunkGrid::split_by_ratio(&order, 0.65);
         let min_gpu = gpu.iter().map(|c| c.flops).min().unwrap();
         let max_cpu = cpu.iter().map(|c| c.flops).max().unwrap_or(0);
-        assert!(min_gpu >= max_cpu, "every GPU chunk must be at least as dense");
+        assert!(
+            min_gpu >= max_cpu,
+            "every GPU chunk must be at least as dense"
+        );
     }
 
     #[test]
@@ -410,7 +587,6 @@ mod tests {
             run.sim_ns,
             search.best_ns
         );
-
     }
 
     #[test]
@@ -422,14 +598,19 @@ mod tests {
         assert_eq!(thr.gpu_ns, seq.gpu_ns);
         assert_eq!(thr.cpu_ns, seq.cpu_ns);
         assert_eq!(thr.num_gpu_chunks, seq.num_gpu_chunks);
-        assert!(thr.c.approx_eq(&seq.c, 0.0), "results must be bit-identical");
+        assert!(
+            thr.c.approx_eq(&seq.c, 0.0),
+            "results must be bit-identical"
+        );
     }
 
     #[test]
     fn threaded_hybrid_extreme_ratios() {
         let a = fixture();
         for ratio in [0.0, 1.0] {
-            let run = Hybrid::new(config().ratio(ratio)).multiply_threaded(&a, &a).unwrap();
+            let run = Hybrid::new(config().ratio(ratio))
+                .multiply_threaded(&a, &a)
+                .unwrap();
             let expect = reference::multiply(&a, &a).unwrap();
             assert!(run.c.approx_eq(&expect, 1e-9));
         }
@@ -457,7 +638,9 @@ mod tests {
     #[test]
     fn reorder_off_assigns_in_grid_order() {
         let a = fixture();
-        let run = Hybrid::new(config().reorder(false)).multiply(&a, &a).unwrap();
+        let run = Hybrid::new(config().reorder(false))
+            .multiply(&a, &a)
+            .unwrap();
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(run.c.approx_eq(&expect, 1e-9));
     }

@@ -51,6 +51,7 @@ pub mod hybrid;
 pub mod multigpu;
 pub mod pipeline;
 pub mod plan;
+pub mod recovery;
 pub mod report;
 pub mod spill;
 pub mod unified;
@@ -60,9 +61,11 @@ pub use chunks::{ChunkGrid, ChunkId, ChunkInfo};
 pub use config::{ExecMode, HybridConfig, OocConfig};
 pub use error::OocError;
 pub use executor::{OocRun, OutOfCoreGpu};
+pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
+pub use recovery::{RecoveryPolicy, RecoveryReport};
 pub use report::RunReport;
 pub use spill::{multiply_to_disk, SpilledMatrix, SpilledRun};
 pub use unified::{multiply_unified, UnifiedRun};

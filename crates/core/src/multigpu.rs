@@ -18,11 +18,13 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::OocConfig;
-use crate::executor::{prepare_grid, simulate_order};
+use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering};
 use crate::plan::PanelPlan;
+use crate::recovery::RecoveryReport;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use sparse::CsrMatrix;
+use std::collections::HashMap;
 
 /// Configuration of the multi-device executor.
 #[derive(Clone, Debug)]
@@ -39,7 +41,11 @@ pub struct MultiGpuConfig {
 impl MultiGpuConfig {
     /// `num_gpus` devices with the paper-default per-device config.
     pub fn new(num_gpus: usize) -> Self {
-        MultiGpuConfig { gpu: OocConfig::paper_default(), num_gpus, use_cpu: true }
+        MultiGpuConfig {
+            gpu: OocConfig::paper_default(),
+            num_gpus,
+            use_cpu: true,
+        }
     }
 
     /// Validates the configuration.
@@ -73,6 +79,9 @@ pub struct MultiGpuRun {
     pub timelines: Vec<Timeline>,
     /// The panel plan used.
     pub plan: PanelPlan,
+    /// Recovery activity merged across all devices (all-zero for a
+    /// fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl MultiGpuRun {
@@ -108,12 +117,20 @@ pub fn multiply_multi_gpu(
         let cpu_est = cost.cpu_chunk_duration(p.flops, p.nnz);
         let (best_w, _) = (0..workers)
             .map(|w| {
-                let est = if w < config.num_gpus { gpu_est } else { cpu_est };
+                let est = if w < config.num_gpus {
+                    gpu_est
+                } else {
+                    cpu_est
+                };
                 (w, loads[w] + est)
             })
             .min_by_key(|&(_, load)| load)
             .expect("at least one worker");
-        let est = if best_w < config.num_gpus { gpu_est } else { cpu_est };
+        let est = if best_w < config.num_gpus {
+            gpu_est
+        } else {
+            cpu_est
+        };
         loads[best_w] += est;
         assignment[best_w].push(*info);
     }
@@ -122,12 +139,31 @@ pub fn multiply_multi_gpu(
     let mut gpu_ns = Vec::with_capacity(config.num_gpus);
     let mut timelines = Vec::with_capacity(config.num_gpus);
     let mut gpu_chunks = Vec::with_capacity(config.num_gpus);
-    for chunks in assignment.iter().take(config.num_gpus) {
+    let mut recovery = RecoveryReport::default();
+    let mut overrides: HashMap<ChunkId, CsrMatrix> = HashMap::new();
+    for (device, chunks) in assignment.iter().take(config.num_gpus).enumerate() {
         let grouped = ChunkGrid::grouped_desc(chunks);
-        let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
-        let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
+        let t = match &config.gpu.fault_plan {
+            Some(plan) => {
+                // Each device draws from its own derived fault stream so
+                // one GPU's faults never shift another's.
+                let device_plan = plan.derive(device as u64);
+                let mut sim =
+                    GpuSim::with_faults(config.gpu.device.clone(), cost.clone(), device_plan);
+                let rec = simulate_order_recovering(&mut sim, a, &pg, &grouped, &config.gpu)?;
+                recovery.merge(&rec.report);
+                overrides.extend(rec.overrides);
+                timelines.push(sim.into_timeline());
+                rec.sim_ns
+            }
+            None => {
+                let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
+                let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
+                timelines.push(sim.into_timeline());
+                t
+            }
+        };
         gpu_ns.push(t);
-        timelines.push(sim.into_timeline());
         gpu_chunks.push(chunks.len());
     }
     let (cpu_ns, cpu_chunks) = if config.use_cpu {
@@ -144,8 +180,13 @@ pub fn multiply_multi_gpu(
         (0, 0)
     };
 
-    let chunk_refs: Vec<(ChunkId, &CsrMatrix)> =
-        order.iter().map(|info| (info.id, &pg.chunk(info.id).result)).collect();
+    let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = order
+        .iter()
+        .map(|info| {
+            let result = overrides.get(&info.id).unwrap_or(&pg.chunk(info.id).result);
+            (info.id, result)
+        })
+        .collect();
     let c = assemble(&pg.plan, &chunk_refs);
     let sim_ns = gpu_ns.iter().copied().max().unwrap_or(0).max(cpu_ns);
     Ok(MultiGpuRun {
@@ -158,6 +199,7 @@ pub fn multiply_multi_gpu(
         flops: pg.total_flops(),
         timelines,
         plan: pg.plan,
+        recovery,
     })
 }
 

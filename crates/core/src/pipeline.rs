@@ -17,7 +17,10 @@
 //! issued on the same stream, so new writes are ordered after the old
 //! transfer by construction.
 
-use gpu_sim::{CopyDir, GpuSim, HostMem, KernelKind, MemoryPool, SimTime, Stream};
+use crate::recovery::{backoff_ns, RecoveryPolicy, RecoveryReport};
+use gpu_sim::{
+    CopyDir, GpuSim, HostMem, KernelKind, MemoryPool, OutOfDeviceMemory, SimTime, Stream,
+};
 use gpu_spgemm::PreparedChunk;
 
 /// Host-side per-row cost of the grouping pass, ns.
@@ -57,12 +60,20 @@ pub fn simulate_pipeline_depth(
     pinned: bool,
     depth: usize,
 ) -> crate::Result<SimTime> {
-    assert_eq!(chunks.len(), transfer_a.len(), "one transfer flag per chunk");
+    assert_eq!(
+        chunks.len(),
+        transfer_a.len(),
+        "one transfer flag per chunk"
+    );
     assert!(depth >= 2, "pipeline needs at least two epochs");
     if chunks.is_empty() {
         return Ok(sim.now());
     }
-    let mem = if pinned { HostMem::Pinned } else { HostMem::Pageable };
+    let mem = if pinned {
+        HostMem::Pinned
+    } else {
+        HostMem::Pageable
+    };
 
     // One up-front allocation covering the whole working set: "a large
     // chunk of memory is pre-allocated on device memory and shared by
@@ -89,8 +100,7 @@ pub fn simulate_pipeline_depth(
     }
     let mut a_slot = MemoryPool::new(a_slot_bytes);
     let epoch_bytes = (pool_bytes - a_slot_bytes) / depth as u64;
-    let mut pools: Vec<MemoryPool> =
-        (0..depth).map(|_| MemoryPool::new(epoch_bytes)).collect();
+    let mut pools: Vec<MemoryPool> = (0..depth).map(|_| MemoryPool::new(epoch_bytes)).collect();
 
     let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
     let mut prev: Option<PendingOutput> = None;
@@ -114,9 +124,21 @@ pub fn simulate_pipeline_depth(
 
         // Input panels.
         if xfer_a {
-            sim.enqueue_copy(s, CopyDir::H2D, chunk.a_bytes, mem, format!("H2D A (chunk {id})"));
+            sim.enqueue_copy(
+                s,
+                CopyDir::H2D,
+                chunk.a_bytes,
+                mem,
+                format!("H2D A (chunk {id})"),
+            );
         }
-        sim.enqueue_copy(s, CopyDir::H2D, chunk.b_bytes, mem, format!("H2D B (chunk {id})"));
+        sim.enqueue_copy(
+            s,
+            CopyDir::H2D,
+            chunk.b_bytes,
+            mem,
+            format!("H2D B (chunk {id})"),
+        );
 
         // Stage 1: row analysis; its D2H result goes ahead of the
         // previous chunk's bulk output (Figure 6 transfer order).
@@ -158,7 +180,10 @@ pub fn simulate_pipeline_depth(
         for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
             sim.enqueue_kernel(
                 s,
-                KernelKind::Symbolic { flops, compression_ratio: chunk.compression_ratio },
+                KernelKind::Symbolic {
+                    flops,
+                    compression_ratio: chunk.compression_ratio,
+                },
                 format!("symbolic g{g} (chunk {id})"),
             );
         }
@@ -195,13 +220,21 @@ pub fn simulate_pipeline_depth(
         for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
             sim.enqueue_kernel(
                 s,
-                KernelKind::Numeric { flops, compression_ratio: chunk.compression_ratio },
+                KernelKind::Numeric {
+                    flops,
+                    compression_ratio: chunk.compression_ratio,
+                },
                 format!("numeric g{g} (chunk {id})"),
             );
         }
 
         let (first_bytes, second_bytes) = chunk.split_output_bytes(split_fraction);
-        prev = Some(PendingOutput { stream: s, chunk_id: id, first_bytes, second_bytes });
+        prev = Some(PendingOutput {
+            stream: s,
+            chunk_id: id,
+            first_bytes,
+            second_bytes,
+        });
     }
 
     // Drain the last chunk's output.
@@ -224,6 +257,498 @@ pub fn simulate_pipeline_depth(
     Ok(sim.finish())
 }
 
+/// One unit of work for the recovering pipeline: a prepared chunk plus
+/// the row-panel identity used for A-panel residency tracking.
+pub(crate) struct ChunkAttempt<'a> {
+    /// The prepared chunk (descriptors + host-side result).
+    pub chunk: &'a PreparedChunk,
+    /// Row panel the chunk's A view belongs to.
+    pub row: usize,
+}
+
+/// Why a chunk could not complete on the device this pass.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ChunkFailure {
+    /// The chunk's working set does not fit the pool (re-splittable).
+    Oom(OutOfDeviceMemory),
+    /// Transient faults exhausted the retry budget (demotable).
+    Faults,
+}
+
+/// Result of one recovering pipeline pass.
+pub(crate) struct RecoveringOutcome {
+    /// Simulated completion time of the pass.
+    pub done_at: SimTime,
+    /// Chunks (by input index) that did not complete, with the reason.
+    pub failed: Vec<(usize, ChunkFailure)>,
+}
+
+fn align256(bytes: u64) -> u64 {
+    bytes.div_ceil(256) * 256
+}
+
+/// Retries a fallible kernel launch up to `policy.max_retries` times
+/// with deterministic simulated backoff. `Err(())` means the retry
+/// budget is exhausted (the caller abandons the chunk).
+fn retry_kernel(
+    sim: &mut GpuSim,
+    stream: Stream,
+    kind: KernelKind,
+    label: &str,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<SimTime, ()> {
+    let mut attempt = 0u32;
+    loop {
+        match sim.try_enqueue_kernel(stream, kind, label) {
+            Ok(t) => return Ok(t),
+            Err(f) => {
+                report.kernel_faults += 1;
+                report.time_lost_ns += f.lost_ns;
+                if attempt >= policy.max_retries {
+                    sim.note_recovery(format!(
+                        "abandon after {} kernel faults: {label}",
+                        attempt + 1
+                    ));
+                    return Err(());
+                }
+                attempt += 1;
+                report.retries += 1;
+                let wait = backoff_ns(sim.cost(), attempt);
+                report.backoff_ns += wait;
+                report.time_lost_ns += wait;
+                sim.note_recovery(format!("retry {attempt}: {label}"));
+                sim.host_compute(wait, format!("backoff {attempt}: {label}"));
+            }
+        }
+    }
+}
+
+/// One transfer as submitted to [`retry_copy`].
+#[derive(Clone, Copy)]
+struct CopyOp {
+    dir: CopyDir,
+    bytes: u64,
+    mem: HostMem,
+}
+
+/// [`retry_kernel`] for copies.
+fn retry_copy(
+    sim: &mut GpuSim,
+    stream: Stream,
+    op: CopyOp,
+    label: &str,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<SimTime, ()> {
+    let mut attempt = 0u32;
+    loop {
+        match sim.try_enqueue_copy(stream, op.dir, op.bytes, op.mem, label) {
+            Ok(t) => return Ok(t),
+            Err(f) => {
+                report.copy_faults += 1;
+                report.time_lost_ns += f.lost_ns;
+                if attempt >= policy.max_retries {
+                    sim.note_recovery(format!(
+                        "abandon after {} copy faults: {label}",
+                        attempt + 1
+                    ));
+                    return Err(());
+                }
+                attempt += 1;
+                report.retries += 1;
+                let wait = backoff_ns(sim.cost(), attempt);
+                report.backoff_ns += wait;
+                report.time_lost_ns += wait;
+                sim.note_recovery(format!("retry {attempt}: {label}"));
+                sim.host_compute(wait, format!("backoff {attempt}: {label}"));
+            }
+        }
+    }
+}
+
+struct RecoveringPending {
+    stream: Stream,
+    chunk_id: usize,
+    index: usize,
+    first_bytes: u64,
+    second_bytes: u64,
+    first_issued: bool,
+}
+
+/// Issues the first output portion of `prev` if still pending. On
+/// permanent transfer failure the previous chunk is marked failed.
+fn flush_prev_first(
+    sim: &mut GpuSim,
+    prev: &mut Option<RecoveringPending>,
+    mem: HostMem,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+    failed: &mut Vec<(usize, ChunkFailure)>,
+) {
+    if let Some(p) = prev {
+        if !p.first_issued {
+            let label = format!("D2H output 1/2 (chunk {})", p.chunk_id);
+            match retry_copy(
+                sim,
+                p.stream,
+                CopyOp {
+                    dir: CopyDir::D2H,
+                    bytes: p.first_bytes,
+                    mem,
+                },
+                &label,
+                policy,
+                report,
+            ) {
+                Ok(_) => p.first_issued = true,
+                Err(()) => {
+                    failed.push((p.index, ChunkFailure::Faults));
+                    *prev = None;
+                }
+            }
+        }
+    }
+}
+
+/// Issues the remaining output portions of `prev` (both, if the first
+/// never made it out) and clears it. On permanent transfer failure the
+/// previous chunk is marked failed.
+fn flush_prev_rest(
+    sim: &mut GpuSim,
+    prev: &mut Option<RecoveringPending>,
+    mem: HostMem,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+    failed: &mut Vec<(usize, ChunkFailure)>,
+) {
+    flush_prev_first(sim, prev, mem, policy, report, failed);
+    if let Some(p) = prev.take() {
+        let label = format!("D2H output 2/2 (chunk {})", p.chunk_id);
+        if retry_copy(
+            sim,
+            p.stream,
+            CopyOp {
+                dir: CopyDir::D2H,
+                bytes: p.second_bytes,
+                mem,
+            },
+            &label,
+            policy,
+            report,
+        )
+        .is_err()
+        {
+            failed.push((p.index, ChunkFailure::Faults));
+        }
+    }
+}
+
+/// The self-healing variant of [`simulate_pipeline_depth`], used when a
+/// fault plan is installed. Differences from the fault-free path:
+///
+/// * every submission goes through the simulator's fallible `try_*`
+///   API and is retried with deterministic simulated backoff;
+/// * each chunk's pool reservation is checked up front — a chunk whose
+///   working set does not fit (e.g. after a capacity shrink) is
+///   *skipped* and reported as [`ChunkFailure::Oom`] so the caller can
+///   re-split it, instead of aborting the run;
+/// * a chunk whose retry budget is exhausted is reported as
+///   [`ChunkFailure::Faults`] so the caller can demote it to the CPU;
+/// * A-panel residency is tracked dynamically (a skipped chunk must
+///   not leave a stale "A is resident" assumption behind).
+///
+/// The simulated timing of a fault-free plan differs slightly from
+/// [`simulate_pipeline_depth`] (conservative A-slot sizing); results
+/// never do — numeric results are host-side and untouched by faults.
+pub(crate) fn simulate_pipeline_recovering(
+    sim: &mut GpuSim,
+    attempts: &[ChunkAttempt<'_>],
+    split_fraction: f64,
+    pinned: bool,
+    depth: usize,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> crate::Result<RecoveringOutcome> {
+    assert!(depth >= 2, "pipeline needs at least two epochs");
+    let mut failed: Vec<(usize, ChunkFailure)> = Vec::new();
+    if attempts.is_empty() {
+        return Ok(RecoveringOutcome {
+            done_at: sim.now(),
+            failed,
+        });
+    }
+    let mem = if pinned {
+        HostMem::Pinned
+    } else {
+        HostMem::Pageable
+    };
+
+    // Pool allocation, retried on injected malloc faults. The request
+    // is recomputed each attempt so a capacity shrink landing on this
+    // very malloc is absorbed rather than fatal.
+    let mut attempt = 0u32;
+    let (pool, pool_bytes) = loop {
+        let want = sim.memory().free_bytes();
+        match sim.malloc(want, "pre-allocated pool") {
+            Ok(h) => break (h, want),
+            Err(e) => {
+                report.alloc_faults += 1;
+                if attempt >= policy.max_retries {
+                    return Err(crate::OocError::DeviceMemory(e));
+                }
+                attempt += 1;
+                report.retries += 1;
+                let wait = backoff_ns(sim.cost(), attempt);
+                report.backoff_ns += wait;
+                report.time_lost_ns += wait;
+                sim.note_recovery(format!("retry {attempt}: pre-allocated pool"));
+                sim.host_compute(wait, "backoff: pre-allocated pool");
+            }
+        }
+    };
+
+    // Conservative A-slot: residency is dynamic here, so size for the
+    // largest A panel in the batch (clamped — an oversized A panel
+    // fails its own chunks, not the whole pass).
+    let a_slot_bytes = attempts
+        .iter()
+        .map(|a| align256(a.chunk.a_bytes))
+        .max()
+        .unwrap_or(0)
+        .min(pool_bytes);
+    let epoch_bytes = (pool_bytes - a_slot_bytes) / depth as u64;
+
+    let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
+    let mut prev: Option<RecoveringPending> = None;
+    let mut a_resident: Option<usize> = None;
+
+    for (i, att) in attempts.iter().enumerate() {
+        let chunk = att.chunk;
+        let s = streams[i % depth];
+        let id = chunk.chunk_id;
+
+        // Hard capacity check against the current pool geometry.
+        let a_need = align256(chunk.a_bytes);
+        let chunk_need = align256(chunk.b_bytes)
+            + align256(chunk.row_info_bytes)
+            + align256(chunk.row_nnz_bytes)
+            + align256(chunk.out_bytes);
+        if a_need > a_slot_bytes || chunk_need > epoch_bytes {
+            sim.note_recovery(format!(
+                "skip chunk {id}: needs {} + {a_need} A bytes, epoch holds {epoch_bytes}",
+                chunk_need
+            ));
+            failed.push((
+                i,
+                ChunkFailure::Oom(OutOfDeviceMemory {
+                    requested: chunk_need.max(a_need),
+                    free: epoch_bytes,
+                    capacity: sim.memory().capacity(),
+                }),
+            ));
+            continue;
+        }
+
+        // Transient pool-reservation faults: retry, then give the
+        // chunk up to demotion.
+        let mut reserved = false;
+        let mut attempt = 0u32;
+        while !reserved {
+            match sim.check_pool_reserve(chunk_need, format!("pool reserve (chunk {id})")) {
+                Ok(()) => reserved = true,
+                Err(_) => {
+                    report.pool_faults += 1;
+                    if attempt >= policy.max_retries {
+                        break;
+                    }
+                    attempt += 1;
+                    report.retries += 1;
+                    let wait = backoff_ns(sim.cost(), attempt);
+                    report.backoff_ns += wait;
+                    report.time_lost_ns += wait;
+                    sim.note_recovery(format!("retry {attempt}: pool reserve (chunk {id})"));
+                    sim.host_compute(wait, format!("backoff: pool reserve (chunk {id})"));
+                }
+            }
+        }
+        if !reserved {
+            failed.push((i, ChunkFailure::Faults));
+            continue;
+        }
+
+        let xfer_a = a_resident != Some(att.row);
+        let completed = 'chunk: {
+            if xfer_a {
+                let label = format!("H2D A (chunk {id})");
+                if retry_copy(
+                    sim,
+                    s,
+                    CopyOp {
+                        dir: CopyDir::H2D,
+                        bytes: chunk.a_bytes,
+                        mem,
+                    },
+                    &label,
+                    policy,
+                    report,
+                )
+                .is_err()
+                {
+                    a_resident = None;
+                    break 'chunk false;
+                }
+                a_resident = Some(att.row);
+            }
+            let label = format!("H2D B (chunk {id})");
+            if retry_copy(
+                sim,
+                s,
+                CopyOp {
+                    dir: CopyDir::H2D,
+                    bytes: chunk.b_bytes,
+                    mem,
+                },
+                &label,
+                policy,
+                report,
+            )
+            .is_err()
+            {
+                break 'chunk false;
+            }
+
+            let label = format!("row analysis (chunk {id})");
+            if retry_kernel(
+                sim,
+                s,
+                KernelKind::RowAnalysis { ops: chunk.a_nnz },
+                &label,
+                policy,
+                report,
+            )
+            .is_err()
+            {
+                break 'chunk false;
+            }
+            let label = format!("D2H row info (chunk {id})");
+            if retry_copy(
+                sim,
+                s,
+                CopyOp {
+                    dir: CopyDir::D2H,
+                    bytes: chunk.row_info_bytes,
+                    mem,
+                },
+                &label,
+                policy,
+                report,
+            )
+            .is_err()
+            {
+                break 'chunk false;
+            }
+            let row_info_done = sim.record_event(s);
+
+            flush_prev_first(sim, &mut prev, mem, policy, report, &mut failed);
+
+            sim.event_synchronize(row_info_done);
+            sim.host_compute(
+                chunk.rows as u64 * GROUPING_NS_PER_ROW,
+                format!("host grouping (chunk {id})"),
+            );
+
+            for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
+                let label = format!("symbolic g{g} (chunk {id})");
+                if retry_kernel(
+                    sim,
+                    s,
+                    KernelKind::Symbolic {
+                        flops,
+                        compression_ratio: chunk.compression_ratio,
+                    },
+                    &label,
+                    policy,
+                    report,
+                )
+                .is_err()
+                {
+                    break 'chunk false;
+                }
+            }
+            let label = format!("D2H row nnz (chunk {id})");
+            if retry_copy(
+                sim,
+                s,
+                CopyOp {
+                    dir: CopyDir::D2H,
+                    bytes: chunk.row_nnz_bytes,
+                    mem,
+                },
+                &label,
+                policy,
+                report,
+            )
+            .is_err()
+            {
+                break 'chunk false;
+            }
+            let row_nnz_done = sim.record_event(s);
+
+            flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
+
+            sim.event_synchronize(row_nnz_done);
+            sim.host_compute(
+                chunk.rows as u64 * PREFIX_NS_PER_ROW,
+                format!("host prefix sum (chunk {id})"),
+            );
+
+            for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
+                let label = format!("numeric g{g} (chunk {id})");
+                if retry_kernel(
+                    sim,
+                    s,
+                    KernelKind::Numeric {
+                        flops,
+                        compression_ratio: chunk.compression_ratio,
+                    },
+                    &label,
+                    policy,
+                    report,
+                )
+                .is_err()
+                {
+                    break 'chunk false;
+                }
+            }
+            true
+        };
+
+        if completed {
+            let (first_bytes, second_bytes) = chunk.split_output_bytes(split_fraction);
+            prev = Some(RecoveringPending {
+                stream: s,
+                chunk_id: id,
+                index: i,
+                first_bytes,
+                second_bytes,
+                first_issued: false,
+            });
+        } else {
+            failed.push((i, ChunkFailure::Faults));
+        }
+    }
+
+    flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
+    // Release the pool so a follow-up pass (after re-splitting) can
+    // size its own pool against the then-current device capacity.
+    sim.free(pool, "pre-allocated pool");
+    Ok(RecoveringOutcome {
+        done_at: sim.finish(),
+        failed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,8 +762,7 @@ mod tests {
         let a = erdos_renyi(1200, 1200, 0.02, 1);
         let b = erdos_renyi(1200, 1200, 0.02, 2);
         let ranges = sparse::partition::col::even_col_ranges(&b, n_chunks);
-        let panels =
-            sparse::partition::col::ColPartitioner::Cursor.partition(&b, &ranges);
+        let panels = sparse::partition::col::ColPartitioner::Cursor.partition(&b, &ranges);
         (panels.into_iter().map(|p| p.matrix).collect(), a)
     }
 
@@ -253,15 +777,18 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: p, chunk_id: i })
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
             })
             .collect();
         let refs: Vec<&_> = prepared.iter().collect();
         let flags: Vec<bool> = (0..refs.len()).map(|i| i == 0).collect();
 
         let mut sim = new_sim();
-        let async_time =
-            simulate_pipeline(&mut sim, &refs, &flags, 0.33, true).unwrap();
+        let async_time = simulate_pipeline(&mut sim, &refs, &flags, 0.33, true).unwrap();
         sim.timeline().validate().unwrap();
 
         // Serial lower bound: sum of all busy times must exceed the
@@ -277,7 +804,10 @@ mod tests {
         // The D2H engine must carry the full output volume (split in 2).
         let out_total: u64 = prepared.iter().map(|p| p.out_bytes).sum();
         let d2h_bytes: u64 = t.of_kind(OpKind::CopyD2H).map(|r| r.payload).sum();
-        let row_info: u64 = prepared.iter().map(|p| p.row_info_bytes + p.row_nnz_bytes).sum();
+        let row_info: u64 = prepared
+            .iter()
+            .map(|p| p.row_info_bytes + p.row_nnz_bytes)
+            .sum();
         assert_eq!(d2h_bytes, out_total + row_info);
     }
 
@@ -288,7 +818,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: p, chunk_id: i })
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
             })
             .collect();
         let refs: Vec<&_> = prepared.iter().collect();
@@ -306,7 +840,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: p, chunk_id: i })
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
             })
             .collect();
         let refs: Vec<&_> = prepared.iter().collect();
@@ -314,12 +852,14 @@ mod tests {
         let mut times = Vec::new();
         for depth in [2usize, 3, 4] {
             let mut sim = new_sim();
-            let t = simulate_pipeline_depth(&mut sim, &refs, &flags, 0.33, true, depth)
-                .unwrap();
+            let t = simulate_pipeline_depth(&mut sim, &refs, &flags, 0.33, true, depth).unwrap();
             sim.timeline().validate().unwrap();
             // All output bytes still cross the D2H engine exactly once.
-            let d2h: u64 =
-                sim.timeline().of_kind(OpKind::CopyD2H).map(|r| r.payload).sum();
+            let d2h: u64 = sim
+                .timeline()
+                .of_kind(OpKind::CopyD2H)
+                .map(|r| r.payload)
+                .sum();
             let expect: u64 = prepared
                 .iter()
                 .map(|p| p.out_bytes + p.row_info_bytes + p.row_nnz_bytes)
@@ -348,7 +888,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: p, chunk_id: i })
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
             })
             .collect();
         let refs: Vec<&_> = prepared.iter().collect();

@@ -57,6 +57,23 @@ impl PanelPlan {
     }
 }
 
+/// Splits `range` into `parts` flop-balanced sub-ranges using a global
+/// per-row flop prefix sum (as cached by [`Planner::row_flops_prefix`]).
+/// This is how recovery re-splits one OOM'd chunk without re-planning
+/// the whole grid: the weighted sweep runs on the prefix slice of the
+/// offending rows only.
+pub fn split_range_by_flops(
+    prefix: &[u64],
+    range: &Range<usize>,
+    parts: usize,
+) -> Vec<Range<usize>> {
+    debug_assert!(range.end < prefix.len(), "prefix must cover the range");
+    weighted_ranges_from_prefix(&prefix[range.start..=range.end], parts)
+        .into_iter()
+        .map(|r| r.start + range.start..r.end + range.start)
+        .collect()
+}
+
 /// Plans panel grids.
 pub struct Planner<'a> {
     a: &'a CsrMatrix,
@@ -125,16 +142,25 @@ impl<'a> Planner<'a> {
         self.total_nnz_c
     }
 
+    /// The cached per-row flop prefix sums (`n_rows + 1` entries).
+    /// Recovery re-splitting slices this to split a single chunk's row
+    /// range without re-planning the grid.
+    pub fn row_flops_prefix(&self) -> &[u64] {
+        &self.row_flops_prefix
+    }
+
     /// Exact output nonzeros of the chunk `row_range x col_range`,
     /// from the symbolic structure of C.
     pub fn chunk_nnz(&self, row_range: &Range<usize>, col_range: &Range<usize>) -> u64 {
-        let (start, end) = (col_range.start as sparse::ColId, col_range.end as sparse::ColId);
+        let (start, end) = (
+            col_range.start as sparse::ColId,
+            col_range.end as sparse::ColId,
+        );
         row_range
             .clone()
             .map(|r| {
                 let row = &self.c_cols[self.c_offsets[r]..self.c_offsets[r + 1]];
-                (row.partition_point(|&c| c < end) - row.partition_point(|&c| c < start))
-                    as u64
+                (row.partition_point(|&c| c < end) - row.partition_point(|&c| c < start)) as u64
             })
             .sum()
     }
@@ -142,7 +168,7 @@ impl<'a> Planner<'a> {
     /// Row ranges for `k_r` panels, balanced by flops.
     fn row_ranges_for(&self, k_r: usize) -> Vec<Range<usize>> {
         if self.a.n_rows() == 0 {
-            vec![0..0]
+            vec![0..0; 1]
         } else {
             weighted_ranges_from_prefix(&self.row_flops_prefix, k_r)
         }
@@ -151,7 +177,7 @@ impl<'a> Planner<'a> {
     /// Column ranges for `k_c` panels, balanced by `B` nnz.
     fn col_ranges_for(&self, k_c: usize) -> Vec<Range<usize>> {
         if self.b.n_cols() == 0 {
-            vec![0..0]
+            vec![0..0; 1]
         } else {
             weighted_ranges_from_prefix(&self.col_nnz_prefix, k_c)
         }
@@ -236,13 +262,16 @@ impl<'a> Planner<'a> {
     pub fn working_set_bytes_reference(&self, plan: &PanelPlan) -> u64 {
         let mut max_a = 0u64;
         let mut max_rest = 0u64;
-        let b_bytes: Vec<u64> = plan.col_ranges.iter().map(|c| self.b_panel_bytes(c)).collect();
+        let b_bytes: Vec<u64> = plan
+            .col_ranges
+            .iter()
+            .map(|c| self.b_panel_bytes(c))
+            .collect();
         for r in plan.row_ranges.iter() {
             max_a = max_a.max(self.a_panel_bytes(r));
             let scratch = 2 * (r.len() as u64 + 1) * OFFSET_BYTES;
             for (c, &bb) in plan.col_ranges.iter().zip(&b_bytes) {
-                let out = self.chunk_nnz(r, c) * ENTRY_BYTES
-                    + (r.len() as u64 + 1) * OFFSET_BYTES;
+                let out = self.chunk_nnz(r, c) * ENTRY_BYTES + (r.len() as u64 + 1) * OFFSET_BYTES;
                 max_rest = max_rest.max(bb + scratch + out);
             }
         }
@@ -306,7 +335,10 @@ impl<'a> Planner<'a> {
         };
         loop {
             if self.working_set_from_grid(&row_ranges, &col_ranges, &grid) <= budget {
-                return Ok(PanelPlan { row_ranges, col_ranges });
+                return Ok(PanelPlan {
+                    row_ranges,
+                    col_ranges,
+                });
             }
             if k_r * k_c >= MAX_CHUNKS || (k_r >= n_rows.max(1) && k_c >= n_cols.max(1)) {
                 return Err(OocError::Planning(format!(
@@ -336,8 +368,7 @@ impl<'a> Planner<'a> {
                 let ws = self.working_set_from_grid(&row_ranges, &cc, &g);
                 (cc, p, g, ws)
             };
-            let ((rr, g_r, ws_r), (cc, p_c, g_c, ws_c)) =
-                rayon::join(row_candidate, col_candidate);
+            let ((rr, g_r, ws_r), (cc, p_c, g_c, ws_c)) = rayon::join(row_candidate, col_candidate);
             if ws_r <= ws_c && k_r < n_rows.max(1) {
                 row_ranges = rr;
                 grid = g_r;
@@ -408,7 +439,10 @@ mod tests {
         let p = Planner::new(&a, &a).unwrap();
         let budget = 400_000u64;
         let plan = p.auto(budget).unwrap();
-        assert!(plan.num_chunks() > 1, "small budget must force partitioning");
+        assert!(
+            plan.num_chunks() > 1,
+            "small budget must force partitioning"
+        );
         assert!(p.working_set_bytes(&plan) <= budget);
     }
 

@@ -1,0 +1,187 @@
+//! Recovery policy and accounting for fault-injected runs.
+//!
+//! The executors degrade gracefully instead of aborting: transient
+//! kernel/copy faults are retried with a deterministic simulated
+//! backoff charged to the cost model; a chunk that no longer fits
+//! device memory is re-split along the planner's row-flop prefix sums;
+//! a chunk that keeps faulting is demoted to the CPU executor (whose
+//! per-chunk results are bit-identical by construction — the hybrid
+//! executor relies on the same fact); a panicked hybrid worker is
+//! drained by the surviving side. Because recovery only ever re-runs
+//! or re-splits *row-independent* work on identical inputs, the
+//! assembled `C` under any fault plan is bit-identical to the
+//! fault-free run.
+
+use gpu_sim::{CostModel, SimTime};
+
+/// Bounds on the recovery actions an executor may take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per operation before the chunk is abandoned to
+    /// demotion.
+    pub max_retries: u32,
+    /// Maximum times a chunk may be re-split in two before demotion.
+    pub max_resplit_depth: u32,
+    /// Demote irrecoverable chunks to the CPU executor instead of
+    /// failing the run.
+    pub demote_to_cpu: bool,
+    /// Drain a panicked hybrid worker's chunks on the surviving side
+    /// instead of surfacing [`crate::OocError::Worker`].
+    pub drain_worker_panics: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            max_resplit_depth: 4,
+            demote_to_cpu: true,
+            drain_worker_panics: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the per-operation retry bound.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the re-split depth bound.
+    pub fn max_resplit_depth(mut self, n: u32) -> Self {
+        self.max_resplit_depth = n;
+        self
+    }
+
+    /// Enables/disables CPU demotion.
+    pub fn demote_to_cpu(mut self, on: bool) -> Self {
+        self.demote_to_cpu = on;
+        self
+    }
+
+    /// Enables/disables draining panicked workers.
+    pub fn drain_worker_panics(mut self, on: bool) -> Self {
+        self.drain_worker_panics = on;
+        self
+    }
+}
+
+/// Deterministic simulated backoff before retry `attempt` (1-based):
+/// exponential in the cost model's copy latency, so it scales with the
+/// device the run is calibrated against.
+pub fn backoff_ns(cost: &CostModel, attempt: u32) -> SimTime {
+    cost.copy_latency_ns << attempt.min(6)
+}
+
+/// What recovery did during a run: exact counts plus the simulated
+/// time the faults cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Kernel faults observed by the executor.
+    pub kernel_faults: u64,
+    /// Copy faults observed by the executor.
+    pub copy_faults: u64,
+    /// Malloc faults observed by the executor.
+    pub alloc_faults: u64,
+    /// Pool-reservation faults observed by the executor.
+    pub pool_faults: u64,
+    /// Operations retried.
+    pub retries: u64,
+    /// Chunks re-split after OOM.
+    pub resplits: u64,
+    /// Chunks demoted to the CPU executor.
+    pub demotions: u64,
+    /// Worker threads that panicked and were drained.
+    pub worker_panics: u64,
+    /// Simulated time spent in backoff waits, ns.
+    pub backoff_ns: SimTime,
+    /// Total simulated time lost to faults (failed attempts + backoff), ns.
+    pub time_lost_ns: SimTime,
+}
+
+impl RecoveryReport {
+    /// Total faults observed.
+    pub fn faults(&self) -> u64 {
+        self.kernel_faults + self.copy_faults + self.alloc_faults + self.pool_faults
+    }
+
+    /// True when no fault was observed and no recovery action taken.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+
+    /// Accumulates another report (used to merge per-worker and
+    /// per-device reports).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.kernel_faults += other.kernel_faults;
+        self.copy_faults += other.copy_faults;
+        self.alloc_faults += other.alloc_faults;
+        self.pool_faults += other.pool_faults;
+        self.retries += other.retries;
+        self.resplits += other.resplits;
+        self.demotions += other.demotions;
+        self.worker_panics += other.worker_panics;
+        self.backoff_ns += other.backoff_ns;
+        self.time_lost_ns += other.time_lost_ns;
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} faults, {} retries, {} re-splits, {} demotions, {} worker panics, {:.3} ms lost",
+            self.faults(),
+            self.retries,
+            self.resplits,
+            self.demotions,
+            self.worker_panics,
+            self.time_lost_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_permissive() {
+        let p = RecoveryPolicy::default();
+        assert!(p.max_retries >= 1);
+        assert!(p.demote_to_cpu);
+        assert!(p.drain_worker_panics);
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let cost = CostModel::calibrated();
+        assert!(backoff_ns(&cost, 2) > backoff_ns(&cost, 1));
+        assert_eq!(
+            backoff_ns(&cost, 6),
+            backoff_ns(&cost, 60),
+            "exponent saturates"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RecoveryReport {
+            retries: 2,
+            kernel_faults: 1,
+            ..Default::default()
+        };
+        let b = RecoveryReport {
+            retries: 3,
+            demotions: 1,
+            time_lost_ns: 10,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.demotions, 1);
+        assert_eq!(a.faults(), 1);
+        assert!(!a.is_clean());
+        assert!(RecoveryReport::default().is_clean());
+        assert!(a.summary().contains("5 retries"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Serializable run summaries for the experiment harness.
 
+use crate::recovery::RecoveryReport;
 use gpu_sim::{CostModel, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,15 @@ pub struct RunReport {
     pub num_chunks: Option<usize>,
     /// Chunks assigned to the GPU, for hybrid runs.
     pub gpu_chunks: Option<usize>,
+    /// Total injected faults, for runs with a fault plan.
+    pub faults: Option<u64>,
+    /// Retries spent recovering, for runs with a fault plan.
+    pub retries: Option<u64>,
+    /// Chunks demoted to the CPU, for runs with a fault plan.
+    pub demotions: Option<u64>,
+    /// Simulated time lost to faults + backoff, for runs with a fault
+    /// plan.
+    pub time_lost_ns: Option<SimTime>,
 }
 
 impl RunReport {
@@ -60,7 +70,20 @@ impl RunReport {
             transfer_fraction: None,
             num_chunks: None,
             gpu_chunks: None,
+            faults: None,
+            retries: None,
+            demotions: None,
+            time_lost_ns: None,
         }
+    }
+
+    /// Fills in the recovery columns from a [`RecoveryReport`].
+    pub fn with_recovery(mut self, recovery: &RecoveryReport) -> Self {
+        self.faults = Some(recovery.faults());
+        self.retries = Some(recovery.retries);
+        self.demotions = Some(recovery.demotions);
+        self.time_lost_ns = Some(recovery.time_lost_ns);
+        self
     }
 }
 
@@ -85,6 +108,23 @@ mod tests {
         assert_eq!(back.matrix, "nlp");
         assert_eq!(back.sim_ns, 500);
         assert_eq!(back.transfer_fraction, Some(0.8));
+    }
+
+    #[test]
+    fn with_recovery_fills_fault_columns() {
+        let rec = RecoveryReport {
+            kernel_faults: 3,
+            copy_faults: 1,
+            retries: 4,
+            demotions: 2,
+            time_lost_ns: 12_345,
+            ..RecoveryReport::default()
+        };
+        let r = RunReport::new("nlp", "gpu-async", 1000, 100, 500).with_recovery(&rec);
+        assert_eq!(r.faults, Some(4));
+        assert_eq!(r.retries, Some(4));
+        assert_eq!(r.demotions, Some(2));
+        assert_eq!(r.time_lost_ns, Some(12_345));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Spill-to-disk assembly: keep the output matrix on disk, one shard
-//! per row panel.
+//! per row panel, with a resumable manifest.
 //!
 //! The paper's goal is "continuing to scale SpGEMM computations to
 //! arbitrarily large matrices" (Section III-A). Its evaluation stops
@@ -12,17 +12,54 @@
 //! A [`SpilledMatrix`] is the on-disk handle: a manifest plus
 //! `panel_<i>.spb` shards, loadable panel by panel (or fully, for
 //! verification at test scale).
+//!
+//! # Crash safety
+//!
+//! The manifest (`manifest.spill`) is a small versioned text file that
+//! records the panel layout and, per completed shard, its row count,
+//! nnz, and an FNV-1a 64 checksum. It is rewritten after every shard,
+//! so a run killed mid-spill leaves a manifest describing exactly the
+//! shards that finished. [`SpilledMatrix::resume`] reopens such a
+//! directory and recomputes only the panels whose shards are missing
+//! from the manifest, absent on disk, or fail their checksum —
+//! everything intact is kept as-is.
 
 use crate::assemble::assemble;
 use crate::chunks::ChunkId;
 use crate::config::OocConfig;
 use crate::executor::{prepare_grid, simulate_order};
-use crate::plan::PanelPlan;
+use crate::plan::{PanelPlan, Planner};
 use crate::{OocError, Result};
 use gpu_sim::{GpuSim, SimTime};
-use sparse::io::binary::{read_binary, write_binary};
+use sparse::io::binary::{read_binary, to_bytes};
 use sparse::CsrMatrix;
 use std::path::{Path, PathBuf};
+
+/// Manifest format tag; bump when the layout changes.
+const MANIFEST_VERSION: &str = "SPILL1";
+/// Manifest file name inside the spill directory.
+const MANIFEST_FILE: &str = "manifest.spill";
+
+/// FNV-1a 64-bit hash — tiny, dependency-free shard checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn spill_err(msg: impl Into<String>) -> OocError {
+    OocError::Spill(msg.into())
+}
+
+/// Per-shard record in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ShardMeta {
+    nnz: u64,
+    checksum: u64,
+}
 
 /// An output matrix living on disk as per-row-panel shards.
 #[derive(Debug)]
@@ -31,12 +68,17 @@ pub struct SpilledMatrix {
     /// Row range boundaries: panel `i` covers `rows[i]..rows[i+1]`.
     row_bounds: Vec<usize>,
     n_cols: usize,
-    nnz: u64,
+    /// `Some` once panel `i`'s shard is on disk and in the manifest.
+    shards: Vec<Option<ShardMeta>>,
 }
 
 impl SpilledMatrix {
     fn shard_path(dir: &Path, panel: usize) -> PathBuf {
         dir.join(format!("panel_{panel}.spb"))
+    }
+
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
     }
 
     /// Number of row panels on disk.
@@ -54,9 +96,9 @@ impl SpilledMatrix {
         self.n_cols
     }
 
-    /// Total stored entries across all shards.
+    /// Total stored entries across all completed shards.
     pub fn nnz(&self) -> u64 {
-        self.nnz
+        self.shards.iter().flatten().map(|s| s.nnz).sum()
     }
 
     /// Directory holding the shards.
@@ -69,26 +111,271 @@ impl SpilledMatrix {
         self.row_bounds[i]..self.row_bounds[i + 1]
     }
 
-    /// Loads one row panel from disk.
+    /// True when every panel's shard is recorded in the manifest.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(Option::is_some)
+    }
+
+    /// Serializes the manifest and writes it atomically-ish (write then
+    /// rename would need a temp file; a spill manifest is small enough
+    /// that a straight rewrite is fine for the simulator's purposes).
+    fn write_manifest(&self) -> Result<()> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_VERSION);
+        text.push('\n');
+        text.push_str(&format!("n_cols {}\n", self.n_cols));
+        text.push_str("bounds");
+        for b in &self.row_bounds {
+            text.push_str(&format!(" {b}"));
+        }
+        text.push('\n');
+        for (i, meta) in self.shards.iter().enumerate() {
+            if let Some(m) = meta {
+                text.push_str(&format!("shard {i} {} {:016x}\n", m.nnz, m.checksum));
+            }
+        }
+        std::fs::write(Self::manifest_path(&self.dir), text)
+            .map_err(|e| spill_err(format!("cannot write manifest: {e}")))
+    }
+
+    /// Opens an existing spill directory by parsing its manifest.
+    ///
+    /// Fails with [`OocError::Spill`] when the manifest is absent,
+    /// has the wrong version tag, or is malformed. Shards are *not*
+    /// verified here — see [`SpilledMatrix::missing_or_corrupt`].
+    pub fn open(dir: &Path) -> Result<Self> {
+        let path = Self::manifest_path(dir);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| spill_err(format!("cannot read {}: {e}", path.display())))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(v) if v == MANIFEST_VERSION => {}
+            Some(v) => {
+                return Err(spill_err(format!(
+                    "unsupported manifest version {v:?} (expected {MANIFEST_VERSION})"
+                )))
+            }
+            None => return Err(spill_err("empty manifest")),
+        }
+        let parse_usize = |s: &str, what: &str| -> Result<usize> {
+            s.parse()
+                .map_err(|_| spill_err(format!("bad {what} {s:?} in manifest")))
+        };
+        let mut n_cols: Option<usize> = None;
+        let mut row_bounds: Vec<usize> = Vec::new();
+        let mut shard_lines: Vec<(usize, ShardMeta)> = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("n_cols") => {
+                    let v = parts
+                        .next()
+                        .ok_or_else(|| spill_err("n_cols missing value"))?;
+                    n_cols = Some(parse_usize(v, "n_cols")?);
+                }
+                Some("bounds") => {
+                    row_bounds = parts
+                        .map(|p| parse_usize(p, "bound"))
+                        .collect::<Result<Vec<_>>>()?;
+                }
+                Some("shard") => {
+                    let idx = parse_usize(
+                        parts
+                            .next()
+                            .ok_or_else(|| spill_err("shard missing index"))?,
+                        "shard index",
+                    )?;
+                    let nnz = parse_usize(
+                        parts.next().ok_or_else(|| spill_err("shard missing nnz"))?,
+                        "shard nnz",
+                    )? as u64;
+                    let sum = parts
+                        .next()
+                        .ok_or_else(|| spill_err("shard missing checksum"))?;
+                    let checksum = u64::from_str_radix(sum, 16)
+                        .map_err(|_| spill_err(format!("bad shard checksum {sum:?}")))?;
+                    shard_lines.push((idx, ShardMeta { nnz, checksum }));
+                }
+                Some(other) => return Err(spill_err(format!("unknown manifest record {other:?}"))),
+                None => {} // blank line
+            }
+        }
+        let n_cols = n_cols.ok_or_else(|| spill_err("manifest missing n_cols"))?;
+        if row_bounds.len() < 2 || row_bounds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(spill_err("manifest bounds missing or not non-decreasing"));
+        }
+        let num_panels = row_bounds.len() - 1;
+        let mut shards = vec![None; num_panels];
+        for (idx, meta) in shard_lines {
+            if idx >= num_panels {
+                return Err(spill_err(format!(
+                    "manifest shard {idx} out of range (have {num_panels} panels)"
+                )));
+            }
+            shards[idx] = Some(meta);
+        }
+        Ok(SpilledMatrix {
+            dir: dir.to_path_buf(),
+            row_bounds,
+            n_cols,
+            shards,
+        })
+    }
+
+    /// Panels whose shard is unusable: absent from the manifest,
+    /// missing on disk, or failing its checksum. These are exactly the
+    /// panels [`SpilledMatrix::resume`] recomputes.
+    pub fn missing_or_corrupt(&self) -> Vec<usize> {
+        (0..self.num_panels())
+            .filter(|&i| match self.shards[i] {
+                None => true,
+                Some(meta) => match std::fs::read(Self::shard_path(&self.dir, i)) {
+                    Ok(bytes) => fnv1a64(&bytes) != meta.checksum,
+                    Err(_) => true,
+                },
+            })
+            .collect()
+    }
+
+    /// Writes panel `i`'s shard + updates the manifest on disk.
+    fn store_panel(&mut self, i: usize, panel: &CsrMatrix) -> Result<()> {
+        let bytes = to_bytes(panel);
+        std::fs::write(Self::shard_path(&self.dir, i), &bytes[..])
+            .map_err(|e| spill_err(format!("cannot write shard {i}: {e}")))?;
+        self.shards[i] = Some(ShardMeta {
+            nnz: panel.nnz() as u64,
+            checksum: fnv1a64(&bytes[..]),
+        });
+        self.write_manifest()
+    }
+
+    /// Loads one row panel from disk, verifying its checksum and shape.
     pub fn load_panel(&self, i: usize) -> Result<CsrMatrix> {
-        read_binary(&Self::shard_path(&self.dir, i)).map_err(OocError::Sparse)
+        if i >= self.num_panels() {
+            return Err(spill_err(format!(
+                "panel {i} out of range (matrix has {} panels)",
+                self.num_panels()
+            )));
+        }
+        let meta = self.shards[i]
+            .ok_or_else(|| spill_err(format!("panel {i} was never spilled (incomplete run)")))?;
+        let path = Self::shard_path(&self.dir, i);
+        let bytes =
+            std::fs::read(&path).map_err(|e| spill_err(format!("cannot read shard {i}: {e}")))?;
+        let actual = fnv1a64(&bytes);
+        if actual != meta.checksum {
+            return Err(spill_err(format!(
+                "shard {i} checksum mismatch: manifest {:016x}, file {actual:016x}",
+                meta.checksum
+            )));
+        }
+        let m = read_binary(&path).map_err(OocError::Sparse)?;
+        let rows = self.panel_rows(i);
+        if m.n_rows() != rows.len() || m.n_cols() != self.n_cols || m.nnz() as u64 != meta.nnz {
+            return Err(spill_err(format!(
+                "shard {i} shape mismatch: got {}x{} nnz {}, manifest says {}x{} nnz {}",
+                m.n_rows(),
+                m.n_cols(),
+                m.nnz(),
+                rows.len(),
+                self.n_cols,
+                meta.nnz
+            )));
+        }
+        Ok(m)
     }
 
     /// Loads and concatenates every shard into one in-memory matrix
     /// (test/verification convenience — defeats the point at scale).
     pub fn load_all(&self) -> Result<CsrMatrix> {
-        let panels: Vec<CsrMatrix> =
-            (0..self.num_panels()).map(|i| self.load_panel(i)).collect::<Result<_>>()?;
+        let panels: Vec<CsrMatrix> = (0..self.num_panels())
+            .map(|i| self.load_panel(i))
+            .collect::<Result<_>>()?;
         let refs: Vec<&CsrMatrix> = panels.iter().collect();
         sparse::ops::vstack(&refs).map_err(OocError::Sparse)
     }
 
-    /// Removes the shards from disk.
+    /// Removes the shards and manifest from disk. Shards already gone
+    /// (e.g. deleted by hand after a partial run) are not an error.
     pub fn remove(self) -> std::io::Result<()> {
+        let ignore_missing = |r: std::io::Result<()>| match r {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        };
         for i in 0..self.num_panels() {
-            std::fs::remove_file(Self::shard_path(&self.dir, i))?;
+            ignore_missing(std::fs::remove_file(Self::shard_path(&self.dir, i)))?;
         }
-        Ok(())
+        ignore_missing(std::fs::remove_file(Self::manifest_path(&self.dir)))
+    }
+
+    /// Resumes an interrupted [`multiply_to_disk`] run: reopens `dir`,
+    /// keeps every shard that passes its checksum, and recomputes only
+    /// the missing or corrupt panels from `a` and `b`.
+    ///
+    /// The inputs and config must match the original run — the panel
+    /// layout derived from them is checked against the manifest and a
+    /// mismatch is an [`OocError::Spill`].
+    pub fn resume(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        config: &OocConfig,
+        dir: &Path,
+    ) -> Result<SpilledRun> {
+        use gpu_spgemm::{phases, ChunkJob};
+        use sparse::CsrView;
+
+        config.validate()?;
+        let mut spilled = Self::open(dir)?;
+        let planner = Planner::new(a, b)?;
+        let plan = match config.panels {
+            Some((r, c)) => planner.fixed(r, c)?,
+            None => planner.auto(config.device.device_memory_bytes)?,
+        };
+        let mut bounds: Vec<usize> = plan.row_ranges.iter().map(|r| r.start).collect();
+        bounds.push(plan.row_ranges.last().map_or(0, |r| r.end));
+        if bounds != spilled.row_bounds || b.n_cols() != spilled.n_cols {
+            return Err(spill_err(
+                "manifest does not match these inputs/config (different panel layout)",
+            ));
+        }
+
+        let needed = spilled.missing_or_corrupt();
+        if !needed.is_empty() {
+            let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
+            let k_c = plan.col_panels();
+            for &r in &needed {
+                let range = &plan.row_ranges[r];
+                let results: Vec<CsrMatrix> = (0..k_c)
+                    .map(|c| {
+                        phases::prepare_chunk(ChunkJob {
+                            a_panel: CsrView::rows(a, range.start, range.end),
+                            b_panel: &col_panels[c].matrix,
+                            chunk_id: r * k_c + c,
+                        })
+                        .result
+                    })
+                    .collect();
+                let sub_plan = PanelPlan {
+                    row_ranges: std::iter::once(0..range.len()).collect(),
+                    col_ranges: plan.col_ranges.clone(),
+                };
+                let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = results
+                    .iter()
+                    .enumerate()
+                    .map(|(c, m)| (ChunkId { row: 0, col: c }, m))
+                    .collect();
+                let panel = assemble(&sub_plan, &chunk_refs);
+                spilled.store_panel(r, &panel)?;
+            }
+        }
+        let flops = planner.row_flops_prefix().last().copied().unwrap_or(0);
+        Ok(SpilledRun {
+            c: spilled,
+            sim_ns: 0,
+            flops,
+            plan,
+            recomputed_panels: needed.len(),
+        })
     }
 }
 
@@ -98,17 +385,23 @@ impl SpilledMatrix {
 pub struct SpilledRun {
     /// The on-disk product.
     pub c: SpilledMatrix,
-    /// Simulated completion time, ns.
+    /// Simulated completion time, ns (0 for a resumed run — resume is
+    /// host-side repair work, not a fresh device simulation).
     pub sim_ns: SimTime,
     /// Total flops.
     pub flops: u64,
     /// The panel plan used.
     pub plan: PanelPlan,
+    /// How many panels [`SpilledMatrix::resume`] had to recompute
+    /// (0 for a fresh [`multiply_to_disk`] run).
+    pub recomputed_panels: usize,
 }
 
 /// Computes `C = a · b` out-of-core and spills the result to `dir`,
 /// one shard per row panel. Peak host memory for the output is one
-/// row panel plus one chunk.
+/// row panel plus one chunk. The manifest is rewritten after every
+/// shard, so an interrupted run can be completed with
+/// [`SpilledMatrix::resume`].
 pub fn multiply_to_disk(
     a: &CsrMatrix,
     b: &CsrMatrix,
@@ -119,17 +412,27 @@ pub fn multiply_to_disk(
         .map_err(|e| OocError::Config(format!("cannot create {}: {e}", dir.display())))?;
     let pg = prepare_grid(a, b, config)?;
     let order = match (config.mode, config.reorder_chunks) {
-        (crate::ExecMode::Async, true) => {
-            crate::ChunkGrid::grouped_desc(&pg.grid.sorted_desc())
-        }
+        (crate::ExecMode::Async, true) => crate::ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
         _ => pg.grid.natural_order(),
     };
     let mut sim = GpuSim::new(config.device.clone(), config.cost.clone());
     let sim_ns = simulate_order(&mut sim, &pg, &order, config)?;
 
+    let mut row_bounds: Vec<usize> = pg.plan.row_ranges.iter().map(|r| r.start).collect();
+    row_bounds.push(pg.plan.row_ranges.last().map_or(0, |r| r.end));
+    let num_panels = row_bounds.len() - 1;
+    let mut spilled = SpilledMatrix {
+        dir: dir.to_path_buf(),
+        row_bounds,
+        n_cols: b.n_cols(),
+        shards: vec![None; num_panels],
+    };
+    // Record the layout before any shard lands so even a run killed on
+    // the first panel leaves a resumable directory.
+    spilled.write_manifest()?;
+
     // Assemble and spill panel by panel.
     let k_c = pg.plan.col_panels();
-    let mut nnz = 0u64;
     for (r, range) in pg.plan.row_ranges.iter().enumerate() {
         // Build a one-row-panel plan so `assemble` can be reused.
         let sub_plan = PanelPlan {
@@ -138,22 +441,22 @@ pub fn multiply_to_disk(
         };
         let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = (0..k_c)
             .map(|c| {
-                (ChunkId { row: 0, col: c }, &pg.chunk(ChunkId { row: r, col: c }).result)
+                (
+                    ChunkId { row: 0, col: c },
+                    &pg.chunk(ChunkId { row: r, col: c }).result,
+                )
             })
             .collect();
         let panel = assemble(&sub_plan, &chunk_refs);
-        nnz += panel.nnz() as u64;
-        write_binary(&SpilledMatrix::shard_path(dir, r), &panel)
-            .map_err(OocError::Sparse)?;
+        spilled.store_panel(r, &panel)?;
     }
 
-    let mut row_bounds: Vec<usize> = pg.plan.row_ranges.iter().map(|r| r.start).collect();
-    row_bounds.push(pg.plan.row_ranges.last().map_or(0, |r| r.end));
     Ok(SpilledRun {
-        c: SpilledMatrix { dir: dir.to_path_buf(), row_bounds, n_cols: b.n_cols(), nnz },
+        c: spilled,
         sim_ns,
         flops: pg.total_flops(),
         plan: pg.plan,
+        recomputed_panels: 0,
     })
 }
 
@@ -164,8 +467,7 @@ mod tests {
     use sparse::gen::erdos_renyi;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("oocgemm_spill_{}_{tag}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("oocgemm_spill_{}_{tag}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -176,7 +478,11 @@ mod tests {
         let cfg = OocConfig::with_device_memory(1 << 18);
         let dir = temp_dir("match");
         let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
-        assert!(run.c.num_panels() > 1, "should have spilled multiple shards");
+        assert!(
+            run.c.num_panels() > 1,
+            "should have spilled multiple shards"
+        );
+        assert!(run.c.is_complete());
         let loaded = run.c.load_all().unwrap();
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(loaded.approx_eq(&expect, 1e-9));
@@ -212,5 +518,114 @@ mod tests {
         let cfg = OocConfig::with_device_memory(16 << 20).panels(1, 1);
         let err = multiply_to_disk(&a, &a, &cfg, Path::new("/proc/definitely/not/writable"));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn open_roundtrips_manifest() {
+        let a = erdos_renyi(200, 200, 0.05, 11);
+        let cfg = OocConfig::with_device_memory(1 << 19);
+        let dir = temp_dir("open");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        let reopened = SpilledMatrix::open(&dir).unwrap();
+        assert_eq!(reopened.n_rows(), run.c.n_rows());
+        assert_eq!(reopened.n_cols(), run.c.n_cols());
+        assert_eq!(reopened.nnz(), run.c.nnz());
+        assert_eq!(reopened.num_panels(), run.c.num_panels());
+        assert!(reopened.is_complete());
+        assert!(reopened.missing_or_corrupt().is_empty());
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(reopened.load_all().unwrap().approx_eq(&expect, 1e-9));
+        reopened.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn load_panel_rejects_out_of_range_and_corruption() {
+        let a = erdos_renyi(300, 300, 0.05, 13);
+        let cfg = OocConfig::with_device_memory(1 << 18);
+        let dir = temp_dir("reject");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        let n = run.c.num_panels();
+        assert!(n > 1);
+        // Out-of-range panel index is an error, not a panic.
+        match run.c.load_panel(n) {
+            Err(OocError::Spill(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected Spill error, got {other:?}"),
+        }
+        // Flip one byte in shard 0 → checksum mismatch.
+        let shard = SpilledMatrix::shard_path(&dir, 0);
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&shard, &bytes).unwrap();
+        match run.c.load_panel(0) {
+            Err(OocError::Spill(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        assert_eq!(run.c.missing_or_corrupt(), vec![0]);
+        // Other panels still load.
+        run.c.load_panel(1).unwrap();
+        run.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn resume_recomputes_only_damaged_panels() {
+        let a = erdos_renyi(400, 400, 0.03, 17);
+        let cfg = OocConfig::with_device_memory(1 << 18);
+        let dir = temp_dir("resume");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        let n = run.c.num_panels();
+        assert!(n >= 3, "want several panels, got {n}");
+        // Simulate a crash: delete one shard, corrupt another.
+        std::fs::remove_file(SpilledMatrix::shard_path(&dir, 1)).unwrap();
+        let victim = SpilledMatrix::shard_path(&dir, n - 1);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[10] ^= 0x5a;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let resumed = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
+        assert_eq!(resumed.recomputed_panels, 2);
+        assert!(resumed.c.is_complete());
+        assert!(resumed.c.missing_or_corrupt().is_empty());
+        let expect = reference::multiply(&a, &a).unwrap();
+        let loaded = resumed.c.load_all().unwrap();
+        assert_eq!(
+            loaded,
+            run.c.load_all().unwrap(),
+            "resume must be bit-identical"
+        );
+        assert!(loaded.approx_eq(&expect, 1e-9));
+        // A second resume is a no-op.
+        let again = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
+        assert_eq!(again.recomputed_panels, 0);
+        again.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        let a = erdos_renyi(200, 200, 0.05, 19);
+        let cfg = OocConfig::with_device_memory(1 << 19);
+        let dir = temp_dir("mismatch");
+        multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        let other = erdos_renyi(150, 150, 0.05, 20);
+        match SpilledMatrix::resume(&other, &other, &cfg, &dir) {
+            Err(OocError::Spill(msg)) => assert!(msg.contains("does not match"), "{msg}"),
+            other => panic!("expected Spill mismatch error, got {other:?}"),
+        }
+        SpilledMatrix::open(&dir).unwrap().remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn remove_tolerates_missing_shards() {
+        let a = erdos_renyi(200, 200, 0.05, 23);
+        let cfg = OocConfig::with_device_memory(1 << 19);
+        let dir = temp_dir("remove");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        std::fs::remove_file(SpilledMatrix::shard_path(&dir, 0)).unwrap();
+        run.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
     }
 }

@@ -88,7 +88,11 @@ pub fn multiply_unified(
     }
     let flops = stats::total_flops(a, b);
     let nnz_c = stats::symbolic_nnz(a, b);
-    let ratio = if nnz_c == 0 { 1.0 } else { flops as f64 / nnz_c as f64 };
+    let ratio = if nnz_c == 0 {
+        1.0
+    } else {
+        flops as f64 / nnz_c as f64
+    };
 
     let a_bytes = a.storage_bytes() as u64;
     let b_bytes = b.storage_bytes() as u64;
@@ -105,13 +109,34 @@ pub fn multiply_unified(
     // thrashes, every phase re-faults its whole footprint because the
     // previous phase evicted it.
     let phases: [(u64, KernelKind); 3] = [
-        (a_bytes, KernelKind::RowAnalysis { ops: a.nnz() as u64 }),
-        (a_bytes + b_bytes, KernelKind::Symbolic { flops, compression_ratio: ratio }),
-        (a_bytes + b_bytes + c_bytes, KernelKind::Numeric { flops, compression_ratio: ratio }),
+        (
+            a_bytes,
+            KernelKind::RowAnalysis {
+                ops: a.nnz() as u64,
+            },
+        ),
+        (
+            a_bytes + b_bytes,
+            KernelKind::Symbolic {
+                flops,
+                compression_ratio: ratio,
+            },
+        ),
+        (
+            a_bytes + b_bytes + c_bytes,
+            KernelKind::Numeric {
+                flops,
+                compression_ratio: ratio,
+            },
+        ),
     ];
     let mut resident = 0u64;
     for (touched, kernel) in phases {
-        let to_fault = if thrashed { touched } else { touched.saturating_sub(resident) };
+        let to_fault = if thrashed {
+            touched
+        } else {
+            touched.saturating_sub(resident)
+        };
         resident = resident.max(touched.min(capacity));
         let (t, n) = fault_cost(cost, to_fault);
         sim_ns += t;
@@ -127,10 +152,17 @@ pub fn multiply_unified(
     // D2H bandwidth, page granularity).
     let wb_pages = pages(c_bytes);
     let d2h_bytes = wb_pages * UM_PAGE_BYTES;
-    sim_ns += wb_pages * UM_FAULT_NS
-        + (d2h_bytes as f64 / cost.d2h_bandwidth * 1e9).round() as SimTime;
+    sim_ns +=
+        wb_pages * UM_FAULT_NS + (d2h_bytes as f64 / cost.d2h_bandwidth * 1e9).round() as SimTime;
 
-    Ok(UnifiedRun { sim_ns, h2d_bytes, d2h_bytes, faults, flops, thrashed })
+    Ok(UnifiedRun {
+        sim_ns,
+        h2d_bytes,
+        d2h_bytes,
+        faults,
+        flops,
+        thrashed,
+    })
 }
 
 #[cfg(test)]
@@ -200,12 +232,6 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let a = CsrMatrix::zeros(3, 4);
         let b = CsrMatrix::zeros(5, 3);
-        assert!(multiply_unified(
-            &a,
-            &b,
-            &DeviceProps::v100(),
-            &CostModel::calibrated()
-        )
-        .is_err());
+        assert!(multiply_unified(&a, &b, &DeviceProps::v100(), &CostModel::calibrated()).is_err());
     }
 }

@@ -70,8 +70,9 @@ pub fn verify_freivalds(
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for t in 0..trials {
-        let x: Vec<f64> =
-            (0..b.n_cols()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..b.n_cols())
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let via_c = spmv(c, &x).expect("dims checked");
         let bx = spmv(b, &x).expect("dims checked");
         let via_ab = spmv(a, &bx).expect("dims checked");

@@ -24,11 +24,7 @@ pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 }
 
 /// [`multiply`] with an explicit column-panel width.
-pub fn multiply_with_width(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    panel_width: usize,
-) -> Result<CsrMatrix> {
+pub fn multiply_with_width(a: &CsrMatrix, b: &CsrMatrix, panel_width: usize) -> Result<CsrMatrix> {
     check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
     assert!(panel_width > 0, "panel width must be positive");
     let n_rows = a.n_rows();
@@ -65,7 +61,12 @@ pub fn multiply_with_width(
                 acc.flush_into(&mut cols, &mut vals);
                 offsets.push(cols.len());
             }
-            PanelProduct { start_col: panel.col_range.start, offsets, cols, vals }
+            PanelProduct {
+                start_col: panel.col_range.start,
+                offsets,
+                cols,
+                vals,
+            }
         })
         .collect();
 
@@ -86,7 +87,9 @@ pub fn multiply_with_width(
         }
         offsets.push(cols.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals))
+    Ok(CsrMatrix::from_parts_unchecked(
+        n_rows, width, offsets, cols, vals,
+    ))
 }
 
 #[cfg(test)]

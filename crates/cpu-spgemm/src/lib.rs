@@ -39,12 +39,7 @@ pub use semiring::{multiply_semiring, Semiring};
 
 use sparse::{Result, SparseError};
 
-pub(crate) fn check_dims(
-    a_rows: usize,
-    a_cols: usize,
-    b_rows: usize,
-    b_cols: usize,
-) -> Result<()> {
+pub(crate) fn check_dims(a_rows: usize, a_cols: usize, b_rows: usize, b_cols: usize) -> Result<()> {
     if a_cols != b_rows {
         return Err(SparseError::DimensionMismatch {
             op: "spgemm",

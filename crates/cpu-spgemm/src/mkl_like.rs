@@ -79,7 +79,10 @@ pub fn multiply_with_limit(a: &CsrMatrix, b: &CsrMatrix, limit: u64) -> MklResul
     // MKL would also reject inputs that already violate the limit.
     for m in [a, b] {
         if m.nnz() as u64 > limit {
-            return Err(MklError::Overflow(Int32Overflow { required: m.nnz() as u64, limit }));
+            return Err(MklError::Overflow(Int32Overflow {
+                required: m.nnz() as u64,
+                limit,
+            }));
         }
     }
     // Symbolic sizing first — exactly where a 32-bit implementation

@@ -77,12 +77,16 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
             rest_v = tail_v;
             chunk_start = chunk_end;
         }
-        col_chunks.into_par_iter().for_each(|(chunk_start, out_c, out_v)| {
-            numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v);
-        });
+        col_chunks
+            .into_par_iter()
+            .for_each(|(chunk_start, out_c, out_v)| {
+                numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v);
+            });
     }
 
-    Ok(CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals))
+    Ok(CsrMatrix::from_parts_unchecked(
+        n_rows, width, offsets, cols, vals,
+    ))
 }
 
 /// Symbolic phase: exact output row sizes, parallel over row chunks
@@ -165,7 +169,11 @@ fn numeric_chunk(
                 hash.flush_into(&mut scratch_c, &mut scratch_v);
             }
         }
-        debug_assert_eq!(scratch_c.len(), expect, "symbolic/numeric mismatch at row {r}");
+        debug_assert_eq!(
+            scratch_c.len(),
+            expect,
+            "symbolic/numeric mismatch at row {r}"
+        );
         out_c[cursor..cursor + expect].copy_from_slice(&scratch_c);
         out_v[cursor..cursor + expect].copy_from_slice(&scratch_v);
         cursor += expect;

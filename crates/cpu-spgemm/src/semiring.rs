@@ -26,12 +26,20 @@ pub struct Semiring {
 impl Semiring {
     /// The ordinary arithmetic semiring `(+, ×, 0)`.
     pub fn plus_times() -> Self {
-        Semiring { plus: |a, b| a + b, times: |a, b| a * b, zero: 0.0 }
+        Semiring {
+            plus: |a, b| a + b,
+            times: |a, b| a * b,
+            zero: 0.0,
+        }
     }
 
     /// The tropical semiring `(min, +, ∞)` — shortest paths.
     pub fn min_plus() -> Self {
-        Semiring { plus: f64::min, times: |a, b| a + b, zero: f64::INFINITY }
+        Semiring {
+            plus: f64::min,
+            times: |a, b| a + b,
+            zero: f64::INFINITY,
+        }
     }
 
     /// The boolean semiring `(∨, ∧, false)` on 0.0/1.0 — reachability.
@@ -46,7 +54,11 @@ impl Semiring {
     /// The `(max, ×)` semiring on non-negative values — most-reliable
     /// path products.
     pub fn max_times() -> Self {
-        Semiring { plus: f64::max, times: |a, b| a * b, zero: 0.0 }
+        Semiring {
+            plus: f64::max,
+            times: |a, b| a * b,
+            zero: 0.0,
+        }
     }
 }
 

@@ -24,24 +24,20 @@ fn arb_square(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
 fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     (1..40usize, 1..40usize, 1..40usize).prop_flat_map(|(m, k, n)| {
         (
-            prop::collection::vec((0..m, 0..k, -10.0f64..10.0), 0..200).prop_map(
-                move |entries| {
-                    let mut coo = CooMatrix::new(m, k);
-                    for (i, j, v) in entries {
-                        coo.push(i, j, v).unwrap();
-                    }
-                    coo.to_csr()
-                },
-            ),
-            prop::collection::vec((0..k, 0..n, -10.0f64..10.0), 0..200).prop_map(
-                move |entries| {
-                    let mut coo = CooMatrix::new(k, n);
-                    for (i, j, v) in entries {
-                        coo.push(i, j, v).unwrap();
-                    }
-                    coo.to_csr()
-                },
-            ),
+            prop::collection::vec((0..m, 0..k, -10.0f64..10.0), 0..200).prop_map(move |entries| {
+                let mut coo = CooMatrix::new(m, k);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v).unwrap();
+                }
+                coo.to_csr()
+            }),
+            prop::collection::vec((0..k, 0..n, -10.0f64..10.0), 0..200).prop_map(move |entries| {
+                let mut coo = CooMatrix::new(k, n);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v).unwrap();
+                }
+                coo.to_csr()
+            }),
         )
     })
 }

@@ -131,13 +131,19 @@ impl CostModel {
     pub fn kernel_duration(&self, kind: KernelKind) -> SimTime {
         let work_secs = match kind {
             KernelKind::RowAnalysis { ops } => ops as f64 / self.row_analysis_rate,
-            KernelKind::Symbolic { flops, compression_ratio } => {
+            KernelKind::Symbolic {
+                flops,
+                compression_ratio,
+            } => {
                 let rate = self.symbolic_base_rate
                     * self.ratio_speedup(compression_ratio)
                     * self.saturation(flops);
                 flops as f64 / rate.max(1.0)
             }
-            KernelKind::Numeric { flops, compression_ratio } => {
+            KernelKind::Numeric {
+                flops,
+                compression_ratio,
+            } => {
                 let rate = self.numeric_base_rate
                     * self.ratio_speedup(compression_ratio)
                     * self.saturation(flops);
@@ -150,7 +156,11 @@ impl CostModel {
 
     /// Duration of a copy of `bytes` in the given direction, in ns.
     pub fn copy_duration(&self, bytes: u64, d2h: bool, pinned: bool) -> SimTime {
-        let mut bw = if d2h { self.d2h_bandwidth } else { self.h2d_bandwidth };
+        let mut bw = if d2h {
+            self.d2h_bandwidth
+        } else {
+            self.h2d_bandwidth
+        };
         if !pinned {
             bw *= self.pageable_factor;
         }
@@ -191,10 +201,14 @@ mod tests {
         assert!(m.saturation(50_000_000) > 0.98);
         assert_eq!(m.saturation(0), 1.0);
         // Duration per flop is higher for small chunks.
-        let small =
-            m.kernel_duration(KernelKind::Numeric { flops: 100_000, compression_ratio: 2.0 });
-        let large =
-            m.kernel_duration(KernelKind::Numeric { flops: 10_000_000, compression_ratio: 2.0 });
+        let small = m.kernel_duration(KernelKind::Numeric {
+            flops: 100_000,
+            compression_ratio: 2.0,
+        });
+        let large = m.kernel_duration(KernelKind::Numeric {
+            flops: 10_000_000,
+            compression_ratio: 2.0,
+        });
         let per_flop_small = (small - m.kernel_launch_ns) as f64 / 100_000.0;
         let per_flop_large = (large - m.kernel_launch_ns) as f64 / 10_000_000.0;
         assert!(per_flop_small > 2.0 * per_flop_large);
@@ -204,8 +218,14 @@ mod tests {
     fn regular_chunks_run_faster() {
         let m = CostModel::calibrated();
         let flops = 20_000_000;
-        let skewed = m.kernel_duration(KernelKind::Numeric { flops, compression_ratio: 1.8 });
-        let regular = m.kernel_duration(KernelKind::Numeric { flops, compression_ratio: 10.0 });
+        let skewed = m.kernel_duration(KernelKind::Numeric {
+            flops,
+            compression_ratio: 1.8,
+        });
+        let regular = m.kernel_duration(KernelKind::Numeric {
+            flops,
+            compression_ratio: 10.0,
+        });
         assert!(regular < skewed / 2, "{regular} !< {skewed}/2");
     }
 
@@ -215,9 +235,7 @@ mod tests {
         let one_mb = m.copy_duration(1 << 20, true, true);
         let two_mb = m.copy_duration(2 << 20, true, true);
         assert!(two_mb > one_mb);
-        assert!(
-            (two_mb - m.copy_latency_ns) as f64 / (one_mb - m.copy_latency_ns) as f64 > 1.9
-        );
+        assert!((two_mb - m.copy_latency_ns) as f64 / (one_mb - m.copy_latency_ns) as f64 > 1.9);
         let pageable = m.copy_duration(1 << 20, true, false);
         assert!(pageable > one_mb, "pageable copies must be slower");
         // D2H at 3 GB/s: 3 MB takes ~1 ms.
@@ -245,8 +263,14 @@ mod tests {
         assert_eq!(back.d2h_bandwidth, m.d2h_bandwidth);
         assert_eq!(back.alloc_overhead_ns, m.alloc_overhead_ns);
         assert_eq!(
-            back.kernel_duration(KernelKind::Numeric { flops: 1_000_000, compression_ratio: 3.0 }),
-            m.kernel_duration(KernelKind::Numeric { flops: 1_000_000, compression_ratio: 3.0 }),
+            back.kernel_duration(KernelKind::Numeric {
+                flops: 1_000_000,
+                compression_ratio: 3.0
+            }),
+            m.kernel_duration(KernelKind::Numeric {
+                flops: 1_000_000,
+                compression_ratio: 3.0
+            }),
         );
     }
 
@@ -254,8 +278,14 @@ mod tests {
     fn symbolic_cheaper_than_numeric() {
         let m = CostModel::calibrated();
         let flops = 5_000_000;
-        let s = m.kernel_duration(KernelKind::Symbolic { flops, compression_ratio: 2.0 });
-        let n = m.kernel_duration(KernelKind::Numeric { flops, compression_ratio: 2.0 });
+        let s = m.kernel_duration(KernelKind::Symbolic {
+            flops,
+            compression_ratio: 2.0,
+        });
+        let n = m.kernel_duration(KernelKind::Numeric {
+            flops,
+            compression_ratio: 2.0,
+        });
         assert!(s < n);
     }
 
@@ -268,9 +298,13 @@ mod tests {
         let flops = 50_000_000u64;
         let nnz_out = flops / 2;
         let gpu_transfer = m.copy_duration(nnz_out * 12, true, true);
-        let gpu_compute = m
-            .kernel_duration(KernelKind::Symbolic { flops, compression_ratio: 2.0 })
-            + m.kernel_duration(KernelKind::Numeric { flops, compression_ratio: 2.0 });
+        let gpu_compute = m.kernel_duration(KernelKind::Symbolic {
+            flops,
+            compression_ratio: 2.0,
+        }) + m.kernel_duration(KernelKind::Numeric {
+            flops,
+            compression_ratio: 2.0,
+        });
         let gpu_sync = gpu_transfer + gpu_compute;
         let cpu = m.cpu_chunk_duration(flops, nnz_out);
         let speedup = cpu as f64 / gpu_sync as f64;

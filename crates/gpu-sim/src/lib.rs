@@ -52,12 +52,14 @@
 //! ```
 
 pub mod cost;
+pub mod fault;
 pub mod memory;
 pub mod props;
 pub mod sim;
 pub mod trace;
 
 pub use cost::{CostModel, KernelKind};
+pub use fault::{CapacityShrink, FaultKind, FaultPlan, FaultState, FaultStats, SimFault};
 pub use memory::{DeviceAlloc, DeviceMemory, MemoryPool, OutOfDeviceMemory};
 pub use props::DeviceProps;
 pub use sim::{CopyDir, Event, GpuSim, HostMem, Stream};

@@ -49,7 +49,13 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Creates a device memory of the given capacity.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, in_use: 0, high_water: 0, next_id: 0, live: BTreeMap::new() }
+        DeviceMemory {
+            capacity,
+            in_use: 0,
+            high_water: 0,
+            next_id: 0,
+            live: BTreeMap::new(),
+        }
     }
 
     /// Device capacity in bytes.
@@ -94,9 +100,21 @@ impl DeviceMemory {
         Ok(DeviceAlloc(id))
     }
 
+    /// Shrinks the device capacity to `new_capacity`, clamped so live
+    /// allocations survive (a device cannot evict memory already
+    /// handed out). Returns the capacity actually in effect. Used by
+    /// fault injection to model a co-tenant claiming memory mid-run.
+    pub fn shrink_to(&mut self, new_capacity: u64) -> u64 {
+        self.capacity = new_capacity.max(self.in_use);
+        self.capacity
+    }
+
     /// Frees an allocation. Panics on double free.
     pub fn dealloc(&mut self, handle: DeviceAlloc) {
-        let bytes = self.live.remove(&handle.0).expect("double free of device allocation");
+        let bytes = self
+            .live
+            .remove(&handle.0)
+            .expect("double free of device allocation");
         self.in_use -= bytes;
     }
 }
@@ -121,7 +139,13 @@ impl MemoryPool {
     /// Creates a pool of `capacity` bytes (already device-allocated by
     /// the caller).
     pub fn new(capacity: u64) -> Self {
-        MemoryPool { capacity, cursor: 0, high_water: 0, allocations: 0, resets: 0 }
+        MemoryPool {
+            capacity,
+            cursor: 0,
+            high_water: 0,
+            allocations: 0,
+            resets: 0,
+        }
     }
 
     /// Pool capacity.

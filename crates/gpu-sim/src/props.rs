@@ -50,7 +50,10 @@ impl DeviceProps {
     /// as the evaluation matrices (DESIGN.md), so the suite remains
     /// out-of-core. The default experiment configuration uses 24 MiB.
     pub fn v100_scaled(device_memory_bytes: u64) -> Self {
-        DeviceProps { device_memory_bytes, ..Self::v100() }
+        DeviceProps {
+            device_memory_bytes,
+            ..Self::v100()
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 //! host clock.
 
 use crate::cost::{CostModel, KernelKind};
+use crate::fault::{FaultKind, FaultPlan, FaultState, FaultStats, SimFault};
 use crate::memory::{DeviceAlloc, DeviceMemory, OutOfDeviceMemory};
 use crate::props::DeviceProps;
 use crate::trace::{OpKind, Timeline, TraceRecord};
@@ -59,6 +60,7 @@ pub struct GpuSim {
     events: Vec<SimTime>,
     host_clock: SimTime,
     timeline: Timeline,
+    faults: Option<FaultState>,
 }
 
 impl GpuSim {
@@ -75,7 +77,21 @@ impl GpuSim {
             events: Vec::new(),
             host_clock: 0,
             timeline: Timeline::default(),
+            faults: None,
         }
+    }
+
+    /// Creates a simulator that injects faults per `plan`.
+    ///
+    /// Only the fallible submission paths consult the plan:
+    /// [`GpuSim::try_enqueue_kernel`], [`GpuSim::try_enqueue_copy`],
+    /// [`GpuSim::malloc`], and [`GpuSim::check_pool_reserve`]. The
+    /// infallible `enqueue_*` methods never fault, so legacy callers
+    /// keep their exact semantics.
+    pub fn with_faults(props: DeviceProps, cost: CostModel, plan: FaultPlan) -> Self {
+        let mut sim = GpuSim::new(props, cost);
+        sim.faults = Some(FaultState::new(plan));
+        sim
     }
 
     /// Device properties.
@@ -159,7 +175,14 @@ impl GpuSim {
             KernelKind::RowAnalysis { ops } | KernelKind::Generic { ops, .. } => ops,
             KernelKind::Symbolic { flops, .. } | KernelKind::Numeric { flops, .. } => flops,
         };
-        self.schedule(stream, ENGINE_KERNEL, duration, OpKind::Kernel, label.into(), payload)
+        self.schedule(
+            stream,
+            ENGINE_KERNEL,
+            duration,
+            OpKind::Kernel,
+            label.into(),
+            payload,
+        )
     }
 
     /// Enqueues an async copy on `stream`; returns its completion time.
@@ -179,6 +202,129 @@ impl GpuSim {
             (ENGINE_H2D, OpKind::CopyH2D)
         };
         self.schedule(stream, engine, duration, kind, label.into(), bytes)
+    }
+
+    fn roll_fault(&mut self, kind: FaultKind) -> bool {
+        match &mut self.faults {
+            Some(state) => state.roll(kind),
+            None => false,
+        }
+    }
+
+    /// Pushes a zero-duration marker record at the current host clock.
+    fn push_marker(&mut self, kind: OpKind, label: String) {
+        let at = self.host_clock;
+        self.timeline.records.push(TraceRecord {
+            kind,
+            label,
+            stream: u32::MAX,
+            start: at,
+            end: at,
+            payload: 0,
+        });
+    }
+
+    /// Fallible kernel launch: consults the fault plan, and on
+    /// injection still charges the failed attempt to the compute
+    /// engine (annotated in the timeline) before returning the fault.
+    pub fn try_enqueue_kernel(
+        &mut self,
+        stream: Stream,
+        kind: KernelKind,
+        label: impl Into<String>,
+    ) -> Result<SimTime, SimFault> {
+        let label = label.into();
+        if self.roll_fault(FaultKind::Kernel) {
+            let duration = self.cost.kernel_duration(kind);
+            let payload = match kind {
+                KernelKind::RowAnalysis { ops } | KernelKind::Generic { ops, .. } => ops,
+                KernelKind::Symbolic { flops, .. } | KernelKind::Numeric { flops, .. } => flops,
+            };
+            self.schedule(
+                stream,
+                ENGINE_KERNEL,
+                duration,
+                OpKind::Kernel,
+                format!("{label} [faulted]"),
+                payload,
+            );
+            self.push_marker(OpKind::Fault, format!("kernel fault: {label}"));
+            return Err(SimFault {
+                kind: FaultKind::Kernel,
+                label,
+                lost_ns: duration,
+            });
+        }
+        Ok(self.enqueue_kernel(stream, kind, label))
+    }
+
+    /// Fallible copy: consults the fault plan, charging failed
+    /// attempts to the transfer engine like [`GpuSim::try_enqueue_kernel`].
+    pub fn try_enqueue_copy(
+        &mut self,
+        stream: Stream,
+        dir: CopyDir,
+        bytes: u64,
+        mem: HostMem,
+        label: impl Into<String>,
+    ) -> Result<SimTime, SimFault> {
+        let label = label.into();
+        if self.roll_fault(FaultKind::Copy) {
+            let d2h = dir == CopyDir::D2H;
+            let duration = self.cost.copy_duration(bytes, d2h, mem == HostMem::Pinned);
+            let (engine, kind) = if d2h {
+                (ENGINE_D2H, OpKind::CopyD2H)
+            } else {
+                (ENGINE_H2D, OpKind::CopyH2D)
+            };
+            self.schedule(
+                stream,
+                engine,
+                duration,
+                kind,
+                format!("{label} [faulted]"),
+                bytes,
+            );
+            self.push_marker(OpKind::Fault, format!("copy fault: {label}"));
+            return Err(SimFault {
+                kind: FaultKind::Copy,
+                label,
+                lost_ns: duration,
+            });
+        }
+        Ok(self.enqueue_copy(stream, dir, bytes, mem, label))
+    }
+
+    /// Checks whether a reservation of `bytes` from a pre-allocated
+    /// pool succeeds. Pure bookkeeping on a fault-free simulator;
+    /// under a fault plan it may inject a transient reservation
+    /// failure (the caller retries or degrades).
+    pub fn check_pool_reserve(
+        &mut self,
+        bytes: u64,
+        label: impl Into<String>,
+    ) -> Result<(), OutOfDeviceMemory> {
+        let label = label.into();
+        if self.roll_fault(FaultKind::PoolReserve) {
+            self.push_marker(OpKind::Fault, format!("pool-reserve fault: {label}"));
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                free: self.memory.free_bytes(),
+                capacity: self.memory.capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Records a recovery action (retry, re-split, demotion, drain) as
+    /// a zero-duration marker in the timeline.
+    pub fn note_recovery(&mut self, label: impl Into<String>) {
+        self.push_marker(OpKind::Recovery, label.into());
+    }
+
+    /// Injection counters, if this simulator runs a fault plan.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// Records an event capturing the current tail of `stream`.
@@ -267,13 +413,35 @@ impl GpuSim {
 
     /// `cudaMalloc`: allocates device memory with full barrier
     /// semantics (drains the device, stalls all streams).
+    ///
+    /// Under a fault plan this is also where a configured
+    /// [`crate::CapacityShrink`] takes effect and where transient
+    /// allocation faults are injected.
     pub fn malloc(
         &mut self,
         bytes: u64,
         label: impl Into<String>,
     ) -> Result<DeviceAlloc, OutOfDeviceMemory> {
+        let label = label.into();
+        if let Some(shrink) = self.faults.as_mut().and_then(|s| s.on_malloc()) {
+            let target =
+                (self.memory.capacity() as f64 * shrink.factor.clamp(0.0, 1.0)).round() as u64;
+            let actual = self.memory.shrink_to(target);
+            self.push_marker(
+                OpKind::Fault,
+                format!("capacity shrink: device now {actual} bytes"),
+            );
+        }
+        if self.roll_fault(FaultKind::Alloc) {
+            self.push_marker(OpKind::Fault, format!("alloc fault: {label}"));
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                free: self.memory.free_bytes(),
+                capacity: self.memory.capacity(),
+            });
+        }
         let handle = self.memory.alloc(bytes)?;
-        self.device_barrier(format!("malloc({}): {}", bytes, label.into()));
+        self.device_barrier(format!("malloc({bytes}): {label}"));
         Ok(handle)
     }
 
@@ -300,7 +468,10 @@ mod tests {
     }
 
     fn kernel(flops: u64) -> KernelKind {
-        KernelKind::Generic { ops: flops, rate: 1e9 } // 1 ns per op
+        KernelKind::Generic {
+            ops: flops,
+            rate: 1e9,
+        } // 1 ns per op
     }
 
     #[test]
@@ -342,7 +513,10 @@ mod tests {
         s.enqueue_copy(s2, CopyDir::D2H, 3_000_000, HostMem::Pinned, "c2");
         let makespan = s.finish();
         let busy = s.timeline().busy_time(OpKind::CopyD2H);
-        assert_eq!(makespan, busy, "one engine per direction: copies must serialize");
+        assert_eq!(
+            makespan, busy,
+            "one engine per direction: copies must serialize"
+        );
     }
 
     #[test]
@@ -353,8 +527,8 @@ mod tests {
         s.enqueue_copy(s1, CopyDir::D2H, 3_000_000, HostMem::Pinned, "down");
         s.enqueue_copy(s2, CopyDir::H2D, 3_000_000, HostMem::Pinned, "up");
         let makespan = s.finish();
-        let busy = s.timeline().busy_time(OpKind::CopyD2H)
-            + s.timeline().busy_time(OpKind::CopyH2D);
+        let busy =
+            s.timeline().busy_time(OpKind::CopyD2H) + s.timeline().busy_time(OpKind::CopyH2D);
         assert!(makespan < busy);
     }
 
@@ -461,8 +635,7 @@ mod tests {
         let pinned_end = s.enqueue_copy(s1, CopyDir::D2H, 1 << 20, HostMem::Pinned, "p");
         let mut s2sim = sim();
         let st = s2sim.create_stream();
-        let pageable_end =
-            s2sim.enqueue_copy(st, CopyDir::D2H, 1 << 20, HostMem::Pageable, "pg");
+        let pageable_end = s2sim.enqueue_copy(st, CopyDir::D2H, 1 << 20, HostMem::Pageable, "pg");
         assert!(pageable_end > pinned_end);
     }
 }

@@ -16,6 +16,12 @@ pub enum OpKind {
     HostCompute,
     /// Device allocation/deallocation barrier.
     AllocBarrier,
+    /// Zero-duration marker: an injected fault (the failed attempt
+    /// itself is recorded separately under its normal kind).
+    Fault,
+    /// Zero-duration marker: a recovery action (retry, re-split,
+    /// demotion, drain).
+    Recovery,
 }
 
 impl OpKind {
@@ -25,7 +31,7 @@ impl OpKind {
             OpKind::Kernel => Some(0),
             OpKind::CopyH2D => Some(1),
             OpKind::CopyD2H => Some(2),
-            OpKind::HostCompute | OpKind::AllocBarrier => None,
+            OpKind::HostCompute | OpKind::AllocBarrier | OpKind::Fault | OpKind::Recovery => None,
         }
     }
 }
@@ -62,7 +68,11 @@ impl Timeline {
 
     /// Total busy time of an op kind (sum of durations).
     pub fn busy_time(&self, kind: OpKind) -> SimTime {
-        self.records.iter().filter(|r| r.kind == kind).map(|r| r.end - r.start).sum()
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.end - r.start)
+            .sum()
     }
 
     /// Fraction of the makespan spent on D2H+H2D copies
@@ -139,7 +149,9 @@ impl Timeline {
     /// per record, with engines as threads of process 0 and host
     /// activity as process 1. Times are exported in microseconds.
     pub fn to_chrome_trace(&self) -> String {
+        // Fields are read only by the generated `Serialize` impl.
         #[derive(serde::Serialize)]
+        #[allow(dead_code)]
         struct Event<'a> {
             name: &'a str,
             cat: &'static str,
@@ -151,6 +163,7 @@ impl Timeline {
             args: EventArgs,
         }
         #[derive(serde::Serialize)]
+        #[allow(dead_code)]
         struct EventArgs {
             stream: u32,
             payload: u64,
@@ -165,6 +178,8 @@ impl Timeline {
                     OpKind::CopyD2H => (0, 2, "copy_d2h"),
                     OpKind::HostCompute => (1, 0, "host"),
                     OpKind::AllocBarrier => (1, 1, "alloc"),
+                    OpKind::Fault => (2, 0, "fault"),
+                    OpKind::Recovery => (2, 1, "recovery"),
                 };
                 Event {
                     name: &r.label,
@@ -174,7 +189,10 @@ impl Timeline {
                     dur: (r.end - r.start) as f64 / 1e3,
                     pid,
                     tid,
-                    args: EventArgs { stream: r.stream, payload: r.payload },
+                    args: EventArgs {
+                        stream: r.stream,
+                        payload: r.payload,
+                    },
                 }
             })
             .collect();
@@ -187,7 +205,14 @@ mod tests {
     use super::*;
 
     fn rec(kind: OpKind, stream: u32, start: SimTime, end: SimTime) -> TraceRecord {
-        TraceRecord { kind, label: format!("{kind:?}@{start}"), stream, start, end, payload: 0 }
+        TraceRecord {
+            kind,
+            label: format!("{kind:?}@{start}"),
+            stream,
+            start,
+            end,
+            payload: 0,
+        }
     }
 
     #[test]
@@ -217,7 +242,10 @@ mod tests {
     #[test]
     fn copies_in_different_directions_may_overlap() {
         let t = Timeline {
-            records: vec![rec(OpKind::CopyH2D, 0, 0, 10), rec(OpKind::CopyD2H, 1, 0, 10)],
+            records: vec![
+                rec(OpKind::CopyH2D, 0, 0, 10),
+                rec(OpKind::CopyD2H, 1, 0, 10),
+            ],
         };
         t.validate().unwrap();
     }
@@ -225,7 +253,10 @@ mod tests {
     #[test]
     fn detects_stream_fifo_violation() {
         let t = Timeline {
-            records: vec![rec(OpKind::Kernel, 0, 10, 20), rec(OpKind::CopyD2H, 0, 5, 9)],
+            records: vec![
+                rec(OpKind::Kernel, 0, 10, 20),
+                rec(OpKind::CopyD2H, 0, 5, 9),
+            ],
         };
         assert!(t.validate().unwrap_err().contains("FIFO"));
     }

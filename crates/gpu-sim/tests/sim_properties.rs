@@ -7,20 +7,39 @@ use proptest::prelude::*;
 /// An abstract operation the fuzzer can issue.
 #[derive(Debug, Clone)]
 enum Op {
-    Kernel { stream: usize, flops: u64 },
-    Copy { stream: usize, d2h: bool, bytes: u64 },
-    RecordWait { from: usize, to: usize },
-    HostCompute { ns: u64 },
-    StreamSync { stream: usize },
+    Kernel {
+        stream: usize,
+        flops: u64,
+    },
+    Copy {
+        stream: usize,
+        d2h: bool,
+        bytes: u64,
+    },
+    RecordWait {
+        from: usize,
+        to: usize,
+    },
+    HostCompute {
+        ns: u64,
+    },
+    StreamSync {
+        stream: usize,
+    },
     DeviceSync,
-    MallocFree { bytes: u64 },
+    MallocFree {
+        bytes: u64,
+    },
 }
 
 fn arb_op(n_streams: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..n_streams, 1u64..10_000_000).prop_map(|(stream, flops)| Op::Kernel { stream, flops }),
-        (0..n_streams, any::<bool>(), 1u64..50_000_000)
-            .prop_map(|(stream, d2h, bytes)| Op::Copy { stream, d2h, bytes }),
+        (0..n_streams, any::<bool>(), 1u64..50_000_000).prop_map(|(stream, d2h, bytes)| Op::Copy {
+            stream,
+            d2h,
+            bytes
+        }),
         (0..n_streams, 0..n_streams).prop_map(|(from, to)| Op::RecordWait { from, to }),
         (1u64..100_000).prop_map(|ns| Op::HostCompute { ns }),
         (0..n_streams).prop_map(|stream| Op::StreamSync { stream }),
@@ -37,7 +56,10 @@ fn run(ops: &[Op], n_streams: usize) -> GpuSim {
             Op::Kernel { stream, flops } => {
                 sim.enqueue_kernel(
                     streams[*stream],
-                    KernelKind::Numeric { flops: *flops, compression_ratio: 2.0 },
+                    KernelKind::Numeric {
+                        flops: *flops,
+                        compression_ratio: 2.0,
+                    },
                     "k",
                 );
             }

@@ -79,7 +79,9 @@ pub fn esc_chunk(
         cols.clear();
         vals.clear();
         acc.flush_into(&mut cols, &mut vals);
-        builder.push_row(&cols, &vals).expect("accumulator rows are sorted");
+        builder
+            .push_row(&cols, &vals)
+            .expect("accumulator rows are sorted");
     }
     let result = builder.finish();
 
@@ -102,22 +104,37 @@ pub fn esc_chunk(
 
     sim.enqueue_kernel(
         stream,
-        KernelKind::Generic { ops: products, rate: EXPAND_RATE },
+        KernelKind::Generic {
+            ops: products,
+            rate: EXPAND_RATE,
+        },
         format!("ESC expand (chunk {id})"),
     );
     let sort_steps = products * (64 - products.max(1).leading_zeros() as u64).max(1);
     sim.enqueue_kernel(
         stream,
-        KernelKind::Generic { ops: sort_steps, rate: SORT_RATE },
+        KernelKind::Generic {
+            ops: sort_steps,
+            rate: SORT_RATE,
+        },
         format!("ESC sort (chunk {id})"),
     );
     sim.enqueue_kernel(
         stream,
-        KernelKind::Generic { ops: products, rate: COMPRESS_RATE },
+        KernelKind::Generic {
+            ops: products,
+            rate: COMPRESS_RATE,
+        },
         format!("ESC compress (chunk {id})"),
     );
     let out_alloc = sim.malloc(out_bytes, format!("ESC output (chunk {id})"))?;
-    sim.enqueue_copy(stream, CopyDir::D2H, out_bytes, HostMem::Pinned, "ESC D2H output");
+    sim.enqueue_copy(
+        stream,
+        CopyDir::D2H,
+        out_bytes,
+        HostMem::Pinned,
+        "ESC D2H output",
+    );
     sim.stream_synchronize(stream);
 
     sim.free(out_alloc, "ESC output");
@@ -126,7 +143,11 @@ pub fn esc_chunk(
     if let Some(h) = a_alloc {
         sim.free(h, "ESC A");
     }
-    Ok(AltChunkReport { result, done_at: sim.now(), peak_intermediate: products })
+    Ok(AltChunkReport {
+        result,
+        done_at: sim.now(),
+        peak_intermediate: products,
+    })
 }
 
 /// Executes one chunk with the RMerge algorithm.
@@ -155,7 +176,9 @@ pub fn rmerge_chunk(
         let mut lists: Vec<Vec<(ColId, f64)>> = a
             .row_iter(r)
             .map(|(k, a_rk)| {
-                b.row_iter(k as usize).map(|(c, v)| (c, a_rk * v)).collect::<Vec<_>>()
+                b.row_iter(k as usize)
+                    .map(|(c, v)| (c, a_rk * v))
+                    .collect::<Vec<_>>()
             })
             .collect();
         max_width = max_width.max(lists.len());
@@ -180,7 +203,9 @@ pub fn rmerge_chunk(
         match lists.pop() {
             Some(row) => {
                 let (cols, vals): (Vec<ColId>, Vec<f64>) = row.into_iter().unzip();
-                builder.push_row(&cols, &vals).expect("merged rows are sorted");
+                builder
+                    .push_row(&cols, &vals)
+                    .expect("merged rows are sorted");
             }
             None => builder.push_empty_row(),
         }
@@ -195,24 +220,45 @@ pub fn rmerge_chunk(
 
     let a_alloc = if transfer_a {
         let h = sim.malloc(a_bytes, format!("RMerge A (chunk {id})"))?;
-        sim.enqueue_copy(stream, CopyDir::H2D, a_bytes, HostMem::Pinned, "RMerge H2D A");
+        sim.enqueue_copy(
+            stream,
+            CopyDir::H2D,
+            a_bytes,
+            HostMem::Pinned,
+            "RMerge H2D A",
+        );
         Some(h)
     } else {
         None
     };
     let b_alloc = sim.malloc(b_bytes, format!("RMerge B (chunk {id})"))?;
-    sim.enqueue_copy(stream, CopyDir::H2D, b_bytes, HostMem::Pinned, "RMerge H2D B");
+    sim.enqueue_copy(
+        stream,
+        CopyDir::H2D,
+        b_bytes,
+        HostMem::Pinned,
+        "RMerge H2D B",
+    );
     // Double buffering of merge lists: peak intermediate x2 (ping-pong).
     let inter_alloc = sim.malloc(peak * 12 * 2, format!("RMerge buffers (chunk {id})"))?;
     for (p, &elements) in pass_elements.iter().enumerate() {
         sim.enqueue_kernel(
             stream,
-            KernelKind::Generic { ops: elements, rate: MERGE_RATE },
+            KernelKind::Generic {
+                ops: elements,
+                rate: MERGE_RATE,
+            },
             format!("RMerge pass {p} (chunk {id})"),
         );
     }
     let out_alloc = sim.malloc(out_bytes, format!("RMerge output (chunk {id})"))?;
-    sim.enqueue_copy(stream, CopyDir::D2H, out_bytes, HostMem::Pinned, "RMerge D2H output");
+    sim.enqueue_copy(
+        stream,
+        CopyDir::D2H,
+        out_bytes,
+        HostMem::Pinned,
+        "RMerge D2H output",
+    );
     sim.stream_synchronize(stream);
 
     sim.free(out_alloc, "RMerge output");
@@ -221,7 +267,11 @@ pub fn rmerge_chunk(
     if let Some(h) = a_alloc {
         sim.free(h, "RMerge A");
     }
-    Ok(AltChunkReport { result, done_at: sim.now(), peak_intermediate: peak })
+    Ok(AltChunkReport {
+        result,
+        done_at: sim.now(),
+        peak_intermediate: peak,
+    })
 }
 
 /// Merges two column-sorted scaled rows, summing collisions.
@@ -263,7 +313,11 @@ mod tests {
     }
 
     fn job<'a>(a: &'a CsrMatrix, b: &'a CsrMatrix) -> ChunkJob<'a> {
-        ChunkJob { a_panel: CsrView::of(a), b_panel: b, chunk_id: 0 }
+        ChunkJob {
+            a_panel: CsrView::of(a),
+            b_panel: b,
+            chunk_id: 0,
+        }
     }
 
     #[test]
@@ -318,11 +372,12 @@ mod tests {
             f(&mut sim, stream)
         };
         let speck = run(&|sim, st| {
-            crate::sync::sync_chunk(sim, st, job(&a, &a), true).unwrap().done_at
+            crate::sync::sync_chunk(sim, st, job(&a, &a), true)
+                .unwrap()
+                .done_at
         });
         let esc = run(&|sim, st| esc_chunk(sim, st, job(&a, &a), true).unwrap().done_at);
-        let rmerge =
-            run(&|sim, st| rmerge_chunk(sim, st, job(&a, &a), true).unwrap().done_at);
+        let rmerge = run(&|sim, st| rmerge_chunk(sim, st, job(&a, &a), true).unwrap().done_at);
         assert!(speck < esc, "spECK-style {speck} !< ESC {esc}");
         assert!(speck < rmerge, "spECK-style {speck} !< RMerge {rmerge}");
     }
@@ -332,10 +387,7 @@ mod tests {
         let x = vec![(1u32, 1.0), (3, 2.0), (5, 3.0)];
         let y = vec![(2u32, 1.5), (3, 0.5), (6, 4.0)];
         let m = merge_two(&x, &y);
-        assert_eq!(
-            m,
-            vec![(1, 1.0), (2, 1.5), (3, 2.5), (5, 3.0), (6, 4.0)]
-        );
+        assert_eq!(m, vec![(1, 1.0), (2, 1.5), (3, 2.5), (5, 3.0), (6, 4.0)]);
         assert_eq!(merge_two(&[], &y), y);
         assert_eq!(merge_two(&x, &[]), x);
     }

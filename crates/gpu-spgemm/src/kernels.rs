@@ -45,10 +45,16 @@ impl NumericGroups {
             groups[g].push(r as u32);
             group_flops[g] += flops;
         }
-        let kept: Vec<(Vec<u32>, u64)> =
-            groups.into_iter().zip(group_flops).filter(|(g, _)| !g.is_empty()).collect();
+        let kept: Vec<(Vec<u32>, u64)> = groups
+            .into_iter()
+            .zip(group_flops)
+            .filter(|(g, _)| !g.is_empty())
+            .collect();
         let (groups, group_flops) = kept.into_iter().unzip();
-        NumericGroups { groups, group_flops }
+        NumericGroups {
+            groups,
+            group_flops,
+        }
     }
 
     /// Number of non-empty groups (== numeric kernel launches).
@@ -73,7 +79,11 @@ pub fn numeric_by_groups(
     row_nnz: &[usize],
     groups: &NumericGroups,
 ) -> CsrMatrix {
-    assert_eq!(a_panel.n_cols(), b_panel.n_rows(), "panel dimensions must agree");
+    assert_eq!(
+        a_panel.n_cols(),
+        b_panel.n_rows(),
+        "panel dimensions must agree"
+    );
     assert_eq!(row_nnz.len(), a_panel.n_rows(), "one symbolic size per row");
     let n_rows = a_panel.n_rows();
     let width = b_panel.n_cols();
@@ -109,7 +119,14 @@ pub fn numeric_by_groups(
         // vector so the parallel pass owns them exclusively).
         let mut work: Vec<(u32, RowSlice<'_>)> = group
             .iter()
-            .map(|&r| (r, row_slices[r as usize].take().expect("row in one group only")))
+            .map(|&r| {
+                (
+                    r,
+                    row_slices[r as usize]
+                        .take()
+                        .expect("row in one group only"),
+                )
+            })
             .collect();
         work.par_chunks_mut(64).for_each(|rows| {
             let mut dense: Option<DenseAccumulator> = None;
@@ -182,7 +199,10 @@ mod tests {
 
     #[test]
     fn matches_reference_on_skewed_and_regular() {
-        for a in [rmat(RmatConfig::skewed(9, 5000), 3), grid2d_stencil(18, 18, 2, 4)] {
+        for a in [
+            rmat(RmatConfig::skewed(9, 5000), 3),
+            grid2d_stencil(18, 18, 2, 4),
+        ] {
             let got = run_engine(&a, &a);
             let expect = reference::multiply(&a, &a).unwrap();
             assert!(got.approx_eq(&expect, 1e-9));

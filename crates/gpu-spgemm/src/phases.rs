@@ -58,7 +58,10 @@ impl RowGroups {
             .filter(|(g, _)| !g.is_empty())
             .collect();
         let (groups, group_flops) = kept.into_iter().unzip();
-        RowGroups { groups, group_flops }
+        RowGroups {
+            groups,
+            group_flops,
+        }
     }
 
     /// Number of non-empty groups (== kernel launches per phase).
@@ -128,7 +131,11 @@ pub fn row_analysis(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<u64> {
 pub fn symbolic(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<usize> {
     let width = b_panel.n_cols();
     let use_dense = width <= (1 << 17);
-    let mut dense = if use_dense { Some(DenseCounter::new(width)) } else { None };
+    let mut dense = if use_dense {
+        Some(DenseCounter::new(width))
+    } else {
+        None
+    };
     let mut hash = HashCounter::with_expected(64);
     (0..a_panel.n_rows())
         .map(|r| {
@@ -173,7 +180,11 @@ pub fn prepare_chunk(job: ChunkJob<'_>) -> PreparedChunk {
     let rows = a.n_rows();
     PreparedChunk {
         chunk_id: job.chunk_id,
-        compression_ratio: if nnz == 0 { 1.0 } else { flops as f64 / nnz as f64 },
+        compression_ratio: if nnz == 0 {
+            1.0
+        } else {
+            flops as f64 / nnz as f64
+        },
         flops,
         nnz,
         rows,
@@ -297,7 +308,11 @@ mod tests {
     #[test]
     fn split_output_respects_fraction() {
         let (a, b) = job_fixture();
-        let p = prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 });
+        let p = prepare_chunk(ChunkJob {
+            a_panel: CsrView::of(&a),
+            b_panel: &b,
+            chunk_id: 0,
+        });
         let (first, second) = p.split_output_bytes(0.33);
         assert_eq!(first + second, p.out_bytes);
         assert!(first > 0);
@@ -313,7 +328,11 @@ mod tests {
     fn empty_chunk_is_well_formed() {
         let a = CsrMatrix::zeros(5, 4);
         let b = CsrMatrix::zeros(4, 6);
-        let p = prepare_chunk(ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 7 });
+        let p = prepare_chunk(ChunkJob {
+            a_panel: CsrView::of(&a),
+            b_panel: &b,
+            chunk_id: 7,
+        });
         assert_eq!(p.flops, 0);
         assert_eq!(p.nnz, 0);
         assert!(p.groups.is_empty());

@@ -80,7 +80,9 @@ pub fn simulate_sync_chunk(
     let row_info = sim.malloc(prepared.row_info_bytes, format!("row info (chunk {id})"))?;
     sim.enqueue_kernel(
         stream,
-        KernelKind::RowAnalysis { ops: prepared.a_nnz },
+        KernelKind::RowAnalysis {
+            ops: prepared.a_nnz,
+        },
         format!("row analysis (chunk {id})"),
     );
     sim.enqueue_copy(
@@ -96,14 +98,16 @@ pub fn simulate_sync_chunk(
         format!("host grouping (chunk {id})"),
     );
     // "we need to allocate device memory to store the group information"
-    let group_info =
-        sim.malloc(prepared.rows as u64 * 4, format!("group info (chunk {id})"))?;
+    let group_info = sim.malloc(prepared.rows as u64 * 4, format!("group info (chunk {id})"))?;
 
     // Stage 2: symbolic execution, one kernel per row group.
     for (g, &flops) in prepared.groups.group_flops.iter().enumerate() {
         sim.enqueue_kernel(
             stream,
-            KernelKind::Symbolic { flops, compression_ratio: prepared.compression_ratio },
+            KernelKind::Symbolic {
+                flops,
+                compression_ratio: prepared.compression_ratio,
+            },
             format!("symbolic g{g} (chunk {id})"),
         );
     }
@@ -127,7 +131,10 @@ pub fn simulate_sync_chunk(
     for (g, &flops) in prepared.numeric_groups.group_flops.iter().enumerate() {
         sim.enqueue_kernel(
             stream,
-            KernelKind::Numeric { flops, compression_ratio: prepared.compression_ratio },
+            KernelKind::Numeric {
+                flops,
+                compression_ratio: prepared.compression_ratio,
+            },
             format!("numeric g{g} (chunk {id})"),
         );
     }
@@ -160,7 +167,10 @@ mod tests {
     use sparse::CsrView;
 
     fn fixture() -> (sparse::CsrMatrix, sparse::CsrMatrix) {
-        (erdos_renyi(2000, 2000, 0.02, 1), erdos_renyi(2000, 2000, 0.02, 2))
+        (
+            erdos_renyi(2000, 2000, 0.02, 1),
+            erdos_renyi(2000, 2000, 0.02, 2),
+        )
     }
 
     fn new_sim() -> GpuSim {
@@ -175,7 +185,11 @@ mod tests {
         let report = sync_chunk(
             &mut sim,
             stream,
-            ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 },
+            ChunkJob {
+                a_panel: CsrView::of(&a),
+                b_panel: &b,
+                chunk_id: 0,
+            },
             true,
         )
         .unwrap();
@@ -187,7 +201,10 @@ mod tests {
         let t = sim.timeline();
         assert!(t.of_kind(OpKind::Kernel).count() >= 3);
         assert!(t.of_kind(OpKind::CopyD2H).count() == 3);
-        assert!(t.of_kind(OpKind::AllocBarrier).count() >= 8, "mallocs + frees");
+        assert!(
+            t.of_kind(OpKind::AllocBarrier).count() >= 8,
+            "mallocs + frees"
+        );
         // Memory fully released.
         assert_eq!(sim.memory().in_use(), 0);
     }
@@ -202,7 +219,11 @@ mod tests {
         sync_chunk(
             &mut sim,
             stream,
-            ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 },
+            ChunkJob {
+                a_panel: CsrView::of(&a),
+                b_panel: &b,
+                chunk_id: 0,
+            },
             true,
         )
         .unwrap();
@@ -218,14 +239,18 @@ mod tests {
         let err = sync_chunk(
             &mut sim,
             stream,
-            ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 },
+            ChunkJob {
+                a_panel: CsrView::of(&a),
+                b_panel: &b,
+                chunk_id: 0,
+            },
             true,
         );
         assert!(err.is_err());
     }
 
     #[test]
-    fn skipping_a_transfer_reduces_time_and_memory(){
+    fn skipping_a_transfer_reduces_time_and_memory() {
         let (a, b) = fixture();
         let run = |transfer_a: bool| {
             let mut sim = new_sim();
@@ -233,7 +258,11 @@ mod tests {
             let r = sync_chunk(
                 &mut sim,
                 stream,
-                ChunkJob { a_panel: CsrView::of(&a), b_panel: &b, chunk_id: 0 },
+                ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: &b,
+                    chunk_id: 0,
+                },
                 transfer_a,
             )
             .unwrap();

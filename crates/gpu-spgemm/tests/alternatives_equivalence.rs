@@ -8,24 +8,22 @@ use sparse::{CooMatrix, CsrMatrix, CsrView};
 
 fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     (1..30usize, 1..30usize, 1..30usize).prop_flat_map(|(m, k, n)| {
-        let left = prop::collection::vec((0..m, 0..k, -5.0f64..5.0), 0..120).prop_map(
-            move |entries| {
+        let left =
+            prop::collection::vec((0..m, 0..k, -5.0f64..5.0), 0..120).prop_map(move |entries| {
                 let mut coo = CooMatrix::new(m, k);
                 for (i, j, v) in entries {
                     coo.push(i, j, v).unwrap();
                 }
                 coo.to_csr()
-            },
-        );
-        let right = prop::collection::vec((0..k, 0..n, -5.0f64..5.0), 0..120).prop_map(
-            move |entries| {
+            });
+        let right =
+            prop::collection::vec((0..k, 0..n, -5.0f64..5.0), 0..120).prop_map(move |entries| {
                 let mut coo = CooMatrix::new(k, n);
                 for (i, j, v) in entries {
                     coo.push(i, j, v).unwrap();
                 }
                 coo.to_csr()
-            },
-        );
+            });
         (left, right)
     })
 }

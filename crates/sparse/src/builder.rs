@@ -19,7 +19,12 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// Starts a builder for a matrix with `n_cols` columns.
     pub fn new(n_cols: usize) -> Self {
-        CsrBuilder { n_cols, row_offsets: vec![0], col_ids: Vec::new(), values: Vec::new() }
+        CsrBuilder {
+            n_cols,
+            row_offsets: vec![0],
+            col_ids: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Starts a builder with reserved capacity for `rows` rows and `nnz`

@@ -20,7 +20,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty triplet matrix of the given shape.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with storage reserved for `cap`

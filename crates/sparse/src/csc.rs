@@ -47,7 +47,13 @@ impl CscMatrix {
                 cursor[c as usize] += 1;
             }
         }
-        CscMatrix { n_rows, n_cols, col_offsets, row_ids, values }
+        CscMatrix {
+            n_rows,
+            n_cols,
+            col_offsets,
+            row_ids,
+            values,
+        }
     }
 
     /// Converts back to CSR.
@@ -110,7 +116,10 @@ impl CscMatrix {
     /// column ids — exactly the column-panel shape the out-of-core
     /// framework consumes.
     pub fn slice_cols_to_csr(&self, start: usize, end: usize) -> CsrMatrix {
-        assert!(start <= end && end <= self.n_cols, "column slice out of bounds");
+        assert!(
+            start <= end && end <= self.n_cols,
+            "column slice out of bounds"
+        );
         let width = end - start;
         let lo = self.col_offsets[start];
         let hi = self.col_offsets[end];
@@ -142,7 +151,9 @@ impl CscMatrix {
     /// Checks the CSC invariants.
     pub fn validate(&self) -> Result<()> {
         if self.col_offsets.len() != self.n_cols + 1 {
-            return Err(SparseError::InvalidCsr("col_offsets length mismatch".into()));
+            return Err(SparseError::InvalidCsr(
+                "col_offsets length mismatch".into(),
+            ));
         }
         if self.col_offsets[0] != 0
             || *self.col_offsets.last().unwrap() != self.row_ids.len()

@@ -63,7 +63,13 @@ impl CsrMatrix {
         col_ids: Vec<ColId>,
         values: Vec<f64>,
     ) -> Result<Self> {
-        let m = CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values };
+        let m = CsrMatrix {
+            n_rows,
+            n_cols,
+            row_offsets,
+            col_ids,
+            values,
+        };
         m.validate()?;
         Ok(m)
     }
@@ -81,8 +87,17 @@ impl CsrMatrix {
         col_ids: Vec<ColId>,
         values: Vec<f64>,
     ) -> Self {
-        let m = CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values };
-        debug_assert!(m.validate().is_ok(), "invalid CSR passed to from_parts_unchecked");
+        let m = CsrMatrix {
+            n_rows,
+            n_cols,
+            row_offsets,
+            col_ids,
+            values,
+        };
+        debug_assert!(
+            m.validate().is_ok(),
+            "invalid CSR passed to from_parts_unchecked"
+        );
         m
     }
 
@@ -114,7 +129,13 @@ impl CsrMatrix {
             }
             row_offsets.push(col_ids.len());
         }
-        Ok(CsrMatrix { n_rows, n_cols, row_offsets, col_ids, values })
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            row_offsets,
+            col_ids,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -180,7 +201,10 @@ impl CsrMatrix {
     /// Iterator over `(col, value)` pairs of row `r`.
     #[inline]
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (ColId, f64)> + '_ {
-        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+        self.row_cols(r)
+            .iter()
+            .copied()
+            .zip(self.row_values(r).iter().copied())
     }
 
     /// Iterator over all `(row, col, value)` triplets in row-major order.
@@ -192,7 +216,10 @@ impl CsrMatrix {
     ///
     /// Binary search over the sorted row — `O(log row_nnz)`.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         let cols = self.row_cols(row);
         match cols.binary_search(&(col as ColId)) {
             Ok(i) => self.row_values(row)[i],
@@ -273,10 +300,16 @@ impl CsrMatrix {
     /// Extracts rows `[start, end)` as an owned CSR matrix with the same
     /// column dimension (a *row panel*, Section III-A).
     pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
-        assert!(start <= end && end <= self.n_rows, "row slice out of bounds");
+        assert!(
+            start <= end && end <= self.n_rows,
+            "row slice out of bounds"
+        );
         let lo = self.row_offsets[start];
         let hi = self.row_offsets[end];
-        let row_offsets = self.row_offsets[start..=end].iter().map(|&o| o - lo).collect();
+        let row_offsets = self.row_offsets[start..=end]
+            .iter()
+            .map(|&o| o - lo)
+            .collect();
         CsrMatrix {
             n_rows: end - start,
             n_cols: self.n_cols,
@@ -289,7 +322,13 @@ impl CsrMatrix {
     /// Consumes the matrix, returning `(n_rows, n_cols, row_offsets,
     /// col_ids, values)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColId>, Vec<f64>) {
-        (self.n_rows, self.n_cols, self.row_offsets, self.col_ids, self.values)
+        (
+            self.n_rows,
+            self.n_cols,
+            self.row_offsets,
+            self.col_ids,
+            self.values,
+        )
     }
 
     /// Compares two matrices for equal structure and values within
@@ -326,7 +365,13 @@ impl CsrMatrix {
             }
             row_offsets.push(col_ids.len());
         }
-        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, row_offsets, col_ids, values }
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_offsets,
+            col_ids,
+            values,
+        }
     }
 }
 

@@ -45,7 +45,12 @@ impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparseError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
-            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) out of bounds for {n_rows}x{n_cols} matrix"
             ),
@@ -84,15 +89,27 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 7, col: 9, n_rows: 5, n_cols: 5 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 7,
+            col: 9,
+            n_rows: 5,
+            n_cols: 5,
+        };
         assert!(e.to_string().contains("(7, 9)"));
         assert!(e.to_string().contains("5x5"));
 
-        let e = SparseError::DimensionMismatch { op: "spgemm", lhs: (3, 4), rhs: (5, 6) };
+        let e = SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
         assert!(e.to_string().contains("spgemm"));
         assert!(e.to_string().contains("3x4"));
 
-        let e = SparseError::Parse { line: 12, msg: "bad token".into() };
+        let e = SparseError::Parse {
+            line: 12,
+            msg: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 

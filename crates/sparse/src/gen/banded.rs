@@ -131,7 +131,11 @@ pub fn saddle_stencil(h: &CsrMatrix, coupling: usize, delta: f64, seed: u64) -> 
         let j_lo = i.saturating_sub(coupling - 1).div_ceil(2).min(n2);
         // Constraints near the end are clamped onto the same window, so
         // a vertex in the last `coupling` columns is seen by all of them.
-        let j_hi = if i + coupling >= n1 { n2 } else { ((i / 2) + 1).min(n2) };
+        let j_hi = if i + coupling >= n1 {
+            n2
+        } else {
+            ((i / 2) + 1).min(n2)
+        };
         for j in j_lo..j_hi {
             if b_cols(j).contains(&i) {
                 cols.push((n1 + j) as ColId);
@@ -226,10 +230,16 @@ mod tests {
         // B^T really is the transpose pattern of B.
         let t = crate::ops::transpose(&m);
         for i in 0..n1 {
-            let bt_cols: Vec<_> =
-                m.row_cols(i).iter().filter(|&&c| (c as usize) >= n1).collect();
-            let b_cols_of_i: Vec<_> =
-                t.row_cols(i).iter().filter(|&&c| (c as usize) >= n1).collect();
+            let bt_cols: Vec<_> = m
+                .row_cols(i)
+                .iter()
+                .filter(|&&c| (c as usize) >= n1)
+                .collect();
+            let b_cols_of_i: Vec<_> = t
+                .row_cols(i)
+                .iter()
+                .filter(|&&c| (c as usize) >= n1)
+                .collect();
             assert_eq!(bt_cols, b_cols_of_i, "row {i} block asymmetry");
         }
     }
@@ -245,7 +255,10 @@ mod tests {
         let mid = n1 / 2;
         let has_left = c.row_cols(mid).iter().any(|&col| (col as usize) < n1);
         let has_right = c.row_cols(mid).iter().any(|&col| (col as usize) >= n1);
-        assert!(has_left && has_right, "product did not spread across blocks");
+        assert!(
+            has_left && has_right,
+            "product did not spread across blocks"
+        );
     }
 
     /// Small symbolic-squaring helper for tests (structure only).

@@ -69,7 +69,10 @@ mod tests {
         let p = 0.05;
         let m = erdos_renyi(n, n, p, 7);
         let density = m.nnz() as f64 / (n * n) as f64;
-        assert!((density - p).abs() < 0.01, "density {density} too far from {p}");
+        assert!(
+            (density - p).abs() < 0.01,
+            "density {density} too far from {p}"
+        );
         m.validate().unwrap();
     }
 

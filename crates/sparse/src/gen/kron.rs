@@ -13,7 +13,10 @@ use crate::csr::{ColId, CsrMatrix};
 pub fn kronecker(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     let n_rows = a.n_rows() * b.n_rows();
     let n_cols = a.n_cols() * b.n_cols();
-    assert!(n_cols <= ColId::MAX as usize, "Kronecker product too wide for u32 column ids");
+    assert!(
+        n_cols <= ColId::MAX as usize,
+        "Kronecker product too wide for u32 column ids"
+    );
     let nnz = a.nnz() * b.nnz();
     let mut offsets = Vec::with_capacity(n_rows + 1);
     let mut cols = Vec::with_capacity(nnz);

@@ -51,7 +51,8 @@ pub fn locality_graph(
                 let t = v as isize + off;
                 t.rem_euclid(n as isize) as usize
             };
-            coo.push(v, target, rng.gen_range(f64::EPSILON..=1.0)).unwrap();
+            coo.push(v, target, rng.gen_range(f64::EPSILON..=1.0))
+                .unwrap();
         }
     }
     coo.to_csr()
@@ -82,7 +83,10 @@ mod tests {
     fn degrees_are_skewed() {
         let m = locality_graph(2000, 10.0, 40, 0.05, 9);
         let s = MatrixStats::of(&m);
-        assert!(s.max_row_nnz > 5 * s.avg_row_nnz as usize, "power-law tail expected");
+        assert!(
+            s.max_row_nnz > 5 * s.avg_row_nnz as usize,
+            "power-law tail expected"
+        );
     }
 
     #[test]

@@ -34,19 +34,40 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// The standard skewed configuration (Graph500-like).
     pub fn skewed(scale: u32, edges: usize) -> Self {
-        RmatConfig { scale, edges, a: 0.57, b: 0.19, c: 0.19, symmetric: false }
+        RmatConfig {
+            scale,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            symmetric: false,
+        }
     }
 
     /// A milder skew, closer to the wikipedia matrices.
     pub fn mild(scale: u32, edges: usize) -> Self {
-        RmatConfig { scale, edges, a: 0.45, b: 0.22, c: 0.22, symmetric: false }
+        RmatConfig {
+            scale,
+            edges,
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            symmetric: false,
+        }
     }
 }
 
 /// Generates an R-MAT matrix. Values are uniform in `(0, 1]`; duplicate
 /// edges are merged by [`CooMatrix::to_csr`] (values summed).
 pub fn rmat(config: RmatConfig, seed: u64) -> CsrMatrix {
-    let RmatConfig { scale, edges, a, b, c, symmetric } = config;
+    let RmatConfig {
+        scale,
+        edges,
+        a,
+        b,
+        c,
+        symmetric,
+    } = config;
     assert!(a + b + c <= 1.0 + 1e-9, "quadrant probabilities exceed 1");
     let n = 1usize << scale;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -218,7 +218,10 @@ pub fn suite_matrix(m: SuiteMatrix) -> CsrMatrix {
 /// Generates the whole 9-matrix suite at the given scale, in Table II
 /// order.
 pub fn suite(scale: SuiteScale) -> Vec<(SuiteMatrix, CsrMatrix)> {
-    SuiteMatrix::all().into_iter().map(|m| (m, m.generate(scale))).collect()
+    SuiteMatrix::all()
+        .into_iter()
+        .map(|m| (m, m.generate(scale)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -239,7 +242,8 @@ mod tests {
     #[test]
     fn tiny_suite_generates_valid_matrices() {
         for (id, m) in suite(SuiteScale::Tiny) {
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
             assert!(m.n_rows() > 0, "{} empty", id.name());
             assert!(m.nnz() > 0, "{} has no entries", id.name());
             assert_eq!(m.n_rows(), m.n_cols(), "{} must be square", id.name());

@@ -16,9 +16,7 @@ const MAGIC: &[u8; 4] = b"SPB1";
 
 /// Serializes `m` into an owned byte buffer.
 pub fn to_bytes(m: &CsrMatrix) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        4 + 24 + m.row_offsets().len() * 8 + m.nnz() * (4 + 8),
-    );
+    let mut buf = BytesMut::with_capacity(4 + 24 + m.row_offsets().len() * 8 + m.nnz() * (4 + 8));
     buf.put_slice(MAGIC);
     buf.put_u64_le(m.n_rows() as u64);
     buf.put_u64_le(m.n_cols() as u64);
@@ -37,7 +35,10 @@ pub fn to_bytes(m: &CsrMatrix) -> Bytes {
 
 /// Deserializes a matrix from bytes produced by [`to_bytes`].
 pub fn from_bytes(mut data: Bytes) -> Result<CsrMatrix> {
-    let fail = |msg: &str| SparseError::Parse { line: 0, msg: msg.into() };
+    let fail = |msg: &str| SparseError::Parse {
+        line: 0,
+        msg: msg.into(),
+    };
     if data.remaining() < 4 + 24 {
         return Err(fail("truncated header"));
     }
@@ -84,10 +85,42 @@ pub fn write_binary(path: &Path, m: &CsrMatrix) -> Result<()> {
 }
 
 /// Reads an SPB1 file.
+///
+/// The 28-byte header (magic + counts) is read and validated against
+/// the file's actual length *before* any size derived from it is
+/// allocated, so a truncated or forged file is rejected without ever
+/// reserving the memory its header claims to need.
 pub fn read_binary(path: &Path) -> Result<CsrMatrix> {
+    let fail = |msg: &str| SparseError::Parse {
+        line: 0,
+        msg: msg.into(),
+    };
     let mut f = std::fs::File::open(path)?;
-    let mut data = Vec::new();
-    f.read_to_end(&mut data)?;
+    let file_len = f.metadata()?.len();
+    if file_len < (4 + 24) as u64 {
+        return Err(fail("truncated header"));
+    }
+    let mut header = [0u8; 4 + 24];
+    f.read_exact(&mut header)?;
+    if &header[..4] != MAGIC {
+        return Err(fail("bad magic (not an SPB1 file)"));
+    }
+    let field = |i: usize| {
+        u64::from_le_bytes(header[4 + i * 8..12 + i * 8].try_into().expect("8 bytes")) as usize
+    };
+    let (n_rows, nnz) = (field(0), field(2));
+    let need = n_rows
+        .checked_add(1)
+        .and_then(|r| r.checked_mul(8))
+        .and_then(|o| nnz.checked_mul(4 + 8).and_then(|e| o.checked_add(e)))
+        .ok_or_else(|| fail("header sizes overflow"))?;
+    if file_len - (header.len() as u64) < need as u64 {
+        return Err(fail("truncated body"));
+    }
+    // Only now is the header-derived size trusted enough to allocate.
+    let mut data = Vec::with_capacity(header.len() + need);
+    data.extend_from_slice(&header);
+    f.take(need as u64).read_to_end(&mut data)?;
     from_bytes(Bytes::from(data))
 }
 
@@ -125,7 +158,10 @@ mod tests {
         let m = erdos_renyi(5, 5, 0.3, 2);
         let raw = to_bytes(&m);
         for cut in [0usize, 3, 10, raw.len() - 1] {
-            assert!(from_bytes(raw.slice(..cut)).is_err(), "cut at {cut} accepted");
+            assert!(
+                from_bytes(raw.slice(..cut)).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 
@@ -150,6 +186,41 @@ mod tests {
         let mut raw = to_bytes(&m).to_vec();
         raw[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn read_binary_rejects_bad_files_without_allocating() {
+        let dir = std::env::temp_dir().join("sparse_bin_reject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = erdos_renyi(20, 20, 0.2, 5);
+        let raw = to_bytes(&m).to_vec();
+
+        // Truncated on disk: header claims more body than the file has.
+        let path = dir.join("truncated.spb");
+        std::fs::write(&path, &raw[..raw.len() - 1]).unwrap();
+        assert!(read_binary(&path).is_err());
+
+        // Forged n_rows of 2^61: must be rejected from the length
+        // check, not by attempting an ~exabyte allocation.
+        let mut forged = raw.clone();
+        forged[4..12].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let path = dir.join("forged.spb");
+        std::fs::write(&path, &forged).unwrap();
+        assert!(read_binary(&path).is_err());
+
+        // Shorter than the header entirely.
+        let path = dir.join("stub.spb");
+        std::fs::write(&path, b"SPB1\x01").unwrap();
+        assert!(read_binary(&path).is_err());
+
+        // Wrong magic.
+        let mut bad = raw.clone();
+        bad[0] = b'Z';
+        let path = dir.join("magic.spb");
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_binary(&path).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<CsrMatrix> {
 }
 
 fn parse_error(line: usize, msg: impl Into<String>) -> SparseError {
-    SparseError::Parse { line, msg: msg.into() }
+    SparseError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
@@ -55,8 +58,10 @@ fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
             None => return Err(parse_error(0, "empty file")),
         }
     };
-    let tokens: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(parse_error(line_no, "missing %%MatrixMarket matrix header"));
     }
@@ -67,12 +72,22 @@ fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
         "real" => Field::Real,
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
-        other => return Err(parse_error(line_no, format!("unsupported field type {other}"))),
+        other => {
+            return Err(parse_error(
+                line_no,
+                format!("unsupported field type {other}"),
+            ))
+        }
     };
     let symmetry = match tokens.get(4).map(|s| s.as_str()).unwrap_or("general") {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
-        other => return Err(parse_error(line_no, format!("unsupported symmetry {other}"))),
+        other => {
+            return Err(parse_error(
+                line_no,
+                format!("unsupported symmetry {other}"),
+            ))
+        }
     };
 
     // Size line (skipping comments).
@@ -102,7 +117,11 @@ fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| parse_error(size_line_no, "bad nnz count"))?;
 
-    let cap = if symmetry == Symmetry::Symmetric { nnz * 2 } else { nnz };
+    let cap = if symmetry == Symmetry::Symmetric {
+        nnz * 2
+    } else {
+        nnz
+    };
     let mut coo = CooMatrix::with_capacity(n_rows, n_cols, cap);
     let mut seen = 0usize;
     for (i, line) in lines {
@@ -132,7 +151,10 @@ fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
                 .ok_or_else(|| parse_error(line_no, "bad value"))?,
         };
         coo.push(r - 1, c - 1, v).map_err(|_| {
-            parse_error(line_no, format!("entry ({r}, {c}) outside {n_rows}x{n_cols}"))
+            parse_error(
+                line_no,
+                format!("entry ({r}, {c}) outside {n_rows}x{n_cols}"),
+            )
         })?;
         if symmetry == Symmetry::Symmetric && r != c {
             coo.push(c - 1, r - 1, v).unwrap();
@@ -140,7 +162,10 @@ fn read_matrix_market_from<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_error(0, format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_error(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo.to_csr())
 }

@@ -103,7 +103,13 @@ pub fn add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         vals.extend_from_slice(&bv[j..]);
         offsets.push(cols.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(a.n_rows(), a.n_cols(), offsets, cols, vals))
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.n_rows(),
+        a.n_cols(),
+        offsets,
+        cols,
+        vals,
+    ))
 }
 
 /// Returns `m` with every stored value multiplied by `s`.
@@ -151,7 +157,9 @@ pub fn hstack(parts: &[&CsrMatrix]) -> Result<CsrMatrix> {
         }
         offsets.push(cols.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals))
+    Ok(CsrMatrix::from_parts_unchecked(
+        n_rows, n_cols, offsets, cols, vals,
+    ))
 }
 
 /// Vertically concatenates matrices with identical column counts — the
@@ -182,7 +190,9 @@ pub fn vstack(parts: &[&CsrMatrix]) -> Result<CsrMatrix> {
             offsets.push(cols.len());
         }
     }
-    Ok(CsrMatrix::from_parts_unchecked(n_rows, n_cols, offsets, cols, vals))
+    Ok(CsrMatrix::from_parts_unchecked(
+        n_rows, n_cols, offsets, cols, vals,
+    ))
 }
 
 /// Frobenius norm of the stored values.
@@ -310,8 +320,9 @@ mod tests {
     #[test]
     fn hstack_reassembles_column_chunks() {
         let m = example();
-        let left = CsrMatrix::from_parts(3, 2, vec![0, 1, 2, 3], vec![0, 1, 0], vec![1.0, 3.0, 4.0])
-            .unwrap();
+        let left =
+            CsrMatrix::from_parts(3, 2, vec![0, 1, 2, 3], vec![0, 1, 0], vec![1.0, 3.0, 4.0])
+                .unwrap();
         let right =
             CsrMatrix::from_parts(3, 2, vec![0, 1, 1, 2], vec![0, 1], vec![2.0, 5.0]).unwrap();
         let joined = hstack(&[&left, &right]).unwrap();

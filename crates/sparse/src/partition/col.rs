@@ -86,7 +86,11 @@ fn validate_ranges(b: &CsrMatrix, ranges: &[Range<usize>]) {
     }
     assert!(!ranges.is_empty(), "at least one column range required");
     assert_eq!(ranges[0].start, 0, "column ranges must start at 0");
-    assert_eq!(ranges.last().unwrap().end, b.n_cols(), "column ranges must cover all columns");
+    assert_eq!(
+        ranges.last().unwrap().end,
+        b.n_cols(),
+        "column ranges must cover all columns"
+    );
     for w in ranges.windows(2) {
         assert_eq!(w[0].end, w[1].start, "column ranges must be contiguous");
     }
@@ -190,13 +194,7 @@ fn cursor(b: &CsrMatrix, ranges: &[Range<usize>]) -> Vec<ColPanel> {
             }
             ColPanel {
                 col_range: range.clone(),
-                matrix: CsrMatrix::from_parts_unchecked(
-                    n_rows,
-                    range.len(),
-                    offsets,
-                    cols,
-                    vals,
-                ),
+                matrix: CsrMatrix::from_parts_unchecked(n_rows, range.len(), offsets, cols, vals),
             }
         })
         .collect()
@@ -275,8 +273,7 @@ fn parallel_cursor(b: &CsrMatrix, ranges: &[Range<usize>]) -> Vec<ColPanel> {
         .iter()
         .enumerate()
         .map(|(p, range)| {
-            let bounds: Vec<(usize, usize)> =
-                (0..n_rows).map(|r| spans[r * k + p]).collect();
+            let bounds: Vec<(usize, usize)> = (0..n_rows).map(|r| spans[r * k + p]).collect();
             fill_panel(b, range, &bounds)
         })
         .collect()
@@ -442,7 +439,10 @@ mod tests {
         let total: usize = sizes.iter().sum();
         assert_eq!(total, b.nnz());
         let max = *sizes.iter().max().unwrap();
-        assert!(max <= total / 2, "one panel holds most of the nnz: {sizes:?}");
+        assert!(
+            max <= total / 2,
+            "one panel holds most of the nnz: {sizes:?}"
+        );
     }
 
     #[test]

@@ -228,6 +228,9 @@ mod tests {
         }
         // All-zero weights fall back to even splitting in both.
         let prefix = vec![0u64; 9];
-        assert_eq!(weighted_ranges(&[0; 8], 3), weighted_ranges_from_prefix(&prefix, 3));
+        assert_eq!(
+            weighted_ranges(&[0; 8], 3),
+            weighted_ranges_from_prefix(&prefix, 3)
+        );
     }
 }

@@ -19,19 +19,25 @@ pub struct RowPartition {
 impl RowPartition {
     /// Splits `m` into `k` panels of (nearly) equal row count.
     pub fn even(m: &CsrMatrix, k: usize) -> Self {
-        RowPartition { ranges: even_ranges(m.n_rows(), k) }
+        RowPartition {
+            ranges: even_ranges(m.n_rows(), k),
+        }
     }
 
     /// Splits `m` into at most `k` panels with approximately equal nnz.
     pub fn by_nnz(m: &CsrMatrix, k: usize) -> Self {
         let weights: Vec<u64> = (0..m.n_rows()).map(|r| m.row_nnz(r) as u64).collect();
-        RowPartition { ranges: weighted_ranges(&weights, k) }
+        RowPartition {
+            ranges: weighted_ranges(&weights, k),
+        }
     }
 
     /// Splits `m` into at most `k` panels with approximately equal
     /// weight, for caller-supplied per-row weights (e.g. flops).
     pub fn by_weight(weights: &[u64], k: usize) -> Self {
-        RowPartition { ranges: weighted_ranges(weights, k) }
+        RowPartition {
+            ranges: weighted_ranges(weights, k),
+        }
     }
 
     /// Builds a partition from explicit ranges. Panics unless the ranges

@@ -17,7 +17,13 @@ pub fn row_flops(a: &CsrMatrix, b: &CsrMatrix) -> Vec<u64> {
     assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
     (0..a.n_rows())
         .into_par_iter()
-        .map(|r| 2 * a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+        .map(|r| {
+            2 * a
+                .row_cols(r)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum::<u64>()
+        })
         .collect()
 }
 
@@ -26,7 +32,13 @@ pub fn total_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
     assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
     (0..a.n_rows())
         .into_par_iter()
-        .map(|r| 2 * a.row_cols(r).iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+        .map(|r| {
+            2 * a
+                .row_cols(r)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum::<u64>()
+        })
         .sum()
 }
 
@@ -221,7 +233,11 @@ impl MatrixStats {
             let d = len as f64 - mean;
             var_acc += d * d;
         }
-        let std = if n == 0 { 0.0 } else { (var_acc / n as f64).sqrt() };
+        let std = if n == 0 {
+            0.0
+        } else {
+            (var_acc / n as f64).sqrt()
+        };
         MatrixStats {
             n_rows: n,
             n_cols: m.n_cols(),
@@ -265,7 +281,11 @@ impl ProductStats {
             nnz_a: a.nnz(),
             flops,
             nnz_c,
-            compression_ratio: if nnz_c == 0 { 0.0 } else { flops as f64 / nnz_c as f64 },
+            compression_ratio: if nnz_c == 0 {
+                0.0
+            } else {
+                flops as f64 / nnz_c as f64
+            },
         }
     }
 }
@@ -359,7 +379,11 @@ mod tests {
                 assert_eq!(grid[i * col_ranges.len() + j], expect, "chunk ({i}, {j})");
             }
         }
-        assert_eq!(grid.iter().sum::<u64>(), cols.len() as u64, "grid partitions nnz(C)");
+        assert_eq!(
+            grid.iter().sum::<u64>(),
+            cols.len() as u64,
+            "grid partitions nnz(C)"
+        );
     }
 
     #[test]
@@ -386,7 +410,11 @@ mod tests {
         for (i, rr) in row_ranges.iter().enumerate() {
             let mut lo = 0usize;
             for (j, &hi) in col_bounds.iter().enumerate() {
-                assert_eq!(grid[i * col_bounds.len() + j], expect(rr, lo, hi), "chunk ({i}, {j})");
+                assert_eq!(
+                    grid[i * col_bounds.len() + j],
+                    expect(rr, lo, hi),
+                    "chunk ({i}, {j})"
+                );
                 lo = hi;
             }
         }

@@ -80,7 +80,10 @@ impl<'a> CsrView<'a> {
     /// Iterator over `(col, value)` pairs of local row `r`.
     #[inline]
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (ColId, f64)> + 'a {
-        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+        self.row_cols(r)
+            .iter()
+            .copied()
+            .zip(self.row_values(r).iter().copied())
     }
 
     /// Copies the view into an owned [`CsrMatrix`].

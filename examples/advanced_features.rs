@@ -8,8 +8,8 @@
 //! ```
 
 use oocgemm::{
-    auto_gpu_ratio, multiply_multi_gpu, multiply_unified, verify_product, Hybrid,
-    HybridConfig, MultiGpuConfig, OocConfig, OutOfCoreGpu,
+    auto_gpu_ratio, multiply_multi_gpu, multiply_unified, verify_product, Hybrid, HybridConfig,
+    MultiGpuConfig, OocConfig, OutOfCoreGpu,
 };
 use sparse::gen::{locality_graph, rmat, RmatConfig};
 use sparse::ops::add;
@@ -37,14 +37,22 @@ fn main() {
 
     // 1. Cost-model-derived GPU ratio instead of the fixed 65%.
     let auto = auto_gpu_ratio(&base.cost, stats.flops, stats.nnz_c, true);
-    println!("auto-derived GPU ratio: {:.1}% (paper's fixed setting: 65%)", auto * 100.0);
+    println!(
+        "auto-derived GPU ratio: {:.1}% (paper's fixed setting: 65%)",
+        auto * 100.0
+    );
 
     // 2. Hybrid with real two-thread concurrency (Algorithm 4's
     //    "Parallel GPU thread ... Parallel CPU thread").
-    let hybrid_cfg =
-        HybridConfig { gpu: base.clone(), ..HybridConfig::paper_default() }.ratio(auto);
+    let hybrid_cfg = HybridConfig {
+        gpu: base.clone(),
+        ..HybridConfig::paper_default()
+    }
+    .ratio(auto);
     let wall = std::time::Instant::now();
-    let hybrid = Hybrid::new(hybrid_cfg).multiply_threaded(&a, &a).expect("hybrid run");
+    let hybrid = Hybrid::new(hybrid_cfg)
+        .multiply_threaded(&a, &a)
+        .expect("hybrid run");
     println!(
         "threaded hybrid : {:>8.3} ms simulated ({} GPU / {} CPU chunks), {:.2} s wall",
         hybrid.sim_ms(),
@@ -55,7 +63,11 @@ fn main() {
 
     // 3. Multi-GPU scaling (the paper's future-work direction).
     for gpus in [1usize, 2, 4] {
-        let cfg = MultiGpuConfig { gpu: base.clone(), num_gpus: gpus, use_cpu: true };
+        let cfg = MultiGpuConfig {
+            gpu: base.clone(),
+            num_gpus: gpus,
+            use_cpu: true,
+        };
         let run = multiply_multi_gpu(&a, &a, &cfg).expect("multi-GPU run");
         println!(
             "{gpus} GPU(s) + CPU : {:>8.3} ms simulated (chunks per GPU {:?}, CPU {})",

@@ -11,8 +11,8 @@
 //! random weighted digraph and cross-checks every distance against
 //! Dijkstra.
 
-use cpu_spgemm::semiring::{min_plus_step, Semiring};
 use cpu_spgemm::multiply_semiring;
+use cpu_spgemm::semiring::{min_plus_step, Semiring};
 use sparse::{CooMatrix, CsrMatrix};
 use std::collections::BinaryHeap;
 
@@ -79,11 +79,17 @@ fn main() {
             break;
         }
     }
-    println!("converged after {rounds} min-plus squarings; nnz(D) = {}", d.nnz());
+    println!(
+        "converged after {rounds} min-plus squarings; nnz(D) = {}",
+        d.nnz()
+    );
     // `min_plus_step` against the original weights is the single-edge
     // relaxation form; at the fixed point it must change nothing.
     let relaxed = min_plus_step(&d, &w).expect("relax");
-    assert!(relaxed.approx_eq(&d, 0.0), "fixed point must be stable under relaxation");
+    assert!(
+        relaxed.approx_eq(&d, 0.0),
+        "fixed point must be stable under relaxation"
+    );
 
     // Cross-check a handful of sources against Dijkstra.
     let mut checked = 0usize;
@@ -93,7 +99,11 @@ fn main() {
             let got = if expect_v.is_infinite() {
                 // Unreachable: the sparse APSP matrix has no entry.
                 let structural = d.row_cols(src).binary_search(&(v as u32)).is_ok();
-                if structural { d.get(src, v) } else { f64::INFINITY }
+                if structural {
+                    d.get(src, v)
+                } else {
+                    f64::INFINITY
+                }
             } else {
                 d.get(src, v)
             };

@@ -115,6 +115,9 @@ fn main() {
         println!("community {c}: majority attractor {majority}, {size}/{PER_COMMUNITY} members");
     }
     let accuracy = correct as f64 / (COMMUNITIES * PER_COMMUNITY) as f64;
-    println!("clustering accuracy vs planted communities: {:.1}%", accuracy * 100.0);
+    println!(
+        "clustering accuracy vs planted communities: {:.1}%",
+        accuracy * 100.0
+    );
     assert!(accuracy > 0.9, "MCL failed to recover planted communities");
 }

@@ -32,10 +32,15 @@ fn main() {
     // out-of-core (output ≈ 3.5x device memory, the paper's regime).
     let device_bytes = (stats.nnz_c * 12) / 3;
     let config = OocConfig::with_device_memory(device_bytes);
-    println!("simulated device memory: {:.1} MiB", device_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "simulated device memory: {:.1} MiB",
+        device_bytes as f64 / (1 << 20) as f64
+    );
 
     // 1. Out-of-core GPU (asynchronous pipeline, chunk reordering).
-    let gpu = OutOfCoreGpu::new(config.clone()).multiply(&a, &a).expect("gpu run");
+    let gpu = OutOfCoreGpu::new(config.clone())
+        .multiply(&a, &a)
+        .expect("gpu run");
     println!(
         "out-of-core GPU : {:>8.3} ms simulated, {:.3} GFLOPS, {} chunks ({}x{} panels), \
          transfers {:.1}% of makespan",
@@ -56,8 +61,13 @@ fn main() {
     );
 
     // 3. Hybrid: densest chunks on the GPU until 65% of flops.
-    let hybrid_cfg = HybridConfig { gpu: config, ..HybridConfig::paper_default() };
-    let hybrid = Hybrid::new(hybrid_cfg).multiply(&a, &a).expect("hybrid run");
+    let hybrid_cfg = HybridConfig {
+        gpu: config,
+        ..HybridConfig::paper_default()
+    };
+    let hybrid = Hybrid::new(hybrid_cfg)
+        .multiply(&a, &a)
+        .expect("hybrid run");
     println!(
         "hybrid CPU+GPU  : {:>8.3} ms simulated, {:.3} GFLOPS ({} GPU / {} CPU chunks)",
         hybrid.sim_ms(),
@@ -68,7 +78,11 @@ fn main() {
 
     // All numeric results are real; check they agree.
     assert!(gpu.c.approx_eq(&hybrid.c, 1e-9), "executors disagree");
-    assert_eq!(gpu.c.nnz() as u64, stats.nnz_c, "symbolic pass disagrees with product");
+    assert_eq!(
+        gpu.c.nnz() as u64,
+        stats.nnz_c,
+        "symbolic pass disagrees with product"
+    );
     println!(
         "\nspeedups: GPU {:.2}x over CPU, hybrid {:.2}x over GPU",
         cpu_ns as f64 / gpu.sim_ns as f64,

@@ -14,7 +14,14 @@ fn temp(name: &str) -> PathBuf {
 
 #[test]
 fn generated_input_runs_every_executor() {
-    for executor in ["cpu", "gpu-sync", "gpu-async", "hybrid", "multi-gpu:2", "unified"] {
+    for executor in [
+        "cpu",
+        "gpu-sync",
+        "gpu-async",
+        "hybrid",
+        "multi-gpu:2",
+        "unified",
+    ] {
         let out = spgemm()
             .args(["--gen", "rmat:10:8000:7", "--executor", executor])
             .output()
@@ -25,8 +32,14 @@ fn generated_input_runs_every_executor() {
             String::from_utf8_lossy(&out.stderr)
         );
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("GFLOPS"), "{executor}: no GFLOPS line:\n{stdout}");
-        assert!(stdout.contains("nnz(C)"), "{executor}: no result size:\n{stdout}");
+        assert!(
+            stdout.contains("GFLOPS"),
+            "{executor}: no GFLOPS line:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("nnz(C)"),
+            "{executor}: no result size:\n{stdout}"
+        );
     }
 }
 
@@ -49,7 +62,11 @@ fn mtx_roundtrip_through_cli() {
         ])
         .output()
         .expect("spawn spgemm");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let c = sparse::io::read_matrix_market(&output).unwrap();
     let expect = cpu_spgemm::reference::multiply(&a, &a).unwrap();
@@ -72,7 +89,11 @@ fn trace_output_is_valid_chrome_json() {
         ])
         .output()
         .expect("spawn spgemm");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&trace).unwrap();
     let events: serde_json::Value = serde_json::from_str(&json).unwrap();
     let events = events.as_array().unwrap();
@@ -84,12 +105,26 @@ fn trace_output_is_valid_chrome_json() {
 #[test]
 fn suite_input_and_auto_ratio() {
     let out = spgemm()
-        .args(["--suite", "nlp:tiny", "--executor", "hybrid", "--ratio", "auto"])
+        .args([
+            "--suite",
+            "nlp:tiny",
+            "--executor",
+            "hybrid",
+            "--ratio",
+            "auto",
+        ])
         .output()
         .expect("spawn spgemm");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("assignment:"), "no hybrid assignment line:\n{stdout}");
+    assert!(
+        stdout.contains("assignment:"),
+        "no hybrid assignment line:\n{stdout}"
+    );
 }
 
 #[test]
@@ -100,6 +135,9 @@ fn bad_arguments_exit_nonzero() {
         vec!["--suite", "not-a-matrix"],
     ] {
         let out = spgemm().args(&args).output().expect("spawn spgemm");
-        assert!(!out.status.success(), "args {args:?} unexpectedly succeeded");
+        assert!(
+            !out.status.success(),
+            "args {args:?} unexpectedly succeeded"
+        );
     }
 }

@@ -25,26 +25,44 @@ fn all_executors_agree() {
         let expect = reference::multiply(&a, &a).unwrap();
 
         let got = parallel_hash::multiply(&a, &a).unwrap();
-        assert!(got.approx_eq(&expect, 1e-9), "parallel_hash diverged on {name}");
+        assert!(
+            got.approx_eq(&expect, 1e-9),
+            "parallel_hash diverged on {name}"
+        );
 
         let got = dense_blocked::multiply_with_width(&a, &a, 64).unwrap();
-        assert!(got.approx_eq(&expect, 1e-9), "dense_blocked diverged on {name}");
+        assert!(
+            got.approx_eq(&expect, 1e-9),
+            "dense_blocked diverged on {name}"
+        );
 
         let got = mkl_like::multiply(&a, &a).unwrap();
         assert!(got.approx_eq(&expect, 1e-9), "mkl_like diverged on {name}");
 
         let got = OutOfCoreGpu::new(ooc_config()).multiply(&a, &a).unwrap();
-        assert!(got.c.approx_eq(&expect, 1e-9), "ooc async diverged on {name}");
-        assert!(got.plan.num_chunks() > 1, "{name} was not actually partitioned");
+        assert!(
+            got.c.approx_eq(&expect, 1e-9),
+            "ooc async diverged on {name}"
+        );
+        assert!(
+            got.plan.num_chunks() > 1,
+            "{name} was not actually partitioned"
+        );
 
         let got = OutOfCoreGpu::new(ooc_config().mode(ExecMode::Sync))
             .multiply(&a, &a)
             .unwrap();
-        assert!(got.c.approx_eq(&expect, 1e-9), "ooc sync diverged on {name}");
+        assert!(
+            got.c.approx_eq(&expect, 1e-9),
+            "ooc sync diverged on {name}"
+        );
 
         for ratio in [0.0, 0.35, 0.65, 1.0] {
-            let cfg = HybridConfig { gpu: ooc_config(), ..HybridConfig::paper_default() }
-                .ratio(ratio);
+            let cfg = HybridConfig {
+                gpu: ooc_config(),
+                ..HybridConfig::paper_default()
+            }
+            .ratio(ratio);
             let got = Hybrid::new(cfg).multiply(&a, &a).unwrap();
             assert!(
                 got.c.approx_eq(&expect, 1e-9),

@@ -30,7 +30,10 @@ fn simulated_times_are_exactly_repeatable() {
     for (a, b) in r1.timeline.records.iter().zip(&r2.timeline.records) {
         assert_eq!((a.start, a.end, &a.label), (b.start, b.end, &b.label));
     }
-    assert!(r1.c.approx_eq(&r2.c, 0.0), "numeric results must be bit-identical");
+    assert!(
+        r1.c.approx_eq(&r2.c, 0.0),
+        "numeric results must be bit-identical"
+    );
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn results_independent_of_thread_count() {
     // inside a row is fixed by the algorithm, so exact equality holds).
     let m = SuiteMatrix::Wiki1104.generate(SuiteScale::Tiny);
     let wide = cpu_spgemm::parallel_hash::multiply(&m, &m).unwrap();
-    let narrow_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let narrow_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
     let narrow = narrow_pool.install(|| cpu_spgemm::parallel_hash::multiply(&m, &m).unwrap());
     assert_eq!(wide.row_offsets(), narrow.row_offsets());
     assert_eq!(wide.col_ids(), narrow.col_ids());

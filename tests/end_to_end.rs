@@ -27,10 +27,16 @@ fn tiny_suite_full_pipeline() {
         assert!(run.c.approx_eq(&expect, 1e-9), "{} wrong result", id.abbr());
 
         // Timeline physics.
-        run.timeline.validate().unwrap_or_else(|e| panic!("{}: {e}", id.abbr()));
+        run.timeline
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", id.abbr()));
 
         // The D2H engine must carry at least the whole output.
-        let d2h: u64 = run.timeline.of_kind(OpKind::CopyD2H).map(|r| r.payload).sum();
+        let d2h: u64 = run
+            .timeline
+            .of_kind(OpKind::CopyD2H)
+            .map(|r| r.payload)
+            .sum();
         assert!(
             d2h >= run.nnz_c * 12,
             "{}: transferred {} bytes < output {}",
@@ -68,7 +74,9 @@ fn tiny_suite_async_never_slower_than_sync() {
             .unwrap();
         let plan = (asyn.plan.row_panels(), asyn.plan.col_panels());
         let sync = OutOfCoreGpu::new(
-            OocConfig::with_device_memory(device).panels(plan.0, plan.1).mode(ExecMode::Sync),
+            OocConfig::with_device_memory(device)
+                .panels(plan.0, plan.1)
+                .mode(ExecMode::Sync),
         )
         .multiply(&m, &m)
         .unwrap();

@@ -8,7 +8,10 @@ use sparse::gen::{SuiteMatrix, SuiteScale};
 #[ignore = "several minutes; run explicitly for stress coverage"]
 fn medium_scale_nlp_full_pipeline() {
     let m = SuiteMatrix::Nlp.generate(SuiteScale::Medium);
-    assert!(m.n_rows() > 100_000, "medium scale should be substantially larger");
+    assert!(
+        m.n_rows() > 100_000,
+        "medium scale should be substantially larger"
+    );
     let nnz_c = sparse::stats::symbolic_nnz(&m, &m);
     let device = ((nnz_c * 12) as f64 / 1.78) as u64;
     let run = OutOfCoreGpu::new(OocConfig::with_device_memory(device))
