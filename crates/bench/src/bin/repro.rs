@@ -1,15 +1,17 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10]
-//!       [--scale tiny|small|medium] [--out DIR]
+//! repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases]
+//!       [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR]
 //! ```
 //!
 //! Text tables go to stdout; machine-readable JSON goes to `DIR`
-//! (default `results/`).
+//! (default `results/`). `--only` restricts the suite-driven
+//! experiments to the named matrices (CI smoke runs one matrix).
 
 use bench::experiments::{
-    self, fig10_table, fig4_rows, fig7_rows, fig8_rows, fig9_rows, table3_rows, MatrixReport,
+    self, fig10_table, fig4_rows, fig7_rows, fig8_rows, fig9_rows, phases_rows, table3_rows,
+    MatrixReport,
 };
 use bench::load_suite;
 use sparse::gen::{SuiteMatrix, SuiteScale};
@@ -19,16 +21,22 @@ use std::time::Instant;
 struct Args {
     experiments: Vec<String>,
     scale: SuiteScale,
+    only: Option<Vec<String>>,
     out: PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut experiments = Vec::new();
     let mut scale = SuiteScale::Small;
+    let mut only: Option<Vec<String>> = None;
     let mut out = PathBuf::from("results");
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--only" => {
+                let v = it.next().unwrap_or_default();
+                only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
             "--scale" => {
                 let v = it.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -44,8 +52,8 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|planner]... \
-                     [--scale tiny|small|medium] [--out DIR]"
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner]... \
+                     [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -58,6 +66,7 @@ fn parse_args() -> Args {
     Args {
         experiments,
         scale,
+        only,
         out,
     }
 }
@@ -91,25 +100,34 @@ fn main() {
         .expect("write BENCH_planner.json");
     }
 
-    let needs_suite = ["table2", "table3", "fig4", "fig7", "fig8", "fig9", "fig10"]
-        .iter()
-        .any(|e| wants(&args, e));
+    let needs_suite = [
+        "table2", "table3", "fig4", "fig7", "fig8", "fig9", "fig10", "phases",
+    ]
+    .iter()
+    .any(|e| wants(&args, e));
     if !needs_suite {
         return;
     }
 
     eprintln!(
-        "[{:6.1}s] generating the 9-matrix suite...",
+        "[{:6.1}s] generating the matrix suite...",
         t0.elapsed().as_secs_f64()
     );
-    let entries = load_suite(args.scale);
+    let mut entries = load_suite(args.scale);
+    if let Some(only) = &args.only {
+        entries.retain(|e| only.iter().any(|n| n == e.id.abbr() || n == e.id.name()));
+        if entries.is_empty() {
+            eprintln!("--only matched no suite matrices: {only:?}");
+            std::process::exit(2);
+        }
+    }
 
     if wants(&args, "table2") {
         println!("## Table II: features of the input matrices (analogue suite)\n");
         println!("{}", experiments::table2(&entries));
     }
 
-    let needs_runs = ["table3", "fig4", "fig7", "fig8", "fig9"]
+    let needs_runs = ["table3", "fig4", "fig7", "fig8", "fig9", "phases"]
         .iter()
         .any(|e| wants(&args, e));
     let mut reports: Vec<MatrixReport> = Vec::new();
@@ -149,6 +167,10 @@ fn main() {
     if wants(&args, "table3") {
         println!("## Table III: GPU chunks — fixed 65% ratio vs exhaustive best\n");
         println!("{}", table3_rows(&reports));
+    }
+    if wants(&args, "phases") {
+        println!("## Phase breakdown: async-run makespan by engine and kernel phase\n");
+        println!("{}", phases_rows(&reports));
     }
 
     if wants(&args, "fig10") {

@@ -8,7 +8,8 @@
 //!
 //! Computes `C = A · A` (the convention of the paper's evaluation) with
 //! the selected executor, prints statistics, and optionally writes the
-//! result (`.mtx` or `.spb`) and a `chrome://tracing` timeline.
+//! result (`.mtx` or `.spb`), a `chrome://tracing` timeline, and a
+//! structured metrics JSON (`--metrics-out`, DESIGN.md §9).
 
 use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
@@ -31,6 +32,7 @@ struct Args {
     panels: Option<(usize, usize)>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     fault_shrink: Option<(u64, f64)>,
@@ -42,7 +44,7 @@ fn usage() -> ! {
          \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
          \x20      [--device-mb N] [--ratio R|auto] [--panels RxC]\n\
          \x20      [--fault-seed N] [--fault-rate R] [--fault-shrink ALLOC:FACTOR]\n\
-         \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json]"
+         \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json] [--metrics-out FILE.json]"
     );
     std::process::exit(2)
 }
@@ -58,6 +60,7 @@ fn parse_args() -> Args {
         panels: None,
         out: None,
         trace: None,
+        metrics_out: None,
         fault_seed: None,
         fault_rate: None,
         fault_shrink: None,
@@ -82,6 +85,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(PathBuf::from(value())),
             "--trace" => args.trace = Some(PathBuf::from(value())),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value())),
             "--fault-seed" => args.fault_seed = Some(value().parse().unwrap_or_else(|_| usage())),
             "--fault-rate" => args.fault_rate = Some(value().parse().unwrap_or_else(|_| usage())),
             "--fault-shrink" => {
@@ -203,11 +207,11 @@ fn main() {
         None => 0.65,
     };
 
-    let (c, sim_ns, timeline, recovery) = match args.executor.as_str() {
+    let (c, sim_ns, timeline, recovery, metrics) = match args.executor.as_str() {
         "cpu" => {
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("cpu multiply");
             let ns = cpu_baseline_ns(&config.cost, stats.flops, stats.nnz_c);
-            (c, ns, None, None)
+            (c, ns, None, None, None)
         }
         "gpu-sync" | "gpu-async" => {
             let mode = if args.executor == "gpu-sync" {
@@ -228,7 +232,13 @@ fn main() {
                 run.plan.num_chunks(),
                 run.transfer_fraction() * 100.0
             );
-            (run.c, run.sim_ns, Some(run.timeline), Some(run.recovery))
+            (
+                run.c,
+                run.sim_ns,
+                Some(run.timeline),
+                Some(run.recovery),
+                Some(run.metrics),
+            )
         }
         "hybrid" => {
             let cfg = HybridConfig {
@@ -250,7 +260,13 @@ fn main() {
                 run.gpu_ns as f64 / 1e6,
                 run.cpu_ns as f64 / 1e6
             );
-            (run.c, run.sim_ns, Some(run.timeline), Some(run.recovery))
+            (
+                run.c,
+                run.sim_ns,
+                Some(run.timeline),
+                Some(run.recovery),
+                Some(run.metrics),
+            )
         }
         "unified" => {
             let run = multiply_unified(&a, &a, &config.device, &config.cost).unwrap_or_else(|e| {
@@ -264,7 +280,7 @@ fn main() {
             );
             // UM computes the same product; reuse the CPU path for values.
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("multiply");
-            (c, run.sim_ns, None, None)
+            (c, run.sim_ns, None, None, None)
         }
         other => {
             if let Some(n) = other.strip_prefix("multi-gpu:") {
@@ -283,7 +299,10 @@ fn main() {
                     run.gpu_chunks, run.cpu_chunks
                 );
                 let t = run.timelines.into_iter().next();
-                (run.c, run.sim_ns, t, Some(run.recovery))
+                // Device 0's metrics (the CLI reports one device's view;
+                // the library exposes all of them).
+                let m = run.metrics.into_iter().next();
+                (run.c, run.sim_ns, t, Some(run.recovery), m)
             } else {
                 usage()
             }
@@ -313,6 +332,18 @@ fn main() {
                 println!("wrote chrome trace to {}", path.display());
             }
             None => eprintln!("note: --trace ignored (executor has no device timeline)"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match &metrics {
+            Some(m) => {
+                std::fs::write(path, m.to_json()).unwrap_or_else(|e| {
+                    eprintln!("failed to write metrics: {e}");
+                    std::process::exit(1)
+                });
+                println!("wrote metrics to {}", path.display());
+            }
+            None => eprintln!("note: --metrics-out ignored (executor has no device metrics)"),
         }
     }
     if let Some(path) = &args.out {

@@ -3,6 +3,7 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{ExecMode, OocConfig};
+use crate::metrics::{ChunkMetrics, DemotionCause, Metrics};
 use crate::pipeline::{simulate_pipeline_recovering, ChunkAttempt, ChunkFailure};
 use crate::plan::{split_range_by_flops, PanelPlan, Planner};
 use crate::recovery::RecoveryReport;
@@ -124,6 +125,9 @@ pub(crate) struct RecoveredOutcome {
     pub sim_ns: SimTime,
     pub report: RecoveryReport,
     pub overrides: HashMap<ChunkId, CsrMatrix>,
+    /// Per-planned-chunk attempt/re-split/demotion counters, ordered
+    /// by (row, col).
+    pub chunk_stats: Vec<ChunkMetrics>,
 }
 
 enum WorkSource {
@@ -169,8 +173,15 @@ pub(crate) fn simulate_order_recovering(
     // by global start row for the final ordered vstack.
     let mut pieces: HashMap<ChunkId, Vec<(usize, CsrMatrix)>> = HashMap::new();
     let mut next_sub_id = pg.plan.num_chunks();
+    let mut stats: HashMap<ChunkId, ChunkMetrics> = HashMap::new();
 
     while !pending.is_empty() {
+        for w in &pending {
+            stats
+                .entry(w.parent)
+                .or_insert_with(|| ChunkMetrics::new(w.parent))
+                .attempts += 1;
+        }
         let attempts: Vec<ChunkAttempt<'_>> = pending
             .iter()
             .map(|w| ChunkAttempt {
@@ -208,6 +219,9 @@ pub(crate) fn simulate_order_recovering(
                     if w.rows.len() > 1 && w.depth < policy.max_resplit_depth =>
                 {
                     report.resplits += 1;
+                    if let Some(s) = stats.get_mut(&w.parent) {
+                        s.resplits += 1;
+                    }
                     sim.note_recovery(format!(
                         "re-split chunk ({},{}) rows {}..{}",
                         w.parent.row, w.parent.col, w.rows.start, w.rows.end
@@ -245,6 +259,13 @@ pub(crate) fn simulate_order_recovering(
                         });
                     }
                     report.demotions += 1;
+                    if let Some(s) = stats.get_mut(&w.parent) {
+                        s.demotions += 1;
+                        s.demotion_cause.get_or_insert(match f {
+                            ChunkFailure::Oom(_) => DemotionCause::DeviceMemory,
+                            ChunkFailure::Faults => DemotionCause::Faults,
+                        });
+                    }
                     let p = match w.source {
                         WorkSource::Orig(id) => pg.chunk(id),
                         WorkSource::Sub(si) => &sub_store[si],
@@ -281,10 +302,13 @@ pub(crate) fn simulate_order_recovering(
         );
         overrides.insert(parent, sparse::ops::vstack(&refs)?);
     }
+    let mut chunk_stats: Vec<ChunkMetrics> = stats.into_values().collect();
+    chunk_stats.sort_unstable_by_key(|s| (s.row, s.col));
     Ok(RecoveredOutcome {
         sim_ns: sim.finish(),
         report,
         overrides,
+        chunk_stats,
     })
 }
 
@@ -312,6 +336,8 @@ pub struct OocRun {
     pub order: Vec<ChunkId>,
     /// What recovery did (all-zero for a fault-free run).
     pub recovery: RecoveryReport,
+    /// Structured run metrics (DESIGN.md §9).
+    pub metrics: Metrics,
 }
 
 impl OocRun {
@@ -357,7 +383,7 @@ impl OutOfCoreGpu {
             (ExecMode::Async, true) => ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
             _ => pg.grid.natural_order(),
         };
-        let (sim_ns, timeline, overrides, recovery) = match &self.config.fault_plan {
+        let (sim_ns, timeline, overrides, recovery, metrics) = match &self.config.fault_plan {
             Some(plan) => {
                 let mut sim = GpuSim::with_faults(
                     self.config.device.clone(),
@@ -365,16 +391,25 @@ impl OutOfCoreGpu {
                     plan.clone(),
                 );
                 let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
-                (rec.sim_ns, sim.into_timeline(), rec.overrides, rec.report)
+                let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
+                (
+                    rec.sim_ns,
+                    sim.into_timeline(),
+                    rec.overrides,
+                    rec.report,
+                    metrics,
+                )
             }
             None => {
                 let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
                 let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
+                let metrics = Metrics::collect(&sim, sim_ns);
                 (
                     sim_ns,
                     sim.into_timeline(),
                     HashMap::new(),
                     RecoveryReport::default(),
+                    metrics,
                 )
             }
         };
@@ -396,6 +431,7 @@ impl OutOfCoreGpu {
             order: order.iter().map(|i| i.id).collect(),
             plan: pg.plan,
             recovery,
+            metrics,
             c,
         })
     }

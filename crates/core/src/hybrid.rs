@@ -14,6 +14,7 @@ use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::HybridConfig;
 use crate::error::OocError;
 use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::metrics::Metrics;
 use crate::plan::PanelPlan;
 use crate::recovery::RecoveryReport;
 use crate::Result;
@@ -58,6 +59,9 @@ pub struct HybridRun {
     pub plan: PanelPlan,
     /// What recovery did (all-zero for a fault-free run).
     pub recovery: RecoveryReport,
+    /// Structured GPU-side run metrics (DESIGN.md §9); the CPU worker
+    /// has no timeline, its time is in [`HybridRun::cpu_ns`].
+    pub metrics: Metrics,
 }
 
 impl HybridRun {
@@ -145,10 +149,15 @@ impl Hybrid {
     }
 
     /// GPU-side completion time for an ordered chunk set.
-    fn gpu_time(&self, pg: &PreparedGrid, chunks: &[ChunkInfo]) -> Result<(SimTime, Timeline)> {
+    fn gpu_time(
+        &self,
+        pg: &PreparedGrid,
+        chunks: &[ChunkInfo],
+    ) -> Result<(SimTime, Timeline, Metrics)> {
         let mut sim = GpuSim::new(self.config.gpu.device.clone(), self.config.gpu.cost.clone());
         let t = simulate_order(&mut sim, pg, chunks, &self.config.gpu)?;
-        Ok((t, sim.into_timeline()))
+        let metrics = Metrics::collect(&sim, t);
+        Ok((t, sim.into_timeline(), metrics))
     }
 
     fn ordered_chunks(&self, pg: &PreparedGrid) -> Vec<ChunkInfo> {
@@ -168,7 +177,7 @@ impl Hybrid {
         // Assignment follows the configured policy; execution on the
         // GPU groups its chunks by row panel to keep A resident.
         let gpu_order = ChunkGrid::grouped_desc(&gpu_chunks);
-        let (gpu_ns, timeline, overrides, recovery) = match &self.config.gpu.fault_plan {
+        let (gpu_ns, timeline, overrides, recovery, metrics) = match &self.config.gpu.fault_plan {
             Some(plan) => {
                 let mut sim = GpuSim::with_faults(
                     self.config.gpu.device.clone(),
@@ -177,11 +186,18 @@ impl Hybrid {
                 );
                 let rec =
                     simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
-                (rec.sim_ns, sim.into_timeline(), rec.overrides, rec.report)
+                let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
+                (
+                    rec.sim_ns,
+                    sim.into_timeline(),
+                    rec.overrides,
+                    rec.report,
+                    metrics,
+                )
             }
             None => {
-                let (t, tl) = self.gpu_time(&pg, &gpu_order)?;
-                (t, tl, HashMap::new(), RecoveryReport::default())
+                let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
+                (t, tl, HashMap::new(), RecoveryReport::default(), metrics)
             }
         };
         let cpu_ns = self.cpu_time(&pg, &cpu_chunks);
@@ -205,6 +221,7 @@ impl Hybrid {
             timeline,
             plan: pg.plan,
             recovery,
+            metrics,
             c,
         })
     }
@@ -262,6 +279,7 @@ impl Hybrid {
             Vec<(ChunkId, gpu_spgemm::PreparedChunk)>,
             Vec<usize>,
             RecoveryReport,
+            Metrics,
         )>;
         let (gpu_join, cpu_join) = crossbeam::thread::scope(|s| {
             let gpu_worker = s.spawn(|_| {
@@ -294,12 +312,14 @@ impl Hybrid {
                                 cfg.pinned,
                                 cfg.pipeline_depth,
                             )?;
+                            let metrics = Metrics::collect(&sim, t);
                             Ok((
                                 t,
                                 sim.into_timeline(),
                                 prepared,
                                 Vec::new(),
                                 RecoveryReport::default(),
+                                metrics,
                             ))
                         }
                         Some(plan) => {
@@ -331,7 +351,15 @@ impl Hybrid {
                                     outcome.failed.iter().map(|&(i, _)| i).collect();
                                 (outcome.done_at, failed)
                             };
-                            Ok((done_at, sim.into_timeline(), prepared, failed, report))
+                            let metrics = Metrics::collect(&sim, done_at);
+                            Ok((
+                                done_at,
+                                sim.into_timeline(),
+                                prepared,
+                                failed,
+                                report,
+                                metrics,
+                            ))
                         }
                     }
                 }))
@@ -366,11 +394,11 @@ impl Hybrid {
         // A panicked worker is isolated: the surviving (main) thread
         // re-prepares everything the dead worker owned and charges the
         // work to the CPU clock, so the run still completes.
-        let (gpu_ns, timeline, gpu_prepared, gpu_failed) = match gpu_join {
+        let (gpu_ns, timeline, gpu_prepared, gpu_failed, metrics) = match gpu_join {
             Ok(out) => {
-                let (t, tl, prepared, failed, report) = out?;
+                let (t, tl, prepared, failed, report, metrics) = out?;
                 recovery.merge(&report);
-                (t, tl, prepared, failed)
+                (t, tl, prepared, failed, metrics)
             }
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
@@ -386,7 +414,7 @@ impl Hybrid {
                     .map(|info| (info.id, prepare(info)))
                     .collect();
                 let failed: Vec<usize> = (0..gpu_order.len()).collect();
-                (0, Timeline::default(), prepared, failed)
+                (0, Timeline::default(), prepared, failed, Metrics::default())
             }
         };
         // Chunks the recovering pipeline gave up on (or that a dead GPU
@@ -444,6 +472,7 @@ impl Hybrid {
             timeline,
             plan,
             recovery,
+            metrics,
             c,
         })
     }
@@ -461,7 +490,7 @@ impl Hybrid {
         let mut per_g = Vec::with_capacity(order.len() + 1);
         for g in 0..=order.len() {
             let gpu_order = ChunkGrid::grouped_desc(&order[..g]);
-            let (gpu_ns, _) = self.gpu_time(&pg, &gpu_order)?;
+            let (gpu_ns, _, _) = self.gpu_time(&pg, &gpu_order)?;
             let cpu_ns = self.cpu_time(&pg, &order[g..]);
             per_g.push((g, gpu_ns.max(cpu_ns)));
         }

@@ -48,6 +48,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 pub mod hybrid;
+pub mod metrics;
 pub mod multigpu;
 pub mod pipeline;
 pub mod plan;
@@ -63,6 +64,7 @@ pub use error::OocError;
 pub use executor::{OocRun, OutOfCoreGpu};
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
+pub use metrics::{ChunkMetrics, DemotionCause, Metrics};
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
 pub use recovery::{RecoveryPolicy, RecoveryReport};

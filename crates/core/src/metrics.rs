@@ -1,0 +1,257 @@
+//! Structured per-run metrics: the machine-readable observability
+//! layer (DESIGN.md §9).
+//!
+//! A [`Metrics`] value combines three sources:
+//!
+//! * the simulator timeline aggregation ([`TimelineMetrics`]) — engine
+//!   busy/idle, transfer bytes and bandwidth, per-kernel-phase compute
+//!   time, overlap efficiency;
+//! * device-memory accounting captured from the simulator before it is
+//!   consumed (allocation and bump-pool high-water marks);
+//! * host-side counters from the recovering executors — per-chunk
+//!   attempt counts, re-splits, and demotion causes ([`ChunkMetrics`]).
+//!
+//! The figure-facing numbers are **bit-identical** to the ad-hoc
+//! derivations they replace: `timeline.transfer_fraction` is computed
+//! by [`gpu_sim::Timeline::transfer_fraction`] itself (Fig 4), and
+//! `completion_ns` is the exact `sim_ns` the run returns (Fig 8).
+
+use crate::chunks::ChunkId;
+use gpu_sim::{GpuSim, SimTime, TimelineMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Why a chunk left the GPU for the CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemotionCause {
+    /// The chunk's working set did not fit the device pool and could
+    /// not be split further.
+    DeviceMemory,
+    /// Transient faults exhausted the retry budget.
+    Faults,
+}
+
+/// Host-side recovery counters for one planned chunk (and all the
+/// sub-chunks it was re-split into).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkMetrics {
+    /// Row-panel index of the planned chunk.
+    pub row: usize,
+    /// Column-panel index of the planned chunk.
+    pub col: usize,
+    /// Device attempts made on this chunk or its sub-chunks.
+    pub attempts: u64,
+    /// Times a piece of this chunk was re-split after an OOM failure.
+    pub resplits: u64,
+    /// Pieces of this chunk demoted to the CPU.
+    pub demotions: u64,
+    /// Cause of the first demotion, if any piece was demoted.
+    pub demotion_cause: Option<DemotionCause>,
+}
+
+impl ChunkMetrics {
+    /// A zeroed counter row for the chunk.
+    pub fn new(id: ChunkId) -> Self {
+        ChunkMetrics {
+            row: id.row,
+            col: id.col,
+            attempts: 0,
+            resplits: 0,
+            demotions: 0,
+            demotion_cause: None,
+        }
+    }
+}
+
+/// Structured metrics for one executor run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// The run's completion time — the exact `sim_ns` the executor
+    /// returns (Fig 8 reads speedups from this field).
+    pub completion_ns: SimTime,
+    /// Timeline aggregation (engines, bytes, overlap, phases).
+    pub timeline: TimelineMetrics,
+    /// Device-memory allocation high-water mark, bytes.
+    pub device_high_water_bytes: u64,
+    /// Bump-pool usage high-water mark, bytes (0 when the executor
+    /// never carved a pool, e.g. pure-CPU demotion runs).
+    pub pool_high_water_bytes: u64,
+    /// Per-chunk recovery counters; empty for fault-free runs (the
+    /// recovering pass is the only path that attempts chunks more than
+    /// once).
+    pub chunks: Vec<ChunkMetrics>,
+}
+
+impl Metrics {
+    /// Captures every simulator-side metric. Must be called before the
+    /// simulator is consumed into its timeline.
+    pub fn collect(sim: &GpuSim, completion_ns: SimTime) -> Self {
+        Metrics {
+            completion_ns,
+            timeline: sim.timeline().metrics(),
+            device_high_water_bytes: sim.memory().high_water(),
+            pool_high_water_bytes: sim.pool_high_water(),
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Attaches host-side per-chunk recovery counters.
+    pub fn with_chunks(mut self, chunks: Vec<ChunkMetrics>) -> Self {
+        self.chunks = chunks;
+        self
+    }
+
+    /// Serializes to pretty-printed JSON.
+    ///
+    /// Hand-rolled (field names pinned by the schema tests) so the
+    /// `--metrics-out` CLI path has no serde-runtime dependency; the
+    /// derived `Serialize` impl emits the same shape for embedders.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        push_u64(&mut s, 1, "completion_ns", self.completion_ns, true);
+        s.push_str("  \"timeline\": {\n");
+        let t = &self.timeline;
+        push_u64(&mut s, 2, "makespan_ns", t.makespan_ns, true);
+        for (name, e) in [("kernel", t.kernel), ("h2d", t.h2d), ("d2h", t.d2h)] {
+            s.push_str(&format!(
+                "    \"{name}\": {{ \"busy_ns\": {}, \"idle_ns\": {}, \"ops\": {} }},\n",
+                e.busy_ns, e.idle_ns, e.ops
+            ));
+        }
+        push_u64(&mut s, 2, "h2d_bytes", t.h2d_bytes, true);
+        push_u64(&mut s, 2, "d2h_bytes", t.d2h_bytes, true);
+        push_f64(&mut s, 2, "h2d_bandwidth", t.h2d_bandwidth, true);
+        push_f64(&mut s, 2, "d2h_bandwidth", t.d2h_bandwidth, true);
+        s.push_str("    \"kernel_classes\": [");
+        for (i, k) in t.kernel_classes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{ \"class\": \"{}\", \"busy_ns\": {}, \"launches\": {}, \"payload\": {} }}",
+                k.class.name(),
+                k.busy_ns,
+                k.launches,
+                k.payload
+            ));
+        }
+        if !t.kernel_classes.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("],\n");
+        push_u64(&mut s, 2, "host_compute_ns", t.host_compute_ns, true);
+        push_f64(&mut s, 2, "transfer_fraction", t.transfer_fraction, true);
+        push_u64(&mut s, 2, "hidden_transfer_ns", t.hidden_transfer_ns, true);
+        push_u64(&mut s, 2, "total_transfer_ns", t.total_transfer_ns, true);
+        push_f64(&mut s, 2, "overlap_efficiency", t.overlap_efficiency, true);
+        s.push_str("    \"streams\": [");
+        for (i, m) in t.streams.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{ \"stream\": {}, \"ops\": {}, \"busy_ns\": {}, \"span_ns\": {} }}",
+                m.stream, m.ops, m.busy_ns, m.span_ns
+            ));
+        }
+        if !t.streams.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n");
+        s.push_str("  },\n");
+        push_u64(
+            &mut s,
+            1,
+            "device_high_water_bytes",
+            self.device_high_water_bytes,
+            true,
+        );
+        push_u64(
+            &mut s,
+            1,
+            "pool_high_water_bytes",
+            self.pool_high_water_bytes,
+            true,
+        );
+        s.push_str("  \"chunks\": [");
+        for (i, c) in self.chunks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let cause = match c.demotion_cause {
+                Some(DemotionCause::DeviceMemory) => "\"device_memory\"".to_string(),
+                Some(DemotionCause::Faults) => "\"faults\"".to_string(),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "\n    {{ \"row\": {}, \"col\": {}, \"attempts\": {}, \"resplits\": {}, \
+                 \"demotions\": {}, \"demotion_cause\": {cause} }}",
+                c.row, c.col, c.attempts, c.resplits, c.demotions
+            ));
+        }
+        if !self.chunks.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn push_u64(s: &mut String, indent: usize, key: &str, v: u64, comma: bool) {
+    s.push_str(&"  ".repeat(indent));
+    s.push_str(&format!("\"{key}\": {v}"));
+    s.push_str(if comma { ",\n" } else { "\n" });
+}
+
+fn push_f64(s: &mut String, indent: usize, key: &str, v: f64, comma: bool) {
+    s.push_str(&"  ".repeat(indent));
+    // Non-finite values have no JSON literal; they cannot occur here
+    // (all divisors are guarded) but null beats invalid output.
+    if v.is_finite() {
+        s.push_str(&format!("\"{key}\": {v}"));
+    } else {
+        s.push_str(&format!("\"{key}\": null"));
+    }
+    s.push_str(if comma { ",\n" } else { "\n" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_serialize_to_balanced_json() {
+        let json = Metrics::default().to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"completion_ns\": 0"));
+        assert!(json.contains("\"kernel_classes\": []"));
+        assert!(json.contains("\"chunks\": []"));
+    }
+
+    #[test]
+    fn chunk_counters_serialize_with_causes() {
+        let mut c = ChunkMetrics::new(ChunkId { row: 1, col: 2 });
+        c.attempts = 3;
+        c.demotions = 1;
+        c.demotion_cause = Some(DemotionCause::DeviceMemory);
+        let m = Metrics {
+            chunks: vec![c],
+            ..Metrics::default()
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"row\": 1, \"col\": 2, \"attempts\": 3"));
+        assert!(json.contains("\"demotion_cause\": \"device_memory\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut m = Metrics::default();
+        m.timeline.overlap_efficiency = f64::NAN;
+        assert!(m.to_json().contains("\"overlap_efficiency\": null"));
+    }
+}

@@ -19,6 +19,7 @@ use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::OocConfig;
 use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering};
+use crate::metrics::Metrics;
 use crate::plan::PanelPlan;
 use crate::recovery::RecoveryReport;
 use crate::Result;
@@ -77,6 +78,8 @@ pub struct MultiGpuRun {
     pub flops: u64,
     /// Per-GPU timelines.
     pub timelines: Vec<Timeline>,
+    /// Per-GPU structured metrics, aligned with [`Self::timelines`].
+    pub metrics: Vec<Metrics>,
     /// The panel plan used.
     pub plan: PanelPlan,
     /// Recovery activity merged across all devices (all-zero for a
@@ -138,6 +141,7 @@ pub fn multiply_multi_gpu(
     // Simulate each GPU on its own device; cost the CPU worker.
     let mut gpu_ns = Vec::with_capacity(config.num_gpus);
     let mut timelines = Vec::with_capacity(config.num_gpus);
+    let mut metrics = Vec::with_capacity(config.num_gpus);
     let mut gpu_chunks = Vec::with_capacity(config.num_gpus);
     let mut recovery = RecoveryReport::default();
     let mut overrides: HashMap<ChunkId, CsrMatrix> = HashMap::new();
@@ -153,12 +157,14 @@ pub fn multiply_multi_gpu(
                 let rec = simulate_order_recovering(&mut sim, a, &pg, &grouped, &config.gpu)?;
                 recovery.merge(&rec.report);
                 overrides.extend(rec.overrides);
+                metrics.push(Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats));
                 timelines.push(sim.into_timeline());
                 rec.sim_ns
             }
             None => {
                 let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
                 let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
+                metrics.push(Metrics::collect(&sim, t));
                 timelines.push(sim.into_timeline());
                 t
             }
@@ -198,6 +204,7 @@ pub fn multiply_multi_gpu(
         cpu_chunks,
         flops: pg.total_flops(),
         timelines,
+        metrics,
         plan: pg.plan,
         recovery,
     })

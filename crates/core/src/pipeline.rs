@@ -35,6 +35,44 @@ struct PendingOutput {
     second_bytes: u64,
 }
 
+/// Checks the caller-reachable pipeline arguments, returning
+/// [`crate::OocError::Config`] instead of panicking: `depth` and
+/// `split_fraction` arrive straight from the CLI/config layer.
+fn validate_pipeline_args(
+    n_chunks: usize,
+    n_flags: usize,
+    split_fraction: f64,
+    depth: usize,
+) -> crate::Result<()> {
+    if n_chunks != n_flags {
+        return Err(crate::OocError::Config(format!(
+            "pipeline needs one transfer flag per chunk: {n_chunks} chunks, {n_flags} flags"
+        )));
+    }
+    if depth < 2 {
+        return Err(crate::OocError::Config(format!(
+            "pipeline depth must be at least 2, got {depth}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&split_fraction) {
+        return Err(crate::OocError::Config(format!(
+            "split fraction must be in [0, 1], got {split_fraction}"
+        )));
+    }
+    Ok(())
+}
+
+/// Splits the pool bytes left after the A slot across `depth` epochs.
+/// Integer division drops up to `depth - 1` remainder bytes; epoch 0
+/// absorbs them so no pool capacity is silently lost.
+fn epoch_sizes(pool_bytes: u64, a_slot_bytes: u64, depth: usize) -> Vec<u64> {
+    let usable = pool_bytes - a_slot_bytes;
+    let per_epoch = usable / depth as u64;
+    let mut sizes = vec![per_epoch; depth];
+    sizes[0] += usable % depth as u64;
+    sizes
+}
+
 /// Runs the asynchronous pipeline over prepared chunks, in the given
 /// order. `transfer_a[i]` says whether chunk `i` must (re)copy its A
 /// panel. Returns the simulated completion time.
@@ -60,12 +98,7 @@ pub fn simulate_pipeline_depth(
     pinned: bool,
     depth: usize,
 ) -> crate::Result<SimTime> {
-    assert_eq!(
-        chunks.len(),
-        transfer_a.len(),
-        "one transfer flag per chunk"
-    );
-    assert!(depth >= 2, "pipeline needs at least two epochs");
+    validate_pipeline_args(chunks.len(), transfer_a.len(), split_fraction, depth)?;
     if chunks.is_empty() {
         return Ok(sim.now());
     }
@@ -99,8 +132,10 @@ pub fn simulate_pipeline_depth(
         }));
     }
     let mut a_slot = MemoryPool::new(a_slot_bytes);
-    let epoch_bytes = (pool_bytes - a_slot_bytes) / depth as u64;
-    let mut pools: Vec<MemoryPool> = (0..depth).map(|_| MemoryPool::new(epoch_bytes)).collect();
+    let mut pools: Vec<MemoryPool> = epoch_sizes(pool_bytes, a_slot_bytes, depth)
+        .into_iter()
+        .map(MemoryPool::new)
+        .collect();
 
     let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
     let mut prev: Option<PendingOutput> = None;
@@ -254,6 +289,8 @@ pub fn simulate_pipeline_depth(
             format!("D2H output 2/2 (chunk {})", p.chunk_id),
         );
     }
+    let pool_used: u64 = a_slot.high_water() + pools.iter().map(|p| p.high_water()).sum::<u64>();
+    sim.note_pool_high_water(pool_used);
     Ok(sim.finish())
 }
 
@@ -470,7 +507,7 @@ pub(crate) fn simulate_pipeline_recovering(
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
 ) -> crate::Result<RecoveringOutcome> {
-    assert!(depth >= 2, "pipeline needs at least two epochs");
+    validate_pipeline_args(attempts.len(), attempts.len(), split_fraction, depth)?;
     let mut failed: Vec<(usize, ChunkFailure)> = Vec::new();
     if attempts.is_empty() {
         return Ok(RecoveringOutcome {
@@ -517,7 +554,12 @@ pub(crate) fn simulate_pipeline_recovering(
         .max()
         .unwrap_or(0)
         .min(pool_bytes);
-    let epoch_bytes = (pool_bytes - a_slot_bytes) / depth as u64;
+    // Chunks rotate over epochs, so admission is checked against the
+    // smallest epoch (epoch 0 additionally holds the split remainder).
+    let epoch_bytes = *epoch_sizes(pool_bytes, a_slot_bytes, depth)
+        .last()
+        .expect("depth >= 2");
+    let mut pool_high_water: u64 = 0;
 
     let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
     let mut prev: Option<RecoveringPending> = None;
@@ -576,6 +618,7 @@ pub(crate) fn simulate_pipeline_recovering(
             failed.push((i, ChunkFailure::Faults));
             continue;
         }
+        pool_high_water = pool_high_water.max(a_slot_bytes + chunk_need);
 
         let xfer_a = a_resident != Some(att.row);
         let completed = 'chunk: {
@@ -740,6 +783,7 @@ pub(crate) fn simulate_pipeline_recovering(
     }
 
     flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
+    sim.note_pool_high_water(pool_high_water);
     // Release the pool so a follow-up pass (after re-splitting) can
     // size its own pool against the then-current device capacity.
     sim.free(pool, "pre-allocated pool");
@@ -879,6 +923,95 @@ mod tests {
         let mut sim = new_sim();
         let t = simulate_pipeline(&mut sim, &[], &[], 0.33, true).unwrap();
         assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn shallow_depth_is_a_config_error_not_a_panic() {
+        let mut sim = new_sim();
+        let err = simulate_pipeline_depth(&mut sim, &[], &[], 0.33, true, 1).unwrap_err();
+        match err {
+            crate::OocError::Config(msg) => assert!(msg.contains("depth"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_transfer_flags_are_a_config_error() {
+        let (panels, a) = prepared_fixture(2);
+        let prepared: Vec<_> = panels
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
+            })
+            .collect();
+        let refs: Vec<&_> = prepared.iter().collect();
+        let mut sim = new_sim();
+        let err = simulate_pipeline(&mut sim, &refs, &[true], 0.33, true).unwrap_err();
+        match err {
+            crate::OocError::Config(msg) => assert!(msg.contains("transfer flag"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_split_fraction_is_a_config_error() {
+        let mut sim = new_sim();
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = simulate_pipeline(&mut sim, &[], &[], bad, true).unwrap_err();
+            assert!(matches!(err, crate::OocError::Config(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_split_loses_no_pool_capacity() {
+        // The division remainder (up to depth-1 bytes) goes to epoch 0.
+        for (pool, a_slot, depth) in [
+            (1_000_003u64, 256u64, 2usize),
+            (96 << 20, 0, 3),
+            (7_777_777, 4_096, 4),
+            (512, 512, 2),
+        ] {
+            let sizes = epoch_sizes(pool, a_slot, depth);
+            assert_eq!(sizes.len(), depth);
+            assert_eq!(
+                sizes.iter().sum::<u64>() + a_slot,
+                pool,
+                "capacity lost for pool {pool} a_slot {a_slot} depth {depth}"
+            );
+            assert!(sizes[0] >= sizes[depth - 1]);
+            assert!(sizes[1..].iter().all(|&s| s == sizes[1]));
+        }
+    }
+
+    #[test]
+    fn pipeline_reports_pool_high_water() {
+        let (panels, a) = prepared_fixture(3);
+        let prepared: Vec<_> = panels
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                prepare_chunk(ChunkJob {
+                    a_panel: CsrView::of(&a),
+                    b_panel: p,
+                    chunk_id: i,
+                })
+            })
+            .collect();
+        let refs: Vec<&_> = prepared.iter().collect();
+        let flags: Vec<bool> = (0..refs.len()).map(|i| i == 0).collect();
+        let mut sim = new_sim();
+        simulate_pipeline(&mut sim, &refs, &flags, 0.33, true).unwrap();
+        let hw = sim.pool_high_water();
+        assert!(hw > 0, "pipeline must report pool usage");
+        assert!(
+            hw <= sim.memory().capacity(),
+            "pool high-water {hw} exceeds device capacity"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Serializable run summaries for the experiment harness.
 
+use crate::metrics::Metrics;
 use crate::recovery::RecoveryReport;
 use gpu_sim::{CostModel, SimTime};
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,20 @@ pub struct RunReport {
     /// Simulated time lost to faults + backoff, for runs with a fault
     /// plan.
     pub time_lost_ns: Option<SimTime>,
+    /// Kernel-engine busy time, simulated ns (metrics layer).
+    pub kernel_busy_ns: Option<SimTime>,
+    /// H2D copy-engine busy time, simulated ns (metrics layer).
+    pub h2d_busy_ns: Option<SimTime>,
+    /// D2H copy-engine busy time, simulated ns (metrics layer).
+    pub d2h_busy_ns: Option<SimTime>,
+    /// Bytes moved host → device (metrics layer).
+    pub h2d_bytes: Option<u64>,
+    /// Bytes moved device → host (metrics layer).
+    pub d2h_bytes: Option<u64>,
+    /// Hidden-transfer / total-transfer time ratio (metrics layer).
+    pub overlap_efficiency: Option<f64>,
+    /// Bump-pool usage high-water mark, bytes (metrics layer).
+    pub pool_high_water_bytes: Option<u64>,
 }
 
 impl RunReport {
@@ -74,6 +89,13 @@ impl RunReport {
             retries: None,
             demotions: None,
             time_lost_ns: None,
+            kernel_busy_ns: None,
+            h2d_busy_ns: None,
+            d2h_busy_ns: None,
+            h2d_bytes: None,
+            d2h_bytes: None,
+            overlap_efficiency: None,
+            pool_high_water_bytes: None,
         }
     }
 
@@ -83,6 +105,19 @@ impl RunReport {
         self.retries = Some(recovery.retries);
         self.demotions = Some(recovery.demotions);
         self.time_lost_ns = Some(recovery.time_lost_ns);
+        self
+    }
+
+    /// Fills in the observability columns from a [`Metrics`] value.
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        let t = &metrics.timeline;
+        self.kernel_busy_ns = Some(t.kernel.busy_ns);
+        self.h2d_busy_ns = Some(t.h2d.busy_ns);
+        self.d2h_busy_ns = Some(t.d2h.busy_ns);
+        self.h2d_bytes = Some(t.h2d_bytes);
+        self.d2h_bytes = Some(t.d2h_bytes);
+        self.overlap_efficiency = Some(t.overlap_efficiency);
+        self.pool_high_water_bytes = Some(metrics.pool_high_water_bytes);
         self
     }
 }
@@ -125,6 +160,26 @@ mod tests {
         assert_eq!(r.retries, Some(4));
         assert_eq!(r.demotions, Some(2));
         assert_eq!(r.time_lost_ns, Some(12_345));
+    }
+
+    #[test]
+    fn with_metrics_fills_observability_columns() {
+        let mut m = Metrics::default();
+        m.timeline.kernel.busy_ns = 70;
+        m.timeline.h2d.busy_ns = 20;
+        m.timeline.d2h.busy_ns = 10;
+        m.timeline.h2d_bytes = 4096;
+        m.timeline.d2h_bytes = 8192;
+        m.timeline.overlap_efficiency = 0.5;
+        m.pool_high_water_bytes = 1 << 20;
+        let r = RunReport::new("nlp", "gpu-async", 1000, 100, 500).with_metrics(&m);
+        assert_eq!(r.kernel_busy_ns, Some(70));
+        assert_eq!(r.h2d_busy_ns, Some(20));
+        assert_eq!(r.d2h_busy_ns, Some(10));
+        assert_eq!(r.h2d_bytes, Some(4096));
+        assert_eq!(r.d2h_bytes, Some(8192));
+        assert_eq!(r.overlap_efficiency, Some(0.5));
+        assert_eq!(r.pool_high_water_bytes, Some(1 << 20));
     }
 
     #[test]

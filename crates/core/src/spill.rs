@@ -81,6 +81,10 @@ impl SpilledMatrix {
         dir.join(MANIFEST_FILE)
     }
 
+    fn manifest_tmp_path(dir: &Path) -> PathBuf {
+        dir.join(format!("{MANIFEST_FILE}.tmp"))
+    }
+
     /// Number of row panels on disk.
     pub fn num_panels(&self) -> usize {
         self.row_bounds.len() - 1
@@ -116,9 +120,11 @@ impl SpilledMatrix {
         self.shards.iter().all(Option::is_some)
     }
 
-    /// Serializes the manifest and writes it atomically-ish (write then
-    /// rename would need a temp file; a spill manifest is small enough
-    /// that a straight rewrite is fine for the simulator's purposes).
+    /// Serializes the manifest and writes it atomically: the text goes
+    /// to `manifest.spill.tmp` first and is then renamed over the real
+    /// manifest, so a crash mid-write can never leave a truncated
+    /// manifest — at worst the old manifest survives next to a complete
+    /// `.tmp`, and [`SpilledMatrix::open`] accepts either.
     fn write_manifest(&self) -> Result<()> {
         let mut text = String::new();
         text.push_str(MANIFEST_VERSION);
@@ -134,18 +140,42 @@ impl SpilledMatrix {
                 text.push_str(&format!("shard {i} {} {:016x}\n", m.nnz, m.checksum));
             }
         }
-        std::fs::write(Self::manifest_path(&self.dir), text)
-            .map_err(|e| spill_err(format!("cannot write manifest: {e}")))
+        let tmp = Self::manifest_tmp_path(&self.dir);
+        std::fs::write(&tmp, text)
+            .map_err(|e| spill_err(format!("cannot write manifest temp: {e}")))?;
+        std::fs::rename(&tmp, Self::manifest_path(&self.dir))
+            .map_err(|e| spill_err(format!("cannot commit manifest: {e}")))
     }
 
     /// Opens an existing spill directory by parsing its manifest.
     ///
-    /// Fails with [`OocError::Spill`] when the manifest is absent,
-    /// has the wrong version tag, or is malformed. Shards are *not*
-    /// verified here — see [`SpilledMatrix::missing_or_corrupt`].
+    /// A damaged (absent, truncated, malformed) `manifest.spill` is not
+    /// immediately fatal: if a parseable `manifest.spill.tmp` from an
+    /// interrupted [`write_manifest`](Self::write_manifest) exists, it
+    /// is promoted to the real manifest and used. Fails with
+    /// [`OocError::Spill`] only when neither file parses. Shards are
+    /// *not* verified here — see [`SpilledMatrix::missing_or_corrupt`].
     pub fn open(dir: &Path) -> Result<Self> {
-        let path = Self::manifest_path(dir);
-        let text = std::fs::read_to_string(&path)
+        let primary = match Self::parse_manifest(dir, &Self::manifest_path(dir)) {
+            Ok(s) => return Ok(s),
+            Err(e) => e,
+        };
+        let tmp = Self::manifest_tmp_path(dir);
+        match Self::parse_manifest(dir, &tmp) {
+            Ok(s) => {
+                std::fs::rename(&tmp, Self::manifest_path(dir))
+                    .map_err(|e| spill_err(format!("cannot promote manifest temp: {e}")))?;
+                Ok(s)
+            }
+            // The primary failure is the one worth reporting; a missing
+            // .tmp is the common case, not the root cause.
+            Err(_) => Err(primary),
+        }
+    }
+
+    /// Parses one manifest file into an in-memory handle.
+    fn parse_manifest(dir: &Path, path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
             .map_err(|e| spill_err(format!("cannot read {}: {e}", path.display())))?;
         let mut lines = text.lines();
         match lines.next() {
@@ -305,6 +335,7 @@ impl SpilledMatrix {
         for i in 0..self.num_panels() {
             ignore_missing(std::fs::remove_file(Self::shard_path(&self.dir, i)))?;
         }
+        ignore_missing(std::fs::remove_file(Self::manifest_tmp_path(&self.dir)))?;
         ignore_missing(std::fs::remove_file(Self::manifest_path(&self.dir)))
     }
 
@@ -600,6 +631,51 @@ mod tests {
         let again = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
         assert_eq!(again.recomputed_panels, 0);
         again.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_manifest_resumes_from_tmp_without_recompute() {
+        let a = erdos_renyi(400, 400, 0.03, 29);
+        let cfg = OocConfig::with_device_memory(1 << 18);
+        let dir = temp_dir("tmp_fallback");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        assert!(run.c.num_panels() > 1);
+        // Simulate a crash between writing the temp manifest and the
+        // rename: a complete .tmp next to a truncated real manifest.
+        let manifest = SpilledMatrix::manifest_path(&dir);
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(SpilledMatrix::manifest_tmp_path(&dir), &text).unwrap();
+        // Cut right after the version header: valid tag, nothing else.
+        std::fs::write(&manifest, "SPILL1\n").unwrap();
+
+        // open() falls back to the .tmp and promotes it...
+        let reopened = SpilledMatrix::open(&dir).unwrap();
+        assert!(reopened.is_complete());
+        assert!(!SpilledMatrix::manifest_tmp_path(&dir).exists());
+        // ...so resume finds every checksummed shard intact.
+        let resumed = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
+        assert_eq!(resumed.recomputed_panels, 0);
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(resumed.c.load_all().unwrap().approx_eq(&expect, 1e-9));
+        resumed.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_manifest_without_tmp_still_errors() {
+        let a = erdos_renyi(200, 200, 0.05, 31);
+        let cfg = OocConfig::with_device_memory(1 << 19);
+        let dir = temp_dir("no_tmp");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        std::fs::write(SpilledMatrix::manifest_path(&dir), "SPILL1\ngarbage").unwrap();
+        match SpilledMatrix::open(&dir) {
+            Err(OocError::Spill(msg)) => {
+                assert!(msg.contains("unknown manifest record"), "{msg}")
+            }
+            other => panic!("expected Spill error, got {other:?}"),
+        }
+        run.c.remove().unwrap();
         std::fs::remove_dir(&dir).ok();
     }
 

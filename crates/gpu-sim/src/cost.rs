@@ -57,6 +57,63 @@ pub enum KernelKind {
     },
 }
 
+/// The phase family of a kernel, for metrics aggregation: the same
+/// chunk launches one kernel per phase, and the metrics layer reports
+/// compute time per family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Per-row flop counting over the A panel.
+    RowAnalysis,
+    /// Distinct-column counting.
+    Symbolic,
+    /// Multiply-accumulate.
+    Numeric,
+    /// Caller-rated kernels with no phase identity.
+    Generic,
+}
+
+impl KernelClass {
+    /// Every class, in reporting order.
+    pub const ALL: [KernelClass; 4] = [
+        KernelClass::RowAnalysis,
+        KernelClass::Symbolic,
+        KernelClass::Numeric,
+        KernelClass::Generic,
+    ];
+
+    /// Stable lowercase name, used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelClass::RowAnalysis => "row_analysis",
+            KernelClass::Symbolic => "symbolic",
+            KernelClass::Numeric => "numeric",
+            KernelClass::Generic => "generic",
+        }
+    }
+}
+
+impl KernelKind {
+    /// The phase family this kernel belongs to.
+    pub fn class(&self) -> KernelClass {
+        match self {
+            KernelKind::RowAnalysis { .. } => KernelClass::RowAnalysis,
+            KernelKind::Symbolic { .. } => KernelClass::Symbolic,
+            KernelKind::Numeric { .. } => KernelClass::Numeric,
+            KernelKind::Generic { .. } => KernelClass::Generic,
+        }
+    }
+
+    /// The workload descriptor recorded as the timeline payload:
+    /// entries scanned for row analysis, abstract ops for generic
+    /// kernels, flops for the symbolic/numeric phases.
+    pub fn payload(&self) -> u64 {
+        match *self {
+            KernelKind::RowAnalysis { ops } | KernelKind::Generic { ops, .. } => ops,
+            KernelKind::Symbolic { flops, .. } | KernelKind::Numeric { flops, .. } => flops,
+        }
+    }
+}
+
 /// The calibrated cost parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CostModel {

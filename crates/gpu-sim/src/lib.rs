@@ -54,13 +54,15 @@
 pub mod cost;
 pub mod fault;
 pub mod memory;
+pub mod metrics;
 pub mod props;
 pub mod sim;
 pub mod trace;
 
-pub use cost::{CostModel, KernelKind};
+pub use cost::{CostModel, KernelClass, KernelKind};
 pub use fault::{CapacityShrink, FaultKind, FaultPlan, FaultState, FaultStats, SimFault};
 pub use memory::{DeviceAlloc, DeviceMemory, MemoryPool, OutOfDeviceMemory};
+pub use metrics::{EngineMetrics, KernelClassMetrics, StreamMetrics, TimelineMetrics};
 pub use props::DeviceProps;
 pub use sim::{CopyDir, Event, GpuSim, HostMem, Stream};
 pub use trace::{OpKind, Timeline, TraceRecord};

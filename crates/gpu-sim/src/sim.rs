@@ -1,7 +1,7 @@
 //! The eager discrete-event engine: streams, events, engines, and the
 //! host clock.
 
-use crate::cost::{CostModel, KernelKind};
+use crate::cost::{CostModel, KernelClass, KernelKind};
 use crate::fault::{FaultKind, FaultPlan, FaultState, FaultStats, SimFault};
 use crate::memory::{DeviceAlloc, DeviceMemory, OutOfDeviceMemory};
 use crate::props::DeviceProps;
@@ -61,6 +61,35 @@ pub struct GpuSim {
     host_clock: SimTime,
     timeline: Timeline,
     faults: Option<FaultState>,
+    /// High-water mark over host-managed bump pools carved out of this
+    /// device (reported via [`GpuSim::note_pool_high_water`]).
+    pool_high_water: u64,
+}
+
+/// What an op *is* — trace kind, transfer payload, kernel phase —
+/// independent of where and when `schedule` places it.
+struct OpDesc {
+    kind: OpKind,
+    payload: u64,
+    kernel_class: Option<KernelClass>,
+}
+
+impl OpDesc {
+    fn of(kind: KernelKind) -> Self {
+        OpDesc {
+            kind: OpKind::Kernel,
+            payload: kind.payload(),
+            kernel_class: Some(kind.class()),
+        }
+    }
+
+    fn copy(kind: OpKind, bytes: u64) -> Self {
+        OpDesc {
+            kind,
+            payload: bytes,
+            kernel_class: None,
+        }
+    }
 }
 
 impl GpuSim {
@@ -78,6 +107,7 @@ impl GpuSim {
             host_clock: 0,
             timeline: Timeline::default(),
             faults: None,
+            pool_high_water: 0,
         }
     }
 
@@ -137,9 +167,8 @@ impl GpuSim {
         stream: Stream,
         engine: usize,
         duration: SimTime,
-        kind: OpKind,
         label: String,
-        payload: u64,
+        desc: OpDesc,
     ) -> SimTime {
         let s = stream.0 as usize;
         let start = self
@@ -151,12 +180,13 @@ impl GpuSim {
         self.stream_tails[s] = end;
         self.engines[engine] = end;
         self.timeline.records.push(TraceRecord {
-            kind,
+            kind: desc.kind,
             label,
             stream: stream.0,
             start,
             end,
-            payload,
+            payload: desc.payload,
+            kernel_class: desc.kernel_class,
         });
         end
     }
@@ -171,17 +201,12 @@ impl GpuSim {
         label: impl Into<String>,
     ) -> SimTime {
         let duration = self.cost.kernel_duration(kind);
-        let payload = match kind {
-            KernelKind::RowAnalysis { ops } | KernelKind::Generic { ops, .. } => ops,
-            KernelKind::Symbolic { flops, .. } | KernelKind::Numeric { flops, .. } => flops,
-        };
         self.schedule(
             stream,
             ENGINE_KERNEL,
             duration,
-            OpKind::Kernel,
             label.into(),
-            payload,
+            OpDesc::of(kind),
         )
     }
 
@@ -201,7 +226,13 @@ impl GpuSim {
         } else {
             (ENGINE_H2D, OpKind::CopyH2D)
         };
-        self.schedule(stream, engine, duration, kind, label.into(), bytes)
+        self.schedule(
+            stream,
+            engine,
+            duration,
+            label.into(),
+            OpDesc::copy(kind, bytes),
+        )
     }
 
     fn roll_fault(&mut self, kind: FaultKind) -> bool {
@@ -221,6 +252,7 @@ impl GpuSim {
             start: at,
             end: at,
             payload: 0,
+            kernel_class: None,
         });
     }
 
@@ -236,17 +268,12 @@ impl GpuSim {
         let label = label.into();
         if self.roll_fault(FaultKind::Kernel) {
             let duration = self.cost.kernel_duration(kind);
-            let payload = match kind {
-                KernelKind::RowAnalysis { ops } | KernelKind::Generic { ops, .. } => ops,
-                KernelKind::Symbolic { flops, .. } | KernelKind::Numeric { flops, .. } => flops,
-            };
             self.schedule(
                 stream,
                 ENGINE_KERNEL,
                 duration,
-                OpKind::Kernel,
                 format!("{label} [faulted]"),
-                payload,
+                OpDesc::of(kind),
             );
             self.push_marker(OpKind::Fault, format!("kernel fault: {label}"));
             return Err(SimFault {
@@ -281,9 +308,8 @@ impl GpuSim {
                 stream,
                 engine,
                 duration,
-                kind,
                 format!("{label} [faulted]"),
-                bytes,
+                OpDesc::copy(kind, bytes),
             );
             self.push_marker(OpKind::Fault, format!("copy fault: {label}"));
             return Err(SimFault {
@@ -320,6 +346,19 @@ impl GpuSim {
     /// a zero-duration marker in the timeline.
     pub fn note_recovery(&mut self, label: impl Into<String>) {
         self.push_marker(OpKind::Recovery, label.into());
+    }
+
+    /// Reports the high-water mark of a host-managed bump pool carved
+    /// out of this device's memory (the metrics layer cannot see pool
+    /// offsets, only the backing allocation). The maximum across all
+    /// reports is kept.
+    pub fn note_pool_high_water(&mut self, bytes: u64) {
+        self.pool_high_water = self.pool_high_water.max(bytes);
+    }
+
+    /// Largest reported bump-pool usage, bytes (0 if never reported).
+    pub fn pool_high_water(&self) -> u64 {
+        self.pool_high_water
     }
 
     /// Injection counters, if this simulator runs a fault plan.
@@ -377,6 +416,7 @@ impl GpuSim {
             start,
             end: self.host_clock,
             payload: duration,
+            kernel_class: None,
         });
     }
 
@@ -407,6 +447,7 @@ impl GpuSim {
             start: drain,
             end,
             payload: 0,
+            kernel_class: None,
         });
         end
     }

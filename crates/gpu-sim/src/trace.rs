@@ -1,5 +1,6 @@
 //! Execution timeline: every simulated operation, with validation.
 
+use crate::cost::KernelClass;
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,8 @@ pub struct TraceRecord {
     pub end: SimTime,
     /// Payload size: bytes for copies, flops/ops for kernels.
     pub payload: u64,
+    /// Phase family, for `Kernel` records only (`None` otherwise).
+    pub kernel_class: Option<KernelClass>,
 }
 
 /// The full, ordered (by issue) record of a simulation run.
@@ -212,6 +215,7 @@ mod tests {
             start,
             end,
             payload: 0,
+            kernel_class: None,
         }
     }
 

@@ -211,9 +211,17 @@ impl PreparedChunk {
     /// Figure 6 two-portion schedule), returning the byte sizes of the
     /// two portions. Both portions carry their share of col ids and
     /// values; the first also carries the row offsets.
+    ///
+    /// Out-of-range fractions (including NaN) are clamped to `[0, 1]`;
+    /// the sum of the two portions always equals `out_bytes`.
     pub fn split_output_bytes(&self, fraction: f64) -> (u64, u64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
-        let rows_first = (self.rows as f64 * fraction).round() as usize;
+        // clamp() propagates NaN; map it to 0 explicitly.
+        let fraction = if fraction.is_nan() {
+            0.0
+        } else {
+            fraction.clamp(0.0, 1.0)
+        };
+        let rows_first = ((self.rows as f64 * fraction).round() as usize).min(self.rows);
         let entries_first: u64 = if self.rows == 0 {
             0
         } else {
@@ -322,6 +330,23 @@ mod tests {
         let (offsets_only, rest) = p.split_output_bytes(0.0);
         assert_eq!(offsets_only, (p.rows as u64 + 1) * 8);
         assert_eq!(rest, p.nnz * 12);
+    }
+
+    #[test]
+    fn split_output_clamps_wild_fractions() {
+        let (a, b) = job_fixture();
+        let p = prepare_chunk(ChunkJob {
+            a_panel: CsrView::of(&a),
+            b_panel: &b,
+            chunk_id: 0,
+        });
+        assert_eq!(p.split_output_bytes(-3.0), p.split_output_bytes(0.0));
+        assert_eq!(p.split_output_bytes(42.0), p.split_output_bytes(1.0));
+        assert_eq!(p.split_output_bytes(f64::NAN), p.split_output_bytes(0.0));
+        for f in [-1.0, 0.5, 2.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let (first, second) = p.split_output_bytes(f);
+            assert_eq!(first + second, p.out_bytes, "fraction {f}");
+        }
     }
 
     #[test]
