@@ -14,7 +14,7 @@
 use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
     multiply_multi_gpu, multiply_unified, ExecMode, FaultPlan, Hybrid, HybridConfig,
-    MultiGpuConfig, OocConfig, OutOfCoreGpu,
+    MultiGpuConfig, OocConfig, OutOfCoreGpu, SchedulerKind,
 };
 use sparse::gen::{rmat, RmatConfig, SuiteMatrix, SuiteScale};
 use sparse::io::{read_binary, read_matrix_market, write_binary, write_matrix_market};
@@ -29,6 +29,7 @@ struct Args {
     executor: String,
     device_mb: Option<u64>,
     ratio: Option<String>,
+    scheduler: SchedulerKind,
     panels: Option<(usize, usize)>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -42,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: spgemm (--input FILE.mtx|FILE.spb | --gen rmat:SCALE:EDGES:SEED | --suite NAME[:tiny|small])\n\
          \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
-         \x20      [--device-mb N] [--ratio R|auto] [--panels RxC]\n\
+         \x20      [--device-mb N] [--ratio R|auto] [--scheduler stealing|static] [--panels RxC]\n\
          \x20      [--fault-seed N] [--fault-rate R] [--fault-shrink ALLOC:FACTOR]\n\
          \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json] [--metrics-out FILE.json]"
     );
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
         executor: "gpu-async".into(),
         device_mb: None,
         ratio: None,
+        scheduler: SchedulerKind::default(),
         panels: None,
         out: None,
         trace: None,
@@ -75,6 +77,13 @@ fn parse_args() -> Args {
             "--executor" => args.executor = value(),
             "--device-mb" => args.device_mb = Some(value().parse().unwrap_or_else(|_| usage())),
             "--ratio" => args.ratio = Some(value()),
+            "--scheduler" => {
+                args.scheduler = match value().as_str() {
+                    "static" => SchedulerKind::Static,
+                    "stealing" | "work-stealing" => SchedulerKind::WorkStealing,
+                    _ => usage(),
+                }
+            }
             "--panels" => {
                 let v = value();
                 let (r, c) = v.split_once('x').unwrap_or_else(|| usage());
@@ -204,14 +213,14 @@ fn main() {
     let ratio = match args.ratio.as_deref() {
         Some("auto") => oocgemm::auto_gpu_ratio(&config.cost, stats.flops, stats.nnz_c, true),
         Some(v) => v.parse().unwrap_or_else(|_| usage()),
-        None => 0.65,
+        None => oocgemm::DEFAULT_GPU_RATIO,
     };
 
-    let (c, sim_ns, timeline, recovery, metrics) = match args.executor.as_str() {
+    let (c, sim_ns, timeline, recovery, metrics, scheduler) = match args.executor.as_str() {
         "cpu" => {
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("cpu multiply");
             let ns = cpu_baseline_ns(&config.cost, stats.flops, stats.nnz_c);
-            (c, ns, None, None, None)
+            (c, ns, None, None, None, None)
         }
         "gpu-sync" | "gpu-async" => {
             let mode = if args.executor == "gpu-sync" {
@@ -238,6 +247,7 @@ fn main() {
                 Some(run.timeline),
                 Some(run.recovery),
                 Some(run.metrics),
+                None,
             )
         }
         "hybrid" => {
@@ -245,7 +255,13 @@ fn main() {
                 gpu: config.clone(),
                 ..HybridConfig::paper_default()
             }
-            .ratio(ratio);
+            .ratio(ratio)
+            .scheduler(args.scheduler);
+            // Reject bad --ratio (NaN, out of range) before any work.
+            cfg.validate().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2)
+            });
             let run = Hybrid::new(cfg)
                 .multiply_threaded(&a, &a)
                 .unwrap_or_else(|e| {
@@ -253,7 +269,7 @@ fn main() {
                     std::process::exit(1)
                 });
             println!(
-                "assignment: {} GPU / {} CPU chunks at ratio {:.0}% (gpu {:.3} ms, cpu {:.3} ms)",
+                "assignment: {} GPU / {} CPU chunks at ratio hint {:.0}% (gpu {:.3} ms, cpu {:.3} ms)",
                 run.num_gpu_chunks,
                 run.num_cpu_chunks,
                 ratio * 100.0,
@@ -266,6 +282,7 @@ fn main() {
                 Some(run.timeline),
                 Some(run.recovery),
                 Some(run.metrics),
+                Some(run.scheduler),
             )
         }
         "unified" => {
@@ -280,16 +297,16 @@ fn main() {
             );
             // UM computes the same product; reuse the CPU path for values.
             let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("multiply");
-            (c, run.sim_ns, None, None, None)
+            (c, run.sim_ns, None, None, None, None)
         }
         other => {
             if let Some(n) = other.strip_prefix("multi-gpu:") {
                 let num_gpus: usize = n.parse().unwrap_or_else(|_| usage());
                 let cfg = MultiGpuConfig {
                     gpu: config.clone(),
-                    num_gpus,
-                    use_cpu: true,
-                };
+                    ..MultiGpuConfig::new(num_gpus)
+                }
+                .scheduler(args.scheduler);
                 let run = multiply_multi_gpu(&a, &a, &cfg).unwrap_or_else(|e| {
                     eprintln!("executor failed: {e}");
                     std::process::exit(1)
@@ -302,7 +319,14 @@ fn main() {
                 // Device 0's metrics (the CLI reports one device's view;
                 // the library exposes all of them).
                 let m = run.metrics.into_iter().next();
-                (run.c, run.sim_ns, t, Some(run.recovery), m)
+                (
+                    run.c,
+                    run.sim_ns,
+                    t,
+                    Some(run.recovery),
+                    m,
+                    Some(run.scheduler),
+                )
             } else {
                 usage()
             }
@@ -315,6 +339,18 @@ fn main() {
         stats.flops as f64 / sim_ns.max(1) as f64,
         c.nnz()
     );
+    if let Some(st) = &scheduler {
+        println!(
+            "scheduler: {} ({} GPU claims, {} CPU steals, realized GPU share {:.1}%, \
+             idle gpu {:.3} ms / cpu {:.3} ms)",
+            st.kind.name(),
+            st.gpu_claims,
+            st.cpu_steals,
+            st.realized_gpu_ratio * 100.0,
+            st.gpu_idle_ns as f64 / 1e6,
+            st.cpu_idle_ns as f64 / 1e6
+        );
+    }
     if injecting {
         match recovery {
             Some(rec) => println!("recovery: {}", rec.summary()),

@@ -9,7 +9,7 @@
 //! | [`run_matrix`] + [`fig8_rows`] | Fig 8 — async vs sync speedup |
 //! | [`run_matrix`] + [`fig9_rows`] | Fig 9 — hybrid with/without reordering |
 //! | [`ratio_sweep`] | Fig 10 — GFLOPS vs GPU flop ratio |
-//! | [`run_matrix`] + [`table3_rows`] | Table III — best vs 65 %-ratio GPU chunk count |
+//! | [`run_matrix`] + [`table3_rows`] | Table III — best vs 65 %-ratio GPU chunk count, plus the static-vs-work-stealing scheduler head-to-head |
 
 use crate::table::TextTable;
 use crate::SuiteEntry;
@@ -56,6 +56,15 @@ pub struct MatrixReport {
     pub ratio_gpu_chunks: usize,
     /// Performance drop of the fixed ratio vs the optimum, percent.
     pub ratio_penalty_pct: f64,
+    /// Table III: hybrid GFLOPS under the one-shot static 65 % split
+    /// (the work-stealing run is `hybrid_gflops`).
+    pub hybrid_static_gflops: f64,
+    /// Chunks the GPU claimed from the dense head of the queue.
+    pub gpu_claims: u64,
+    /// Chunks the CPU stole from the sparse tail of the queue.
+    pub cpu_steals: u64,
+    /// Fraction of total flops the work-stealing run put on the GPU.
+    pub realized_gpu_ratio: f64,
     /// Async-run makespan, simulated ns (metrics layer).
     pub makespan_ns: u64,
     /// Async-run kernel busy ns per phase family (`row_analysis`,
@@ -110,6 +119,7 @@ pub fn run_matrix(entry: &SuiteEntry) -> oocgemm::Result<MatrixReport> {
         ..HybridConfig::paper_default()
     };
     let hybrid = Hybrid::new(hybrid_cfg.clone()).multiply(a, a)?;
+    let hybrid_static = Hybrid::new(hybrid_cfg.clone()).multiply_static(a, a)?;
     let hybrid_default = Hybrid::new(hybrid_cfg.clone().reorder(false)).multiply(a, a)?;
     let search = Hybrid::new(hybrid_cfg).ratio_search(a, a)?;
 
@@ -141,6 +151,10 @@ pub fn run_matrix(entry: &SuiteEntry) -> oocgemm::Result<MatrixReport> {
         best_gpu_chunks: search.best_g,
         ratio_gpu_chunks: search.ratio_g,
         ratio_penalty_pct: search.ratio_penalty() * 100.0,
+        hybrid_static_gflops: hybrid_static.gflops(),
+        gpu_claims: hybrid.scheduler.gpu_claims,
+        cpu_steals: hybrid.scheduler.cpu_steals,
+        realized_gpu_ratio: hybrid.scheduler.realized_gpu_ratio,
         makespan_ns: async_tl.makespan_ns,
         phase_busy_ns: async_tl
             .kernel_classes
@@ -337,7 +351,11 @@ pub fn phases_rows(reports: &[MatrixReport]) -> String {
     t.render()
 }
 
-/// Table III rows.
+/// Table III rows, extended with the static-vs-work-stealing
+/// head-to-head: the fixed 65 % split's GFLOPS next to the dynamic
+/// queue's, plus the queue's claim/steal accounting. The "steal gain"
+/// column is how much of the fixed ratio's penalty the work-stealing
+/// scheduler recovers without any ratio search.
 pub fn table3_rows(reports: &[MatrixReport]) -> String {
     let mut t = TextTable::new(&[
         "matrix",
@@ -345,6 +363,11 @@ pub fn table3_rows(reports: &[MatrixReport]) -> String {
         "65% #chunks",
         "penalty %",
         "total chunks",
+        "static GF",
+        "stealing GF",
+        "steal gain %",
+        "claims/steals",
+        "realized GPU %",
     ]);
     for r in reports {
         t.row(vec![
@@ -353,6 +376,14 @@ pub fn table3_rows(reports: &[MatrixReport]) -> String {
             r.ratio_gpu_chunks.to_string(),
             format!("{:.2}", r.ratio_penalty_pct),
             (r.panels.0 * r.panels.1).to_string(),
+            format!("{:.3}", r.hybrid_static_gflops),
+            format!("{:.3}", r.hybrid_gflops),
+            format!(
+                "{:.1}",
+                (r.hybrid_gflops / r.hybrid_static_gflops - 1.0) * 100.0
+            ),
+            format!("{}/{}", r.gpu_claims, r.cpu_steals),
+            format!("{:.1}", r.realized_gpu_ratio * 100.0),
         ]);
     }
     t.render()
@@ -431,6 +462,18 @@ mod tests {
         assert!(r.sync_transfer_pct > 0.0 && r.sync_transfer_pct < 100.0);
         assert!(r.ratio_gpu_chunks <= r.panels.0 * r.panels.1);
         assert!(r.best_gpu_chunks <= r.panels.0 * r.panels.1);
+        // Table III head-to-head: the work-stealing run never loses to
+        // the one-shot static split, touches every chunk exactly once,
+        // and reports a realized ratio inside [0, 1].
+        assert!(r.hybrid_static_gflops > 0.0);
+        assert!(r.hybrid_gflops >= r.hybrid_static_gflops);
+        assert_eq!(
+            (r.gpu_claims + r.cpu_steals) as usize,
+            r.panels.0 * r.panels.1
+        );
+        assert!((0.0..=1.0).contains(&r.realized_gpu_ratio));
+        let t3 = table3_rows(std::slice::from_ref(&r));
+        assert!(t3.contains("stealing GF"), "{t3}");
         // The metrics-layer phase breakdown is populated and sane.
         assert!(r.makespan_ns > 0);
         assert!((0.0..=1.0).contains(&r.overlap_efficiency));

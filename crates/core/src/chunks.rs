@@ -144,7 +144,16 @@ impl ChunkGrid {
     /// Splits an ordered chunk list at the paper's flop ratio: the
     /// smallest prefix holding at least `ratio` of the total flops
     /// (Algorithm 4 lines 16–24). Returns `(gpu_chunks, cpu_chunks)`.
+    ///
+    /// Out-of-range ratios are clamped to `[0, 1]` and NaN maps to 0
+    /// (everything on the CPU) — a NaN must not silently assign the
+    /// whole grid to the GPU through a never-true comparison.
     pub fn split_by_ratio(order: &[ChunkInfo], ratio: f64) -> (Vec<ChunkInfo>, Vec<ChunkInfo>) {
+        let ratio = if ratio.is_nan() {
+            0.0
+        } else {
+            ratio.clamp(0.0, 1.0)
+        };
         let total: u64 = order.iter().map(|c| c.flops).sum();
         if total == 0 || ratio <= 0.0 {
             return (Vec::new(), order.to_vec());
@@ -288,5 +297,72 @@ mod tests {
         let (gpu, cpu) = ChunkGrid::split_by_ratio(&[], 0.65);
         assert!(gpu.is_empty());
         assert!(cpu.is_empty());
+    }
+
+    #[test]
+    fn ratio_split_rejects_nan_and_clamps_wild_ratios() {
+        let chunks = vec![
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 0 },
+                flops: 50,
+            },
+            ChunkInfo {
+                id: ChunkId { row: 0, col: 1 },
+                flops: 30,
+            },
+        ];
+        // NaN used to assign *everything* to the GPU (the prefix
+        // comparison never fires); it must mean "no GPU work".
+        let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, f64::NAN);
+        assert!(gpu.is_empty());
+        assert_eq!(cpu.len(), 2);
+        // Out-of-range ratios clamp to the endpoints.
+        let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, 7.5);
+        assert_eq!(gpu.len(), 2);
+        assert!(cpu.is_empty());
+        let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, -3.0);
+        assert!(gpu.is_empty());
+        assert_eq!(cpu.len(), 2);
+        let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, f64::NEG_INFINITY);
+        assert!(gpu.is_empty());
+        assert_eq!(cpu.len(), 2);
+        let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, f64::INFINITY);
+        assert_eq!(gpu.len(), 2);
+        assert!(cpu.is_empty());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite: the two halves always partition the input exactly
+        /// — same chunks, same order, nothing lost or duplicated — for
+        /// any ratio including NaN and out-of-range values.
+        #[test]
+        fn ratio_split_partitions_exactly(
+            ratio in -2.0f64..3.0,
+            n in 0usize..20,
+            seed in any::<u64>(),
+        ) {
+            // Deterministic pseudo-random flops from the seed.
+            let mut s = seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let chunks: Vec<ChunkInfo> = (0..n)
+                .map(|i| ChunkInfo {
+                    id: ChunkId { row: i / 4, col: i % 4 },
+                    flops: next() % 1000,
+                })
+                .collect();
+            for r in [ratio, f64::NAN] {
+                let (gpu, cpu) = ChunkGrid::split_by_ratio(&chunks, r);
+                let mut joined = gpu.clone();
+                joined.extend(cpu.iter().copied());
+                prop_assert_eq!(&joined, &chunks);
+            }
+        }
     }
 }

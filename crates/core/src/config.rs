@@ -170,18 +170,47 @@ impl Default for OocConfig {
     }
 }
 
+/// How the hybrid executor distributes chunks between GPU and CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's Algorithm 4: one up-front flop-ratio split, each
+    /// side runs its fixed half to completion.
+    Static,
+    /// Dynamic work stealing on a shared two-ended queue: the GPU
+    /// claims from the dense head, the CPU steals from the sparse
+    /// tail, and the run ends when the queue drains. The configured
+    /// flop ratio only seeds the GPU's initial prefetch.
+    #[default]
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Stable lower-case name used in reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Static => "static",
+            SchedulerKind::WorkStealing => "work-stealing",
+        }
+    }
+}
+
 /// Configuration of the hybrid CPU+GPU executor (Algorithm 4).
 #[derive(Clone, Debug)]
 pub struct HybridConfig {
     /// The GPU-side configuration.
     pub gpu: OocConfig,
     /// Fraction of total flops assigned to the GPU
-    /// (`Ratio = S/(S+1)` in the paper).
+    /// (`Ratio = S/(S+1)` in the paper). Under the work-stealing
+    /// scheduler this only seeds the GPU's initial prefetch, with the
+    /// endpoints as hard pins: `0.0` disables GPU claiming entirely
+    /// and `1.0` disables CPU stealing.
     pub gpu_ratio: f64,
     /// Assign the *densest* chunks to the GPU (the paper's reordering,
     /// Fig 9). When false, chunks are assigned in natural grid order
     /// until the flop ratio is met — the "default implementation".
     pub reorder_assignment: bool,
+    /// Chunk distribution strategy.
+    pub scheduler: SchedulerKind,
 }
 
 impl HybridConfig {
@@ -191,6 +220,7 @@ impl HybridConfig {
             gpu: OocConfig::paper_default(),
             gpu_ratio: DEFAULT_GPU_RATIO,
             reorder_assignment: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -203,6 +233,12 @@ impl HybridConfig {
     /// Enables/disables density-ordered assignment.
     pub fn reorder(mut self, on: bool) -> Self {
         self.reorder_assignment = on;
+        self
+    }
+
+    /// Selects the chunk distribution strategy.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
         self
     }
 

@@ -437,38 +437,72 @@ impl OutOfCoreGpu {
     }
 }
 
+/// A completed chained computation (triple product, matrix power):
+/// the final matrix plus the *aggregated* accounting of every
+/// constituent multiplication. Earlier versions returned only
+/// `(matrix, time)` and silently dropped the per-iteration metrics and
+/// recovery reports, so a faulted k-hop run looked clean.
+#[derive(Debug)]
+pub struct ChainedRun {
+    /// The final product matrix.
+    pub c: CsrMatrix,
+    /// Sum of the simulated times of all constituent multiplications
+    /// (the products are data-dependent and cannot overlap).
+    pub sim_ns: SimTime,
+    /// All constituent recovery reports merged; non-zero counters mean
+    /// faults were injected *somewhere* in the chain.
+    pub recovery: RecoveryReport,
+    /// Per-multiplication metrics, in execution order.
+    pub metrics: Vec<Metrics>,
+}
+
 impl OutOfCoreGpu {
     /// Galerkin triple product `R · A · P` — the algebraic-multigrid
     /// kernel the paper's introduction motivates ("preconditioners such
     /// as algebraic multigrid"). Two chained out-of-core
-    /// multiplications; the returned time is their sum (the products
-    /// are data-dependent and cannot overlap).
+    /// multiplications; the returned time is their sum.
     pub fn triple_product(
         &self,
         r: &CsrMatrix,
         a: &CsrMatrix,
         p: &CsrMatrix,
-    ) -> Result<(CsrMatrix, SimTime)> {
+    ) -> Result<ChainedRun> {
         let ra = self.multiply(r, a)?;
         let rap = self.multiply(&ra.c, p)?;
-        Ok((rap.c, ra.sim_ns + rap.sim_ns))
+        let mut recovery = ra.recovery;
+        recovery.merge(&rap.recovery);
+        Ok(ChainedRun {
+            c: rap.c,
+            sim_ns: ra.sim_ns + rap.sim_ns,
+            recovery,
+            metrics: vec![ra.metrics, rap.metrics],
+        })
     }
 
     /// Matrix power `A^k` (`k >= 1`) by repeated out-of-core
     /// multiplication — the expansion step of Markov clustering run
     /// `k - 1` times.
-    pub fn power(&self, a: &CsrMatrix, k: u32) -> Result<(CsrMatrix, SimTime)> {
+    pub fn power(&self, a: &CsrMatrix, k: u32) -> Result<ChainedRun> {
         if k == 0 {
             return Err(crate::OocError::Config("power requires k >= 1".into()));
         }
         let mut acc = a.clone();
         let mut total: SimTime = 0;
+        let mut recovery = RecoveryReport::default();
+        let mut metrics = Vec::new();
         for _ in 1..k {
             let run = self.multiply(&acc, a)?;
             acc = run.c;
             total += run.sim_ns;
+            recovery.merge(&run.recovery);
+            metrics.push(run.metrics);
         }
-        Ok((acc, total))
+        Ok(ChainedRun {
+            c: acc,
+            sim_ns: total,
+            recovery,
+            metrics,
+        })
     }
 }
 
@@ -484,24 +518,52 @@ mod tests {
         let a = erdos_renyi(80, 80, 0.05, 2);
         let p = erdos_renyi(80, 40, 0.05, 3);
         let exec = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19));
-        let (rap, ns) = exec.triple_product(&r, &a, &p).unwrap();
-        assert!(ns > 0);
+        let run = exec.triple_product(&r, &a, &p).unwrap();
+        assert!(run.sim_ns > 0);
         let expect = reference::multiply(&reference::multiply(&r, &a).unwrap(), &p).unwrap();
-        assert!(rap.approx_eq(&expect, 1e-9));
+        assert!(run.c.approx_eq(&expect, 1e-9));
+        assert_eq!(run.metrics.len(), 2, "one metrics record per product");
+        assert_eq!(run.recovery, RecoveryReport::default());
     }
 
     #[test]
     fn power_matches_repeated_reference() {
         let a = erdos_renyi(60, 60, 0.05, 4);
         let exec = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19));
-        let (p1, t1) = exec.power(&a, 1).unwrap();
-        assert_eq!(p1, a);
-        assert_eq!(t1, 0);
-        let (p3, t3) = exec.power(&a, 3).unwrap();
-        assert!(t3 > 0);
+        let p1 = exec.power(&a, 1).unwrap();
+        assert_eq!(p1.c, a);
+        assert_eq!(p1.sim_ns, 0);
+        assert!(p1.metrics.is_empty());
+        let p3 = exec.power(&a, 3).unwrap();
+        assert!(p3.sim_ns > 0);
+        assert_eq!(p3.metrics.len(), 2);
         let expect = reference::multiply(&reference::multiply(&a, &a).unwrap(), &a).unwrap();
-        assert!(p3.approx_eq(&expect, 1e-9));
+        assert!(p3.c.approx_eq(&expect, 1e-9));
         assert!(exec.power(&a, 0).is_err());
+    }
+
+    #[test]
+    fn faulted_power_is_not_reported_clean() {
+        // Regression: chained runs used to drop per-iteration recovery
+        // reports and metrics, so a faulted k-hop run looked clean.
+        let a = erdos_renyi(120, 120, 0.05, 5);
+        let plan = gpu_sim::FaultPlan::seeded(42).all_rates(0.25);
+        let exec = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19).fault_plan(plan));
+        let run = exec.power(&a, 3).unwrap();
+        let clean = OutOfCoreGpu::new(OocConfig::with_device_memory(1 << 19))
+            .power(&a, 3)
+            .unwrap();
+        assert!(
+            run.recovery.kernel_faults
+                + run.recovery.copy_faults
+                + run.recovery.alloc_faults
+                + run.recovery.pool_faults
+                > 0,
+            "the fault plan must actually fire"
+        );
+        assert!(run.recovery.retries > 0 || run.recovery.demotions > 0);
+        assert_eq!(run.metrics.len(), 2);
+        assert!(run.c.approx_eq(&clean.c, 0.0), "faults must not change C");
     }
 
     fn fixture() -> CsrMatrix {

@@ -1,22 +1,26 @@
 //! The hybrid CPU+GPU executor — Algorithm 4 and Section III-C.
 //!
-//! Chunk flops are analyzed up front (`GetFlops`), chunks are ordered
-//! by decreasing flops, and the smallest prefix holding at least
-//! `Ratio = S/(S+1)` of the total flops (65 % by default) goes to the
-//! GPU; the rest is processed by the Nagasaka-style multicore CPU
-//! executor. Two workers run concurrently — here, the GPU worker is
-//! the simulated asynchronous pipeline and the CPU worker is costed by
-//! the calibrated CPU model, with all numeric results computed for
-//! real by the same multicore code the CPU baseline uses.
+//! Chunk flops are analyzed up front (`GetFlops`) and chunks are
+//! ordered by decreasing flops. Under the default work-stealing
+//! scheduler (the `scheduler` module) the GPU worker claims chunks from
+//! the dense head of a shared two-ended queue while the CPU worker
+//! steals from the sparse tail; under [`SchedulerKind::Static`] the
+//! smallest prefix holding at least `Ratio = S/(S+1)` of the total
+//! flops (65 % by default) goes to the GPU one-shot, exactly as the
+//! paper prescribes. Either way the GPU worker is the simulated
+//! asynchronous pipeline and the CPU worker is costed by the
+//! calibrated CPU model, with all numeric results computed for real by
+//! the same multicore code the CPU baseline uses.
 
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
-use crate::config::HybridConfig;
+use crate::config::{HybridConfig, SchedulerKind};
 use crate::error::OocError;
 use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
 use crate::recovery::RecoveryReport;
+use crate::scheduler::assign;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use sparse::CsrMatrix;
@@ -62,6 +66,9 @@ pub struct HybridRun {
     /// Structured GPU-side run metrics (DESIGN.md §9); the CPU worker
     /// has no timeline, its time is in [`HybridRun::cpu_ns`].
     pub metrics: Metrics,
+    /// How the scheduler distributed the chunks: claim/steal counts,
+    /// per-worker idle time, and the realized GPU flop fraction.
+    pub scheduler: SchedulerStats,
 }
 
 impl HybridRun {
@@ -110,10 +117,30 @@ impl RatioSearch {
 /// fixed 65 % — the paper's own prescription for porting: "it might
 /// change if we use another GPU or CPU, but we should still be able to
 /// use a ratio" (Section III-C). `S` is the expected GPU-over-CPU
-/// speedup for this product (transfer-bound GPU estimate vs the CPU
-/// model), and the returned ratio is `S / (S + 1)`.
+/// speedup for this product and the returned ratio is `S / (S + 1)`.
+///
+/// The GPU side is estimated as the *slower* of its two saturating
+/// resources under the async pipeline: the D2H output transfer and the
+/// symbolic+numeric kernel time at the product's mean compression
+/// ratio. (An earlier version estimated from the copy alone, which
+/// over-committed the GPU on compute-bound products — high compression
+/// ratios shrink the transfer but not the flops.)
 pub fn auto_gpu_ratio(cost: &gpu_sim::CostModel, flops: u64, nnz_c: u64, pinned: bool) -> f64 {
-    let gpu_est = cost.copy_duration(nnz_c * 12, true, pinned).max(1);
+    use gpu_sim::KernelKind;
+    let copy_est = cost.copy_duration(nnz_c * 12, true, pinned);
+    let compression_ratio = if nnz_c == 0 {
+        1.0
+    } else {
+        flops as f64 / nnz_c as f64
+    };
+    let kernel_est = cost.kernel_duration(KernelKind::Symbolic {
+        flops,
+        compression_ratio,
+    }) + cost.kernel_duration(KernelKind::Numeric {
+        flops,
+        compression_ratio,
+    });
+    let gpu_est = copy_est.max(kernel_est).max(1);
     let cpu_est = cost.cpu_chunk_duration(flops, nnz_c).max(1);
     let s = cpu_est as f64 / gpu_est as f64;
     (s / (s + 1.0)).clamp(0.0, 1.0)
@@ -168,39 +195,57 @@ impl Hybrid {
         }
     }
 
-    /// Computes `C = a · b` on both devices.
-    pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
-        self.config.validate()?;
-        let pg = prepare_grid(a, b, &self.config.gpu)?;
+    /// The shared back half of every hybrid entry point: schedule the
+    /// prepared chunks, run both simulated workers, assemble, and
+    /// account. `gpu_dead` models a GPU worker lost before the pipeline
+    /// ran (threaded drain path): every chunk the scheduler gave the
+    /// GPU is demoted and recomputed on the CPU clock.
+    fn run_prepared(
+        &self,
+        a: &CsrMatrix,
+        pg: PreparedGrid,
+        gpu_dead: bool,
+        base_recovery: RecoveryReport,
+    ) -> Result<HybridRun> {
         let order = self.ordered_chunks(&pg);
-        let (gpu_chunks, cpu_chunks) = ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
+        let assignment = assign(&self.config, &pg, &order);
         // Assignment follows the configured policy; execution on the
         // GPU groups its chunks by row panel to keep A resident.
-        let gpu_order = ChunkGrid::grouped_desc(&gpu_chunks);
-        let (gpu_ns, timeline, overrides, recovery, metrics) = match &self.config.gpu.fault_plan {
-            Some(plan) => {
-                let mut sim = GpuSim::with_faults(
-                    self.config.gpu.device.clone(),
-                    self.config.gpu.cost.clone(),
-                    plan.clone(),
-                );
-                let rec =
-                    simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
-                let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
-                (
-                    rec.sim_ns,
-                    sim.into_timeline(),
-                    rec.overrides,
-                    rec.report,
-                    metrics,
-                )
-            }
-            None => {
-                let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
-                (t, tl, HashMap::new(), RecoveryReport::default(), metrics)
+        let gpu_order = ChunkGrid::grouped_desc(&assignment.gpu);
+        let mut recovery = base_recovery;
+
+        let (gpu_ns, timeline, overrides, metrics) = if gpu_dead {
+            (0, Timeline::default(), HashMap::new(), Metrics::default())
+        } else {
+            match &self.config.gpu.fault_plan {
+                Some(plan) => {
+                    let mut sim = GpuSim::with_faults(
+                        self.config.gpu.device.clone(),
+                        self.config.gpu.cost.clone(),
+                        plan.clone(),
+                    );
+                    let rec =
+                        simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
+                    let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
+                    recovery.merge(&rec.report);
+                    (rec.sim_ns, sim.into_timeline(), rec.overrides, metrics)
+                }
+                None => {
+                    let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
+                    (t, tl, HashMap::new(), metrics)
+                }
             }
         };
-        let cpu_ns = self.cpu_time(&pg, &cpu_chunks);
+        let mut cpu_ns = self.cpu_time(&pg, &assignment.cpu);
+        if gpu_dead {
+            // Already-prepared host results are kept; the CPU clock
+            // pays for recomputing every orphaned GPU chunk.
+            for info in &assignment.gpu {
+                let p = pg.chunk(info.id);
+                cpu_ns += self.config.gpu.cost.cpu_chunk_duration(p.flops, p.nnz);
+                recovery.demotions += 1;
+            }
+        }
 
         let chunk_refs: Vec<(ChunkId, &CsrMatrix)> = order
             .iter()
@@ -210,35 +255,77 @@ impl Hybrid {
             })
             .collect();
         let c = assemble(&pg.plan, &chunk_refs);
+
+        let sim_ns = gpu_ns.max(cpu_ns);
+        let total_flops = pg.total_flops();
+        let gpu_flops: u64 = if gpu_dead {
+            0
+        } else {
+            assignment.gpu.iter().map(|i| i.flops).sum()
+        };
+        let stats = SchedulerStats {
+            kind: self.config.scheduler,
+            gpu_claims: assignment.gpu_claims,
+            cpu_steals: assignment.cpu_steals,
+            gpu_idle_ns: sim_ns - gpu_ns,
+            cpu_idle_ns: sim_ns - cpu_ns,
+            realized_gpu_ratio: if total_flops == 0 {
+                0.0
+            } else {
+                gpu_flops as f64 / total_flops as f64
+            },
+        };
         Ok(HybridRun {
-            sim_ns: gpu_ns.max(cpu_ns),
+            sim_ns,
             gpu_ns,
             cpu_ns,
-            num_gpu_chunks: gpu_chunks.len(),
-            num_cpu_chunks: cpu_chunks.len(),
-            flops: pg.total_flops(),
+            num_gpu_chunks: assignment.gpu.len(),
+            num_cpu_chunks: assignment.cpu.len(),
+            flops: total_flops,
             nnz_c: pg.total_nnz(),
             timeline,
             plan: pg.plan,
             recovery,
-            metrics,
+            metrics: metrics.with_scheduler(stats),
+            scheduler: stats,
             c,
         })
     }
 
+    /// Computes `C = a · b` on both devices.
+    pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
+        self.config.validate()?;
+        let pg = prepare_grid(a, b, &self.config.gpu)?;
+        self.run_prepared(a, pg, false, RecoveryReport::default())
+    }
+
+    /// [`Hybrid::multiply`] forced through the paper's one-shot static
+    /// split, regardless of the configured scheduler — the bit-exact
+    /// Algorithm 4 baseline the work-stealing scheduler is compared
+    /// against (Table III, static vs dynamic).
+    pub fn multiply_static(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
+        let config = self.config.clone().scheduler(SchedulerKind::Static);
+        Hybrid::new(config).multiply(a, b)
+    }
+
     /// [`Hybrid::multiply`] with *real* two-thread concurrency —
     /// Algorithm 4's "Parallel GPU thread ... Parallel CPU thread":
-    /// the GPU worker prepares its chunks and drives the simulated
-    /// pipeline while the CPU worker computes its chunks with the
-    /// multicore executor, each on its own OS thread (crossbeam scoped).
+    /// both workers race a shared atomic cursor over the row-major
+    /// chunk grid and prepare chunks concurrently (the host-side heavy
+    /// lifting), then the scheduling and both simulated clocks run on
+    /// the deterministic path shared with [`Hybrid::multiply`].
     ///
-    /// Produces the same [`HybridRun`] as [`Hybrid::multiply`]
-    /// (simulated clocks are deterministic, so timings are identical);
-    /// the difference is host-side wall-clock concurrency.
+    /// Produces the same [`HybridRun`] as [`Hybrid::multiply`] in
+    /// every field — claim decisions never depend on which OS thread
+    /// prepared a chunk, and simulated clocks are deterministic — so
+    /// threaded and sequential runs are bit-identical even under an
+    /// active fault plan. The difference is host wall-clock only.
     pub fn multiply_threaded(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
         use crate::plan::Planner;
         use gpu_spgemm::{phases, ChunkJob, PreparedChunk};
         use sparse::CsrView;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
 
         self.config.validate()?;
         let cfg = &self.config.gpu;
@@ -247,136 +334,55 @@ impl Hybrid {
             Some((r, c)) => planner.fixed(r, c)?,
             None => planner.auto(cfg.device.device_memory_bytes)?,
         };
+        let row_flops_prefix = planner.row_flops_prefix().to_vec();
         let col_panels = cfg.col_partitioner.partition(b, &plan.col_ranges);
         let grid = ChunkGrid::compute(a, &plan, &col_panels);
-        let order = if self.config.reorder_assignment {
-            grid.sorted_desc()
-        } else {
-            grid.natural_order()
-        };
-        let (gpu_chunks, cpu_chunks) = ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
-        let gpu_order = ChunkGrid::grouped_desc(&gpu_chunks);
         let k_c = plan.col_panels();
+        let n = plan.num_chunks();
 
-        let prepare = |info: &ChunkInfo| -> PreparedChunk {
-            let range = &plan.row_ranges[info.id.row];
+        let prepare = |idx: usize| -> PreparedChunk {
+            let range = &plan.row_ranges[idx / k_c];
             phases::prepare_chunk(ChunkJob {
                 a_panel: CsrView::rows(a, range.start, range.end),
-                b_panel: &col_panels[info.id.col].matrix,
-                chunk_id: info.id.row * k_c + info.id.col,
+                b_panel: &col_panels[idx % k_c].matrix,
+                chunk_id: idx,
             })
+        };
+
+        // Both workers drain one shared cursor; chunk content is a pure
+        // function of the index, so the interleaving cannot affect the
+        // result. The GPU worker honors the injected-panic test hook.
+        let cursor = AtomicUsize::new(0);
+        let worker = |inject: bool| -> Vec<(usize, PreparedChunk)> {
+            let mut out = Vec::new();
+            loop {
+                if inject {
+                    if let Some(plan) = &cfg.fault_plan {
+                        if plan.worker_panic_after == Some(out.len() as u64) {
+                            panic!(
+                                "injected gpu worker fault after {} prepared chunks",
+                                out.len()
+                            );
+                        }
+                    }
+                }
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                out.push((idx, prepare(idx)));
+            }
+            out
         };
 
         // Each worker body runs under `catch_unwind` and is joined
         // explicitly, so a panic surfaces here as an `Err` payload
         // instead of unwinding through the scope; the payload becomes a
         // structured `OocError::Worker` or, when draining is enabled,
-        // the surviving thread redoes the work.
-        use std::panic::{catch_unwind, AssertUnwindSafe};
-        type GpuOut = Result<(
-            SimTime,
-            Timeline,
-            Vec<(ChunkId, gpu_spgemm::PreparedChunk)>,
-            Vec<usize>,
-            RecoveryReport,
-            Metrics,
-        )>;
+        // the main thread redoes the lost work.
         let (gpu_join, cpu_join) = crossbeam::thread::scope(|s| {
-            let gpu_worker = s.spawn(|_| {
-                catch_unwind(AssertUnwindSafe(|| -> GpuOut {
-                    let mut prepared: Vec<(ChunkId, PreparedChunk)> =
-                        Vec::with_capacity(gpu_order.len());
-                    for (i, info) in gpu_order.iter().enumerate() {
-                        if let Some(plan) = &cfg.fault_plan {
-                            if plan.worker_panic_after == Some(i as u64) {
-                                panic!("injected gpu worker fault after {i} prepared chunks");
-                            }
-                        }
-                        prepared.push((info.id, prepare(info)));
-                    }
-                    let transfer_a: Vec<bool> = gpu_order
-                        .iter()
-                        .enumerate()
-                        .map(|(i, info)| i == 0 || gpu_order[i - 1].id.row != info.id.row)
-                        .collect();
-                    match &cfg.fault_plan {
-                        None => {
-                            let refs: Vec<&PreparedChunk> =
-                                prepared.iter().map(|(_, p)| p).collect();
-                            let mut sim = GpuSim::new(cfg.device.clone(), cfg.cost.clone());
-                            let t = crate::pipeline::simulate_pipeline_depth(
-                                &mut sim,
-                                &refs,
-                                &transfer_a,
-                                cfg.split_fraction,
-                                cfg.pinned,
-                                cfg.pipeline_depth,
-                            )?;
-                            let metrics = Metrics::collect(&sim, t);
-                            Ok((
-                                t,
-                                sim.into_timeline(),
-                                prepared,
-                                Vec::new(),
-                                RecoveryReport::default(),
-                                metrics,
-                            ))
-                        }
-                        Some(plan) => {
-                            let mut sim = GpuSim::with_faults(
-                                cfg.device.clone(),
-                                cfg.cost.clone(),
-                                plan.clone(),
-                            );
-                            let mut report = RecoveryReport::default();
-                            let (done_at, failed) = {
-                                let attempts: Vec<crate::pipeline::ChunkAttempt> = gpu_order
-                                    .iter()
-                                    .zip(prepared.iter())
-                                    .map(|(info, (_, p))| crate::pipeline::ChunkAttempt {
-                                        chunk: p,
-                                        row: info.id.row,
-                                    })
-                                    .collect();
-                                let outcome = crate::pipeline::simulate_pipeline_recovering(
-                                    &mut sim,
-                                    &attempts,
-                                    cfg.split_fraction,
-                                    cfg.pinned,
-                                    cfg.pipeline_depth,
-                                    &cfg.recovery,
-                                    &mut report,
-                                )?;
-                                let failed: Vec<usize> =
-                                    outcome.failed.iter().map(|&(i, _)| i).collect();
-                                (outcome.done_at, failed)
-                            };
-                            let metrics = Metrics::collect(&sim, done_at);
-                            Ok((
-                                done_at,
-                                sim.into_timeline(),
-                                prepared,
-                                failed,
-                                report,
-                                metrics,
-                            ))
-                        }
-                    }
-                }))
-            });
-            let cpu_worker = s.spawn(|_| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    let prepared: Vec<(ChunkId, PreparedChunk)> = cpu_chunks
-                        .iter()
-                        .map(|info| (info.id, prepare(info)))
-                        .collect();
-                    let time: SimTime = prepared
-                        .iter()
-                        .map(|(_, p)| cfg.cost.cpu_chunk_duration(p.flops, p.nnz))
-                        .sum();
-                    (time, prepared)
-                }))
-            });
+            let gpu_worker = s.spawn(|_| catch_unwind(AssertUnwindSafe(|| worker(true))));
+            let cpu_worker = s.spawn(|_| catch_unwind(AssertUnwindSafe(|| worker(false))));
             (gpu_worker.join(), cpu_worker.join())
         })
         .map_err(|payload| OocError::Worker {
@@ -390,96 +396,54 @@ impl Hybrid {
 
         let mut recovery = RecoveryReport::default();
         let policy = cfg.recovery;
-
-        // A panicked worker is isolated: the surviving (main) thread
-        // re-prepares everything the dead worker owned and charges the
-        // work to the CPU clock, so the run still completes.
-        let (gpu_ns, timeline, gpu_prepared, gpu_failed, metrics) = match gpu_join {
-            Ok(out) => {
-                let (t, tl, prepared, failed, report, metrics) = out?;
-                recovery.merge(&report);
-                (t, tl, prepared, failed, metrics)
-            }
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                if !policy.drain_worker_panics {
-                    return Err(OocError::Worker {
-                        worker: "gpu".to_string(),
-                        message,
-                    });
+        let mut gpu_dead = false;
+        let mut slots: Vec<Option<PreparedChunk>> = (0..n).map(|_| None).collect();
+        for (join, name) in [(gpu_join, "gpu"), (cpu_join, "cpu")] {
+            match join {
+                Ok(prepared) => {
+                    for (idx, p) in prepared {
+                        slots[idx] = Some(p);
+                    }
                 }
-                recovery.worker_panics += 1;
-                let prepared: Vec<(ChunkId, PreparedChunk)> = gpu_order
-                    .iter()
-                    .map(|info| (info.id, prepare(info)))
-                    .collect();
-                let failed: Vec<usize> = (0..gpu_order.len()).collect();
-                (0, Timeline::default(), prepared, failed, Metrics::default())
-            }
-        };
-        // Chunks the recovering pipeline gave up on (or that a dead GPU
-        // worker never ran) are demoted: their already-prepared host
-        // results are kept and the CPU clock pays for recomputing them.
-        let mut cpu_drain_ns: SimTime = 0;
-        for &i in &gpu_failed {
-            let p = &gpu_prepared[i].1;
-            cpu_drain_ns += cfg.cost.cpu_chunk_duration(p.flops, p.nnz);
-            recovery.demotions += 1;
-        }
-        let (cpu_own_ns, cpu_prepared) = match cpu_join {
-            Ok(out) => out,
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                if !policy.drain_worker_panics {
-                    return Err(OocError::Worker {
-                        worker: "cpu".to_string(),
-                        message,
-                    });
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    if !policy.drain_worker_panics {
+                        return Err(OocError::Worker {
+                            worker: name.to_string(),
+                            message,
+                        });
+                    }
+                    recovery.worker_panics += 1;
+                    if name == "gpu" {
+                        // The GPU worker is gone; its pipeline never
+                        // runs and run_prepared demotes its share.
+                        gpu_dead = true;
+                    }
                 }
-                recovery.worker_panics += 1;
-                let prepared: Vec<(ChunkId, PreparedChunk)> = cpu_chunks
-                    .iter()
-                    .map(|info| (info.id, prepare(info)))
-                    .collect();
-                let time: SimTime = prepared
-                    .iter()
-                    .map(|(_, p)| cfg.cost.cpu_chunk_duration(p.flops, p.nnz))
-                    .sum();
-                (time, prepared)
             }
-        };
-        let cpu_ns = cpu_own_ns + cpu_drain_ns;
-
-        let mut all: Vec<(ChunkId, &CsrMatrix)> = Vec::with_capacity(order.len());
-        for (id, p) in gpu_prepared.iter().chain(cpu_prepared.iter()) {
-            all.push((*id, &p.result));
         }
-        let c = assemble(&plan, &all);
-        let flops = grid.total_flops();
-        let nnz_c: u64 = gpu_prepared
-            .iter()
-            .chain(cpu_prepared.iter())
-            .map(|(_, p)| p.nnz)
-            .sum();
-        Ok(HybridRun {
-            sim_ns: gpu_ns.max(cpu_ns),
-            gpu_ns,
-            cpu_ns,
-            num_gpu_chunks: gpu_chunks.len(),
-            num_cpu_chunks: cpu_chunks.len(),
-            flops,
-            nnz_c,
-            timeline,
+        // The surviving (main) thread re-prepares whatever the dead
+        // worker dropped, so the run still completes.
+        let prepared: Vec<PreparedChunk> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| slot.unwrap_or_else(|| prepare(idx)))
+            .collect();
+
+        let pg = PreparedGrid {
             plan,
-            recovery,
-            metrics,
-            c,
-        })
+            grid,
+            prepared,
+            col_panels,
+            row_flops_prefix,
+        };
+        self.run_prepared(a, pg, gpu_dead, recovery)
     }
 
     /// Exhaustively evaluates every GPU chunk count (Table III:
     /// "determined through exhaustive search") and compares the fixed
-    /// flop ratio against the optimum.
+    /// flop ratio against the optimum. The search enumerates static
+    /// prefix splits — the same family both schedulers draw from.
     pub fn ratio_search(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<RatioSearch> {
         self.config.validate()?;
         let pg = prepare_grid(a, b, &self.config.gpu)?;
@@ -526,6 +490,7 @@ mod tests {
             gpu: OocConfig::with_device_memory(3 << 19).panels(3, 4),
             gpu_ratio: 0.65,
             reorder_assignment: true,
+            scheduler: SchedulerKind::WorkStealing,
         }
     }
 
@@ -536,10 +501,7 @@ mod tests {
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(run.c.approx_eq(&expect, 1e-9));
         assert_eq!(run.num_gpu_chunks + run.num_cpu_chunks, 12);
-        assert!(
-            run.num_gpu_chunks > 0,
-            "65% of flops needs at least one chunk"
-        );
+        assert!(run.num_gpu_chunks > 0, "the GPU must claim work");
         assert_eq!(run.sim_ns, run.gpu_ns.max(run.cpu_ns));
     }
 
@@ -553,6 +515,43 @@ mod tests {
             "hybrid {} !< gpu-only {}",
             hybrid.sim_ns,
             gpu_only.sim_ns
+        );
+    }
+
+    #[test]
+    fn work_stealing_matches_static_bitwise_and_is_no_slower() {
+        let a = fixture();
+        let h = Hybrid::new(config());
+        let dynamic = h.multiply(&a, &a).unwrap();
+        let static_ = h.multiply_static(&a, &a).unwrap();
+        assert!(
+            dynamic.c.approx_eq(&static_.c, 0.0),
+            "schedulers must agree bit-for-bit"
+        );
+        assert_eq!(static_.scheduler.kind, SchedulerKind::Static);
+        assert_eq!(dynamic.scheduler.kind, SchedulerKind::WorkStealing);
+        assert!(
+            dynamic.sim_ns <= static_.sim_ns,
+            "work stealing {} slower than static {}",
+            dynamic.sim_ns,
+            static_.sim_ns
+        );
+    }
+
+    #[test]
+    fn scheduler_stats_are_consistent() {
+        let a = fixture();
+        let run = Hybrid::new(config()).multiply(&a, &a).unwrap();
+        let s = run.scheduler;
+        assert_eq!(s.gpu_claims as usize, run.num_gpu_chunks);
+        assert_eq!(s.cpu_steals as usize, run.num_cpu_chunks);
+        assert_eq!(s.gpu_idle_ns, run.sim_ns - run.gpu_ns);
+        assert_eq!(s.cpu_idle_ns, run.sim_ns - run.cpu_ns);
+        assert!((0.0..=1.0).contains(&s.realized_gpu_ratio));
+        assert_eq!(
+            run.metrics.scheduler,
+            Some(s),
+            "metrics must carry the same stats"
         );
     }
 
@@ -599,6 +598,41 @@ mod tests {
     }
 
     #[test]
+    fn auto_ratio_accounts_for_kernel_bound_products() {
+        use gpu_sim::KernelKind;
+        let cost = gpu_sim::CostModel::calibrated();
+        // Extreme compression ratio: the D2H output transfer becomes
+        // negligible while the kernels still have to chew every flop.
+        // The copy-only estimate (the old bug) would call the GPU
+        // nearly free and hand it almost everything.
+        let (flops, nnz_c) = (100_000_000u64, 1_000u64);
+        let compression_ratio = flops as f64 / nnz_c as f64;
+        let kernel_est = cost.kernel_duration(KernelKind::Symbolic {
+            flops,
+            compression_ratio,
+        }) + cost.kernel_duration(KernelKind::Numeric {
+            flops,
+            compression_ratio,
+        });
+        let copy_est = cost.copy_duration(nnz_c * 12, true, true);
+        assert!(
+            kernel_est > copy_est,
+            "fixture must be kernel-bound: {kernel_est} !> {copy_est}"
+        );
+        let fixed = auto_gpu_ratio(&cost, flops, nnz_c, true);
+        let s_copy = cost.cpu_chunk_duration(flops, nnz_c).max(1) as f64 / copy_est.max(1) as f64;
+        let buggy = s_copy / (s_copy + 1.0);
+        assert!(
+            fixed < buggy,
+            "kernel-aware ratio {fixed} must undercut the copy-only estimate {buggy}"
+        );
+        let s_kernel =
+            cost.cpu_chunk_duration(flops, nnz_c).max(1) as f64 / kernel_est.max(1) as f64;
+        let expect = s_kernel / (s_kernel + 1.0);
+        assert!((fixed - expect).abs() < 1e-12, "{fixed} != {expect}");
+    }
+
+    #[test]
     fn auto_ratio_hybrid_is_competitive_with_search() {
         let a = fixture();
         let h = Hybrid::new(config());
@@ -627,6 +661,7 @@ mod tests {
         assert_eq!(thr.gpu_ns, seq.gpu_ns);
         assert_eq!(thr.cpu_ns, seq.cpu_ns);
         assert_eq!(thr.num_gpu_chunks, seq.num_gpu_chunks);
+        assert_eq!(thr.scheduler, seq.scheduler, "claim accounting must agree");
         assert!(
             thr.c.approx_eq(&seq.c, 0.0),
             "results must be bit-identical"

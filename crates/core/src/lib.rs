@@ -54,17 +54,18 @@ pub mod pipeline;
 pub mod plan;
 pub mod recovery;
 pub mod report;
+mod scheduler;
 pub mod spill;
 pub mod unified;
 pub mod verify;
 
 pub use chunks::{ChunkGrid, ChunkId, ChunkInfo};
-pub use config::{ExecMode, HybridConfig, OocConfig};
+pub use config::{ExecMode, HybridConfig, OocConfig, SchedulerKind, DEFAULT_GPU_RATIO};
 pub use error::OocError;
-pub use executor::{OocRun, OutOfCoreGpu};
+pub use executor::{ChainedRun, OocRun, OutOfCoreGpu};
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
-pub use metrics::{ChunkMetrics, DemotionCause, Metrics};
+pub use metrics::{ChunkMetrics, DemotionCause, Metrics, SchedulerStats};
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
 pub use recovery::{RecoveryPolicy, RecoveryReport};

@@ -17,8 +17,33 @@
 //! `completion_ns` is the exact `sim_ns` the run returns (Fig 8).
 
 use crate::chunks::ChunkId;
+use crate::config::SchedulerKind;
 use gpu_sim::{GpuSim, SimTime, TimelineMetrics};
 use serde::{Deserialize, Serialize};
+
+/// Work-distribution accounting of the hybrid (and multi-GPU)
+/// scheduler: how many chunks each side ended up with, how long each
+/// worker idled waiting for the slower side, and the flop split the
+/// run actually realized (vs the configured ratio hint).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Which scheduler produced the assignment.
+    pub kind: SchedulerKind,
+    /// Chunks the GPU side claimed from the dense head of the queue
+    /// (under the static scheduler: the size of the up-front GPU half).
+    pub gpu_claims: u64,
+    /// Chunks the CPU stole from the sparse tail of the queue (always
+    /// the full CPU half; 0 when everything ran on the GPU).
+    pub cpu_steals: u64,
+    /// GPU worker idle time at the end of the run, ns: `sim_ns -
+    /// gpu_ns` (summed over devices in a multi-GPU run).
+    pub gpu_idle_ns: SimTime,
+    /// CPU worker idle time at the end of the run, ns: `sim_ns -
+    /// cpu_ns`.
+    pub cpu_idle_ns: SimTime,
+    /// Fraction of total flops the GPU side actually executed.
+    pub realized_gpu_ratio: f64,
+}
 
 /// Why a chunk left the GPU for the CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +104,9 @@ pub struct Metrics {
     /// recovering pass is the only path that attempts chunks more than
     /// once).
     pub chunks: Vec<ChunkMetrics>,
+    /// Scheduler accounting; `None` for single-device runs that have
+    /// no CPU/GPU work distribution to report.
+    pub scheduler: Option<SchedulerStats>,
 }
 
 impl Metrics {
@@ -91,12 +119,19 @@ impl Metrics {
             device_high_water_bytes: sim.memory().high_water(),
             pool_high_water_bytes: sim.pool_high_water(),
             chunks: Vec::new(),
+            scheduler: None,
         }
     }
 
     /// Attaches host-side per-chunk recovery counters.
     pub fn with_chunks(mut self, chunks: Vec<ChunkMetrics>) -> Self {
         self.chunks = chunks;
+        self
+    }
+
+    /// Attaches scheduler work-distribution accounting.
+    pub fn with_scheduler(mut self, stats: SchedulerStats) -> Self {
+        self.scheduler = Some(stats);
         self
     }
 
@@ -173,6 +208,28 @@ impl Metrics {
             self.pool_high_water_bytes,
             true,
         );
+        match &self.scheduler {
+            Some(st) => {
+                s.push_str(&format!(
+                    "  \"scheduler\": {{ \"kind\": \"{}\", \"gpu_claims\": {}, \
+                     \"cpu_steals\": {}, \"gpu_idle_ns\": {}, \"cpu_idle_ns\": {}, ",
+                    st.kind.name(),
+                    st.gpu_claims,
+                    st.cpu_steals,
+                    st.gpu_idle_ns,
+                    st.cpu_idle_ns,
+                ));
+                if st.realized_gpu_ratio.is_finite() {
+                    s.push_str(&format!(
+                        "\"realized_gpu_ratio\": {} }},\n",
+                        st.realized_gpu_ratio
+                    ));
+                } else {
+                    s.push_str("\"realized_gpu_ratio\": null },\n");
+                }
+            }
+            None => s.push_str("  \"scheduler\": null,\n"),
+        }
         s.push_str("  \"chunks\": [");
         for (i, c) in self.chunks.iter().enumerate() {
             if i > 0 {
@@ -253,5 +310,27 @@ mod tests {
         let mut m = Metrics::default();
         m.timeline.overlap_efficiency = f64::NAN;
         assert!(m.to_json().contains("\"overlap_efficiency\": null"));
+    }
+
+    #[test]
+    fn scheduler_stats_serialize_and_default_to_null() {
+        let json = Metrics::default().to_json();
+        assert!(json.contains("\"scheduler\": null"), "{json}");
+        let m = Metrics::default().with_scheduler(SchedulerStats {
+            kind: SchedulerKind::WorkStealing,
+            gpu_claims: 8,
+            cpu_steals: 4,
+            gpu_idle_ns: 0,
+            cpu_idle_ns: 1234,
+            realized_gpu_ratio: 0.71,
+        });
+        let json = m.to_json();
+        assert!(json.contains("\"kind\": \"work-stealing\""), "{json}");
+        assert!(json.contains("\"gpu_claims\": 8"));
+        assert!(json.contains("\"cpu_steals\": 4"));
+        assert!(json.contains("\"cpu_idle_ns\": 1234"));
+        assert!(json.contains("\"realized_gpu_ratio\": 0.71"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -8,22 +8,26 @@
 //! one PCIe root per device (no shared-bus contention), the
 //! best-case assumption a single-node multi-GPU box approximates.
 //!
-//! Assignment is longest-processing-time (LPT) list scheduling over
-//! estimated chunk costs: chunks sorted by decreasing flops, each
-//! placed on the currently least-loaded worker, where a GPU's cost
-//! estimate is its transfer-bound output size and the (optional) CPU
-//! worker is costed by the calibrated CPU model — a direct
-//! generalization of Algorithm 4's two-worker split.
+//! Assignment generalizes the hybrid executor's schedulers to many
+//! claimants. Under the default [`SchedulerKind::WorkStealing`] the
+//! flop-descending chunk list becomes a shared two-ended queue:
+//! whenever a worker's estimated clock is the global minimum it takes
+//! the next chunk — GPUs claim from the dense head, the (optional) CPU
+//! worker steals from the sparse tail — and the run ends when the
+//! queue drains. [`SchedulerKind::Static`] keeps the earlier one-shot
+//! longest-processing-time (LPT) list assignment: each chunk in flop
+//! order goes to the worker with the smallest committed load.
 
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
-use crate::config::OocConfig;
-use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering};
-use crate::metrics::Metrics;
+use crate::config::{OocConfig, SchedulerKind};
+use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
 use crate::recovery::RecoveryReport;
 use crate::Result;
-use gpu_sim::{GpuSim, SimTime, Timeline};
+use gpu_sim::{CostModel, GpuSim, KernelKind, SimTime, Timeline};
+use gpu_spgemm::PreparedChunk;
 use sparse::CsrMatrix;
 use std::collections::HashMap;
 
@@ -37,6 +41,8 @@ pub struct MultiGpuConfig {
     pub num_gpus: usize,
     /// Also keep a CPU worker in the pool.
     pub use_cpu: bool,
+    /// Chunk distribution strategy (see module docs).
+    pub scheduler: SchedulerKind,
 }
 
 impl MultiGpuConfig {
@@ -46,7 +52,14 @@ impl MultiGpuConfig {
             gpu: OocConfig::paper_default(),
             num_gpus,
             use_cpu: true,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Selects the chunk distribution strategy.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
     }
 
     /// Validates the configuration.
@@ -85,6 +98,9 @@ pub struct MultiGpuRun {
     /// Recovery activity merged across all devices (all-zero for a
     /// fault-free run).
     pub recovery: RecoveryReport,
+    /// How the scheduler distributed the chunks. `gpu_idle_ns` sums
+    /// the idle time of *all* GPU workers against the makespan.
+    pub scheduler: SchedulerStats,
 }
 
 impl MultiGpuRun {
@@ -95,6 +111,101 @@ impl MultiGpuRun {
         }
         self.flops as f64 / self.sim_ns as f64
     }
+}
+
+/// Estimated steady-state pipeline occupancy of one chunk on a GPU:
+/// the async pipeline overlaps the copy engines and the compute
+/// engine, so a chunk's marginal cost is its *slowest* engine — the
+/// H2D input transfer, the D2H result transfer, or the three kernels.
+/// (The earlier LPT estimate costed the D2H output copy alone, which
+/// starves compute-bound devices of attention.)
+fn gpu_chunk_estimate(cost: &CostModel, p: &PreparedChunk, pinned: bool) -> SimTime {
+    let h2d = cost.copy_duration(p.b_bytes, false, pinned);
+    let d2h = cost.copy_duration(
+        p.out_bytes + p.row_info_bytes + p.row_nnz_bytes,
+        true,
+        pinned,
+    );
+    let kernels = cost.kernel_duration(KernelKind::RowAnalysis { ops: p.a_nnz })
+        + cost.kernel_duration(KernelKind::Symbolic {
+            flops: p.flops,
+            compression_ratio: p.compression_ratio,
+        })
+        + cost.kernel_duration(KernelKind::Numeric {
+            flops: p.flops,
+            compression_ratio: p.compression_ratio,
+        });
+    h2d.max(d2h).max(kernels)
+}
+
+/// Distributes the flop-descending `order` over `workers` slots
+/// (GPUs first, CPU worker last when present). Returns the per-worker
+/// chunk lists plus (gpu claims, cpu steals).
+fn distribute(
+    config: &MultiGpuConfig,
+    pg: &PreparedGrid,
+    order: &[ChunkInfo],
+) -> (Vec<Vec<ChunkInfo>>, u64, u64) {
+    let cost = &config.gpu.cost;
+    let workers = config.num_gpus + usize::from(config.use_cpu);
+    let mut assignment: Vec<Vec<ChunkInfo>> = vec![Vec::new(); workers];
+    let mut gpu_claims = 0u64;
+    let mut cpu_steals = 0u64;
+    match config.scheduler {
+        SchedulerKind::Static => {
+            // One-shot LPT list scheduling over estimated chunk costs.
+            let mut loads = vec![0u64; workers];
+            for info in order {
+                let p = pg.chunk(info.id);
+                let est = |w: usize| {
+                    if w < config.num_gpus {
+                        gpu_chunk_estimate(cost, p, config.gpu.pinned)
+                    } else {
+                        cost.cpu_chunk_duration(p.flops, p.nnz)
+                    }
+                };
+                let best_w = (0..workers)
+                    .min_by_key(|&w| (loads[w] + est(w), w))
+                    .expect("at least one worker");
+                loads[best_w] += est(best_w);
+                assignment[best_w].push(*info);
+                if best_w < config.num_gpus {
+                    gpu_claims += 1;
+                } else {
+                    cpu_steals += 1;
+                }
+            }
+        }
+        SchedulerKind::WorkStealing => {
+            // Two-ended claim queue: the globally least-loaded worker
+            // acts next (ties to the lowest index, so GPUs lead); GPUs
+            // claim the dense head, the CPU steals the sparse tail.
+            let mut clocks = vec![0u64; workers];
+            let mut head = 0usize;
+            let mut tail = order.len();
+            while head < tail {
+                let w = (0..workers)
+                    .min_by_key(|&w| (clocks[w], w))
+                    .expect("at least one worker");
+                let info = if w < config.num_gpus {
+                    let info = order[head];
+                    head += 1;
+                    gpu_claims += 1;
+                    clocks[w] += gpu_chunk_estimate(cost, pg.chunk(info.id), config.gpu.pinned);
+                    info
+                } else {
+                    tail -= 1;
+                    let info = order[tail];
+                    cpu_steals += 1;
+                    let p = pg.chunk(info.id);
+                    clocks[w] += cost.cpu_chunk_duration(p.flops, p.nnz);
+                    info
+                };
+                assignment[w].push(info);
+            }
+        }
+    }
+    (assignment, gpu_claims, cpu_steals)
 }
 
 /// Computes `C = a · b` across `num_gpus` simulated devices (plus an
@@ -108,35 +219,7 @@ pub fn multiply_multi_gpu(
     let pg = prepare_grid(a, b, &config.gpu)?;
     let order = pg.grid.sorted_desc();
     let cost = &config.gpu.cost;
-
-    // LPT list scheduling over estimated per-chunk costs.
-    let workers = config.num_gpus + usize::from(config.use_cpu);
-    let mut loads = vec![0u64; workers];
-    let mut assignment: Vec<Vec<ChunkInfo>> = vec![Vec::new(); workers];
-    for info in &order {
-        let p = pg.chunk(info.id);
-        // Cost estimates: GPU ≈ transfer-bound output; CPU ≈ model.
-        let gpu_est = cost.copy_duration(p.out_bytes, true, config.gpu.pinned);
-        let cpu_est = cost.cpu_chunk_duration(p.flops, p.nnz);
-        let (best_w, _) = (0..workers)
-            .map(|w| {
-                let est = if w < config.num_gpus {
-                    gpu_est
-                } else {
-                    cpu_est
-                };
-                (w, loads[w] + est)
-            })
-            .min_by_key(|&(_, load)| load)
-            .expect("at least one worker");
-        let est = if best_w < config.num_gpus {
-            gpu_est
-        } else {
-            cpu_est
-        };
-        loads[best_w] += est;
-        assignment[best_w].push(*info);
-    }
+    let (assignment, gpu_claims, cpu_steals) = distribute(config, &pg, &order);
 
     // Simulate each GPU on its own device; cost the CPU worker.
     let mut gpu_ns = Vec::with_capacity(config.num_gpus);
@@ -195,6 +278,25 @@ pub fn multiply_multi_gpu(
         .collect();
     let c = assemble(&pg.plan, &chunk_refs);
     let sim_ns = gpu_ns.iter().copied().max().unwrap_or(0).max(cpu_ns);
+    let total_flops = pg.total_flops();
+    let gpu_flops: u64 = assignment
+        .iter()
+        .take(config.num_gpus)
+        .flatten()
+        .map(|info| info.flops)
+        .sum();
+    let scheduler = SchedulerStats {
+        kind: config.scheduler,
+        gpu_claims,
+        cpu_steals,
+        gpu_idle_ns: gpu_ns.iter().map(|&t| sim_ns - t).sum(),
+        cpu_idle_ns: sim_ns - cpu_ns,
+        realized_gpu_ratio: if total_flops == 0 {
+            0.0
+        } else {
+            gpu_flops as f64 / total_flops as f64
+        },
+    };
     Ok(MultiGpuRun {
         c,
         sim_ns,
@@ -202,11 +304,12 @@ pub fn multiply_multi_gpu(
         cpu_ns,
         gpu_chunks,
         cpu_chunks,
-        flops: pg.total_flops(),
+        flops: total_flops,
         timelines,
         metrics,
         plan: pg.plan,
         recovery,
+        scheduler,
     })
 }
 
@@ -225,6 +328,7 @@ mod tests {
             gpu: OocConfig::with_device_memory(3 << 19).panels(4, 4),
             num_gpus,
             use_cpu: true,
+            scheduler: SchedulerKind::WorkStealing,
         }
     }
 
@@ -286,5 +390,35 @@ mod tests {
         let r2 = multiply_multi_gpu(&a, &a, &config(3)).unwrap();
         assert_eq!(r1.sim_ns, r2.sim_ns);
         assert_eq!(r1.gpu_chunks, r2.gpu_chunks);
+        assert_eq!(r1.scheduler, r2.scheduler);
+    }
+
+    #[test]
+    fn static_lpt_matches_reference_too() {
+        let a = fixture();
+        let cfg = config(2).scheduler(SchedulerKind::Static);
+        let run = multiply_multi_gpu(&a, &a, &cfg).unwrap();
+        let expect = reference::multiply(&a, &a).unwrap();
+        assert!(run.c.approx_eq(&expect, 1e-9));
+        assert_eq!(run.scheduler.kind, SchedulerKind::Static);
+        assert_eq!(
+            run.scheduler.gpu_claims + run.scheduler.cpu_steals,
+            run.plan.num_chunks() as u64
+        );
+    }
+
+    #[test]
+    fn scheduler_stats_account_every_chunk_and_worker() {
+        let a = fixture();
+        let run = multiply_multi_gpu(&a, &a, &config(3)).unwrap();
+        assert_eq!(
+            run.scheduler.gpu_claims as usize,
+            run.gpu_chunks.iter().sum::<usize>()
+        );
+        assert_eq!(run.scheduler.cpu_steals as usize, run.cpu_chunks);
+        let idle: SimTime = run.gpu_ns.iter().map(|&t| run.sim_ns - t).sum();
+        assert_eq!(run.scheduler.gpu_idle_ns, idle);
+        assert_eq!(run.scheduler.cpu_idle_ns, run.sim_ns - run.cpu_ns);
+        assert!((0.0..=1.0).contains(&run.scheduler.realized_gpu_ratio));
     }
 }

@@ -102,17 +102,6 @@ pub fn simulate_pipeline_depth(
     if chunks.is_empty() {
         return Ok(sim.now());
     }
-    let mem = if pinned {
-        HostMem::Pinned
-    } else {
-        HostMem::Pageable
-    };
-
-    // One up-front allocation covering the whole working set: "a large
-    // chunk of memory is pre-allocated on device memory and shared by
-    // all dynamic data structures".
-    let pool_bytes = sim.memory().free_bytes();
-    let _backing = sim.malloc(pool_bytes, "pre-allocated pool")?;
     // The A panel stays resident across consecutive chunks of the same
     // row panel, so it lives in its own slot outside the rotating
     // epochs (otherwise epoch recycling two chunks later would reclaim
@@ -121,99 +110,212 @@ pub fn simulate_pipeline_depth(
         .iter()
         .zip(transfer_a)
         .filter(|&(_, &t)| t)
-        .map(|(c, _)| c.a_bytes.div_ceil(256) * 256)
+        .map(|(c, _)| align256(c.a_bytes))
         .max()
         .unwrap_or(0);
-    if a_slot_bytes > pool_bytes {
-        return Err(crate::OocError::DeviceMemory(gpu_sim::OutOfDeviceMemory {
-            requested: a_slot_bytes,
-            free: pool_bytes,
-            capacity: sim.memory().capacity(),
-        }));
+    let mut session = PipelineSession::new(sim, split_fraction, pinned, depth, a_slot_bytes)?;
+    for (chunk, &xfer_a) in chunks.iter().zip(transfer_a) {
+        session.push(chunk, xfer_a)?;
     }
-    let mut a_slot = MemoryPool::new(a_slot_bytes);
-    let mut pools: Vec<MemoryPool> = epoch_sizes(pool_bytes, a_slot_bytes, depth)
-        .into_iter()
-        .map(MemoryPool::new)
-        .collect();
+    Ok(session.finish())
+}
 
-    let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
-    let mut prev: Option<PendingOutput> = None;
+/// An incremental handle over the asynchronous pipeline: chunks are
+/// pushed one at a time instead of arriving as one pre-known batch.
+///
+/// This is the primitive underneath both the batch entry point
+/// ([`simulate_pipeline_depth`] is a thin loop over `push`) and the
+/// work-stealing scheduler, which needs the GPU's projected completion
+/// time *after each claim* to decide whether the next chunk goes to
+/// the pipeline or is stolen by the CPU. Pushing the same chunks with
+/// the same transfer flags and A-slot size reproduces the exact
+/// enqueue sequence of the old batch loop, so timings stay
+/// bit-identical.
+pub(crate) struct PipelineSession<'s> {
+    sim: &'s mut GpuSim,
+    mem: HostMem,
+    pinned: bool,
+    split_fraction: f64,
+    depth: usize,
+    streams: Vec<Stream>,
+    pools: Vec<MemoryPool>,
+    a_slot: MemoryPool,
+    prev: Option<PendingOutput>,
+    pushed: usize,
+    /// Running max of every enqueued operation's completion time.
+    last_done: SimTime,
+}
 
-    for (i, (chunk, &xfer_a)) in chunks.iter().zip(transfer_a).enumerate() {
-        let s = streams[i % depth];
-        let pool = &mut pools[i % depth];
+impl<'s> PipelineSession<'s> {
+    /// Allocates the device pool and stream set. `a_slot_bytes` is the
+    /// caller's bound on the resident-A slot (the largest 256-aligned
+    /// A panel it will ever push with `transfer_a == true`).
+    pub(crate) fn new(
+        sim: &'s mut GpuSim,
+        split_fraction: f64,
+        pinned: bool,
+        depth: usize,
+        a_slot_bytes: u64,
+    ) -> crate::Result<Self> {
+        validate_pipeline_args(0, 0, split_fraction, depth)?;
+        let mem = if pinned {
+            HostMem::Pinned
+        } else {
+            HostMem::Pageable
+        };
+        // One up-front allocation covering the whole working set: "a
+        // large chunk of memory is pre-allocated on device memory and
+        // shared by all dynamic data structures".
+        let pool_bytes = sim.memory().free_bytes();
+        let _backing = sim.malloc(pool_bytes, "pre-allocated pool")?;
+        if a_slot_bytes > pool_bytes {
+            return Err(crate::OocError::DeviceMemory(gpu_sim::OutOfDeviceMemory {
+                requested: a_slot_bytes,
+                free: pool_bytes,
+                capacity: sim.memory().capacity(),
+            }));
+        }
+        let a_slot = MemoryPool::new(a_slot_bytes);
+        let pools: Vec<MemoryPool> = epoch_sizes(pool_bytes, a_slot_bytes, depth)
+            .into_iter()
+            .map(MemoryPool::new)
+            .collect();
+        let streams: Vec<Stream> = (0..depth).map(|_| sim.create_stream()).collect();
+        Ok(PipelineSession {
+            sim,
+            mem,
+            pinned,
+            split_fraction,
+            depth,
+            streams,
+            pools,
+            a_slot,
+            prev: None,
+            pushed: 0,
+            last_done: 0,
+        })
+    }
+
+    /// Simulated time at which the pipeline would finish if no more
+    /// chunks were pushed: the last enqueued operation's completion
+    /// plus the drain of the still-undrained previous output. This is
+    /// the GPU worker's "clock" in the work-stealing claim loop.
+    pub(crate) fn projected_finish(&self) -> SimTime {
+        let pending = match &self.prev {
+            Some(p) => {
+                self.sim
+                    .cost()
+                    .copy_duration(p.first_bytes, true, self.pinned)
+                    + self
+                        .sim
+                        .cost()
+                        .copy_duration(p.second_bytes, true, self.pinned)
+            }
+            None => 0,
+        };
+        self.last_done + pending
+    }
+
+    /// Feeds one chunk through the Figure 6 schedule. `xfer_a` says
+    /// whether the chunk must (re)copy its A panel. An `Err` means the
+    /// chunk's working set does not fit the pool geometry — the
+    /// session stays usable, the chunk was not enqueued.
+    pub(crate) fn push(&mut self, chunk: &PreparedChunk, xfer_a: bool) -> crate::Result<()> {
+        let i = self.pushed;
+        let s = self.streams[i % self.depth];
+        let pool = &mut self.pools[i % self.depth];
         let id = chunk.chunk_id;
 
         // Recycle this parity's pool epoch (safe by stream FIFO; see
         // module docs) and take offsets for every per-chunk structure.
+        // Reserve everything before enqueuing anything so a failed
+        // bump leaves the simulated device untouched.
+        let pool_before = pool.used();
         pool.reset();
         if xfer_a {
-            a_slot.reset();
-            a_slot.bump(chunk.a_bytes)?;
+            self.a_slot.reset();
+            if let Err(e) = self.a_slot.bump(chunk.a_bytes) {
+                pool.bump(pool_before).ok();
+                return Err(e.into());
+            }
         }
-        pool.bump(chunk.b_bytes)?;
-        pool.bump(chunk.row_info_bytes)?;
-        pool.bump(chunk.row_nnz_bytes)?;
-        pool.bump(chunk.out_bytes)?;
+        let mut reserve = || -> Result<(), gpu_sim::OutOfDeviceMemory> {
+            pool.bump(chunk.b_bytes)?;
+            pool.bump(chunk.row_info_bytes)?;
+            pool.bump(chunk.row_nnz_bytes)?;
+            pool.bump(chunk.out_bytes)?;
+            Ok(())
+        };
+        if let Err(e) = reserve() {
+            pool.reset();
+            pool.bump(pool_before).ok();
+            return Err(e.into());
+        }
+        self.pushed += 1;
 
         // Input panels.
         if xfer_a {
-            sim.enqueue_copy(
+            let t = self.sim.enqueue_copy(
                 s,
                 CopyDir::H2D,
                 chunk.a_bytes,
-                mem,
+                self.mem,
                 format!("H2D A (chunk {id})"),
             );
+            self.last_done = self.last_done.max(t);
         }
-        sim.enqueue_copy(
+        let t = self.sim.enqueue_copy(
             s,
             CopyDir::H2D,
             chunk.b_bytes,
-            mem,
+            self.mem,
             format!("H2D B (chunk {id})"),
         );
+        self.last_done = self.last_done.max(t);
 
         // Stage 1: row analysis; its D2H result goes ahead of the
         // previous chunk's bulk output (Figure 6 transfer order).
-        sim.enqueue_kernel(
+        let t = self.sim.enqueue_kernel(
             s,
             KernelKind::RowAnalysis { ops: chunk.a_nnz },
             format!("row analysis (chunk {id})"),
         );
-        sim.enqueue_copy(
+        self.last_done = self.last_done.max(t);
+        let t = self.sim.enqueue_copy(
             s,
             CopyDir::D2H,
             chunk.row_info_bytes,
-            mem,
+            self.mem,
             format!("D2H row info (chunk {id})"),
         );
-        let row_info_done = sim.record_event(s);
+        self.last_done = self.last_done.max(t);
+        let row_info_done = self.sim.record_event(s);
 
         // Previous chunk, first portion: overlaps this chunk's
         // symbolic phase.
-        if let Some(p) = &prev {
-            sim.enqueue_copy(
+        if let Some(p) = &self.prev {
+            let t = self.sim.enqueue_copy(
                 p.stream,
                 CopyDir::D2H,
                 p.first_bytes,
-                mem,
+                self.mem,
                 format!("D2H output 1/2 (chunk {})", p.chunk_id),
             );
+            self.last_done = self.last_done.max(t);
         }
 
         // Host grouping needs the row-analysis results — "we give up
         // concurrency opportunities during the row analysis stage".
-        sim.event_synchronize(row_info_done);
-        sim.host_compute(
+        self.sim.event_synchronize(row_info_done);
+        self.sim.host_compute(
             chunk.rows as u64 * GROUPING_NS_PER_ROW,
             format!("host grouping (chunk {id})"),
         );
+        self.last_done = self.last_done.max(self.sim.now());
 
         // Stage 2: symbolic kernels per row group.
         for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
-            sim.enqueue_kernel(
+            let t = self.sim.enqueue_kernel(
                 s,
                 KernelKind::Symbolic {
                     flops,
@@ -221,39 +323,43 @@ pub fn simulate_pipeline_depth(
                 },
                 format!("symbolic g{g} (chunk {id})"),
             );
+            self.last_done = self.last_done.max(t);
         }
-        sim.enqueue_copy(
+        let t = self.sim.enqueue_copy(
             s,
             CopyDir::D2H,
             chunk.row_nnz_bytes,
-            mem,
+            self.mem,
             format!("D2H row nnz (chunk {id})"),
         );
-        let row_nnz_done = sim.record_event(s);
+        self.last_done = self.last_done.max(t);
+        let row_nnz_done = self.sim.record_event(s);
 
         // Previous chunk, second portion: overlaps this chunk's
         // numeric phase.
-        if let Some(p) = prev.take() {
-            sim.enqueue_copy(
+        if let Some(p) = self.prev.take() {
+            let t = self.sim.enqueue_copy(
                 p.stream,
                 CopyDir::D2H,
                 p.second_bytes,
-                mem,
+                self.mem,
                 format!("D2H output 2/2 (chunk {})", p.chunk_id),
             );
+            self.last_done = self.last_done.max(t);
         }
 
         // Host sizes the output from the symbolic results; the space
         // was already bumped from the pool — no device barrier.
-        sim.event_synchronize(row_nnz_done);
-        sim.host_compute(
+        self.sim.event_synchronize(row_nnz_done);
+        self.sim.host_compute(
             chunk.rows as u64 * PREFIX_NS_PER_ROW,
             format!("host prefix sum (chunk {id})"),
         );
+        self.last_done = self.last_done.max(self.sim.now());
 
         // Stage 3: numeric kernels per output-size row group.
         for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
-            sim.enqueue_kernel(
+            let t = self.sim.enqueue_kernel(
                 s,
                 KernelKind::Numeric {
                     flops,
@@ -261,37 +367,43 @@ pub fn simulate_pipeline_depth(
                 },
                 format!("numeric g{g} (chunk {id})"),
             );
+            self.last_done = self.last_done.max(t);
         }
 
-        let (first_bytes, second_bytes) = chunk.split_output_bytes(split_fraction);
-        prev = Some(PendingOutput {
+        let (first_bytes, second_bytes) = chunk.split_output_bytes(self.split_fraction);
+        self.prev = Some(PendingOutput {
             stream: s,
             chunk_id: id,
             first_bytes,
             second_bytes,
         });
+        Ok(())
     }
 
-    // Drain the last chunk's output.
-    if let Some(p) = prev {
-        sim.enqueue_copy(
-            p.stream,
-            CopyDir::D2H,
-            p.first_bytes,
-            mem,
-            format!("D2H output 1/2 (chunk {})", p.chunk_id),
-        );
-        sim.enqueue_copy(
-            p.stream,
-            CopyDir::D2H,
-            p.second_bytes,
-            mem,
-            format!("D2H output 2/2 (chunk {})", p.chunk_id),
-        );
+    /// Drains the last chunk's output, records the pool high-water mark
+    /// and returns the simulated completion time.
+    pub(crate) fn finish(mut self) -> SimTime {
+        if let Some(p) = self.prev.take() {
+            self.sim.enqueue_copy(
+                p.stream,
+                CopyDir::D2H,
+                p.first_bytes,
+                self.mem,
+                format!("D2H output 1/2 (chunk {})", p.chunk_id),
+            );
+            self.sim.enqueue_copy(
+                p.stream,
+                CopyDir::D2H,
+                p.second_bytes,
+                self.mem,
+                format!("D2H output 2/2 (chunk {})", p.chunk_id),
+            );
+        }
+        let pool_used: u64 =
+            self.a_slot.high_water() + self.pools.iter().map(|p| p.high_water()).sum::<u64>();
+        self.sim.note_pool_high_water(pool_used);
+        self.sim.finish()
     }
-    let pool_used: u64 = a_slot.high_water() + pools.iter().map(|p| p.high_water()).sum::<u64>();
-    sim.note_pool_high_water(pool_used);
-    Ok(sim.finish())
 }
 
 /// One unit of work for the recovering pipeline: a prepared chunk plus
@@ -312,10 +424,10 @@ pub(crate) enum ChunkFailure {
     Faults,
 }
 
-/// Result of one recovering pipeline pass.
+/// Result of one recovering pipeline pass. Pass completion time is the
+/// simulator's own clock (time accumulates across passes on one
+/// persistent simulator).
 pub(crate) struct RecoveringOutcome {
-    /// Simulated completion time of the pass.
-    pub done_at: SimTime,
     /// Chunks (by input index) that did not complete, with the reason.
     pub failed: Vec<(usize, ChunkFailure)>,
 }
@@ -510,10 +622,7 @@ pub(crate) fn simulate_pipeline_recovering(
     validate_pipeline_args(attempts.len(), attempts.len(), split_fraction, depth)?;
     let mut failed: Vec<(usize, ChunkFailure)> = Vec::new();
     if attempts.is_empty() {
-        return Ok(RecoveringOutcome {
-            done_at: sim.now(),
-            failed,
-        });
+        return Ok(RecoveringOutcome { failed });
     }
     let mem = if pinned {
         HostMem::Pinned
@@ -787,10 +896,9 @@ pub(crate) fn simulate_pipeline_recovering(
     // Release the pool so a follow-up pass (after re-splitting) can
     // size its own pool against the then-current device capacity.
     sim.free(pool, "pre-allocated pool");
-    Ok(RecoveringOutcome {
-        done_at: sim.finish(),
-        failed,
-    })
+    // Synchronize so the pass's completion is visible on `sim.now()`.
+    sim.finish();
+    Ok(RecoveringOutcome { failed })
 }
 
 #[cfg(test)]

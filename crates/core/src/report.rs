@@ -1,6 +1,6 @@
 //! Serializable run summaries for the experiment harness.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SchedulerStats};
 use crate::recovery::RecoveryReport;
 use gpu_sim::{CostModel, SimTime};
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,18 @@ pub struct RunReport {
     pub overlap_efficiency: Option<f64>,
     /// Bump-pool usage high-water mark, bytes (metrics layer).
     pub pool_high_water_bytes: Option<u64>,
+    /// Scheduler name (`static` / `work-stealing`), for hybrid runs.
+    pub scheduler: Option<String>,
+    /// Chunks the GPU claimed from the dense head of the queue.
+    pub gpu_claims: Option<u64>,
+    /// Chunks the CPU stole from the sparse tail of the queue.
+    pub cpu_steals: Option<u64>,
+    /// GPU-side idle time against the makespan, simulated ns.
+    pub gpu_idle_ns: Option<SimTime>,
+    /// CPU-side idle time against the makespan, simulated ns.
+    pub cpu_idle_ns: Option<SimTime>,
+    /// Fraction of total flops that actually ran on the GPU.
+    pub realized_gpu_ratio: Option<f64>,
 }
 
 impl RunReport {
@@ -96,6 +108,12 @@ impl RunReport {
             d2h_bytes: None,
             overlap_efficiency: None,
             pool_high_water_bytes: None,
+            scheduler: None,
+            gpu_claims: None,
+            cpu_steals: None,
+            gpu_idle_ns: None,
+            cpu_idle_ns: None,
+            realized_gpu_ratio: None,
         }
     }
 
@@ -118,6 +136,17 @@ impl RunReport {
         self.d2h_bytes = Some(t.d2h_bytes);
         self.overlap_efficiency = Some(t.overlap_efficiency);
         self.pool_high_water_bytes = Some(metrics.pool_high_water_bytes);
+        self
+    }
+
+    /// Fills in the scheduler columns from a [`SchedulerStats`] value.
+    pub fn with_scheduler(mut self, stats: &SchedulerStats) -> Self {
+        self.scheduler = Some(stats.kind.name().to_string());
+        self.gpu_claims = Some(stats.gpu_claims);
+        self.cpu_steals = Some(stats.cpu_steals);
+        self.gpu_idle_ns = Some(stats.gpu_idle_ns);
+        self.cpu_idle_ns = Some(stats.cpu_idle_ns);
+        self.realized_gpu_ratio = Some(stats.realized_gpu_ratio);
         self
     }
 }
@@ -180,6 +209,26 @@ mod tests {
         assert_eq!(r.d2h_bytes, Some(8192));
         assert_eq!(r.overlap_efficiency, Some(0.5));
         assert_eq!(r.pool_high_water_bytes, Some(1 << 20));
+    }
+
+    #[test]
+    fn with_scheduler_fills_scheduler_columns() {
+        use crate::config::SchedulerKind;
+        let stats = SchedulerStats {
+            kind: SchedulerKind::WorkStealing,
+            gpu_claims: 9,
+            cpu_steals: 3,
+            gpu_idle_ns: 0,
+            cpu_idle_ns: 4_200,
+            realized_gpu_ratio: 0.71,
+        };
+        let r = RunReport::new("nlp", "hybrid", 1000, 100, 500).with_scheduler(&stats);
+        assert_eq!(r.scheduler.as_deref(), Some("work-stealing"));
+        assert_eq!(r.gpu_claims, Some(9));
+        assert_eq!(r.cpu_steals, Some(3));
+        assert_eq!(r.gpu_idle_ns, Some(0));
+        assert_eq!(r.cpu_idle_ns, Some(4_200));
+        assert_eq!(r.realized_gpu_ratio, Some(0.71));
     }
 
     #[test]

@@ -149,6 +149,12 @@ fn hybrid_with_faults_matches_fault_free() {
     let threaded = Hybrid::new(cfg_faulty).multiply_threaded(&a, &a).unwrap();
     assert_eq!(threaded.c, clean.c);
     assert!(threaded.recovery.faults() > 0);
+    assert_eq!(
+        threaded.scheduler, seq.scheduler,
+        "claim decisions must not see faults or threads"
+    );
+    assert_eq!(threaded.sim_ns, seq.sim_ns);
+    assert_eq!(threaded.recovery, seq.recovery);
 }
 
 #[test]
@@ -156,8 +162,7 @@ fn multi_gpu_with_faults_matches_fault_free() {
     let a = erdos_renyi(500, 500, 0.03, 29);
     let clean_cfg = MultiGpuConfig {
         gpu: base_config().panels(4, 4),
-        num_gpus: 3,
-        use_cpu: true,
+        ..MultiGpuConfig::new(3)
     };
     let clean = multiply_multi_gpu(&a, &a, &clean_cfg).unwrap();
     assert!(clean.recovery.is_clean());
@@ -166,8 +171,7 @@ fn multi_gpu_with_faults_matches_fault_free() {
         gpu: base_config()
             .panels(4, 4)
             .fault_plan(FaultPlan::seeded(37).all_rates(0.3)),
-        num_gpus: 3,
-        use_cpu: true,
+        ..MultiGpuConfig::new(3)
     };
     let run = multiply_multi_gpu(&a, &a, &cfg).unwrap();
     assert_eq!(run.c, clean.c);

@@ -210,6 +210,7 @@ fn metrics_json_has_the_documented_schema() {
         "\"streams\"",
         "\"device_high_water_bytes\"",
         "\"pool_high_water_bytes\"",
+        "\"scheduler\"",
         "\"chunks\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");

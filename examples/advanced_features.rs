@@ -60,13 +60,19 @@ fn main() {
         hybrid.num_cpu_chunks,
         wall.elapsed().as_secs_f64()
     );
+    println!(
+        "scheduler       : {} ({} claims / {} steals, realized GPU share {:.1}%)",
+        hybrid.scheduler.kind.name(),
+        hybrid.scheduler.gpu_claims,
+        hybrid.scheduler.cpu_steals,
+        hybrid.scheduler.realized_gpu_ratio * 100.0
+    );
 
     // 3. Multi-GPU scaling (the paper's future-work direction).
     for gpus in [1usize, 2, 4] {
         let cfg = MultiGpuConfig {
             gpu: base.clone(),
-            num_gpus: gpus,
-            use_cpu: true,
+            ..MultiGpuConfig::new(gpus)
         };
         let run = multiply_multi_gpu(&a, &a, &cfg).expect("multi-GPU run");
         println!(

@@ -4,7 +4,7 @@
 //! the hardware invariants.
 
 use gpu_sim::OpKind;
-use oocgemm::{ExecMode, Hybrid, HybridConfig, OocConfig, OutOfCoreGpu};
+use oocgemm::{ExecMode, Hybrid, HybridConfig, OocConfig, OutOfCoreGpu, SchedulerKind};
 use proptest::prelude::*;
 use sparse::{CooMatrix, CsrMatrix};
 
@@ -58,12 +58,21 @@ proptest! {
             gpu: OocConfig::with_device_memory(64 << 20).panels(2, 3),
             gpu_ratio: ratio,
             reorder_assignment: reorder,
+            scheduler: SchedulerKind::WorkStealing,
         };
-        let run = Hybrid::new(cfg).multiply(&a, &a).unwrap();
+        let run = Hybrid::new(cfg.clone()).multiply(&a, &a).unwrap();
         let expect = cpu_spgemm::reference::multiply(&a, &a).unwrap();
         prop_assert!(run.c.approx_eq(&expect, 1e-9));
         prop_assert_eq!(run.num_gpu_chunks + run.num_cpu_chunks, 6);
         prop_assert_eq!(run.sim_ns, run.gpu_ns.max(run.cpu_ns));
+        // Both schedulers produce bit-identical C for any ratio hint,
+        // and the claim/steal accounting covers every chunk once.
+        let st = Hybrid::new(cfg.scheduler(SchedulerKind::Static)).multiply(&a, &a).unwrap();
+        prop_assert_eq!(&run.c, &st.c);
+        prop_assert_eq!(
+            (run.scheduler.gpu_claims + run.scheduler.cpu_steals) as usize,
+            6
+        );
     }
 
     #[test]
