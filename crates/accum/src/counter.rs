@@ -34,6 +34,22 @@ impl DenseCounter {
             count: 0,
         }
     }
+
+    /// Current column width.
+    pub fn width(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Grows the counter to cover columns `0..width` (no-op when it
+    /// already does). New slots are stamped 0, which no live generation
+    /// matches, so pending counts stay correct — this is what lets one
+    /// worker-scoped counter be reused across panels of different
+    /// widths instead of allocating a width-sized array per panel.
+    pub fn ensure_width(&mut self, width: usize) {
+        if width > self.stamps.len() {
+            self.stamps.resize(width, 0);
+        }
+    }
 }
 
 impl SymbolicCounter for DenseCounter {

@@ -34,6 +34,18 @@ impl DenseAccumulator {
         self.values.len()
     }
 
+    /// Grows the accumulator to cover columns `0..width` (no-op when it
+    /// already does). New slots carry stamp 0, which no live generation
+    /// matches, so they read as untouched; one worker-scoped
+    /// accumulator can thus serve panels of different widths without a
+    /// fresh width-sized allocation per panel.
+    pub fn ensure_width(&mut self, width: usize) {
+        if width > self.values.len() {
+            self.values.resize(width, 0.0);
+            self.stamps.resize(width, 0);
+        }
+    }
+
     fn bump_generation(&mut self) {
         self.generation = match self.generation.checked_add(1) {
             Some(g) => g,

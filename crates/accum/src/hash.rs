@@ -97,15 +97,11 @@ impl Accumulator for HashAccumulator {
                 vals.push(self.vals[i]);
             }
         }
-        // Sort the appended region by column id, permuting values along.
-        let slice = &mut cols[start..];
-        let mut perm: Vec<u32> = (0..slice.len() as u32).collect();
-        perm.sort_unstable_by_key(|&i| slice[i as usize]);
-        let sorted_cols: Vec<ColId> = perm.iter().map(|&i| slice[i as usize]).collect();
-        let vslice = &mut vals[start..];
-        let sorted_vals: Vec<f64> = perm.iter().map(|&i| vslice[i as usize]).collect();
-        cols[start..].copy_from_slice(&sorted_cols);
-        vals[start..].copy_from_slice(&sorted_vals);
+        // Sort the appended region by column id in place, permuting the
+        // values in tandem. Keys are distinct, so this is bit-identical
+        // to the permutation-vector sort it replaced — without that
+        // path's three per-row heap allocations.
+        crate::sort::co_sort_pairs(&mut cols[start..], &mut vals[start..]);
         self.clear();
     }
 
@@ -178,6 +174,57 @@ mod tests {
         a.flush_into(&mut c, &mut v);
         assert_eq!(c, vec![99, 1]);
         assert_eq!(v, vec![99.0, 1.0]);
+    }
+
+    /// The old flush path, preserved verbatim as the equivalence oracle
+    /// for the in-place co-sort (also exercised by `benches/chunk_prep`).
+    fn flush_into_reference(a: &mut HashAccumulator, cols: &mut Vec<ColId>, vals: &mut Vec<f64>) {
+        let start = cols.len();
+        for (i, &k) in a.keys.iter().enumerate() {
+            if k != EMPTY {
+                cols.push(k);
+                vals.push(a.vals[i]);
+            }
+        }
+        let slice = &mut cols[start..];
+        let mut perm: Vec<u32> = (0..slice.len() as u32).collect();
+        perm.sort_unstable_by_key(|&i| slice[i as usize]);
+        let sorted_cols: Vec<ColId> = perm.iter().map(|&i| slice[i as usize]).collect();
+        let vslice = &mut vals[start..];
+        let sorted_vals: Vec<f64> = perm.iter().map(|&i| vslice[i as usize]).collect();
+        cols[start..].copy_from_slice(&sorted_cols);
+        vals[start..].copy_from_slice(&sorted_vals);
+        a.clear();
+    }
+
+    #[test]
+    fn in_place_flush_matches_old_path_on_duplicate_heavy_rows() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(71);
+        for row in 0..200 {
+            let mut a = HashAccumulator::with_expected(4);
+            let mut b = HashAccumulator::with_expected(4);
+            // Duplicate-heavy: few distinct columns, many hits each, so
+            // merged sums and the sort both do real work.
+            let distinct = rng.gen_range(1..40u32);
+            for _ in 0..rng.gen_range(1..400) {
+                let col = rng.gen_range(0..distinct) * 7;
+                let val = rng.gen_range(-4.0..4.0);
+                a.add(col, val);
+                b.add(col, val);
+            }
+            let (mut c_new, mut v_new) = (vec![123u32], vec![123.0]);
+            let (mut c_old, mut v_old) = (vec![123u32], vec![123.0]);
+            a.flush_into(&mut c_new, &mut v_new);
+            flush_into_reference(&mut b, &mut c_old, &mut v_old);
+            assert_eq!(c_new, c_old, "row {row}");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&v_new),
+                bits(&v_old),
+                "row {row}: values must be bit-identical"
+            );
+        }
     }
 
     #[test]

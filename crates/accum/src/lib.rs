@@ -43,13 +43,15 @@ pub mod counter;
 pub mod dense;
 pub mod estimate;
 pub mod hash;
+pub mod scratch;
 pub mod sort;
 
 pub use counter::{DenseCounter, HashCounter, SymbolicCounter};
 pub use dense::DenseAccumulator;
 pub use estimate::{row_upper_bounds, upper_bound_total};
 pub use hash::HashAccumulator;
-pub use sort::SortAccumulator;
+pub use scratch::{select_accumulator, RowScratch, ScratchPool, DENSE_WIDTH_LIMIT};
+pub use sort::{co_sort_pairs, SortAccumulator};
 
 use sparse::ColId;
 

@@ -5,6 +5,96 @@
 use crate::Accumulator;
 use sparse::ColId;
 
+/// Below this length the paired co-sort uses insertion sort directly.
+const CO_SORT_INSERTION: usize = 20;
+
+/// Sorts `cols` ascending **in place**, permuting `vals` in tandem, with
+/// zero heap allocation.
+///
+/// This is the allocation-free replacement for the permutation-vector
+/// sort the hash accumulator's flush used to perform (`perm` +
+/// `sorted_cols` + `sorted_vals`, three fresh vectors per row). For the
+/// distinct keys an accumulator produces the result is identical to any
+/// comparison sort; ties (equal keys) carry no ordering guarantee
+/// between their values.
+pub fn co_sort_pairs(cols: &mut [ColId], vals: &mut [f64]) {
+    assert_eq!(cols.len(), vals.len(), "paired slices must align");
+    co_sort_rec(cols, vals);
+}
+
+fn co_sort_rec(cols: &mut [ColId], vals: &mut [f64]) {
+    // Quicksort with median-of-three pivots; recurse on the smaller
+    // side only, so stack depth is O(log n) even on adversarial input.
+    let mut c = cols;
+    let mut v = vals;
+    while c.len() > CO_SORT_INSERTION {
+        let p = co_partition(c, v);
+        let (cl, cr) = c.split_at_mut(p);
+        let (vl, vr) = v.split_at_mut(p);
+        // Pivot sits at cr[0]; exclude it from both sides.
+        let (cr, vr) = (&mut cr[1..], &mut vr[1..]);
+        if cl.len() <= cr.len() {
+            co_sort_rec(cl, vl);
+            c = cr;
+            v = vr;
+        } else {
+            co_sort_rec(cr, vr);
+            c = cl;
+            v = vl;
+        }
+    }
+    insertion_co_sort(c, v);
+}
+
+/// Lomuto partition around a median-of-three pivot; returns the final
+/// pivot index.
+fn co_partition(c: &mut [ColId], v: &mut [f64]) -> usize {
+    let len = c.len();
+    let mid = len / 2;
+    let last = len - 1;
+    // Median of first/middle/last, moved to the end as the pivot.
+    let median = if c[0] < c[mid] {
+        if c[mid] < c[last] {
+            mid
+        } else if c[0] < c[last] {
+            last
+        } else {
+            0
+        }
+    } else if c[0] < c[last] {
+        0
+    } else if c[mid] < c[last] {
+        last
+    } else {
+        mid
+    };
+    c.swap(median, last);
+    v.swap(median, last);
+    let pivot = c[last];
+    let mut store = 0usize;
+    for i in 0..last {
+        if c[i] < pivot {
+            c.swap(store, i);
+            v.swap(store, i);
+            store += 1;
+        }
+    }
+    c.swap(store, last);
+    v.swap(store, last);
+    store
+}
+
+fn insertion_co_sort(c: &mut [ColId], v: &mut [f64]) {
+    for i in 1..c.len() {
+        let mut j = i;
+        while j > 0 && c[j - 1] > c[j] {
+            c.swap(j - 1, j);
+            v.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
 /// ESC accumulator: buffers every intermediate product, sorts at flush.
 #[derive(Clone, Debug, Default)]
 pub struct SortAccumulator {
@@ -106,6 +196,45 @@ mod tests {
         a.flush_into(&mut c, &mut v);
         assert!(c.is_empty());
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn co_sort_pairs_matches_perm_sort() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for len in [0usize, 1, 2, 5, 19, 20, 21, 64, 257, 1500] {
+            // Distinct keys (what accumulator flushes produce), shuffled.
+            let mut cols: Vec<ColId> = (0..len as ColId).map(|c| c * 3 + 1).collect();
+            for i in (1..cols.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                cols.swap(i, j);
+            }
+            let mut vals: Vec<f64> = cols.iter().map(|&c| c as f64 * 0.5 + 0.25).collect();
+            // Reference: the old permutation-vector sort.
+            let mut perm: Vec<u32> = (0..cols.len() as u32).collect();
+            perm.sort_unstable_by_key(|&i| cols[i as usize]);
+            let expect_c: Vec<ColId> = perm.iter().map(|&i| cols[i as usize]).collect();
+            let expect_v: Vec<f64> = perm.iter().map(|&i| vals[i as usize]).collect();
+            co_sort_pairs(&mut cols, &mut vals);
+            assert_eq!(cols, expect_c, "len {len}");
+            assert_eq!(vals, expect_v, "len {len}");
+        }
+    }
+
+    #[test]
+    fn co_sort_pairs_handles_presorted_and_reversed() {
+        for dir in [false, true] {
+            let mut cols: Vec<ColId> = (0..200).collect();
+            if dir {
+                cols.reverse();
+            }
+            let mut vals: Vec<f64> = cols.iter().map(|&c| -(c as f64)).collect();
+            co_sort_pairs(&mut cols, &mut vals);
+            assert_eq!(cols, (0..200).collect::<Vec<_>>());
+            for (c, v) in cols.iter().zip(&vals) {
+                assert_eq!(*v, -(*c as f64), "values must travel with their keys");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks of the chunk-preparation engine: grid
+//! preparation (serial baseline vs parallel scratch-pooled engine),
+//! per-chunk preparation (fresh scratch vs a warmed shared pool —
+//! isolating the allocation-reuse gain), and the in-place paired
+//! co-sort that the hash accumulator's flush uses on duplicate-heavy
+//! rows.
+//!
+//! `cargo bench -p bench --bench chunk_prep` runs everything; CI only
+//! compiles it (`--no-run`). The JSON baseline the repo records comes
+//! from `repro prep` (see `bench::chunk_prep_bench`), which also
+//! sweeps thread counts.
+
+use accum::{Accumulator, HashAccumulator, ScratchPool};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_spgemm::{phases, ChunkJob};
+use oocgemm::{prepare_grid, prepare_grid_serial, OocConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sparse::gen::{grid2d_stencil, rmat, RmatConfig};
+use sparse::{CsrMatrix, CsrView};
+use std::hint::black_box;
+
+fn suite() -> Vec<(&'static str, CsrMatrix, (usize, usize))> {
+    // Skewed R-MAT (hash-heavy rows) and a uniform stencil (dense
+    // counters); grids sized to produce a handful of chunks each.
+    vec![
+        ("rmat_s10", rmat(RmatConfig::skewed(10, 20_000), 9), (4, 4)),
+        ("stencil_48x48", grid2d_stencil(48, 48, 2, 2), (3, 3)),
+    ]
+}
+
+fn bench_prepare_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_grid");
+    group.sample_size(10);
+    for (name, a, (rp, cp)) in suite() {
+        let cfg = OocConfig::with_device_memory(256 << 20).panels(rp, cp);
+        group.bench_function(BenchmarkId::new("serial", name), |b| {
+            b.iter(|| black_box(prepare_grid_serial(&a, &a, &cfg).unwrap()));
+        });
+        group.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| black_box(prepare_grid(&a, &a, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare_chunk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_chunk");
+    group.sample_size(10);
+    for (name, a, _) in suite() {
+        let job = || ChunkJob {
+            a_panel: CsrView::of(&a),
+            b_panel: &a,
+            chunk_id: 0,
+        };
+        group.bench_function(BenchmarkId::new("serial_engine", name), |b| {
+            b.iter(|| black_box(phases::prepare_chunk_serial(job())));
+        });
+        group.bench_function(BenchmarkId::new("fresh_scratch", name), |b| {
+            // `prepare_chunk` builds a cold pool per call: every chunk
+            // pays the width-sized allocations the pool exists to avoid.
+            b.iter(|| black_box(phases::prepare_chunk(job())));
+        });
+        group.bench_function(BenchmarkId::new("pooled_scratch", name), |b| {
+            let pool = ScratchPool::new();
+            phases::prepare_chunk_with(job(), &pool, None); // warm the pool
+            b.iter(|| black_box(phases::prepare_chunk_with(job(), &pool, None)));
+        });
+    }
+    group.finish();
+}
+
+/// Duplicate-heavy insertion sequence: `products` inserts into
+/// `distinct` distinct columns of a `width`-wide row.
+fn collision_sequence(products: usize, distinct: usize, width: u32, seed: u64) -> Vec<(u32, f64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cols: Vec<u32> = (0..distinct).map(|_| rng.gen_range(0..width)).collect();
+    (0..products)
+        .map(|_| (cols[rng.gen_range(0..distinct)], rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+fn bench_flush_cosort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_flush_cosort");
+    // The in-place paired co-sort runs on every hash-row flush; the
+    // duplicate ratio controls table occupancy vs flushed length.
+    for &(products, distinct) in &[(2048usize, 256usize), (16384, 2048)] {
+        let seq = collision_sequence(products, distinct, 1 << 20, 7);
+        group.throughput(Throughput::Elements(products as u64));
+        let label = format!("{products}x{distinct}");
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &seq, |b, seq| {
+            let mut acc = HashAccumulator::with_expected(distinct);
+            let (mut oc, mut ov) = (Vec::new(), Vec::new());
+            b.iter(|| {
+                for &(col, val) in seq {
+                    acc.add(col, val);
+                }
+                oc.clear();
+                ov.clear();
+                acc.flush_into(black_box(&mut oc), black_box(&mut ov));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prepare_grid,
+    bench_prepare_chunk,
+    bench_flush_cosort
+);
+criterion_main!(benches);

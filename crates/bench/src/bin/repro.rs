@@ -52,7 +52,7 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner]... \
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep]... \
                      [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -98,6 +98,21 @@ fn main() {
             bench::planner_bench::to_json(&rows),
         )
         .expect("write BENCH_planner.json");
+    }
+
+    if wants(&args, "prep") {
+        println!("## Chunk preparation: serial vs parallel scratch-pooled engine\n");
+        eprintln!(
+            "[{:6.1}s] running chunk-prep benchmark...",
+            t0.elapsed().as_secs_f64()
+        );
+        let rows = bench::chunk_prep_bench::run_all();
+        println!("{}", bench::chunk_prep_bench::table(&rows));
+        std::fs::write(
+            args.out.join("BENCH_chunk_prep.json"),
+            bench::chunk_prep_bench::to_json(&rows),
+        )
+        .expect("write BENCH_chunk_prep.json");
     }
 
     let needs_suite = [

@@ -56,6 +56,13 @@ pub struct OocConfig {
     /// paper uses 2 (double buffering); deeper pipelines trade device
     /// memory for slack in hiding host-side gaps.
     pub pipeline_depth: usize,
+    /// Cap on how many chunks the parallel grid preparation
+    /// materializes concurrently (`None` = the whole grid at once).
+    /// Each in-flight chunk holds its full output in host memory while
+    /// it is prepared, so huge grids on small hosts may want a bound;
+    /// the cap never changes results, only peak memory and overlap.
+    /// Must be positive when set.
+    pub prepare_parallelism: Option<usize>,
     /// Deterministic fault schedule. `Some` routes the run through the
     /// self-healing pipeline (retries, re-splits, CPU demotion); the
     /// assembled output stays bit-identical to the fault-free run.
@@ -82,6 +89,7 @@ impl OocConfig {
             col_partitioner: ColPartitioner::ParallelPrefixSum,
             pinned: true,
             pipeline_depth: 2,
+            prepare_parallelism: None,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
         }
@@ -102,6 +110,12 @@ impl OocConfig {
     /// Enables/disables flop-descending chunk reordering.
     pub fn reorder(mut self, on: bool) -> Self {
         self.reorder_chunks = on;
+        self
+    }
+
+    /// Caps how many chunks grid preparation materializes at once.
+    pub fn prepare_parallelism(mut self, cap: usize) -> Self {
+        self.prepare_parallelism = Some(cap);
         self
     }
 
@@ -135,6 +149,11 @@ impl OocConfig {
         if self.pipeline_depth < 2 {
             return Err(crate::OocError::Config(
                 "the async pipeline needs at least 2 buffer epochs".into(),
+            ));
+        }
+        if self.prepare_parallelism == Some(0) {
+            return Err(crate::OocError::Config(
+                "prepare_parallelism must be positive".into(),
             ));
         }
         if let Some(p) = &self.fault_plan {
@@ -287,6 +306,12 @@ mod tests {
         assert!(c.validate().is_err());
         let c = OocConfig::paper_default().panels(0, 3);
         assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().prepare_parallelism(0);
+        assert!(c.validate().is_err());
+        assert!(OocConfig::paper_default()
+            .prepare_parallelism(1)
+            .validate()
+            .is_ok());
         let h = HybridConfig::paper_default().ratio(-0.1);
         assert!(h.validate().is_err());
     }

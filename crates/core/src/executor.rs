@@ -10,6 +10,7 @@ use crate::recovery::RecoveryReport;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use gpu_spgemm::{phases, ChunkJob, PreparedChunk};
+use rayon::prelude::*;
 use sparse::partition::ColPanel;
 use sparse::{CsrMatrix, CsrView};
 use std::collections::HashMap;
@@ -17,8 +18,10 @@ use std::ops::Range;
 
 /// All chunks of a plan, prepared (real results + descriptors), in
 /// row-major grid order. Shared by the GPU-only and hybrid executors.
-pub(crate) struct PreparedGrid {
+pub struct PreparedGrid {
+    /// The panel plan the grid was prepared under.
     pub plan: PanelPlan,
+    /// Per-chunk flop/nnz descriptors for ordering decisions.
     pub grid: ChunkGrid,
     /// Row-major; `prepared[r * col_panels + c]`.
     pub prepared: Vec<PreparedChunk>,
@@ -31,25 +34,29 @@ pub(crate) struct PreparedGrid {
 }
 
 impl PreparedGrid {
-    pub(crate) fn chunk(&self, id: ChunkId) -> &PreparedChunk {
+    /// The prepared chunk at grid position `id`.
+    pub fn chunk(&self, id: ChunkId) -> &PreparedChunk {
         &self.prepared[id.row * self.plan.col_panels() + id.col]
     }
 
-    pub(crate) fn total_flops(&self) -> u64 {
+    /// Total flops of the multiplication.
+    pub fn total_flops(&self) -> u64 {
         self.grid.total_flops()
     }
 
-    pub(crate) fn total_nnz(&self) -> u64 {
+    /// Total output nonzeros across all chunks.
+    pub fn total_nnz(&self) -> u64 {
         self.prepared.iter().map(|p| p.nnz).sum()
     }
 }
 
-/// Plans, partitions and prepares every chunk of `C = a · b`.
-pub(crate) fn prepare_grid(
+/// The planning prologue shared by the parallel and serial grid
+/// preparation: validate, plan panels, partition B, and size the grid.
+fn plan_grid(
     a: &CsrMatrix,
     b: &CsrMatrix,
     config: &OocConfig,
-) -> Result<PreparedGrid> {
+) -> Result<(PanelPlan, ChunkGrid, Vec<ColPanel>, Vec<u64>)> {
     config.validate()?;
     let planner = Planner::new(a, b)?;
     let plan = match config.panels {
@@ -59,12 +66,90 @@ pub(crate) fn prepare_grid(
     let row_flops_prefix = planner.row_flops_prefix().to_vec();
     let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
     let grid = ChunkGrid::compute(a, &plan, &col_panels);
+    Ok((plan, grid, col_panels, row_flops_prefix))
+}
+
+/// Plans, partitions and prepares every chunk of `C = a · b`.
+///
+/// Chunk preparation — the host-side hot path — runs in parallel over
+/// the whole grid: every chunk is a pure function of its A row panel
+/// and B column panel, so each rayon worker writes its finished
+/// [`PreparedChunk`] into a pre-sized slot and the assembled vector is
+/// bit-identical to [`prepare_grid_serial`]'s, in the same row-major
+/// order (the `prepare_equivalence` suite asserts this field by
+/// field). Workers share one [`accum::ScratchPool`], and chunks whose
+/// B panel spans all of B reuse the planner's cached flop prefix
+/// instead of re-running row analysis.
+///
+/// [`OocConfig::prepare_parallelism`] caps how many chunks
+/// materialize concurrently (wave by wave), bounding peak host memory
+/// on huge grids.
+pub fn prepare_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<PreparedGrid> {
+    let (plan, grid, col_panels, row_flops_prefix) = plan_grid(a, b, config)?;
+    let k_c = plan.col_panels();
+    let n = plan.num_chunks();
+    let pool = accum::ScratchPool::new();
+    let mut slots: Vec<Option<PreparedChunk>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cap = config.prepare_parallelism.unwrap_or(n).max(1);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + cap).min(n);
+        let base = start;
+        slots[start..end]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| {
+                let idx = base + i;
+                let range = &plan.row_ranges[idx / k_c];
+                // With a single column panel, the panel's per-row flops
+                // equal the planner's global ones, so the cached prefix
+                // replaces the chunk's row analysis.
+                let prefix = if k_c == 1 {
+                    Some(&row_flops_prefix[range.start..=range.end])
+                } else {
+                    None
+                };
+                *slot = Some(phases::prepare_chunk_with(
+                    ChunkJob {
+                        a_panel: CsrView::rows(a, range.start, range.end),
+                        b_panel: &col_panels[idx % k_c].matrix,
+                        chunk_id: idx,
+                    },
+                    &pool,
+                    prefix,
+                ));
+            });
+        start = end;
+    }
+    let prepared = slots
+        .into_iter()
+        .map(|s| s.expect("every chunk prepared"))
+        .collect();
+    Ok(PreparedGrid {
+        plan,
+        grid,
+        prepared,
+        col_panels,
+        row_flops_prefix,
+    })
+}
+
+/// [`prepare_grid`] with the original serial chunk loop and the
+/// pre-parallel per-chunk engine, retained as the equivalence oracle
+/// and the bench baseline.
+pub fn prepare_grid_serial(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    config: &OocConfig,
+) -> Result<PreparedGrid> {
+    let (plan, grid, col_panels, row_flops_prefix) = plan_grid(a, b, config)?;
     let k_c = plan.col_panels();
     let mut prepared = Vec::with_capacity(plan.num_chunks());
     for (r, range) in plan.row_ranges.iter().enumerate() {
         let a_view = CsrView::rows(a, range.start, range.end);
         for (c, panel) in col_panels.iter().enumerate() {
-            prepared.push(phases::prepare_chunk(ChunkJob {
+            prepared.push(phases::prepare_chunk_serial(ChunkJob {
                 a_panel: a_view,
                 b_panel: &panel.matrix,
                 chunk_id: r * k_c + c,

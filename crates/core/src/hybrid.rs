@@ -340,13 +340,21 @@ impl Hybrid {
         let k_c = plan.col_panels();
         let n = plan.num_chunks();
 
+        // One scratch pool shared by both workers (it is Sync; leases
+        // serialize only on the pop/push). Chunk results are pure
+        // functions of the index, so pooled reuse cannot affect them.
+        let scratch = accum::ScratchPool::new();
         let prepare = |idx: usize| -> PreparedChunk {
             let range = &plan.row_ranges[idx / k_c];
-            phases::prepare_chunk(ChunkJob {
-                a_panel: CsrView::rows(a, range.start, range.end),
-                b_panel: &col_panels[idx % k_c].matrix,
-                chunk_id: idx,
-            })
+            phases::prepare_chunk_with(
+                ChunkJob {
+                    a_panel: CsrView::rows(a, range.start, range.end),
+                    b_panel: &col_panels[idx % k_c].matrix,
+                    chunk_id: idx,
+                },
+                &scratch,
+                None,
+            )
         };
 
         // Both workers drain one shared cursor; chunk content is a pure

@@ -62,7 +62,9 @@ pub mod verify;
 pub use chunks::{ChunkGrid, ChunkId, ChunkInfo};
 pub use config::{ExecMode, HybridConfig, OocConfig, SchedulerKind, DEFAULT_GPU_RATIO};
 pub use error::OocError;
-pub use executor::{ChainedRun, OocRun, OutOfCoreGpu};
+pub use executor::{
+    prepare_grid, prepare_grid_serial, ChainedRun, OocRun, OutOfCoreGpu, PreparedGrid,
+};
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
 pub use metrics::{ChunkMetrics, DemotionCause, Metrics, SchedulerStats};

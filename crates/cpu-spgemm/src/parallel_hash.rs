@@ -19,10 +19,7 @@
 //! for; rayon's work stealing plays that role here.
 
 use crate::check_dims;
-use accum::{
-    choose_accumulator, Accumulator, AccumulatorKind, DenseAccumulator, DenseCounter,
-    HashAccumulator, HashCounter, SymbolicCounter,
-};
+use accum::ScratchPool;
 use rayon::prelude::*;
 use sparse::{ColId, CsrMatrix, CsrView, Result};
 
@@ -30,11 +27,6 @@ use sparse::{ColId, CsrMatrix, CsrView, Result};
 /// stealing to balance skewed matrices, large enough to amortize
 /// accumulator setup.
 const CHUNK: usize = 256;
-
-/// Width above which symbolic counting and numeric accumulation switch
-/// from dense stamp arrays to hashing by default (dense arrays of this
-/// size still fit comfortably in L2, matching the Patwary argument).
-const DENSE_WIDTH_LIMIT: usize = 1 << 17;
 
 /// Computes `C = a · b` with the multicore hash algorithm.
 pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
@@ -48,8 +40,13 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
     let n_rows = a.n_rows();
     let width = b.n_cols();
 
+    // One scratch pool shared by both phases: counters warmed by the
+    // symbolic pass come back as accumulator bundles for the numeric
+    // pass, so steady-state row compute allocates nothing.
+    let pool = ScratchPool::new();
+
     // Phase 2: symbolic row sizes (exact).
-    let row_nnz: Vec<usize> = symbolic(a, b);
+    let row_nnz: Vec<usize> = symbolic(a, b, &pool);
 
     // Phase 3: exact allocation via prefix sum.
     let mut offsets = Vec::with_capacity(n_rows + 1);
@@ -80,7 +77,7 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
         col_chunks
             .into_par_iter()
             .for_each(|(chunk_start, out_c, out_v)| {
-                numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v);
+                numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v, &pool);
             });
     }
 
@@ -91,7 +88,9 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
 
 /// Symbolic phase: exact output row sizes, parallel over row chunks
 /// (chunk index ranges iterated directly — no materialized row list).
-fn symbolic(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
+/// Each in-flight chunk leases one counter bundle from `pool` — reused
+/// across chunks, so no width-sized allocation per chunk.
+fn symbolic(a: &CsrView<'_>, b: &CsrMatrix, pool: &ScratchPool) -> Vec<usize> {
     let n_rows = a.n_rows();
     let width = b.n_cols();
     (0..n_rows.div_ceil(CHUNK).max(1))
@@ -100,36 +99,22 @@ fn symbolic(a: &CsrView<'_>, b: &CsrMatrix) -> Vec<usize> {
             let lo = chunk * CHUNK;
             let hi = (lo + CHUNK).min(n_rows);
             let mut out = Vec::with_capacity(hi - lo);
-            if width <= DENSE_WIDTH_LIMIT {
-                let mut counter = DenseCounter::new(width);
+            pool.with(|s| {
                 for r in lo..hi {
-                    count_row(a, b, r, &mut counter);
-                    out.push(counter.count());
-                    counter.reset();
+                    let cols = a
+                        .row_cols(r)
+                        .iter()
+                        .flat_map(|&k| b.row_cols(k as usize).iter().copied());
+                    out.push(s.count_row(cols, width));
                 }
-            } else {
-                let mut counter = HashCounter::with_expected(64);
-                for r in lo..hi {
-                    count_row(a, b, r, &mut counter);
-                    out.push(counter.count());
-                    counter.reset();
-                }
-            }
+            });
             out
         })
         .collect()
 }
 
-#[inline]
-fn count_row<C: SymbolicCounter>(a: &CsrView<'_>, b: &CsrMatrix, r: usize, counter: &mut C) {
-    for &k in a.row_cols(r) {
-        for &c in b.row_cols(k as usize) {
-            counter.insert(c);
-        }
-    }
-}
-
-/// Numeric phase for one row chunk, writing into its disjoint slices.
+/// Numeric phase for one row chunk, writing into its disjoint slices
+/// with accumulators leased from `pool`.
 fn numeric_chunk(
     a: &CsrView<'_>,
     b: &CsrMatrix,
@@ -137,57 +122,32 @@ fn numeric_chunk(
     chunk_start: usize,
     out_c: &mut [ColId],
     out_v: &mut [f64],
+    pool: &ScratchPool,
 ) {
     let width = b.n_cols();
     let chunk_len = out_c.len();
     let rows = chunk_start..(chunk_start + CHUNK).min(row_nnz.len());
-    let mut dense: Option<DenseAccumulator> = None;
-    let mut hash = HashAccumulator::with_expected(64);
-    let mut scratch_c: Vec<ColId> = Vec::new();
-    let mut scratch_v: Vec<f64> = Vec::new();
-    let mut cursor = 0usize;
-    for r in rows {
-        let expect = row_nnz[r];
-        if expect == 0 {
-            continue;
-        }
-        scratch_c.clear();
-        scratch_v.clear();
-        let kind = if width <= DENSE_WIDTH_LIMIT {
-            choose_accumulator(expect, width)
-        } else {
-            AccumulatorKind::Hash
-        };
-        match kind {
-            AccumulatorKind::Dense => {
-                let acc = dense.get_or_insert_with(|| DenseAccumulator::new(width));
-                fill_row(a, b, r, acc);
-                acc.flush_into(&mut scratch_c, &mut scratch_v);
+    pool.with(|scratch| {
+        let mut cursor = 0usize;
+        for r in rows {
+            let expect = row_nnz[r];
+            if expect == 0 {
+                continue;
             }
-            AccumulatorKind::Hash => {
-                fill_row(a, b, r, &mut hash);
-                hash.flush_into(&mut scratch_c, &mut scratch_v);
-            }
+            scratch.accumulate_row_into(
+                a.row_iter(r).flat_map(|(k, a_rk)| {
+                    b.row_iter(k as usize)
+                        .map(move |(c, b_kc)| (c, a_rk * b_kc))
+                }),
+                expect,
+                width,
+                &mut out_c[cursor..cursor + expect],
+                &mut out_v[cursor..cursor + expect],
+            );
+            cursor += expect;
         }
-        debug_assert_eq!(
-            scratch_c.len(),
-            expect,
-            "symbolic/numeric mismatch at row {r}"
-        );
-        out_c[cursor..cursor + expect].copy_from_slice(&scratch_c);
-        out_v[cursor..cursor + expect].copy_from_slice(&scratch_v);
-        cursor += expect;
-    }
-    debug_assert_eq!(cursor, chunk_len, "chunk fill incomplete");
-}
-
-#[inline]
-fn fill_row<A: Accumulator>(a: &CsrView<'_>, b: &CsrMatrix, r: usize, acc: &mut A) {
-    for (k, a_rk) in a.row_iter(r) {
-        for (c, b_kc) in b.row_iter(k as usize) {
-            acc.add(c, a_rk * b_kc);
-        }
-    }
+        debug_assert_eq!(cursor, chunk_len, "chunk fill incomplete");
+    });
 }
 
 #[cfg(test)]
@@ -257,7 +217,7 @@ mod tests {
     #[test]
     fn wide_matrix_uses_hash_path() {
         // Width above DENSE_WIDTH_LIMIT forces hash counters/accumulators.
-        let width = super::DENSE_WIDTH_LIMIT + 10;
+        let width = accum::DENSE_WIDTH_LIMIT + 10;
         let mut coo = sparse::CooMatrix::new(4, width);
         coo.push(0, 0, 1.0).unwrap();
         coo.push(0, width - 1, 2.0).unwrap();

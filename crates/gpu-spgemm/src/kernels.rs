@@ -11,7 +11,10 @@
 //! dense-or-hash accumulator its density calls for — so the real
 //! computation and the simulated kernel launches correspond one to one.
 
-use accum::{choose_accumulator, Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator};
+use accum::{
+    choose_accumulator, Accumulator, AccumulatorKind, DenseAccumulator, HashAccumulator,
+    ScratchPool,
+};
 use rayon::prelude::*;
 use sparse::{ColId, CsrMatrix, CsrView};
 
@@ -21,7 +24,7 @@ use sparse::{ColId, CsrMatrix, CsrView};
 pub const NNZ_GROUP_BOUNDS: [usize; 4] = [32, 512, 8192, usize::MAX];
 
 /// Numeric-phase row groups: rows binned by *output* size.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NumericGroups {
     /// Row indices per group, small outputs first.
     pub groups: Vec<Vec<u32>>,
@@ -68,11 +71,109 @@ impl NumericGroups {
     }
 }
 
+/// Executes the numeric phase group by group with worker scratch
+/// leased from `pool`.
+///
+/// `row_nnz` must be the exact symbolic output sizes (the allocation
+/// is exact, as in the two-phase strategy). Returns the chunk product
+/// with local column ids.
+///
+/// Per-row compute is allocation-free at steady state: accumulators
+/// and staging vectors come from the pool at their high-water
+/// capacity, and the hash flush co-sorts in place. Only the output
+/// arrays themselves (exact-sized from the symbolic phase) are
+/// allocated here. Results are bit-identical to the unpooled engine:
+/// per-row product order is unchanged, and flushes sort distinct
+/// columns, so carried accumulator capacity cannot influence any
+/// value.
+pub fn numeric_by_groups_with(
+    a_panel: &CsrView<'_>,
+    b_panel: &CsrMatrix,
+    row_nnz: &[usize],
+    groups: &NumericGroups,
+    pool: &ScratchPool,
+) -> CsrMatrix {
+    assert_eq!(
+        a_panel.n_cols(),
+        b_panel.n_rows(),
+        "panel dimensions must agree"
+    );
+    assert_eq!(row_nnz.len(), a_panel.n_rows(), "one symbolic size per row");
+    let n_rows = a_panel.n_rows();
+    let width = b_panel.n_cols();
+
+    // Exact allocation from the symbolic sizes.
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    offsets.push(0usize);
+    for &n in row_nnz {
+        offsets.push(offsets.last().unwrap() + n);
+    }
+    let nnz = *offsets.last().unwrap();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+
+    // Hand each row its disjoint output slice, then fill group by
+    // group ("one kernel per group") with pooled worker scratch.
+    type RowSlice<'s> = (&'s mut [ColId], &'s mut [f64]);
+    let mut row_slices: Vec<Option<RowSlice<'_>>> = Vec::with_capacity(n_rows);
+    {
+        let mut rest_c: &mut [ColId] = &mut cols;
+        let mut rest_v: &mut [f64] = &mut vals;
+        for &len in row_nnz.iter() {
+            let (head_c, tail_c) = rest_c.split_at_mut(len);
+            let (head_v, tail_v) = rest_v.split_at_mut(len);
+            row_slices.push(Some((head_c, head_v)));
+            rest_c = tail_c;
+            rest_v = tail_v;
+        }
+    }
+
+    for group in &groups.groups {
+        let mut work: Vec<(u32, RowSlice<'_>)> = group
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    row_slices[r as usize]
+                        .take()
+                        .expect("row in one group only"),
+                )
+            })
+            .collect();
+        work.par_chunks_mut(64).for_each(|rows| {
+            pool.with(|scratch| {
+                for (r, (out_c, out_v)) in rows {
+                    let r = *r as usize;
+                    let expected = out_c.len();
+                    scratch.accumulate_row_into(
+                        a_panel.row_iter(r).flat_map(|(k, a_rk)| {
+                            b_panel
+                                .row_iter(k as usize)
+                                .map(move |(c, b_kc)| (c, a_rk * b_kc))
+                        }),
+                        expected,
+                        width,
+                        out_c,
+                        out_v,
+                    );
+                }
+            });
+        });
+    }
+
+    CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals)
+}
+
 /// Executes the numeric phase group by group.
 ///
 /// `row_nnz` must be the exact symbolic output sizes (the allocation
 /// is exact, as in the two-phase strategy). Returns the chunk product
 /// with local column ids.
+///
+/// This is the pre-pool engine — fresh accumulators per worker task —
+/// retained unchanged as the equivalence oracle and bench baseline;
+/// steady-state callers should share a [`ScratchPool`] through
+/// [`numeric_by_groups_with`] instead.
 pub fn numeric_by_groups(
     a_panel: &CsrView<'_>,
     b_panel: &CsrMatrix,
@@ -220,6 +321,33 @@ mod tests {
         assert_eq!(total_flops, 22092);
         // Rows 1 (5) and 5 (1) fall in the <=32 group.
         assert_eq!(g.groups[0], vec![1, 5]);
+    }
+
+    #[test]
+    fn pooled_engine_is_bit_identical_to_unpooled() {
+        let pool = ScratchPool::new();
+        for (a, b) in [
+            (
+                erdos_renyi(150, 130, 0.07, 1),
+                erdos_renyi(130, 170, 0.07, 2),
+            ),
+            (
+                rmat(RmatConfig::skewed(8, 3000), 3),
+                rmat(RmatConfig::skewed(8, 3000), 9),
+            ),
+        ] {
+            let av = CsrView::of(&a);
+            let row_flops = row_analysis(&av, &b);
+            let row_nnz = symbolic(&av, &b);
+            let groups = NumericGroups::from_row_nnz(&row_nnz, &row_flops);
+            // Reusing one pool across products must not leak state.
+            let pooled = numeric_by_groups_with(&av, &b, &row_nnz, &groups, &pool);
+            let fresh = numeric_by_groups(&av, &b, &row_nnz, &groups);
+            assert_eq!(pooled.row_offsets(), fresh.row_offsets());
+            assert_eq!(pooled.col_ids(), fresh.col_ids());
+            let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&pooled), bits(&fresh), "values must be bit-identical");
+        }
     }
 
     #[test]

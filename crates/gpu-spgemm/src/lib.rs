@@ -28,6 +28,9 @@ pub mod phases;
 pub mod sync;
 
 pub use alternatives::{esc_chunk, rmerge_chunk, AltChunkReport};
-pub use kernels::{numeric_by_groups, NumericGroups, NNZ_GROUP_BOUNDS};
-pub use phases::{ChunkJob, PreparedChunk, RowGroups, GROUP_BOUNDS};
+pub use kernels::{numeric_by_groups, numeric_by_groups_with, NumericGroups, NNZ_GROUP_BOUNDS};
+pub use phases::{
+    prepare_chunk, prepare_chunk_serial, prepare_chunk_with, ChunkJob, PreparedChunk, RowGroups,
+    GROUP_BOUNDS, ROW_BLOCK,
+};
 pub use sync::{simulate_sync_chunk, sync_chunk, SyncChunkReport};

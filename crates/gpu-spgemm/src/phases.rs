@@ -7,14 +7,20 @@
 //! sizes (`flops`, bytes, compression ratio) that the
 //! [`gpu_sim::CostModel`] needs to charge simulated durations.
 
-use crate::kernels::{numeric_by_groups, NumericGroups};
-use accum::{DenseCounter, HashCounter, SymbolicCounter};
+use crate::kernels::{numeric_by_groups, numeric_by_groups_with, NumericGroups};
+use accum::{DenseCounter, HashCounter, ScratchPool, SymbolicCounter};
+use rayon::prelude::*;
 use sparse::{CsrMatrix, CsrView};
 
 /// Flop boundaries of the row groups used for load balancing, matching
 /// the magnitude binning spECK performs host-side. A row with flop
 /// count `f` goes to the first group with `f <= bound`.
 pub const GROUP_BOUNDS: [u64; 4] = [64, 1024, 16384, u64::MAX];
+
+/// Row-block granularity of the intra-chunk parallel phases. Chunks at
+/// or below this size run the phases serially — forking rayon tasks
+/// for a few hundred rows costs more than it saves.
+pub const ROW_BLOCK: usize = 256;
 
 /// One chunk multiplication job: a row panel of `A` times a column
 /// panel of `B` (already column-localized).
@@ -30,7 +36,7 @@ pub struct ChunkJob<'a> {
 
 /// Host-side row grouping (the step between row analysis and symbolic
 /// execution in Figure 3).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RowGroups {
     /// Row indices per group, ordered small → large.
     pub groups: Vec<Vec<u32>>,
@@ -114,23 +120,210 @@ pub struct PreparedChunk {
 /// Bytes per output nonzero in transfers (u32 column id + f64 value).
 pub const BYTES_PER_NNZ: u64 = 12;
 
+#[inline]
+fn row_flops_one(a_panel: &CsrView<'_>, b_panel: &CsrMatrix, r: usize) -> u64 {
+    2 * a_panel
+        .row_cols(r)
+        .iter()
+        .map(|&k| b_panel.row_nnz(k as usize) as u64)
+        .sum::<u64>()
+}
+
 /// Row analysis: flops of each A-panel row against the B panel.
 pub fn row_analysis(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<u64> {
-    (0..a_panel.n_rows())
-        .map(|r| {
-            2 * a_panel
-                .row_cols(r)
-                .iter()
-                .map(|&k| b_panel.row_nnz(k as usize) as u64)
-                .sum::<u64>()
-        })
-        .collect()
+    let mut out = vec![0u64; a_panel.n_rows()];
+    row_analysis_into(a_panel, b_panel, &mut out);
+    out
+}
+
+/// [`row_analysis`] into a caller-provided slice (one slot per panel
+/// row), parallel over [`ROW_BLOCK`]-row blocks. Each row's count is an
+/// independent integer sum, so the split cannot change any value.
+pub fn row_analysis_into(a_panel: &CsrView<'_>, b_panel: &CsrMatrix, out: &mut [u64]) {
+    let rows = a_panel.n_rows();
+    assert_eq!(out.len(), rows, "one flop slot per panel row");
+    if rows <= ROW_BLOCK {
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = row_flops_one(a_panel, b_panel, r);
+        }
+        return;
+    }
+    out.par_chunks_mut(ROW_BLOCK)
+        .enumerate()
+        .for_each(|(block, slots)| {
+            let base = block * ROW_BLOCK;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = row_flops_one(a_panel, b_panel, base + i);
+            }
+        });
 }
 
 /// Symbolic execution: exact output size of each row.
 pub fn symbolic(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<usize> {
+    let mut out = vec![0usize; a_panel.n_rows()];
+    symbolic_into(a_panel, b_panel, &ScratchPool::new(), &mut out);
+    out
+}
+
+/// [`symbolic`] into a caller-provided slice, parallel over
+/// [`ROW_BLOCK`]-row blocks with counters leased from `pool` (one
+/// bundle per in-flight block, reused across blocks and chunks instead
+/// of a fresh width-sized allocation per chunk). Counts are exact
+/// distinct-column integers, so block boundaries and counter reuse
+/// cannot change any value.
+pub fn symbolic_into(
+    a_panel: &CsrView<'_>,
+    b_panel: &CsrMatrix,
+    pool: &ScratchPool,
+    out: &mut [usize],
+) {
+    let rows = a_panel.n_rows();
+    assert_eq!(out.len(), rows, "one size slot per panel row");
     let width = b_panel.n_cols();
-    let use_dense = width <= (1 << 17);
+    let count_block = |base: usize, slots: &mut [usize], s: &mut accum::RowScratch| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let r = base + i;
+            let cols = a_panel
+                .row_cols(r)
+                .iter()
+                .flat_map(|&k| b_panel.row_cols(k as usize).iter().copied());
+            *slot = s.count_row(cols, width);
+        }
+    };
+    if rows <= ROW_BLOCK {
+        pool.with(|s| count_block(0, out, s));
+        return;
+    }
+    out.par_chunks_mut(ROW_BLOCK)
+        .enumerate()
+        .for_each(|(block, slots)| pool.with(|s| count_block(block * ROW_BLOCK, slots, s)));
+}
+
+fn finish_chunk(
+    job: &ChunkJob<'_>,
+    flops: u64,
+    groups: RowGroups,
+    numeric_groups: NumericGroups,
+    result: CsrMatrix,
+) -> PreparedChunk {
+    let a = &job.a_panel;
+    let nnz = result.nnz() as u64;
+    let rows = a.n_rows();
+    PreparedChunk {
+        chunk_id: job.chunk_id,
+        compression_ratio: if nnz == 0 {
+            1.0
+        } else {
+            flops as f64 / nnz as f64
+        },
+        flops,
+        nnz,
+        rows,
+        a_nnz: a.nnz() as u64,
+        a_bytes: a.storage_bytes() as u64,
+        b_bytes: job.b_panel.storage_bytes() as u64,
+        row_info_bytes: rows as u64 * 8,
+        row_nnz_bytes: rows as u64 * 8,
+        out_bytes: nnz * BYTES_PER_NNZ + (rows as u64 + 1) * 8,
+        groups,
+        numeric_groups,
+        result,
+    }
+}
+
+/// Prepares a chunk: runs all phases for real — in the same structure
+/// the simulated kernels are charged (row analysis, flop grouping,
+/// symbolic sizing, output-size regrouping, per-group numeric
+/// execution) — and records the descriptors.
+///
+/// Convenience wrapper over [`prepare_chunk_with`] with a private
+/// scratch pool and no cached flop prefix; callers preparing many
+/// chunks should share one [`ScratchPool`] instead.
+pub fn prepare_chunk(job: ChunkJob<'_>) -> PreparedChunk {
+    prepare_chunk_with(job, &ScratchPool::new(), None)
+}
+
+/// [`prepare_chunk`] with worker scratch leased from `pool` and an
+/// optional cached flop prefix.
+///
+/// `row_flops_prefix`, when given, must be the exclusive prefix sum of
+/// the panel rows' flop counts against **this** `b_panel`
+/// (`a.n_rows() + 1` entries); row analysis is then derived from the
+/// prefix differences instead of recomputed. The planner's global
+/// prefix qualifies whenever the B panel spans all of B's columns
+/// (both were built by the same `2·Σ nnz(B_k*)` formula); a
+/// debug assertion cross-checks the derived counts against a fresh
+/// [`row_analysis`].
+pub fn prepare_chunk_with(
+    job: ChunkJob<'_>,
+    pool: &ScratchPool,
+    row_flops_prefix: Option<&[u64]>,
+) -> PreparedChunk {
+    let a = &job.a_panel;
+    let b = job.b_panel;
+    assert_eq!(a.n_cols(), b.n_rows(), "panel dimensions must agree");
+    let rows = a.n_rows();
+    // Borrow the reusable per-row arrays out of a pooled bundle for the
+    // duration of the chunk (the bundle itself goes straight back so
+    // the symbolic/numeric workers below can lease it).
+    let (mut row_flops, mut row_nnz) = pool.with(|s| {
+        (
+            std::mem::take(&mut s.flops_buf),
+            std::mem::take(&mut s.nnz_buf),
+        )
+    });
+    row_flops.clear();
+    row_flops.resize(rows, 0);
+    match row_flops_prefix {
+        Some(prefix) => {
+            assert_eq!(prefix.len(), rows + 1, "prefix must cover the panel rows");
+            for (i, w) in prefix.windows(2).enumerate() {
+                row_flops[i] = w[1] - w[0];
+            }
+            debug_assert_eq!(
+                row_flops,
+                row_analysis(a, b),
+                "cached flop prefix diverged from row analysis"
+            );
+        }
+        None => row_analysis_into(a, b, &mut row_flops),
+    }
+    let flops: u64 = row_flops.iter().sum();
+    let groups = RowGroups::from_row_flops(&row_flops);
+    row_nnz.clear();
+    row_nnz.resize(rows, 0);
+    symbolic_into(a, b, pool, &mut row_nnz);
+    let numeric_groups = NumericGroups::from_row_nnz(&row_nnz, &row_flops);
+    let result = numeric_by_groups_with(a, b, &row_nnz, &numeric_groups, pool);
+    pool.with(|s| {
+        s.flops_buf = row_flops;
+        s.nnz_buf = row_nnz;
+    });
+    finish_chunk(&job, flops, groups, numeric_groups, result)
+}
+
+/// The pre-parallel chunk engine, preserved verbatim as the
+/// equivalence oracle and bench baseline: serial row analysis, serial
+/// symbolic execution with chunk-local counters, and the unpooled
+/// numeric engine (fresh accumulators per worker task).
+pub fn prepare_chunk_serial(job: ChunkJob<'_>) -> PreparedChunk {
+    let a = &job.a_panel;
+    let b = job.b_panel;
+    assert_eq!(a.n_cols(), b.n_rows(), "panel dimensions must agree");
+    let row_flops: Vec<u64> = (0..a.n_rows()).map(|r| row_flops_one(a, b, r)).collect();
+    let flops: u64 = row_flops.iter().sum();
+    let groups = RowGroups::from_row_flops(&row_flops);
+    let row_nnz = symbolic_serial(a, b);
+    let numeric_groups = NumericGroups::from_row_nnz(&row_nnz, &row_flops);
+    let result = numeric_by_groups(a, b, &row_nnz, &numeric_groups);
+    finish_chunk(&job, flops, groups, numeric_groups, result)
+}
+
+/// The original serial symbolic pass: one fresh dense-or-hash counter
+/// per chunk, rows visited in order.
+fn symbolic_serial(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<usize> {
+    let width = b_panel.n_cols();
+    let use_dense = width <= accum::DENSE_WIDTH_LIMIT;
     let mut dense = if use_dense {
         Some(DenseCounter::new(width))
     } else {
@@ -160,44 +353,6 @@ pub fn symbolic(a_panel: &CsrView<'_>, b_panel: &CsrMatrix) -> Vec<usize> {
             }
         })
         .collect()
-}
-
-/// Prepares a chunk: runs all phases for real — in the same structure
-/// the simulated kernels are charged (row analysis, flop grouping,
-/// symbolic sizing, output-size regrouping, per-group numeric
-/// execution) — and records the descriptors.
-pub fn prepare_chunk(job: ChunkJob<'_>) -> PreparedChunk {
-    let a = &job.a_panel;
-    let b = job.b_panel;
-    assert_eq!(a.n_cols(), b.n_rows(), "panel dimensions must agree");
-    let row_flops = row_analysis(a, b);
-    let flops: u64 = row_flops.iter().sum();
-    let groups = RowGroups::from_row_flops(&row_flops);
-    let row_nnz = symbolic(a, b);
-    let numeric_groups = NumericGroups::from_row_nnz(&row_nnz, &row_flops);
-    let result = numeric_by_groups(a, b, &row_nnz, &numeric_groups);
-    let nnz = result.nnz() as u64;
-    let rows = a.n_rows();
-    PreparedChunk {
-        chunk_id: job.chunk_id,
-        compression_ratio: if nnz == 0 {
-            1.0
-        } else {
-            flops as f64 / nnz as f64
-        },
-        flops,
-        nnz,
-        rows,
-        a_nnz: a.nnz() as u64,
-        a_bytes: a.storage_bytes() as u64,
-        b_bytes: b.storage_bytes() as u64,
-        row_info_bytes: rows as u64 * 8,
-        row_nnz_bytes: rows as u64 * 8,
-        out_bytes: nnz * BYTES_PER_NNZ + (rows as u64 + 1) * 8,
-        groups,
-        numeric_groups,
-        result,
-    }
 }
 
 impl PreparedChunk {
@@ -311,6 +466,73 @@ mod tests {
         let refs: Vec<&CsrMatrix> = chunks.iter().collect();
         let joined = sparse::ops::hstack(&refs).unwrap();
         assert!(joined.approx_eq(&full, 1e-9));
+    }
+
+    fn assert_chunks_identical(got: &PreparedChunk, expect: &PreparedChunk) {
+        assert_eq!(got.chunk_id, expect.chunk_id);
+        assert_eq!(got.result.row_offsets(), expect.result.row_offsets());
+        assert_eq!(got.result.col_ids(), expect.result.col_ids());
+        let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&got.result),
+            bits(&expect.result),
+            "values must be bit-identical"
+        );
+        assert_eq!(got.groups, expect.groups);
+        assert_eq!(got.numeric_groups, expect.numeric_groups);
+        assert_eq!(got.flops, expect.flops);
+        assert_eq!(got.nnz, expect.nnz);
+        assert_eq!(
+            got.compression_ratio.to_bits(),
+            expect.compression_ratio.to_bits()
+        );
+        assert_eq!(got.rows, expect.rows);
+        assert_eq!(got.a_nnz, expect.a_nnz);
+        assert_eq!(got.a_bytes, expect.a_bytes);
+        assert_eq!(got.b_bytes, expect.b_bytes);
+        assert_eq!(got.row_info_bytes, expect.row_info_bytes);
+        assert_eq!(got.row_nnz_bytes, expect.row_nnz_bytes);
+        assert_eq!(got.out_bytes, expect.out_bytes);
+    }
+
+    #[test]
+    fn pooled_parallel_engine_matches_serial_bit_identically() {
+        // Big enough that the intra-chunk parallel paths engage
+        // (> ROW_BLOCK rows), reusing one pool across both chunks.
+        let a = sparse::gen::rmat(sparse::gen::RmatConfig::skewed(10, 12000), 5);
+        let b = erdos_renyi(1024, 700, 0.01, 6);
+        let pool = accum::ScratchPool::new();
+        for (id, (a, b)) in [(&a, &a), (&a, &b)].into_iter().enumerate() {
+            let job = ChunkJob {
+                a_panel: CsrView::of(a),
+                b_panel: b,
+                chunk_id: id,
+            };
+            let got = prepare_chunk_with(job, &pool, None);
+            let expect = prepare_chunk_serial(job);
+            assert_chunks_identical(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn cached_flop_prefix_matches_recomputed_analysis() {
+        let (a, b) = job_fixture();
+        let av = CsrView::of(&a);
+        let row_flops = row_analysis(&av, &b);
+        let mut prefix = Vec::with_capacity(row_flops.len() + 1);
+        prefix.push(0u64);
+        for &f in &row_flops {
+            prefix.push(prefix.last().unwrap() + f);
+        }
+        let job = ChunkJob {
+            a_panel: av,
+            b_panel: &b,
+            chunk_id: 3,
+        };
+        let pool = accum::ScratchPool::new();
+        let with_prefix = prepare_chunk_with(job, &pool, Some(&prefix));
+        let without = prepare_chunk_with(job, &pool, None);
+        assert_chunks_identical(&with_prefix, &without);
     }
 
     #[test]
