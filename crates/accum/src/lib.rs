@@ -48,7 +48,9 @@ pub mod sort;
 
 pub use counter::{DenseCounter, HashCounter, SymbolicCounter};
 pub use dense::DenseAccumulator;
-pub use estimate::{row_upper_bounds, upper_bound_total};
+pub use estimate::{
+    build_model, row_upper_bounds, upper_bound_total, EstModel, EstimateConfig, EstimatorKind,
+};
 pub use hash::HashAccumulator;
 pub use scratch::{select_accumulator, RowScratch, ScratchPool, DENSE_WIDTH_LIMIT};
 pub use sort::{co_sort_pairs, SortAccumulator};

@@ -52,7 +52,7 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep]... \
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate]... \
                      [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -113,6 +113,21 @@ fn main() {
             bench::chunk_prep_bench::to_json(&rows),
         )
         .expect("write BENCH_chunk_prep.json");
+    }
+
+    if wants(&args, "estimate") {
+        println!("## Estimation engine: accuracy vs planning/completion speedup\n");
+        eprintln!(
+            "[{:6.1}s] running estimate benchmark...",
+            t0.elapsed().as_secs_f64()
+        );
+        let rows = bench::estimate_bench::run_all(args.scale);
+        println!("{}", bench::estimate_bench::table(&rows));
+        std::fs::write(
+            args.out.join("BENCH_estimate.json"),
+            bench::estimate_bench::to_json(&rows),
+        )
+        .expect("write BENCH_estimate.json");
     }
 
     let needs_suite = [

@@ -37,6 +37,9 @@ struct Args {
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     fault_shrink: Option<(u64, f64)>,
+    estimator: Option<String>,
+    sample_rate: Option<f64>,
+    headroom: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -45,6 +48,8 @@ fn usage() -> ! {
          \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
          \x20      [--device-mb N] [--ratio R|auto] [--scheduler stealing|static] [--panels RxC]\n\
          \x20      [--fault-seed N] [--fault-rate R] [--fault-shrink ALLOC:FACTOR]\n\
+         \x20      [--estimator exact|upper-bound|row-sample|hash-sketch]\n\
+         \x20      [--sample-rate R] [--headroom H]\n\
          \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json] [--metrics-out FILE.json]"
     );
     std::process::exit(2)
@@ -66,6 +71,9 @@ fn parse_args() -> Args {
         fault_seed: None,
         fault_rate: None,
         fault_shrink: None,
+        estimator: None,
+        sample_rate: None,
+        headroom: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +113,9 @@ fn parse_args() -> Args {
                     factor.parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--estimator" => args.estimator = Some(value()),
+            "--sample-rate" => args.sample_rate = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--headroom" => args.headroom = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -188,6 +199,30 @@ fn main() {
         "simulated device: {:.1} MiB",
         device_bytes as f64 / (1 << 20) as f64
     );
+
+    // Estimator knobs. Validation mirrors the --ratio precedent: bad
+    // values are rejected with exit code 2 before any work starts.
+    // The CLI is stricter than the library (which permits headroom < 1
+    // so tests can force overflow recovery).
+    let mut est = config.estimator;
+    if let Some(kind) = &args.estimator {
+        est.kind = kind.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(rate) = args.sample_rate {
+        if !(rate > 0.0 && rate <= 1.0) {
+            eprintln!("--sample-rate must be in (0, 1], got {rate}");
+            std::process::exit(2);
+        }
+        est.sample_rate = rate;
+    }
+    if let Some(h) = args.headroom {
+        if !(h.is_finite() && h >= 1.0) {
+            eprintln!("--headroom must be a finite value >= 1.0, got {h}");
+            std::process::exit(2);
+        }
+        est.headroom = h;
+    }
+    config = config.estimator(est);
 
     // Any fault flag switches on the deterministic fault-injection +
     // recovery layer; results stay bit-identical to a fault-free run.
@@ -339,6 +374,19 @@ fn main() {
         stats.flops as f64 / sim_ns.max(1) as f64,
         c.nnz()
     );
+    if let Some(es) = metrics.as_ref().and_then(|m| m.estimator.as_ref()) {
+        println!(
+            "estimator: {} — est nnz {} vs actual {} ({} chunk hits / {} misses, \
+             {} overflow rows, {} grow-retries)",
+            es.kind,
+            es.est_nnz,
+            es.actual_nnz,
+            es.chunk_hits,
+            es.chunk_misses,
+            es.overflow_rows,
+            es.retries
+        );
+    }
     if let Some(st) = &scheduler {
         println!(
             "scheduler: {} ({} GPU claims, {} CPU steals, realized GPU share {:.1}%, \

@@ -13,6 +13,7 @@
 //! paper's runs solve.
 
 pub mod chunk_prep_bench;
+pub mod estimate_bench;
 pub mod experiments;
 pub mod planner_bench;
 pub mod table;

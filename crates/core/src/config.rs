@@ -1,6 +1,7 @@
 //! Configuration of the out-of-core and hybrid executors.
 
 use crate::recovery::RecoveryPolicy;
+use accum::estimate::{EstimateConfig, EstimatorKind};
 use gpu_sim::{CostModel, DeviceProps, FaultPlan};
 use sparse::partition::ColPartitioner;
 
@@ -69,6 +70,16 @@ pub struct OocConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Bounds on the recovery actions taken under a fault plan.
     pub recovery: RecoveryPolicy,
+    /// Output-size estimator driving planning and speculative
+    /// execution. Non-exact kinds (the default) let async runs plan
+    /// panels and allocate chunk buffers from a sampled nnz(C) model
+    /// instead of the exact symbolic pass; an under-predicted chunk
+    /// surfaces as a recoverable `EstimateOverflow` and is grown,
+    /// re-split, or demoted, so C stays bit-identical to the exact
+    /// path. `EstimatorKind::Exact` restores the full symbolic
+    /// pre-pass everywhere. Sync, hybrid, multi-GPU, and spill runs
+    /// always use the exact path regardless of this setting.
+    pub estimator: EstimateConfig,
 }
 
 impl OocConfig {
@@ -92,6 +103,7 @@ impl OocConfig {
             prepare_parallelism: None,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            estimator: EstimateConfig::default(),
         }
     }
 
@@ -131,6 +143,32 @@ impl OocConfig {
         self
     }
 
+    /// Replaces the whole estimator configuration.
+    pub fn estimator(mut self, cfg: EstimateConfig) -> Self {
+        self.estimator = cfg;
+        self
+    }
+
+    /// Selects the estimator kind, keeping the other estimator knobs.
+    pub fn estimator_kind(mut self, kind: EstimatorKind) -> Self {
+        self.estimator.kind = kind;
+        self
+    }
+
+    /// Sets the estimator's row sampling rate.
+    pub fn sample_rate(mut self, rate: f64) -> Self {
+        self.estimator.sample_rate = rate;
+        self
+    }
+
+    /// Sets the multiplicative safety margin on estimated buffer
+    /// sizes. Values below 1 deliberately under-allocate — useful for
+    /// exercising overflow recovery.
+    pub fn headroom(mut self, headroom: f64) -> Self {
+        self.estimator.headroom = headroom;
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> crate::Result<()> {
         if !(0.0..=1.0).contains(&self.split_fraction) {
@@ -155,6 +193,20 @@ impl OocConfig {
             return Err(crate::OocError::Config(
                 "prepare_parallelism must be positive".into(),
             ));
+        }
+        if !(self.estimator.sample_rate > 0.0 && self.estimator.sample_rate <= 1.0) {
+            return Err(crate::OocError::Config(format!(
+                "estimator sample rate {} outside (0, 1]",
+                self.estimator.sample_rate
+            )));
+        }
+        // Headroom below 1 is allowed here (it forces overflow
+        // recovery, which tests rely on); the CLI is stricter.
+        if !(self.estimator.headroom.is_finite() && self.estimator.headroom > 0.0) {
+            return Err(crate::OocError::Config(format!(
+                "estimator headroom {} must be finite and positive",
+                self.estimator.headroom
+            )));
         }
         if let Some(p) = &self.fault_plan {
             let rates = [
@@ -291,6 +343,8 @@ mod tests {
         assert_eq!(c.mode, ExecMode::Async);
         assert!(c.reorder_chunks);
         assert!((c.split_fraction - 0.33).abs() < 1e-12);
+        assert_eq!(c.estimator.kind, EstimatorKind::RowSample);
+        assert!(c.estimator.headroom >= 1.0);
         let h = HybridConfig::paper_default();
         h.validate().unwrap();
         assert!((h.gpu_ratio - 0.65).abs() < 1e-12);
@@ -308,6 +362,17 @@ mod tests {
         assert!(c.validate().is_err());
         let c = OocConfig::paper_default().prepare_parallelism(0);
         assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().sample_rate(0.0);
+        assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().sample_rate(1.5);
+        assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().headroom(0.0);
+        assert!(c.validate().is_err());
+        let c = OocConfig::paper_default().headroom(f64::INFINITY);
+        assert!(c.validate().is_err());
+        // Sub-1 headroom is legal at the library level: it forces the
+        // overflow-recovery path.
+        assert!(OocConfig::paper_default().headroom(0.5).validate().is_ok());
         assert!(OocConfig::paper_default()
             .prepare_parallelism(1)
             .validate()

@@ -3,11 +3,12 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{ExecMode, OocConfig};
-use crate::metrics::{ChunkMetrics, DemotionCause, Metrics};
+use crate::metrics::{ChunkMetrics, DemotionCause, EstimatorStats, Metrics};
 use crate::pipeline::{simulate_pipeline_recovering, ChunkAttempt, ChunkFailure};
 use crate::plan::{split_range_by_flops, PanelPlan, Planner};
 use crate::recovery::RecoveryReport;
 use crate::Result;
+use accum::estimate::{EstModel, EstimatorKind};
 use gpu_sim::{GpuSim, SimTime, Timeline};
 use gpu_spgemm::{phases, ChunkJob, PreparedChunk};
 use rayon::prelude::*;
@@ -31,6 +32,12 @@ pub struct PreparedGrid {
     /// Global per-row flop prefix sums from the planner, retained for
     /// recovery re-splitting.
     pub row_flops_prefix: Vec<u64>,
+    /// The calibrated estimator model when the grid was planned from
+    /// nnz(C) estimates instead of the exact symbolic pass; `None` for
+    /// exact plans. A `Some` here means every prepared chunk carries a
+    /// speculative descriptor and the executor runs the speculative
+    /// schedule.
+    pub est_model: Option<EstModel>,
 }
 
 impl PreparedGrid {
@@ -50,23 +57,62 @@ impl PreparedGrid {
     }
 }
 
+type PlannedGrid = (
+    PanelPlan,
+    ChunkGrid,
+    Vec<ColPanel>,
+    Vec<u64>,
+    Option<EstModel>,
+);
+
 /// The planning prologue shared by the parallel and serial grid
 /// preparation: validate, plan panels, partition B, and size the grid.
-fn plan_grid(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    config: &OocConfig,
-) -> Result<(PanelPlan, ChunkGrid, Vec<ColPanel>, Vec<u64>)> {
+///
+/// With a non-exact estimator and async mode, the panel plan is sized
+/// from the sampled nnz(C) model ([`Planner::estimated`]) — the exact
+/// symbolic planning pass is skipped entirely and the returned model
+/// drives speculative execution. Sync mode always plans exactly: its
+/// schedule has no overlap to win back, so speculation would only risk
+/// overflows.
+fn plan_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<PlannedGrid> {
     config.validate()?;
-    let planner = Planner::new(a, b)?;
+    let speculative =
+        config.mode == ExecMode::Async && config.estimator.kind != EstimatorKind::Exact;
+    let planner = if speculative {
+        Planner::estimated(a, b, &config.estimator)?
+    } else {
+        Planner::new(a, b)?
+    };
     let plan = match config.panels {
         Some((r, c)) => planner.fixed(r, c)?,
         None => planner.auto(config.device.device_memory_bytes)?,
     };
     let row_flops_prefix = planner.row_flops_prefix().to_vec();
+    let est_model = planner.est_model().copied();
     let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
     let grid = ChunkGrid::compute(a, &plan, &col_panels);
-    Ok((plan, grid, col_panels, row_flops_prefix))
+    Ok((plan, grid, col_panels, row_flops_prefix, est_model))
+}
+
+/// Attaches the speculative descriptor to every chunk of a grid that
+/// was planned from estimates. One shared post-pass for both
+/// preparation engines, so the parallel and serial grids stay
+/// field-identical (the `prepare_equivalence` suite covers `spec`
+/// too). The chunks' exact results are untouched — speculation only
+/// changes how the simulation sizes and schedules them.
+fn attach_speculation_all(
+    a: &CsrMatrix,
+    plan: &PanelPlan,
+    col_panels: &[ColPanel],
+    prepared: &mut [PreparedChunk],
+    model: &EstModel,
+) {
+    let k_c = plan.col_panels();
+    for (idx, chunk) in prepared.iter_mut().enumerate() {
+        let range = &plan.row_ranges[idx / k_c];
+        let a_panel = CsrView::rows(a, range.start, range.end);
+        phases::attach_speculation(chunk, &a_panel, &col_panels[idx % k_c].matrix, model);
+    }
 }
 
 /// Plans, partitions and prepares every chunk of `C = a · b`.
@@ -85,7 +131,7 @@ fn plan_grid(
 /// materialize concurrently (wave by wave), bounding peak host memory
 /// on huge grids.
 pub fn prepare_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<PreparedGrid> {
-    let (plan, grid, col_panels, row_flops_prefix) = plan_grid(a, b, config)?;
+    let (plan, grid, col_panels, row_flops_prefix, est_model) = plan_grid(a, b, config)?;
     let k_c = plan.col_panels();
     let n = plan.num_chunks();
     let pool = accum::ScratchPool::new();
@@ -122,16 +168,20 @@ pub fn prepare_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<
             });
         start = end;
     }
-    let prepared = slots
+    let mut prepared: Vec<PreparedChunk> = slots
         .into_iter()
         .map(|s| s.expect("every chunk prepared"))
         .collect();
+    if let Some(model) = &est_model {
+        attach_speculation_all(a, &plan, &col_panels, &mut prepared, model);
+    }
     Ok(PreparedGrid {
         plan,
         grid,
         prepared,
         col_panels,
         row_flops_prefix,
+        est_model,
     })
 }
 
@@ -143,7 +193,7 @@ pub fn prepare_grid_serial(
     b: &CsrMatrix,
     config: &OocConfig,
 ) -> Result<PreparedGrid> {
-    let (plan, grid, col_panels, row_flops_prefix) = plan_grid(a, b, config)?;
+    let (plan, grid, col_panels, row_flops_prefix, est_model) = plan_grid(a, b, config)?;
     let k_c = plan.col_panels();
     let mut prepared = Vec::with_capacity(plan.num_chunks());
     for (r, range) in plan.row_ranges.iter().enumerate() {
@@ -156,12 +206,16 @@ pub fn prepare_grid_serial(
             }));
         }
     }
+    if let Some(model) = &est_model {
+        attach_speculation_all(a, &plan, &col_panels, &mut prepared, model);
+    }
     Ok(PreparedGrid {
         plan,
         grid,
         prepared,
         col_panels,
         row_flops_prefix,
+        est_model,
     })
 }
 
@@ -330,6 +384,29 @@ pub(crate) fn simulate_order_recovering(
                         });
                     }
                 }
+                Some(ChunkFailure::EstimateOverflow { needed }) => {
+                    // Grow-and-retry: re-run the same rows with the
+                    // speculative allocation grown to the actual output
+                    // size. The grown chunk's estimate equals its real
+                    // output, so it cannot overflow again; if it no
+                    // longer fits the epoch it fails as OOM and takes
+                    // the ordinary re-split/demote ladder.
+                    sim.note_recovery(format!(
+                        "grow chunk ({},{}) rows {}..{} to {} output bytes and retry",
+                        w.parent.row, w.parent.col, w.rows.start, w.rows.end, needed
+                    ));
+                    let grown = match w.source {
+                        WorkSource::Orig(id) => pg.chunk(id).grown(),
+                        WorkSource::Sub(si) => sub_store[si].grown(),
+                    };
+                    sub_store.push(grown);
+                    next.push(WorkItem {
+                        parent: w.parent,
+                        rows: w.rows.clone(),
+                        depth: w.depth,
+                        source: WorkSource::Sub(sub_store.len() - 1),
+                    });
+                }
                 Some(f) => {
                     if !policy.demote_to_cpu {
                         return Err(match f {
@@ -341,6 +418,9 @@ pub(crate) fn simulate_order_recovering(
                                     w.parent.row, w.parent.col
                                 ),
                             },
+                            ChunkFailure::EstimateOverflow { .. } => {
+                                unreachable!("estimate overflows are always grown and retried")
+                            }
                         });
                     }
                     report.demotions += 1;
@@ -349,6 +429,9 @@ pub(crate) fn simulate_order_recovering(
                         s.demotion_cause.get_or_insert(match f {
                             ChunkFailure::Oom(_) => DemotionCause::DeviceMemory,
                             ChunkFailure::Faults => DemotionCause::Faults,
+                            ChunkFailure::EstimateOverflow { .. } => {
+                                unreachable!("estimate overflows are always grown and retried")
+                            }
                         });
                     }
                     let p = match w.source {
@@ -395,6 +478,43 @@ pub(crate) fn simulate_order_recovering(
         overrides,
         chunk_stats,
     })
+}
+
+/// Estimator accuracy accounting for a speculative run: per-chunk
+/// hit/miss against the estimated allocations, summed estimated vs
+/// actual output nonzeros, and the grow-and-retry count from the
+/// recovery report.
+fn estimator_stats(
+    config: &OocConfig,
+    pg: &PreparedGrid,
+    model: &EstModel,
+    recovery: &RecoveryReport,
+) -> EstimatorStats {
+    let mut est_nnz = 0u64;
+    let mut chunk_hits = 0u64;
+    let mut chunk_misses = 0u64;
+    let mut overflow_rows = 0u64;
+    for p in &pg.prepared {
+        if let Some(spec) = &p.spec {
+            est_nnz += spec.est_nnz;
+            overflow_rows += spec.row_overflows;
+            if spec.overflowed(p.out_bytes) {
+                chunk_misses += 1;
+            } else {
+                chunk_hits += 1;
+            }
+        }
+    }
+    EstimatorStats {
+        kind: config.estimator.kind.name().to_string(),
+        sampled_rows: model.sampled_rows as u64,
+        est_nnz,
+        actual_nnz: pg.total_nnz(),
+        chunk_hits,
+        chunk_misses,
+        overflow_rows,
+        retries: recovery.estimate_overflows,
+    }
 }
 
 /// The out-of-core GPU SpGEMM executor.
@@ -468,35 +588,45 @@ impl OutOfCoreGpu {
             (ExecMode::Async, true) => ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
             _ => pg.grid.natural_order(),
         };
-        let (sim_ns, timeline, overrides, recovery, metrics) = match &self.config.fault_plan {
-            Some(plan) => {
-                let mut sim = GpuSim::with_faults(
+        // Speculative grids route through the recovering orchestration
+        // even without a fault plan: estimate overflows surface as
+        // recoverable chunk failures there.
+        let recovering = self.config.fault_plan.is_some() || pg.est_model.is_some();
+        let (sim_ns, timeline, overrides, recovery, metrics) = if recovering {
+            let mut sim = match &self.config.fault_plan {
+                Some(plan) => GpuSim::with_faults(
                     self.config.device.clone(),
                     self.config.cost.clone(),
                     plan.clone(),
-                );
-                let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
-                let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
-                (
-                    rec.sim_ns,
-                    sim.into_timeline(),
-                    rec.overrides,
-                    rec.report,
-                    metrics,
-                )
+                ),
+                None => GpuSim::new(self.config.device.clone(), self.config.cost.clone()),
+            };
+            let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
+            let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
+            (
+                rec.sim_ns,
+                sim.into_timeline(),
+                rec.overrides,
+                rec.report,
+                metrics,
+            )
+        } else {
+            let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
+            let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
+            let metrics = Metrics::collect(&sim, sim_ns);
+            (
+                sim_ns,
+                sim.into_timeline(),
+                HashMap::new(),
+                RecoveryReport::default(),
+                metrics,
+            )
+        };
+        let metrics = match &pg.est_model {
+            Some(model) => {
+                metrics.with_estimator(estimator_stats(&self.config, &pg, model, &recovery))
             }
-            None => {
-                let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
-                let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
-                let metrics = Metrics::collect(&sim, sim_ns);
-                (
-                    sim_ns,
-                    sim.into_timeline(),
-                    HashMap::new(),
-                    RecoveryReport::default(),
-                    metrics,
-                )
-            }
+            None => metrics,
         };
         debug_assert!(timeline.validate().is_ok(), "timeline invariants violated");
 

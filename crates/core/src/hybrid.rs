@@ -295,8 +295,19 @@ impl Hybrid {
     /// Computes `C = a · b` on both devices.
     pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
         self.config.validate()?;
-        let pg = prepare_grid(a, b, &self.config.gpu)?;
+        let pg = prepare_grid(a, b, &self.exact_gpu_config())?;
         self.run_prepared(a, pg, false, RecoveryReport::default())
+    }
+
+    /// The GPU configuration with the estimator forced exact: the
+    /// hybrid split reasons about exact per-chunk flops and sizes, so
+    /// speculative planning stays confined to the standalone GPU
+    /// executor.
+    fn exact_gpu_config(&self) -> crate::OocConfig {
+        self.config
+            .gpu
+            .clone()
+            .estimator(accum::estimate::EstimateConfig::exact())
     }
 
     /// [`Hybrid::multiply`] forced through the paper's one-shot static
@@ -444,6 +455,7 @@ impl Hybrid {
             prepared,
             col_panels,
             row_flops_prefix,
+            est_model: None,
         };
         self.run_prepared(a, pg, gpu_dead, recovery)
     }
@@ -454,7 +466,7 @@ impl Hybrid {
     /// prefix splits — the same family both schedulers draw from.
     pub fn ratio_search(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<RatioSearch> {
         self.config.validate()?;
-        let pg = prepare_grid(a, b, &self.config.gpu)?;
+        let pg = prepare_grid(a, b, &self.exact_gpu_config())?;
         let order = self.ordered_chunks(&pg);
         let (ratio_gpu, _) = ChunkGrid::split_by_ratio(&order, self.config.gpu_ratio);
         let ratio_g = ratio_gpu.len();

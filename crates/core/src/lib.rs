@@ -59,6 +59,7 @@ pub mod spill;
 pub mod unified;
 pub mod verify;
 
+pub use accum::estimate::{EstModel, EstimateConfig, EstimatorKind};
 pub use chunks::{ChunkGrid, ChunkId, ChunkInfo};
 pub use config::{ExecMode, HybridConfig, OocConfig, SchedulerKind, DEFAULT_GPU_RATIO};
 pub use error::OocError;
@@ -67,7 +68,7 @@ pub use executor::{
 };
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
-pub use metrics::{ChunkMetrics, DemotionCause, Metrics, SchedulerStats};
+pub use metrics::{ChunkMetrics, DemotionCause, EstimatorStats, Metrics, SchedulerStats};
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
 pub use recovery::{RecoveryPolicy, RecoveryReport};

@@ -87,6 +87,32 @@ impl ChunkMetrics {
     }
 }
 
+/// Accuracy and recovery accounting of the nnz(C) estimator behind a
+/// speculative run: how close the estimate landed, how many chunks
+/// fit their estimated allocation on the first try, and how many had
+/// to be grown and retried.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimatorStats {
+    /// Estimator kind name (`row-sample`, `hash-sketch`, `upper-bound`).
+    pub kind: String,
+    /// Rows the model sampled while calibrating.
+    pub sampled_rows: u64,
+    /// Estimated total output nonzeros, summed over chunk estimates.
+    pub est_nnz: u64,
+    /// Actual total output nonzeros.
+    pub actual_nnz: u64,
+    /// Chunks whose actual output fit the estimated allocation.
+    pub chunk_hits: u64,
+    /// Chunks whose actual output outgrew the estimated allocation.
+    pub chunk_misses: u64,
+    /// Rows whose individual estimate undershot their actual nnz (the
+    /// per-row view of estimator error; a chunk absorbs row misses as
+    /// long as its total estimate holds).
+    pub overflow_rows: u64,
+    /// Grow-and-retry passes the executor ran to recover overflows.
+    pub retries: u64,
+}
+
 /// Structured metrics for one executor run.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -100,13 +126,16 @@ pub struct Metrics {
     /// Bump-pool usage high-water mark, bytes (0 when the executor
     /// never carved a pool, e.g. pure-CPU demotion runs).
     pub pool_high_water_bytes: u64,
-    /// Per-chunk recovery counters; empty for fault-free runs (the
-    /// recovering pass is the only path that attempts chunks more than
-    /// once).
+    /// Per-chunk recovery counters; empty for exact fault-free runs.
+    /// Speculative runs always route through the recovering pass and
+    /// report at least one attempt per chunk.
     pub chunks: Vec<ChunkMetrics>,
     /// Scheduler accounting; `None` for single-device runs that have
     /// no CPU/GPU work distribution to report.
     pub scheduler: Option<SchedulerStats>,
+    /// Estimator accuracy accounting; `None` for exact (non-speculative)
+    /// runs.
+    pub estimator: Option<EstimatorStats>,
 }
 
 impl Metrics {
@@ -120,6 +149,7 @@ impl Metrics {
             pool_high_water_bytes: sim.pool_high_water(),
             chunks: Vec::new(),
             scheduler: None,
+            estimator: None,
         }
     }
 
@@ -132,6 +162,12 @@ impl Metrics {
     /// Attaches scheduler work-distribution accounting.
     pub fn with_scheduler(mut self, stats: SchedulerStats) -> Self {
         self.scheduler = Some(stats);
+        self
+    }
+
+    /// Attaches estimator accuracy accounting.
+    pub fn with_estimator(mut self, stats: EstimatorStats) -> Self {
+        self.estimator = Some(stats);
         self
     }
 
@@ -230,6 +266,22 @@ impl Metrics {
             }
             None => s.push_str("  \"scheduler\": null,\n"),
         }
+        match &self.estimator {
+            Some(e) => s.push_str(&format!(
+                "  \"estimator\": {{ \"kind\": \"{}\", \"sampled_rows\": {}, \
+                 \"est_nnz\": {}, \"actual_nnz\": {}, \"chunk_hits\": {}, \
+                 \"chunk_misses\": {}, \"overflow_rows\": {}, \"retries\": {} }},\n",
+                e.kind,
+                e.sampled_rows,
+                e.est_nnz,
+                e.actual_nnz,
+                e.chunk_hits,
+                e.chunk_misses,
+                e.overflow_rows,
+                e.retries,
+            )),
+            None => s.push_str("  \"estimator\": null,\n"),
+        }
         s.push_str("  \"chunks\": [");
         for (i, c) in self.chunks.iter().enumerate() {
             if i > 0 {
@@ -310,6 +362,30 @@ mod tests {
         let mut m = Metrics::default();
         m.timeline.overlap_efficiency = f64::NAN;
         assert!(m.to_json().contains("\"overlap_efficiency\": null"));
+    }
+
+    #[test]
+    fn estimator_stats_serialize_and_default_to_null() {
+        let json = Metrics::default().to_json();
+        assert!(json.contains("\"estimator\": null"), "{json}");
+        let m = Metrics::default().with_estimator(EstimatorStats {
+            kind: "row-sample".into(),
+            sampled_rows: 30,
+            est_nnz: 900,
+            actual_nnz: 1000,
+            chunk_hits: 5,
+            chunk_misses: 1,
+            overflow_rows: 12,
+            retries: 1,
+        });
+        let json = m.to_json();
+        assert!(json.contains("\"kind\": \"row-sample\""), "{json}");
+        assert!(json.contains("\"est_nnz\": 900"));
+        assert!(json.contains("\"actual_nnz\": 1000"));
+        assert!(json.contains("\"chunk_misses\": 1"));
+        assert!(json.contains("\"overflow_rows\": 12"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -216,7 +216,14 @@ pub fn multiply_multi_gpu(
     config: &MultiGpuConfig,
 ) -> Result<MultiGpuRun> {
     config.validate()?;
-    let pg = prepare_grid(a, b, &config.gpu)?;
+    // Force the exact planner: the multi-GPU distribution reasons
+    // about exact per-chunk sizes, so speculation stays confined to
+    // the standalone GPU executor.
+    let gpu_cfg = config
+        .gpu
+        .clone()
+        .estimator(accum::estimate::EstimateConfig::exact());
+    let pg = prepare_grid(a, b, &gpu_cfg)?;
     let order = pg.grid.sorted_desc();
     let cost = &config.gpu.cost;
     let (assignment, gpu_claims, cpu_steals) = distribute(config, &pg, &order);

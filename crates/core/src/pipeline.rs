@@ -422,6 +422,13 @@ pub(crate) enum ChunkFailure {
     Oom(OutOfDeviceMemory),
     /// Transient faults exhausted the retry budget (demotable).
     Faults,
+    /// A speculative chunk's actual output outgrew its estimated
+    /// allocation (recoverable: grow the buffer to `needed` and
+    /// retry).
+    EstimateOverflow {
+        /// Exact output bytes the retry must allocate.
+        needed: u64,
+    },
 }
 
 /// Result of one recovering pipeline pass. Pass completion time is the
@@ -604,6 +611,13 @@ fn flush_prev_rest(
 ///   re-split it, instead of aborting the run;
 /// * a chunk whose retry budget is exhausted is reported as
 ///   [`ChunkFailure::Faults`] so the caller can demote it to the CPU;
+/// * speculative chunks (`chunk.spec.is_some()`) follow the estimated
+///   schedule: they reserve the model-sized output and no row-nnz
+///   array, skip the symbolic kernels / row-nnz D2H / host prefix sum,
+///   and launch numeric kernels straight after grouping. A chunk whose
+///   real output outgrew the estimate is reported as
+///   [`ChunkFailure::EstimateOverflow`] so the caller can grow the
+///   allocation and retry;
 /// * A-panel residency is tracked dynamically (a skipped chunk must
 ///   not leave a stale "A is resident" assumption behind).
 ///
@@ -680,11 +694,18 @@ pub(crate) fn simulate_pipeline_recovering(
         let id = chunk.chunk_id;
 
         // Hard capacity check against the current pool geometry.
+        // Speculative chunks reserve their *estimated* output and no
+        // symbolic row-nnz array (that phase is skipped entirely).
         let a_need = align256(chunk.a_bytes);
+        let row_nnz_need = if chunk.spec.is_some() {
+            0
+        } else {
+            align256(chunk.row_nnz_bytes)
+        };
         let chunk_need = align256(chunk.b_bytes)
             + align256(chunk.row_info_bytes)
-            + align256(chunk.row_nnz_bytes)
-            + align256(chunk.out_bytes);
+            + row_nnz_need
+            + align256(chunk.planned_out_bytes());
         if a_need > a_slot_bytes || chunk_need > epoch_bytes {
             sim.note_recovery(format!(
                 "skip chunk {id}: needs {} + {a_need} A bytes, epoch holds {epoch_bytes}",
@@ -730,7 +751,7 @@ pub(crate) fn simulate_pipeline_recovering(
         pool_high_water = pool_high_water.max(a_slot_bytes + chunk_need);
 
         let xfer_a = a_resident != Some(att.row);
-        let completed = 'chunk: {
+        let failure: Option<ChunkFailure> = 'chunk: {
             if xfer_a {
                 let label = format!("H2D A (chunk {id})");
                 if retry_copy(
@@ -748,7 +769,7 @@ pub(crate) fn simulate_pipeline_recovering(
                 .is_err()
                 {
                     a_resident = None;
-                    break 'chunk false;
+                    break 'chunk Some(ChunkFailure::Faults);
                 }
                 a_resident = Some(att.row);
             }
@@ -767,7 +788,7 @@ pub(crate) fn simulate_pipeline_recovering(
             )
             .is_err()
             {
-                break 'chunk false;
+                break 'chunk Some(ChunkFailure::Faults);
             }
 
             let label = format!("row analysis (chunk {id})");
@@ -781,7 +802,7 @@ pub(crate) fn simulate_pipeline_recovering(
             )
             .is_err()
             {
-                break 'chunk false;
+                break 'chunk Some(ChunkFailure::Faults);
             }
             let label = format!("D2H row info (chunk {id})");
             if retry_copy(
@@ -798,7 +819,7 @@ pub(crate) fn simulate_pipeline_recovering(
             )
             .is_err()
             {
-                break 'chunk false;
+                break 'chunk Some(ChunkFailure::Faults);
             }
             let row_info_done = sim.record_event(s);
 
@@ -810,14 +831,73 @@ pub(crate) fn simulate_pipeline_recovering(
                 format!("host grouping (chunk {id})"),
             );
 
-            for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
-                let label = format!("symbolic g{g} (chunk {id})");
-                if retry_kernel(
+            if let Some(spec) = &chunk.spec {
+                // Speculative schedule: the output buffer was sized
+                // from the estimation model at planning time, so the
+                // symbolic kernels, the row-nnz D2H, and the host
+                // prefix sum all disappear — numeric kernels launch
+                // straight after grouping, into the estimated
+                // allocation.
+                flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
+
+                for (g, &flops) in spec.est_group_flops.iter().enumerate() {
+                    let label = format!("numeric g{g} (chunk {id}, speculative)");
+                    if retry_kernel(
+                        sim,
+                        s,
+                        KernelKind::Numeric {
+                            flops,
+                            compression_ratio: chunk.compression_ratio,
+                        },
+                        &label,
+                        policy,
+                        report,
+                    )
+                    .is_err()
+                    {
+                        break 'chunk Some(ChunkFailure::Faults);
+                    }
+                }
+                // The kernels' bounds check fires only now — the work
+                // above is charged (and lost) exactly as on real
+                // hardware, where overflow is detected in flight.
+                if spec.overflowed(chunk.out_bytes) {
+                    report.estimate_overflows += 1;
+                    sim.note_recovery(format!(
+                        "estimate overflow chunk {id}: allocated {} bytes, needs {}",
+                        spec.est_out_bytes, chunk.out_bytes
+                    ));
+                    break 'chunk Some(ChunkFailure::EstimateOverflow {
+                        needed: chunk.out_bytes,
+                    });
+                }
+            } else {
+                for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
+                    let label = format!("symbolic g{g} (chunk {id})");
+                    if retry_kernel(
+                        sim,
+                        s,
+                        KernelKind::Symbolic {
+                            flops,
+                            compression_ratio: chunk.compression_ratio,
+                        },
+                        &label,
+                        policy,
+                        report,
+                    )
+                    .is_err()
+                    {
+                        break 'chunk Some(ChunkFailure::Faults);
+                    }
+                }
+                let label = format!("D2H row nnz (chunk {id})");
+                if retry_copy(
                     sim,
                     s,
-                    KernelKind::Symbolic {
-                        flops,
-                        compression_ratio: chunk.compression_ratio,
+                    CopyOp {
+                        dir: CopyDir::D2H,
+                        bytes: chunk.row_nnz_bytes,
+                        mem,
                     },
                     &label,
                     policy,
@@ -825,69 +905,53 @@ pub(crate) fn simulate_pipeline_recovering(
                 )
                 .is_err()
                 {
-                    break 'chunk false;
+                    break 'chunk Some(ChunkFailure::Faults);
+                }
+                let row_nnz_done = sim.record_event(s);
+
+                flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
+
+                sim.event_synchronize(row_nnz_done);
+                sim.host_compute(
+                    chunk.rows as u64 * PREFIX_NS_PER_ROW,
+                    format!("host prefix sum (chunk {id})"),
+                );
+
+                for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
+                    let label = format!("numeric g{g} (chunk {id})");
+                    if retry_kernel(
+                        sim,
+                        s,
+                        KernelKind::Numeric {
+                            flops,
+                            compression_ratio: chunk.compression_ratio,
+                        },
+                        &label,
+                        policy,
+                        report,
+                    )
+                    .is_err()
+                    {
+                        break 'chunk Some(ChunkFailure::Faults);
+                    }
                 }
             }
-            let label = format!("D2H row nnz (chunk {id})");
-            if retry_copy(
-                sim,
-                s,
-                CopyOp {
-                    dir: CopyDir::D2H,
-                    bytes: chunk.row_nnz_bytes,
-                    mem,
-                },
-                &label,
-                policy,
-                report,
-            )
-            .is_err()
-            {
-                break 'chunk false;
-            }
-            let row_nnz_done = sim.record_event(s);
-
-            flush_prev_rest(sim, &mut prev, mem, policy, report, &mut failed);
-
-            sim.event_synchronize(row_nnz_done);
-            sim.host_compute(
-                chunk.rows as u64 * PREFIX_NS_PER_ROW,
-                format!("host prefix sum (chunk {id})"),
-            );
-
-            for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
-                let label = format!("numeric g{g} (chunk {id})");
-                if retry_kernel(
-                    sim,
-                    s,
-                    KernelKind::Numeric {
-                        flops,
-                        compression_ratio: chunk.compression_ratio,
-                    },
-                    &label,
-                    policy,
-                    report,
-                )
-                .is_err()
-                {
-                    break 'chunk false;
-                }
-            }
-            true
+            None
         };
 
-        if completed {
-            let (first_bytes, second_bytes) = chunk.split_output_bytes(split_fraction);
-            prev = Some(RecoveringPending {
-                stream: s,
-                chunk_id: id,
-                index: i,
-                first_bytes,
-                second_bytes,
-                first_issued: false,
-            });
-        } else {
-            failed.push((i, ChunkFailure::Faults));
+        match failure {
+            None => {
+                let (first_bytes, second_bytes) = chunk.split_output_bytes(split_fraction);
+                prev = Some(RecoveringPending {
+                    stream: s,
+                    chunk_id: id,
+                    index: i,
+                    first_bytes,
+                    second_bytes,
+                    first_issued: false,
+                });
+            }
+            Some(f) => failed.push((i, f)),
         }
     }
 

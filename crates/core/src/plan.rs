@@ -3,15 +3,22 @@
 //! device memory.
 //!
 //! The paper selects chunk sizes empirically per matrix; this planner
-//! automates the choice. It runs one global symbolic pass over
+//! automates the choice. The exact path ([`Planner::new`] /
+//! [`Planner::plan_exact`]) runs one global symbolic pass over
 //! `C = A·B` (the same analysis the in-core symbolic phase performs,
 //! hoisted to planning time) and grows the panel grid until the
 //! estimated working set of two in-flight chunks fits the budget.
+//! The estimated path ([`Planner::estimated`]) replaces the symbolic
+//! pass with a sampled nnz(C) model from [`accum::estimate`], cutting
+//! planning cost from O(flops) to O(nnz(A) + sampled flops); the
+//! speculative executor recovers at run time if the model
+//! under-provisioned a chunk.
 
 use crate::{OocError, Result};
+use accum::estimate::{EstModel, EstimateConfig, EstimatorKind};
 use sparse::partition::weighted_ranges_from_prefix;
 use sparse::stats;
-use sparse::CsrMatrix;
+use sparse::{CsrMatrix, CsrView};
 use std::ops::Range;
 
 /// Bytes per stored entry in device CSR (u32 col id + f64 value).
@@ -74,6 +81,24 @@ pub fn split_range_by_flops(
         .collect()
 }
 
+/// Where the planner's per-chunk output-nnz numbers come from: the
+/// exact symbolic structure of C, or a sampled estimation model.
+enum NnzSource {
+    /// Symbolic structure of C: row offsets and sorted column ids.
+    Exact {
+        c_offsets: Vec<usize>,
+        c_cols: Vec<sparse::ColId>,
+    },
+    /// Sampled estimation model plus the exclusive prefix sum of the
+    /// model's per-row nnz estimates (`n_rows + 1` entries). Chunk
+    /// nnz follows by scaling a row-prefix difference with the column
+    /// panel's share of `B`'s nonzeros.
+    Estimated {
+        model: EstModel,
+        row_est_prefix: Vec<u64>,
+    },
+}
+
 /// Plans panel grids.
 pub struct Planner<'a> {
     a: &'a CsrMatrix,
@@ -81,9 +106,8 @@ pub struct Planner<'a> {
     /// Exclusive prefix sum of per-row flops (`n_rows + 1` entries):
     /// the row-partitioning weights, queryable per panel in O(1).
     row_flops_prefix: Vec<u64>,
-    /// Symbolic structure of C: row offsets and sorted column ids.
-    c_offsets: Vec<usize>,
-    c_cols: Vec<sparse::ColId>,
+    /// Exact symbolic structure or the estimation model.
+    nnz: NnzSource,
     /// Exclusive prefix sum of per-column nnz of `B` (`n_cols + 1`
     /// entries): the column-partitioning weights.
     col_nnz_prefix: Vec<u64>,
@@ -92,9 +116,7 @@ pub struct Planner<'a> {
 }
 
 impl<'a> Planner<'a> {
-    /// Creates a planner for `C = a · b`, running the global row
-    /// analysis and symbolic pass.
-    pub fn new(a: &'a CsrMatrix, b: &'a CsrMatrix) -> Result<Self> {
+    fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<()> {
         if a.n_cols() != b.n_rows() {
             return Err(OocError::Sparse(sparse::SparseError::DimensionMismatch {
                 op: "out-of-core spgemm",
@@ -102,15 +124,17 @@ impl<'a> Planner<'a> {
                 rhs: (b.n_rows(), b.n_cols()),
             }));
         }
-        let row_flops = stats::row_flops(a, b);
-        let (c_offsets, c_cols) = stats::symbolic_structure(a, b);
+        Ok(())
+    }
+
+    fn prefix_sums(a: &CsrMatrix, b: &CsrMatrix, row_flops: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let mut col_nnz = vec![0u64; b.n_cols()];
         for &c in b.col_ids() {
             col_nnz[c as usize] += 1;
         }
         let mut row_flops_prefix = Vec::with_capacity(a.n_rows() + 1);
         row_flops_prefix.push(0);
-        for &f in &row_flops {
+        for &f in row_flops {
             row_flops_prefix.push(row_flops_prefix.last().unwrap() + f);
         }
         let mut col_nnz_prefix = Vec::with_capacity(b.n_cols() + 1);
@@ -118,18 +142,89 @@ impl<'a> Planner<'a> {
         for &n in &col_nnz {
             col_nnz_prefix.push(col_nnz_prefix.last().unwrap() + n);
         }
+        (row_flops_prefix, col_nnz_prefix)
+    }
+
+    /// Creates a planner for `C = a · b`, running the global row
+    /// analysis and symbolic pass.
+    pub fn new(a: &'a CsrMatrix, b: &'a CsrMatrix) -> Result<Self> {
+        Self::check_dims(a, b)?;
+        let row_flops = stats::row_flops(a, b);
+        let (c_offsets, c_cols) = stats::symbolic_structure(a, b);
+        let (row_flops_prefix, col_nnz_prefix) = Self::prefix_sums(a, b, &row_flops);
         let total_flops = *row_flops_prefix.last().unwrap();
         let total_nnz_c = c_cols.len() as u64;
         Ok(Planner {
             a,
             b,
             row_flops_prefix,
-            c_offsets,
-            c_cols,
+            nnz: NnzSource::Exact { c_offsets, c_cols },
             col_nnz_prefix,
             total_flops,
             total_nnz_c,
         })
+    }
+
+    /// The exact-symbolic oracle. Alias of [`Planner::new`], named for
+    /// contrast with [`Planner::estimated`]: this is the path every
+    /// estimate-driven plan is validated against.
+    pub fn plan_exact(a: &'a CsrMatrix, b: &'a CsrMatrix) -> Result<Self> {
+        Self::new(a, b)
+    }
+
+    /// Creates a planner for `C = a · b` from a sampled estimation
+    /// model, skipping the global symbolic pass entirely.
+    ///
+    /// Only the O(nnz(A)) row analysis runs for real; per-row output
+    /// sizes come from [`accum::estimate::build_model`], which probes
+    /// a `cfg.sample_rate` fraction of the rows. Planning cost drops
+    /// from O(flops) to O(nnz(A) + sampled flops). Plans sized this
+    /// way may under-provision chunks; the speculative executor
+    /// recovers from that at run time (grow-and-retry, re-split,
+    /// demote), so the product stays bit-identical to the
+    /// [`Planner::plan_exact`] path.
+    ///
+    /// `cfg.kind == Exact` is rejected — callers wanting the exact
+    /// path should construct it explicitly.
+    pub fn estimated(a: &'a CsrMatrix, b: &'a CsrMatrix, cfg: &EstimateConfig) -> Result<Self> {
+        if cfg.kind == EstimatorKind::Exact {
+            return Err(OocError::Planning(
+                "Planner::estimated requires a non-exact estimator kind".into(),
+            ));
+        }
+        Self::check_dims(a, b)?;
+        let row_flops = stats::row_flops(a, b);
+        let model = accum::estimate::build_model(&CsrView::of(a), b, cfg);
+        let est_rows = model.estimate_rows(&row_flops, b.n_cols());
+        let mut row_est_prefix = Vec::with_capacity(a.n_rows() + 1);
+        row_est_prefix.push(0u64);
+        for &e in &est_rows {
+            row_est_prefix.push(row_est_prefix.last().unwrap() + e as u64);
+        }
+        let (row_flops_prefix, col_nnz_prefix) = Self::prefix_sums(a, b, &row_flops);
+        let total_flops = *row_flops_prefix.last().unwrap();
+        let total_nnz_c = *row_est_prefix.last().unwrap();
+        Ok(Planner {
+            a,
+            b,
+            row_flops_prefix,
+            nnz: NnzSource::Estimated {
+                model,
+                row_est_prefix,
+            },
+            col_nnz_prefix,
+            total_flops,
+            total_nnz_c,
+        })
+    }
+
+    /// The estimation model backing this planner, when it was built by
+    /// [`Planner::estimated`]; `None` on the exact path.
+    pub fn est_model(&self) -> Option<&EstModel> {
+        match &self.nnz {
+            NnzSource::Estimated { model, .. } => Some(model),
+            NnzSource::Exact { .. } => None,
+        }
     }
 
     /// Total flops of the product (cached at construction).
@@ -137,7 +232,9 @@ impl<'a> Planner<'a> {
         self.total_flops
     }
 
-    /// Total output nonzeros (cached at construction).
+    /// Total output nonzeros (cached at construction). Exact on the
+    /// [`Planner::new`] path; the model's estimate on the
+    /// [`Planner::estimated`] path.
     pub fn total_nnz_c(&self) -> u64 {
         self.total_nnz_c
     }
@@ -149,20 +246,44 @@ impl<'a> Planner<'a> {
         &self.row_flops_prefix
     }
 
-    /// Exact output nonzeros of the chunk `row_range x col_range`,
-    /// from the symbolic structure of C.
+    /// Output nonzeros of the chunk `row_range x col_range`: exact
+    /// (from the symbolic structure of C) on the [`Planner::new`]
+    /// path, model-derived on the [`Planner::estimated`] path.
     pub fn chunk_nnz(&self, row_range: &Range<usize>, col_range: &Range<usize>) -> u64 {
-        let (start, end) = (
-            col_range.start as sparse::ColId,
-            col_range.end as sparse::ColId,
-        );
-        row_range
-            .clone()
-            .map(|r| {
-                let row = &self.c_cols[self.c_offsets[r]..self.c_offsets[r + 1]];
-                (row.partition_point(|&c| c < end) - row.partition_point(|&c| c < start)) as u64
-            })
-            .sum()
+        match &self.nnz {
+            NnzSource::Exact { c_offsets, c_cols } => {
+                let (start, end) = (
+                    col_range.start as sparse::ColId,
+                    col_range.end as sparse::ColId,
+                );
+                row_range
+                    .clone()
+                    .map(|r| {
+                        let row = &c_cols[c_offsets[r]..c_offsets[r + 1]];
+                        (row.partition_point(|&c| c < end) - row.partition_point(|&c| c < start))
+                            as u64
+                    })
+                    .sum()
+            }
+            NnzSource::Estimated { row_est_prefix, .. } => {
+                self.scaled_est(row_est_prefix, row_range.end, col_range)
+                    - self.scaled_est(row_est_prefix, row_range.start, col_range)
+            }
+        }
+    }
+
+    /// Estimated C nonzeros in rows `0..row` falling in `col_range`:
+    /// the row-estimate prefix scaled by the column range's share of
+    /// `B`'s nonzeros. Floored per prefix point so the value telescopes
+    /// — chunk estimates are additive across any row split, which keeps
+    /// `chunk_grid`, `bin_prefix`, and `chunk_nnz` mutually consistent.
+    fn scaled_est(&self, row_est_prefix: &[u64], row: usize, col_range: &Range<usize>) -> u64 {
+        let total_b = *self.col_nnz_prefix.last().unwrap();
+        if total_b == 0 {
+            return 0;
+        }
+        let share = self.col_nnz_prefix[col_range.end] - self.col_nnz_prefix[col_range.start];
+        (row_est_prefix[row] as u128 * share as u128 / total_b as u128) as u64
     }
 
     /// Row ranges for `k_r` panels, balanced by flops.
@@ -234,11 +355,20 @@ impl<'a> Planner<'a> {
         ((max_a + 2 * max_rest) as f64 * OUT_SLACK) as u64
     }
 
-    /// Chunk-nnz grid for a panel layout, binning the symbolic columns
-    /// of C once (`O(nnz(C) + chunks)`).
+    /// Chunk-nnz grid for a panel layout. Exact path: bins the
+    /// symbolic columns of C once (`O(nnz(C) + chunks)`). Estimated
+    /// path: O(1) per chunk from the scaled row-estimate prefix.
     fn chunk_grid(&self, row_ranges: &[Range<usize>], col_ranges: &[Range<usize>]) -> Vec<u64> {
-        let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
-        stats::chunk_nnz_grid(&self.c_offsets, &self.c_cols, row_ranges, &col_bounds)
+        match &self.nnz {
+            NnzSource::Exact { c_offsets, c_cols } => {
+                let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
+                stats::chunk_nnz_grid(c_offsets, c_cols, row_ranges, &col_bounds)
+            }
+            NnzSource::Estimated { .. } => row_ranges
+                .iter()
+                .flat_map(|r| col_ranges.iter().map(|c| self.chunk_nnz(r, c)))
+                .collect(),
+        }
     }
 
     /// Estimated device bytes of the pipeline working set for a plan:
@@ -289,17 +419,31 @@ impl<'a> Planner<'a> {
         if (n_rows + 1).checked_mul(k_c)? > BIN_PREFIX_LIMIT {
             return None;
         }
-        let unit_rows: Vec<Range<usize>> = (0..n_rows).map(|r| r..r + 1).collect();
-        let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
-        let mut table =
-            stats::chunk_nnz_grid(&self.c_offsets, &self.c_cols, &unit_rows, &col_bounds);
-        // In-place inclusive prefix over rows, shifted one row down so
-        // row 0 of the table is all zeros.
-        table.splice(0..0, std::iter::repeat_n(0, k_c));
-        for i in k_c..table.len() {
-            table[i] += table[i - k_c];
+        match &self.nnz {
+            NnzSource::Exact { c_offsets, c_cols } => {
+                let unit_rows: Vec<Range<usize>> = (0..n_rows).map(|r| r..r + 1).collect();
+                let col_bounds: Vec<usize> = col_ranges.iter().map(|c| c.end).collect();
+                let mut table = stats::chunk_nnz_grid(c_offsets, c_cols, &unit_rows, &col_bounds);
+                // In-place inclusive prefix over rows, shifted one row
+                // down so row 0 of the table is all zeros.
+                table.splice(0..0, std::iter::repeat_n(0, k_c));
+                for i in k_c..table.len() {
+                    table[i] += table[i - k_c];
+                }
+                Some(table)
+            }
+            NnzSource::Estimated { row_est_prefix, .. } => {
+                // Same scaled-prefix values `chunk_nnz` differences,
+                // so grids computed either way agree entry for entry.
+                let mut table = Vec::with_capacity((n_rows + 1) * k_c);
+                for i in 0..=n_rows {
+                    for c in col_ranges {
+                        table.push(self.scaled_est(row_est_prefix, i, c));
+                    }
+                }
+                Some(table)
+            }
         }
-        Some(table)
     }
 
     /// Grid of a row partition from a 2D prefix table.
@@ -475,6 +619,63 @@ mod tests {
         let p = Planner::new(&a, &a).unwrap();
         assert_eq!(p.total_flops(), sparse::stats::total_flops(&a, &a));
         assert_eq!(p.total_nnz_c(), sparse::stats::symbolic_nnz(&a, &a));
+    }
+
+    #[test]
+    fn estimated_planner_plans_without_symbolic_pass() {
+        let a = erdos_renyi(300, 300, 0.04, 11);
+        let cfg = EstimateConfig::default();
+        let p = Planner::estimated(&a, &a, &cfg).unwrap();
+        assert!(p.est_model().is_some());
+        let plan = p.auto(300_000).unwrap();
+        assert!(plan.num_chunks() > 1);
+        assert!(p.working_set_bytes(&plan) <= 300_000);
+        assert_eq!(plan.row_ranges.last().unwrap().end, 300);
+        assert_eq!(plan.col_ranges.last().unwrap().end, 300);
+    }
+
+    #[test]
+    fn estimated_total_tracks_exact_total() {
+        let a = erdos_renyi(400, 400, 0.03, 12);
+        let exact = Planner::plan_exact(&a, &a).unwrap();
+        let est = Planner::estimated(&a, &a, &EstimateConfig::default()).unwrap();
+        assert!(est.est_model().is_some());
+        assert!(exact.est_model().is_none());
+        // Default headroom is 1.5x, so the estimate should land within
+        // a broad band around the truth rather than degenerate to the
+        // worst-case bound.
+        let truth = exact.total_nnz_c() as f64;
+        let guess = est.total_nnz_c() as f64;
+        assert!(guess >= truth * 0.5, "guess {guess} truth {truth}");
+        assert!(guess <= truth * 6.0, "guess {guess} truth {truth}");
+    }
+
+    #[test]
+    fn estimated_chunk_grid_is_self_consistent() {
+        // bin_prefix, chunk_grid, and chunk_nnz must agree on the
+        // estimated path, otherwise auto() and working_set_bytes()
+        // would disagree about whether a plan fits.
+        let a = erdos_renyi(200, 200, 0.05, 13);
+        let p = Planner::estimated(&a, &a, &EstimateConfig::default()).unwrap();
+        let plan = p.fixed(3, 4).unwrap();
+        let grid = p.chunk_grid(&plan.row_ranges, &plan.col_ranges);
+        let prefix = p.bin_prefix(&plan.col_ranges).unwrap();
+        let from_prefix = Planner::grid_from_prefix(&prefix, 4, &plan.row_ranges);
+        assert_eq!(grid, from_prefix);
+        for (i, r) in plan.row_ranges.iter().enumerate() {
+            for (j, c) in plan.col_ranges.iter().enumerate() {
+                assert_eq!(grid[i * 4 + j], p.chunk_nnz(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_rejects_exact_kind() {
+        let a = erdos_renyi(50, 50, 0.05, 14);
+        assert!(matches!(
+            Planner::estimated(&a, &a, &EstimateConfig::exact()),
+            Err(OocError::Planning(_))
+        ));
     }
 
     #[test]

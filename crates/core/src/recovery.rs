@@ -90,6 +90,9 @@ pub struct RecoveryReport {
     pub retries: u64,
     /// Chunks re-split after OOM.
     pub resplits: u64,
+    /// Speculative chunks whose real output outgrew the estimated
+    /// allocation and were grown-and-retried.
+    pub estimate_overflows: u64,
     /// Chunks demoted to the CPU executor.
     pub demotions: u64,
     /// Worker threads that panicked and were drained.
@@ -120,6 +123,7 @@ impl RecoveryReport {
         self.pool_faults += other.pool_faults;
         self.retries += other.retries;
         self.resplits += other.resplits;
+        self.estimate_overflows += other.estimate_overflows;
         self.demotions += other.demotions;
         self.worker_panics += other.worker_panics;
         self.backoff_ns += other.backoff_ns;
@@ -129,10 +133,12 @@ impl RecoveryReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} faults, {} retries, {} re-splits, {} demotions, {} worker panics, {:.3} ms lost",
+            "{} faults, {} retries, {} re-splits, {} estimate overflows, {} demotions, \
+             {} worker panics, {:.3} ms lost",
             self.faults(),
             self.retries,
             self.resplits,
+            self.estimate_overflows,
             self.demotions,
             self.worker_panics,
             self.time_lost_ns as f64 / 1e6,

@@ -1,6 +1,6 @@
 //! Serializable run summaries for the experiment harness.
 
-use crate::metrics::{Metrics, SchedulerStats};
+use crate::metrics::{EstimatorStats, Metrics, SchedulerStats};
 use crate::recovery::RecoveryReport;
 use gpu_sim::{CostModel, SimTime};
 use serde::{Deserialize, Serialize};
@@ -76,6 +76,13 @@ pub struct RunReport {
     pub cpu_idle_ns: Option<SimTime>,
     /// Fraction of total flops that actually ran on the GPU.
     pub realized_gpu_ratio: Option<f64>,
+    /// Estimator kind name, for speculative runs.
+    pub estimator: Option<String>,
+    /// Estimated output nonzeros, for speculative runs.
+    pub est_nnz: Option<u64>,
+    /// Chunks whose output outgrew the estimated allocation and were
+    /// grown-and-retried, for speculative runs.
+    pub estimate_overflows: Option<u64>,
 }
 
 impl RunReport {
@@ -114,6 +121,9 @@ impl RunReport {
             gpu_idle_ns: None,
             cpu_idle_ns: None,
             realized_gpu_ratio: None,
+            estimator: None,
+            est_nnz: None,
+            estimate_overflows: None,
         }
     }
 
@@ -136,6 +146,14 @@ impl RunReport {
         self.d2h_bytes = Some(t.d2h_bytes);
         self.overlap_efficiency = Some(t.overlap_efficiency);
         self.pool_high_water_bytes = Some(metrics.pool_high_water_bytes);
+        self
+    }
+
+    /// Fills in the estimator columns from an [`EstimatorStats`] value.
+    pub fn with_estimator(mut self, stats: &EstimatorStats) -> Self {
+        self.estimator = Some(stats.kind.clone());
+        self.est_nnz = Some(stats.est_nnz);
+        self.estimate_overflows = Some(stats.retries);
         self
     }
 
@@ -229,6 +247,29 @@ mod tests {
         assert_eq!(r.gpu_idle_ns, Some(0));
         assert_eq!(r.cpu_idle_ns, Some(4_200));
         assert_eq!(r.realized_gpu_ratio, Some(0.71));
+    }
+
+    #[test]
+    fn with_estimator_fills_estimator_columns() {
+        let stats = EstimatorStats {
+            kind: "row-sample".into(),
+            sampled_rows: 25,
+            est_nnz: 950,
+            actual_nnz: 1000,
+            chunk_hits: 5,
+            chunk_misses: 1,
+            overflow_rows: 7,
+            retries: 1,
+        };
+        let r = RunReport::new("nlp", "gpu-async", 1000, 100, 500).with_estimator(&stats);
+        assert_eq!(r.estimator.as_deref(), Some("row-sample"));
+        assert_eq!(r.est_nnz, Some(950));
+        assert_eq!(r.estimate_overflows, Some(1));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.estimator.as_deref(), Some("row-sample"));
+        assert_eq!(back.est_nnz, Some(950));
+        assert_eq!(back.estimate_overflows, Some(1));
     }
 
     #[test]

@@ -441,7 +441,12 @@ pub fn multiply_to_disk(
 ) -> Result<SpilledRun> {
     std::fs::create_dir_all(dir)
         .map_err(|e| OocError::Config(format!("cannot create {}: {e}", dir.display())))?;
-    let pg = prepare_grid(a, b, config)?;
+    // The spill path sizes disk segments from exact chunk outputs, so
+    // it always plans exactly regardless of the configured estimator.
+    let exact_cfg = config
+        .clone()
+        .estimator(accum::estimate::EstimateConfig::exact());
+    let pg = prepare_grid(a, b, &exact_cfg)?;
     let order = match (config.mode, config.reorder_chunks) {
         (crate::ExecMode::Async, true) => crate::ChunkGrid::grouped_desc(&pg.grid.sorted_desc()),
         _ => pg.grid.natural_order(),
@@ -520,8 +525,11 @@ mod tests {
         assert_eq!(run.c.nnz(), expect.nnz() as u64);
         assert_eq!(run.c.n_rows(), 500);
         assert_eq!(run.c.n_cols(), 500);
-        // Simulated time identical to the in-memory executor.
-        let in_mem = crate::OutOfCoreGpu::new(cfg).multiply(&a, &a).unwrap();
+        // Simulated time identical to the in-memory executor, compared
+        // under the exact planner the spill path always uses.
+        let in_mem = crate::OutOfCoreGpu::new(cfg.estimator(crate::EstimateConfig::exact()))
+            .multiply(&a, &a)
+            .unwrap();
         assert_eq!(run.sim_ns, in_mem.sim_ns);
         run.c.remove().unwrap();
         std::fs::remove_dir(&dir).ok();

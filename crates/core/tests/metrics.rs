@@ -5,7 +5,7 @@
 //! expressions they replaced.
 
 use gpu_spgemm::phases::{prepare_chunk, ChunkJob};
-use oocgemm::{ExecMode, FaultPlan, OocConfig, OocRun, OutOfCoreGpu};
+use oocgemm::{EstimateConfig, ExecMode, FaultPlan, OocConfig, OocRun, OutOfCoreGpu};
 use proptest::prelude::*;
 use sparse::gen::erdos_renyi;
 use sparse::{CsrMatrix, CsrView};
@@ -35,6 +35,7 @@ fn prepared_sizes(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig, run: &OocRun
                 a_bytes: p.a_bytes,
                 b_bytes: p.b_bytes,
                 d2h_bytes: p.row_info_bytes + p.row_nnz_bytes + p.out_bytes,
+                row_nnz_bytes: p.row_nnz_bytes,
             });
         }
     }
@@ -45,6 +46,7 @@ struct Sizes {
     a_bytes: u64,
     b_bytes: u64,
     d2h_bytes: u64,
+    row_nnz_bytes: u64,
 }
 
 #[test]
@@ -77,7 +79,20 @@ fn transfer_bytes_conserve_against_prepared_chunks() {
             .multiply(&a, &a)
             .unwrap();
         let sizes = prepared_sizes(&a, &a, &config, &run);
-        let expect_d2h: u64 = sizes.iter().map(|s| s.d2h_bytes).sum();
+        // The speculative default (async + non-exact estimator) skips
+        // the per-row nnz readback, so its conserved D2H total is
+        // smaller by exactly the row-nnz arrays.
+        let speculative = mode == ExecMode::Async;
+        let expect_d2h: u64 = sizes
+            .iter()
+            .map(|s| {
+                if speculative {
+                    s.d2h_bytes - s.row_nnz_bytes
+                } else {
+                    s.d2h_bytes
+                }
+            })
+            .sum();
         let t = &run.metrics.timeline;
         assert_eq!(
             t.d2h_bytes, expect_d2h,
@@ -148,7 +163,10 @@ fn async_pool_high_water_is_reported_within_device_memory() {
 #[test]
 fn kernel_classes_partition_compute_and_cover_all_phases() {
     let a = fixture();
-    let run = OutOfCoreGpu::new(base_config()).multiply(&a, &a).unwrap();
+    // The exact path launches all three kernel phases.
+    let run = OutOfCoreGpu::new(base_config().estimator(EstimateConfig::exact()))
+        .multiply(&a, &a)
+        .unwrap();
     let t = &run.metrics.timeline;
     let by_class: u64 = t.kernel_classes.iter().map(|k| k.busy_ns).sum();
     assert_eq!(by_class, t.kernel.busy_ns);
@@ -156,6 +174,16 @@ fn kernel_classes_partition_compute_and_cover_all_phases() {
     for phase in ["row_analysis", "symbolic", "numeric"] {
         assert!(names.contains(&phase), "missing phase {phase}: {names:?}");
     }
+    // The speculative default skips the symbolic pass entirely — that
+    // is where its planning speedup comes from.
+    let spec = OutOfCoreGpu::new(base_config()).multiply(&a, &a).unwrap();
+    let t = &spec.metrics.timeline;
+    let by_class: u64 = t.kernel_classes.iter().map(|k| k.busy_ns).sum();
+    assert_eq!(by_class, t.kernel.busy_ns);
+    let names: Vec<&str> = t.kernel_classes.iter().map(|k| k.class.name()).collect();
+    assert!(names.contains(&"row_analysis"), "{names:?}");
+    assert!(names.contains(&"numeric"), "{names:?}");
+    assert!(!names.contains(&"symbolic"), "{names:?}");
 }
 
 #[test]
@@ -183,9 +211,15 @@ fn fault_run_reports_per_chunk_recovery_counters() {
     assert!(chunks
         .iter()
         .all(|c| (c.demotions > 0) == c.demotion_cause.is_some()));
-    // And a fault-free run reports no per-chunk counters.
-    let clean = OutOfCoreGpu::new(base_config()).multiply(&a, &a).unwrap();
+    // A fault-free exact run reports no per-chunk counters; the
+    // speculative default routes through the recovering pass and
+    // reports one attempt per chunk even when clean.
+    let clean = OutOfCoreGpu::new(base_config().estimator(EstimateConfig::exact()))
+        .multiply(&a, &a)
+        .unwrap();
     assert!(clean.metrics.chunks.is_empty());
+    let spec = OutOfCoreGpu::new(base_config()).multiply(&a, &a).unwrap();
+    assert!(spec.metrics.chunks.iter().all(|c| c.attempts >= 1));
 }
 
 #[test]
@@ -211,6 +245,7 @@ fn metrics_json_has_the_documented_schema() {
         "\"device_high_water_bytes\"",
         "\"pool_high_water_bytes\"",
         "\"scheduler\"",
+        "\"estimator\"",
         "\"chunks\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");

@@ -8,6 +8,7 @@
 //! [`gpu_sim::CostModel`] needs to charge simulated durations.
 
 use crate::kernels::{numeric_by_groups, numeric_by_groups_with, NumericGroups};
+use accum::estimate::EstModel;
 use accum::{DenseCounter, HashCounter, ScratchPool, SymbolicCounter};
 use rayon::prelude::*;
 use sparse::{CsrMatrix, CsrView};
@@ -115,6 +116,43 @@ pub struct PreparedChunk {
     pub row_nnz_bytes: u64,
     /// Bytes of the output chunk (col ids + values + offsets).
     pub out_bytes: u64,
+    /// Speculative-execution descriptors, present when the chunk was
+    /// prepared under an estimation model (see [`attach_speculation`]).
+    /// `None` chunks follow the exact symbolic schedule.
+    pub spec: Option<SpeculativeInfo>,
+}
+
+/// What a speculative GPU run of this chunk would do: allocate
+/// `est_out_bytes` straight from the estimation model and launch
+/// numeric kernels without a symbolic pass. The real result is still
+/// computed exactly host-side ("simulated time, real results"); these
+/// numbers only drive the simulated schedule, the pool reservation,
+/// and overflow detection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeculativeInfo {
+    /// Model-estimated output nonzeros of the chunk (headroom
+    /// included).
+    pub est_nnz: u64,
+    /// Estimated output allocation: `est_nnz` entries plus row
+    /// offsets. This is what the speculative pipeline reserves instead
+    /// of the exact `out_bytes`.
+    pub est_out_bytes: u64,
+    /// Rows whose actual output exceeded their individual estimate
+    /// (diagnostic; the chunk only fails when the *total* allocation
+    /// is short).
+    pub row_overflows: u64,
+    /// Flops per numeric kernel launch when rows are grouped by their
+    /// *estimated* sizes — the launches a speculative run performs.
+    pub est_group_flops: Vec<u64>,
+}
+
+impl SpeculativeInfo {
+    /// True when the actual output no longer fits the speculative
+    /// allocation — the condition a real GPU kernel's bounds check
+    /// would trip on.
+    pub fn overflowed(&self, actual_out_bytes: u64) -> bool {
+        self.est_out_bytes < actual_out_bytes
+    }
 }
 
 /// Bytes per output nonzero in transfers (u32 column id + f64 value).
@@ -228,7 +266,41 @@ fn finish_chunk(
         groups,
         numeric_groups,
         result,
+        spec: None,
     }
+}
+
+/// Attaches speculative-execution descriptors to a prepared chunk,
+/// derived from the estimation `model`.
+///
+/// Deliberately a post-pass over the finished chunk (rather than a
+/// variant of the prepare engines): it recomputes per-row flops from
+/// the panels and reads actual row sizes from the exact result, so the
+/// same helper serves the pooled-parallel and serial oracle engines
+/// and provably cannot perturb the chunk's real product. Deterministic
+/// given the model, the panels, and nothing else.
+pub fn attach_speculation(
+    chunk: &mut PreparedChunk,
+    a_panel: &CsrView<'_>,
+    b_panel: &CsrMatrix,
+    model: &EstModel,
+) {
+    let rows = a_panel.n_rows();
+    debug_assert_eq!(rows, chunk.rows);
+    let row_flops = row_analysis(a_panel, b_panel);
+    let est_rows = model.estimate_rows(&row_flops, b_panel.n_cols());
+    let est_nnz: u64 = est_rows.iter().map(|&n| n as u64).sum();
+    let offsets = chunk.result.row_offsets();
+    let row_overflows = (0..rows)
+        .filter(|&r| (offsets[r + 1] - offsets[r]) > est_rows[r])
+        .count() as u64;
+    let est_groups = NumericGroups::from_row_nnz(&est_rows, &row_flops);
+    chunk.spec = Some(SpeculativeInfo {
+        est_nnz,
+        est_out_bytes: est_nnz * BYTES_PER_NNZ + (rows as u64 + 1) * 8,
+        row_overflows,
+        est_group_flops: est_groups.group_flops,
+    });
 }
 
 /// Prepares a chunk: runs all phases for real — in the same structure
@@ -362,6 +434,28 @@ impl PreparedChunk {
         self.a_bytes + self.b_bytes + self.row_info_bytes + self.row_nnz_bytes + self.out_bytes
     }
 
+    /// Output bytes the executor plans to allocate for this chunk: the
+    /// speculative estimate when present, otherwise the exact size.
+    pub fn planned_out_bytes(&self) -> u64 {
+        self.spec
+            .as_ref()
+            .map(|s| s.est_out_bytes)
+            .unwrap_or(self.out_bytes)
+    }
+
+    /// The grow-and-retry form of an overflowed speculative chunk: the
+    /// same chunk with its speculative allocation widened to the now
+    /// known actual size, so a retry keeps the symbolic-free schedule
+    /// but can no longer overflow.
+    pub fn grown(&self) -> PreparedChunk {
+        let mut g = self.clone();
+        if let Some(s) = &mut g.spec {
+            s.est_nnz = g.nnz;
+            s.est_out_bytes = g.out_bytes;
+        }
+        g
+    }
+
     /// Splits the output transfer at `fraction` of the rows (the
     /// Figure 6 two-portion schedule), returning the byte sizes of the
     /// two portions. Both portions carry their share of col ids and
@@ -493,6 +587,7 @@ mod tests {
         assert_eq!(got.row_info_bytes, expect.row_info_bytes);
         assert_eq!(got.row_nnz_bytes, expect.row_nnz_bytes);
         assert_eq!(got.out_bytes, expect.out_bytes);
+        assert_eq!(got.spec, expect.spec);
     }
 
     #[test]
@@ -533,6 +628,69 @@ mod tests {
         let with_prefix = prepare_chunk_with(job, &pool, Some(&prefix));
         let without = prepare_chunk_with(job, &pool, None);
         assert_chunks_identical(&with_prefix, &without);
+    }
+
+    #[test]
+    fn speculation_is_deterministic_and_never_mutates_result() {
+        let (a, b) = job_fixture();
+        let av = CsrView::of(&a);
+        let job = ChunkJob {
+            a_panel: av,
+            b_panel: &b,
+            chunk_id: 0,
+        };
+        let exact = prepare_chunk(job);
+        let mut spec1 = exact.clone();
+        let mut spec2 = exact.clone();
+        let model =
+            accum::estimate::build_model(&av, &b, &accum::estimate::EstimateConfig::default());
+        attach_speculation(&mut spec1, &av, &b, &model);
+        attach_speculation(&mut spec2, &av, &b, &model);
+        assert_eq!(spec1.spec, spec2.spec);
+        let s = spec1.spec.as_ref().unwrap();
+        assert!(s.est_nnz > 0);
+        assert_eq!(s.est_out_bytes, s.est_nnz * 12 + 61 * 8);
+        // The real product is untouched.
+        spec1.spec = None;
+        assert_chunks_identical(&spec1, &exact);
+    }
+
+    #[test]
+    fn upper_bound_speculation_never_overflows() {
+        let (a, b) = job_fixture();
+        let av = CsrView::of(&a);
+        let mut p = prepare_chunk(ChunkJob {
+            a_panel: av,
+            b_panel: &b,
+            chunk_id: 0,
+        });
+        let model = EstModel::upper_bound();
+        attach_speculation(&mut p, &av, &b, &model);
+        let s = p.spec.as_ref().unwrap();
+        assert!(!s.overflowed(p.out_bytes));
+        assert_eq!(s.row_overflows, 0);
+        assert!(s.est_nnz >= p.nnz);
+    }
+
+    #[test]
+    fn grown_chunk_cannot_overflow() {
+        let (a, b) = job_fixture();
+        let av = CsrView::of(&a);
+        let mut p = prepare_chunk(ChunkJob {
+            a_panel: av,
+            b_panel: &b,
+            chunk_id: 0,
+        });
+        // Force gross under-allocation, then grow.
+        let mut model =
+            accum::estimate::build_model(&av, &b, &accum::estimate::EstimateConfig::default());
+        model.headroom = 0.01;
+        attach_speculation(&mut p, &av, &b, &model);
+        let g = p.grown();
+        let s = g.spec.as_ref().unwrap();
+        assert!(!s.overflowed(g.out_bytes));
+        assert_eq!(g.planned_out_bytes(), g.out_bytes);
+        assert_eq!(s.est_nnz, g.nnz);
     }
 
     #[test]

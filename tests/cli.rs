@@ -141,3 +141,48 @@ fn bad_arguments_exit_nonzero() {
         );
     }
 }
+
+#[test]
+fn estimator_flags_run_and_report() {
+    for kind in ["exact", "upper-bound", "row-sample", "hash-sketch"] {
+        let out = spgemm()
+            .args(["--gen", "rmat:10:8000:7", "--estimator", kind])
+            .output()
+            .expect("spawn spgemm");
+        assert!(
+            out.status.success(),
+            "--estimator {kind}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if kind == "exact" {
+            assert!(!stdout.contains("estimator:"), "{stdout}");
+        } else {
+            assert!(
+                stdout.contains(&format!("estimator: {kind}")),
+                "no estimator line for {kind}:\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_estimator_flags_exit_2() {
+    for args in [
+        vec!["--gen", "rmat:10:8000:7", "--estimator", "crystal-ball"],
+        vec!["--gen", "rmat:10:8000:7", "--sample-rate", "0"],
+        vec!["--gen", "rmat:10:8000:7", "--sample-rate", "1.5"],
+        vec!["--gen", "rmat:10:8000:7", "--sample-rate", "bogus"],
+        vec!["--gen", "rmat:10:8000:7", "--headroom", "0.5"],
+        vec!["--gen", "rmat:10:8000:7", "--headroom", "inf"],
+        vec!["--gen", "rmat:10:8000:7", "--headroom", "bogus"],
+    ] {
+        let out = spgemm().args(&args).output().expect("spawn spgemm");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -45,11 +45,20 @@ fn tiny_suite_full_pipeline() {
             run.nnz_c * 12
         );
 
-        // Async pipeline must not contain per-chunk alloc barriers.
-        assert_eq!(
-            run.timeline.of_kind(OpKind::AllocBarrier).count(),
-            1,
-            "{}: unexpected allocation barriers",
+        // Async pipelines pre-allocate: alloc barriers come only from
+        // pool setup/teardown (at most two per pipeline pass — the
+        // speculative default routes through the recovering pipeline,
+        // which mallocs and frees its pool each pass and runs one
+        // extra pass per recovery action), never per chunk.
+        let barriers = run.timeline.of_kind(OpKind::AllocBarrier).count() as u64;
+        let passes = 1
+            + run.recovery.estimate_overflows
+            + run.recovery.resplits
+            + run.recovery.retries
+            + run.recovery.demotions;
+        assert!(
+            barriers >= 1 && barriers <= 2 * passes,
+            "{}: unexpected allocation barriers ({barriers} for {passes} passes)",
             id.abbr()
         );
 

@@ -1,0 +1,288 @@
+//! Vendored criterion-compatible benchmark harness (see
+//! `vendor/README.md`).
+//!
+//! Keeps criterion's API shape (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `criterion_group!` /
+//! `criterion_main!`) but measures with a plain wall-clock loop:
+//! a short warm-up, then `sample_size` timed samples, reporting the
+//! median with min/max spread and optional throughput. No plotting,
+//! no statistics beyond that, no `target/criterion` state.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured closure and records timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, self-calibrating the per-sample iteration count so
+    /// short closures get batched.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch takes >= 1 ms.
+        let mut iters: u64 = 1;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+        self.samples.sort();
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            self.samples[self.samples.len() / 2]
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Times `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let med = b.median();
+        let lo = b.samples.first().copied().unwrap_or_default();
+        let hi = b.samples.last().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                let per_s = n as f64 / med.as_secs_f64();
+                format!("  ({per_s:.3e} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                let per_s = n as f64 / med.as_secs_f64();
+                format!("  ({:.2} MiB/s)", per_s / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: median {} (min {}, max {}){}",
+            self.name,
+            id,
+            format_duration(med),
+            format_duration(lo),
+            format_duration(hi),
+            rate
+        );
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op
+    /// marker here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Times a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .bench_function("base", f);
+        self
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` / harness probes pass arguments;
+            // a plain run has none. Either way, run everything once.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "bencher must execute the closure");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("dense", 8).id, "dense/8");
+        assert_eq!(BenchmarkId::from_parameter("lj").id, "lj");
+    }
+}

@@ -1,0 +1,82 @@
+//! Vendored `crossbeam::thread` scoped-thread API, implemented over
+//! `std::thread::scope` (see `vendor/README.md`). Real OS threads —
+//! only the scope/join error plumbing is adapted to crossbeam's
+//! `Result`-returning shape.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Panic payload type crossbeam reports.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle: spawn borrows non-`'static` data.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; a panic surfaces as `Err(payload)`.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (for
+        /// nested spawns), like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// this returns. A panic escaping `f` itself (not one captured by
+    /// an explicit `join`) is returned as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_and_join_in_scope() {
+        let data = [1, 2, 3];
+        let total = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len() as i32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let caught = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Vendored subset of the `rand` 0.8 API (see `vendor/README.md`).
+//!
+//! Implements the traits and distribution algorithms this workspace
+//! actually uses, following the published rand 0.8 algorithms so that
+//! seeded generators reproduce the same streams the real crate would:
+//! PCG32-based `seed_from_u64`, widening-multiply integer uniforms,
+//! `[1, 2)`-mantissa float uniforms, and the fixed-point Bernoulli.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generator interface.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 stream rand 0.8
+    /// uses, so seeds reproduce the real crate's generators.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Stock generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The crate's default seedable generator. Unlike the real
+    /// `StdRng` (whose stream is explicitly unstable across rand
+    /// versions), this is a SplitMix64 stream — deterministic and
+    /// platform-independent, which is all callers here rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for chunk in seed.chunks_exact(8) {
+                state ^= u64::from_le_bytes(chunk.try_into().unwrap());
+                state = state.rotate_left(17);
+            }
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits mapped to [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Compare against the most significant bit (rand 0.8).
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, i8 => next_u32,
+    i16 => next_u32, i32 => next_u32, u64 => next_u64, i64 => next_u64,
+    usize => next_u64, isize => next_u64);
+
+/// Types with a uniform range sampler.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Lemire-style widening multiply with rejection zone (rand 0.8's
+/// `sample_single` for 64-bit-and-under integers).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// 32-bit variant (rand uses this for small index ranges).
+fn uniform_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (range as u64);
+        let lo = m as u32;
+        if lo <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let range = high.wrapping_sub(low) as u64;
+                low.wrapping_add(uniform_u64(rng, range) as $t)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                if range == 0 {
+                    // Full domain.
+                    return Standard::sample(rng);
+                }
+                low.wrapping_add(uniform_u64(rng, range) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u16, u32, u64, usize, i16, i32, i64, isize);
+
+impl SampleUniform for u8 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        low + uniform_u32(rng, (high - low) as u32) as u8
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        let range = (high - low) as u32 + 1;
+        low + uniform_u32(rng, range) as u8
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        // rand 0.8: value in [1, 2) from 52 mantissa bits, then
+        // `value1_2 * scale + offset` with `offset = low - scale`.
+        let scale = high - low;
+        let offset = low - scale;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        value1_2 * scale + offset
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        // rand 0.8 widens the scale so the top of [1, 2) lands on
+        // `high` inclusively.
+        let scale = (high - low) / (1.0 - f64::EPSILON / 2.0);
+        let offset = low - scale;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let v = value1_2 * scale + offset;
+        if v > high {
+            high
+        } else {
+            v
+        }
+    }
+}
+
+/// Range argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Fixed-point threshold in 1/2^64 units (rand 0.8 Bernoulli).
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence helpers (`shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Index sampler matching rand 0.8's `gen_index`: 32-bit sampling
+    /// for bounds that fit (consumes the stream identically).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) + 1 {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&y));
+            let z: f64 = rng.gen_range(f64::EPSILON..=1.0);
+            assert!((f64::EPSILON..=1.0).contains(&z));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<usize> = (0..100).collect();
+        let mut rng = Counter(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+}

@@ -1,0 +1,170 @@
+//! Serial stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Every `par_*` entry point maps onto the corresponding sequential
+//! std iterator, so code written against rayon's data-parallel API
+//! compiles and runs unchanged — single-threaded. All algorithms in
+//! this workspace assert bit-identical serial/parallel results, so the
+//! substitution is semantically invisible; only wall-clock scaling
+//! differs (and the repo's recorded baselines note the host thread
+//! count alongside every number).
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FlatMapIterExt as _, IntoParallelIterator as _, ParSliceExt as _, ParSliceMutExt as _,
+    };
+}
+
+/// `.into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Serial stand-in: the plain iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `.par_iter()` / `.par_chunks()` on slices.
+pub trait ParSliceExt<T> {
+    /// Serial `.par_iter()`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Serial `.par_chunks()`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `.par_iter_mut()` / `.par_chunks_mut()` on slices.
+pub trait ParSliceMutExt<T> {
+    /// Serial `.par_iter_mut()`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Serial `.par_chunks_mut()`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// rayon's `flat_map_iter` (std calls it `flat_map`).
+pub trait FlatMapIterExt: Iterator + Sized {
+    /// Serial `flat_map_iter`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+}
+
+impl<I: Iterator + Sized> FlatMapIterExt for I {}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads in the current pool (always 1 serially).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Build error for [`ThreadPoolBuilder`] (never produced serially).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Serial `ThreadPoolBuilder`: accepts the configuration and yields a
+/// pool whose `install` runs the closure inline.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (and otherwise ignores) the requested thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Builds the (serial) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// Serial thread pool.
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `f` inline.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_ops_match_serial() {
+        let v: Vec<u64> = (0..100u64).collect();
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 9900);
+        let mut out = vec![0u64; 100];
+        out.par_chunks_mut(16).enumerate().for_each(|(b, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (b * 16 + i) as u64;
+            }
+        });
+        assert_eq!(out, v);
+        let flat: Vec<u64> = (0..4u64).into_par_iter().flat_map_iter(|x| 0..x).collect();
+        assert_eq!(flat, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn join_and_pool_run_inline() {
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

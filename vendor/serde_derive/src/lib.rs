@@ -1,0 +1,297 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` (see
+//! `vendor/README.md`).
+//!
+//! Parses the item's token stream by hand (no syn/quote) and emits
+//! impls of the shim `serde::Serialize` / `serde::Deserialize` traits,
+//! which convert through `serde::Value`. Supported shapes — the ones
+//! this workspace uses:
+//!
+//! - structs with named fields (any visibility, lifetime generics OK)
+//! - enums with unit variants and/or named-field (struct) variants
+//!
+//! Serde attributes (`#[serde(...)]`) are not supported and the
+//! workspace uses none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the derive target.
+enum Item {
+    Struct {
+        name: String,
+        generics: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant_name, named_fields)`; empty fields = unit variant.
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the field names of a named-field body (`{ a: T, b: U }`).
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:`, then skip the type up to a top-level `,`,
+        // tracking angle-bracket depth (groups nest on their own).
+        debug_assert!(matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'));
+        i += 1;
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &[TokenTree]) -> Vec<(String, Vec<String>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    fields = parse_named_fields(&inner);
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde shim derive: tuple enum variants are not supported");
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, fields));
+        // Skip an optional discriminant and the trailing comma.
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other}"),
+    };
+    i += 1;
+    // Everything up to the body group is the generics (lifetimes only
+    // in this workspace; copied verbatim onto the impl).
+    let mut generics = String::new();
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                break g.stream().into_iter().collect::<Vec<_>>();
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("serde shim derive: unit/tuple structs are not supported");
+            }
+            tok => {
+                generics.push_str(&tok.to_string());
+                i += 1;
+            }
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            generics,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    } else {
+                        let binds = fields.join(", ");
+                        let pairs: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Value::Object(vec![{pairs}])),\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(pairs, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl{generics} ::serde::Deserialize for {name}{generics} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let pairs = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_field(pairs, \"{f}\")?,"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let pairs = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                                 let (tag, inner) = &tagged[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"expected variant for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl parses")
+}
