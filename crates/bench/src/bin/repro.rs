@@ -23,6 +23,8 @@ struct Args {
     scale: SuiteScale,
     only: Option<Vec<String>>,
     out: PathBuf,
+    seed: u64,
+    iters: usize,
 }
 
 fn parse_args() -> Args {
@@ -30,12 +32,34 @@ fn parse_args() -> Args {
     let mut scale = SuiteScale::Small;
     let mut only: Option<Vec<String>> = None;
     let mut out = PathBuf::from("results");
+    let mut seed = 7u64;
+    let mut iters = 2usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--only" => {
                 let v = it.next().unwrap_or_default();
                 only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_default();
+                seed = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--seed wants a non-negative integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--iters" => {
+                let v = it.next().unwrap_or_default();
+                iters = match v.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--iters wants a positive integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--scale" => {
                 let v = it.next().unwrap_or_default();
@@ -52,8 +76,11 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate]... \
-                     [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR]"
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate|chaos]... \
+                     [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR] \
+                     [--seed N] [--iters K]\n\
+                     chaos is not part of 'all'; ask for it by name. \
+                     --seed/--iters drive the chaos sweep (defaults 7, 2)."
                 );
                 std::process::exit(0);
             }
@@ -68,6 +95,8 @@ fn parse_args() -> Args {
         scale,
         only,
         out,
+        seed,
+        iters,
     }
 }
 
@@ -79,6 +108,27 @@ fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let t0 = Instant::now();
+
+    // The chaos soak runs only when asked for by name — it is a fault
+    // sweep, not one of the paper's figures, so "all" skips it.
+    if args.experiments.iter().any(|e| e == "chaos") {
+        println!(
+            "## Chaos soak: fault plans x executors x budgets (seed {}, {} iters)\n",
+            args.seed, args.iters
+        );
+        eprintln!(
+            "[{:6.1}s] running chaos sweep...",
+            t0.elapsed().as_secs_f64()
+        );
+        let report = bench::chaos::run(args.seed, args.iters);
+        println!("{}", report.table());
+        std::fs::write(args.out.join("chaos_report.json"), report.to_json())
+            .expect("write chaos_report.json");
+        if report.mismatches() > 0 {
+            eprintln!("chaos sweep found {} mismatches", report.mismatches());
+            std::process::exit(1);
+        }
+    }
 
     if wants(&args, "table1") {
         println!("## Table I: Nvidia Tesla V100 specifications (simulated)\n");

@@ -37,6 +37,9 @@ struct Args {
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     fault_shrink: Option<(u64, f64)>,
+    host_fault_seed: Option<u64>,
+    host_fault_rate: Option<f64>,
+    deadline_ns: Option<u64>,
     estimator: Option<String>,
     sample_rate: Option<f64>,
     headroom: Option<f64>,
@@ -48,6 +51,7 @@ fn usage() -> ! {
          \x20      --executor cpu|gpu-sync|gpu-async|hybrid|multi-gpu:N|unified\n\
          \x20      [--device-mb N] [--ratio R|auto] [--scheduler stealing|static] [--panels RxC]\n\
          \x20      [--fault-seed N] [--fault-rate R] [--fault-shrink ALLOC:FACTOR]\n\
+         \x20      [--host-fault-seed N] [--host-fault-rate R] [--deadline-ns N]\n\
          \x20      [--estimator exact|upper-bound|row-sample|hash-sketch]\n\
          \x20      [--sample-rate R] [--headroom H]\n\
          \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json] [--metrics-out FILE.json]"
@@ -71,6 +75,9 @@ fn parse_args() -> Args {
         fault_seed: None,
         fault_rate: None,
         fault_shrink: None,
+        host_fault_seed: None,
+        host_fault_rate: None,
+        deadline_ns: None,
         estimator: None,
         sample_rate: None,
         headroom: None,
@@ -113,6 +120,13 @@ fn parse_args() -> Args {
                     factor.parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--host-fault-seed" => {
+                args.host_fault_seed = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--host-fault-rate" => {
+                args.host_fault_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--deadline-ns" => args.deadline_ns = Some(value().parse().unwrap_or_else(|_| usage())),
             "--estimator" => args.estimator = Some(value()),
             "--sample-rate" => args.sample_rate = Some(value().parse().unwrap_or_else(|_| usage())),
             "--headroom" => args.headroom = Some(value().parse().unwrap_or_else(|_| usage())),
@@ -243,6 +257,30 @@ fn main() {
                 .unwrap_or_default()
         );
         config = config.fault_plan(plan);
+    }
+
+    // Host-side fault injection and the run budget, validated up front
+    // like --ratio: a NaN, negative, or out-of-range value is exit 2
+    // before any work starts.
+    let host_injecting = args.host_fault_seed.is_some() || args.host_fault_rate.is_some();
+    if host_injecting {
+        let rate = args.host_fault_rate.unwrap_or(0.05);
+        if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+            eprintln!("--host-fault-rate must be in [0, 1], got {rate}");
+            std::process::exit(2);
+        }
+        let plan =
+            oocgemm::HostFaultPlan::seeded(args.host_fault_seed.unwrap_or(0)).all_rates(rate);
+        println!("host fault injection: seed {}, rate {rate:.3}", plan.seed);
+        config = config.host_faults(plan);
+    }
+    if let Some(ns) = args.deadline_ns {
+        if ns == 0 {
+            eprintln!("--deadline-ns must be a positive simulated time, got 0");
+            std::process::exit(2);
+        }
+        println!("run budget: {ns} ns simulated deadline");
+        config = config.budget(oocgemm::RunBudget::deadline(ns));
     }
 
     let ratio = match args.ratio.as_deref() {
@@ -399,10 +437,10 @@ fn main() {
             st.cpu_idle_ns as f64 / 1e6
         );
     }
-    if injecting {
+    if injecting || host_injecting || args.deadline_ns.is_some() {
         match recovery {
             Some(rec) => println!("recovery: {}", rec.summary()),
-            None => eprintln!("note: fault flags ignored (executor has no GPU recovery path)"),
+            None => eprintln!("note: fault/budget flags ignored (executor has no recovery path)"),
         }
     }
 

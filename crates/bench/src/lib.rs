@@ -12,6 +12,7 @@
 //! scheduling problem each run solves is therefore the same one the
 //! paper's runs solve.
 
+pub mod chaos;
 pub mod chunk_prep_bench;
 pub mod estimate_bench;
 pub mod experiments;

@@ -1,6 +1,7 @@
 //! Configuration of the out-of-core and hybrid executors.
 
-use crate::recovery::RecoveryPolicy;
+use crate::faults::HostFaultPlan;
+use crate::recovery::{RecoveryPolicy, RunBudget};
 use accum::estimate::{EstimateConfig, EstimatorKind};
 use gpu_sim::{CostModel, DeviceProps, FaultPlan};
 use sparse::partition::ColPartitioner;
@@ -80,6 +81,16 @@ pub struct OocConfig {
     /// pre-pass everywhere. Sync, hybrid, multi-GPU, and spill runs
     /// always use the exact path regardless of this setting.
     pub estimator: EstimateConfig,
+    /// Deterministic host-side fault schedule (spill I/O, shard
+    /// corruption, CPU kernels, host allocation pressure). Like the
+    /// device plan, it only perturbs simulated time and which
+    /// recovery path runs — never the numeric result.
+    pub host_faults: Option<HostFaultPlan>,
+    /// Per-run simulated-time budget. `Some` arms the deadline
+    /// watchdog: the executor degrades rung by rung as the deadline
+    /// approaches and fails with [`crate::OocError::DeadlineExceeded`]
+    /// instead of spiralling when the budget is unmeetable.
+    pub budget: Option<RunBudget>,
 }
 
 impl OocConfig {
@@ -104,6 +115,8 @@ impl OocConfig {
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
             estimator: EstimateConfig::default(),
+            host_faults: None,
+            budget: None,
         }
     }
 
@@ -134,6 +147,19 @@ impl OocConfig {
     /// Installs a deterministic fault plan (see [`FaultPlan`]).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs a deterministic host-side fault plan (see
+    /// [`HostFaultPlan`]).
+    pub fn host_faults(mut self, plan: HostFaultPlan) -> Self {
+        self.host_faults = Some(plan);
+        self
+    }
+
+    /// Installs a per-run simulated-time budget (see [`RunBudget`]).
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -229,6 +255,28 @@ impl OocConfig {
                         s.factor
                     )));
                 }
+            }
+        }
+        if let Some(p) = &self.host_faults {
+            for (name, rate) in p.rates() {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(crate::OocError::Config(format!(
+                        "host {name} fault rate {rate} outside [0, 1]"
+                    )));
+                }
+            }
+        }
+        if let Some(b) = &self.budget {
+            if b.sim_deadline_ns == 0 {
+                return Err(crate::OocError::Config(
+                    "deadline must be a positive simulated time".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&b.max_recovery_fraction) {
+                return Err(crate::OocError::Config(format!(
+                    "max recovery fraction {} outside [0, 1]",
+                    b.max_recovery_fraction
+                )));
             }
         }
         Ok(())

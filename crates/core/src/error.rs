@@ -27,6 +27,24 @@ pub enum OocError {
     /// A spill directory or manifest is unusable (missing, corrupt, or
     /// inconsistent with the requested operation).
     Spill(String),
+    /// The run's simulated-time budget is unmeetable: even after
+    /// walking every degradation rung (shrink headroom → force exact →
+    /// demote to CPU) the remaining work cannot finish by the
+    /// deadline. Carries partial accounting so callers can report what
+    /// *did* complete.
+    DeadlineExceeded {
+        /// The configured deadline, simulated ns.
+        deadline_ns: u64,
+        /// Simulated time elapsed when the run gave up.
+        elapsed_ns: u64,
+        /// Work items completed before the deadline hit.
+        completed_chunks: usize,
+        /// Work items the run started with.
+        total_chunks: usize,
+        /// Partial run report: elapsed time plus the recovery columns
+        /// accumulated up to the abort.
+        partial: Box<crate::report::RunReport>,
+    },
 }
 
 impl fmt::Display for OocError {
@@ -42,6 +60,18 @@ impl fmt::Display for OocError {
                 write!(f, "{worker} worker panicked: {message}")
             }
             OocError::Spill(msg) => write!(f, "spill error: {msg}"),
+            OocError::DeadlineExceeded {
+                deadline_ns,
+                elapsed_ns,
+                completed_chunks,
+                total_chunks,
+                ..
+            } => write!(
+                f,
+                "simulated deadline exceeded: {elapsed_ns} ns elapsed against a \
+                 {deadline_ns} ns budget ({completed_chunks} of {total_chunks} \
+                 chunks completed)"
+            ),
         }
     }
 }
@@ -85,5 +115,25 @@ mod tests {
         assert!(e.to_string().contains("panel counts"));
         let e = OocError::Config("bad ratio".into());
         assert!(e.to_string().contains("bad ratio"));
+    }
+
+    #[test]
+    fn deadline_exceeded_reports_progress() {
+        let e = OocError::DeadlineExceeded {
+            deadline_ns: 1_000,
+            elapsed_ns: 1_500,
+            completed_chunks: 3,
+            total_chunks: 8,
+            partial: Box::new(crate::report::RunReport::new(
+                "partial",
+                "supervised",
+                0,
+                0,
+                1_500,
+            )),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1500 ns"), "{msg}");
+        assert!(msg.contains("3 of 8"), "{msg}");
     }
 }

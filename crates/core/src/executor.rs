@@ -3,10 +3,13 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{ExecMode, OocConfig};
-use crate::metrics::{ChunkMetrics, DemotionCause, EstimatorStats, Metrics};
+use crate::faults::{self, HostFaultKind, HostFaultState};
+use crate::metrics::{
+    ChunkMetrics, DegradationCause, DegradationEvent, DemotionCause, EstimatorStats, Metrics,
+};
 use crate::pipeline::{simulate_pipeline_recovering, ChunkAttempt, ChunkFailure};
 use crate::plan::{split_range_by_flops, PanelPlan, Planner};
-use crate::recovery::RecoveryReport;
+use crate::recovery::{backoff_ns, RecoveryReport};
 use crate::Result;
 use accum::estimate::{EstModel, EstimatorKind};
 use gpu_sim::{GpuSim, SimTime, Timeline};
@@ -267,6 +270,8 @@ pub(crate) struct RecoveredOutcome {
     /// Per-planned-chunk attempt/re-split/demotion counters, ordered
     /// by (row, col).
     pub chunk_stats: Vec<ChunkMetrics>,
+    /// Supervised degradation events, in the order they took effect.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 enum WorkSource {
@@ -281,14 +286,27 @@ struct WorkItem {
     source: WorkSource,
 }
 
-/// Self-healing pass-based orchestration, used whenever a fault plan
-/// is installed (both exec modes route through the pooled async-style
-/// schedule — recovery needs the pool geometry to reason about what
-/// fits). Each pass runs the surviving work list through the
-/// recovering pipeline on one persistent simulator (time accumulates
-/// across passes); failed chunks are re-split along the planner's
-/// row-flop prefix sums (OOM) or demoted to the CPU executor (fault
-/// budget exhausted), until the list is empty.
+/// Self-healing pass-based orchestration, used whenever a fault plan,
+/// host-fault plan, or run budget is installed (both exec modes route
+/// through the pooled async-style schedule — recovery needs the pool
+/// geometry to reason about what fits). Each pass runs the surviving
+/// work list through the recovering pipeline on one persistent
+/// simulator (time accumulates across passes); failed chunks are
+/// re-split along the planner's row-flop prefix sums (OOM) or demoted
+/// to the CPU executor (fault budget exhausted), until the list is
+/// empty.
+///
+/// When a [`crate::recovery::RunBudget`] is installed the pass loop is
+/// supervised: at every pass boundary the budget's degradation rung is
+/// recomputed from elapsed simulated time (plus a recovery-spiral
+/// guard on `time_lost_ns`), and the remaining work is degraded
+/// monotonically — shrink speculation headroom, then force exact
+/// planning, then demote everything to the CPU; if even CPU demotion
+/// cannot meet the deadline the run fails with
+/// [`crate::OocError::DeadlineExceeded`] carrying partial accounting.
+/// Sustained pressure (cumulative capacity shrink, repeated estimate
+/// overflows) re-plans the remaining grid in one batch instead of
+/// walking every chunk down the per-chunk re-split ladder.
 pub(crate) fn simulate_order_recovering(
     sim: &mut GpuSim,
     a: &CsrMatrix,
@@ -297,6 +315,18 @@ pub(crate) fn simulate_order_recovering(
     config: &OocConfig,
 ) -> Result<RecoveredOutcome> {
     let policy = config.recovery;
+    let budget = config.budget;
+    let mut host = config
+        .host_faults
+        .as_ref()
+        .map(|p| HostFaultState::new(p.derive(faults::streams::EXECUTOR)));
+    let mut degradations: Vec<DegradationEvent> = Vec::new();
+    let mut rung: u8 = 0;
+    let mut deadline_hit = false;
+    let planning_capacity = sim.memory().capacity();
+    let mut replanned_capacity = false;
+    let mut replanned_overflow = false;
+    let total_chunks = order.len();
     let mut report = RecoveryReport::default();
     let mut pending: Vec<WorkItem> = order
         .iter()
@@ -315,6 +345,162 @@ pub(crate) fn simulate_order_recovering(
     let mut stats: HashMap<ChunkId, ChunkMetrics> = HashMap::new();
 
     while !pending.is_empty() {
+        // --- Supervision: walk the budget's degradation ladder. The
+        // rung is monotonic; a recovery spiral (time lost above the
+        // tolerated fraction) escalates one extra rung.
+        if let Some(b) = budget {
+            let elapsed = sim.now();
+            let mut target = b.rung_at(elapsed);
+            if deadline_hit {
+                target = 3;
+            }
+            if elapsed > 0 && report.time_lost_ns as f64 > b.max_recovery_fraction * elapsed as f64
+            {
+                target = target.max(rung.saturating_add(1)).min(3);
+            }
+            while rung < target {
+                rung += 1;
+                match rung {
+                    1 => {
+                        // Shrink speculation headroom: re-size pending
+                        // speculative chunks to their exact output, so
+                        // estimate overflows can no longer occur.
+                        for w in pending.iter_mut() {
+                            let grown = {
+                                let p = match w.source {
+                                    WorkSource::Orig(id) => pg.chunk(id),
+                                    WorkSource::Sub(si) => &sub_store[si],
+                                };
+                                if p.spec.is_none() {
+                                    continue;
+                                }
+                                p.grown()
+                            };
+                            sub_store.push(grown);
+                            w.source = WorkSource::Sub(sub_store.len() - 1);
+                        }
+                        sim.note_recovery("budget rung 1: shrink speculation headroom");
+                        degradations.push(DegradationEvent {
+                            cause: DegradationCause::HeadroomShrink,
+                            at_ns: elapsed,
+                            cost_ns: 0,
+                        });
+                    }
+                    2 => {
+                        // Force exact planning: strip speculation from
+                        // the remaining chunks (full symbolic schedule).
+                        for w in pending.iter_mut() {
+                            let exact = {
+                                let p = match w.source {
+                                    WorkSource::Orig(id) => pg.chunk(id),
+                                    WorkSource::Sub(si) => &sub_store[si],
+                                };
+                                if p.spec.is_none() {
+                                    continue;
+                                }
+                                let mut e = p.clone();
+                                e.spec = None;
+                                e
+                            };
+                            sub_store.push(exact);
+                            w.source = WorkSource::Sub(sub_store.len() - 1);
+                        }
+                        sim.note_recovery("budget rung 2: force exact planning");
+                        degradations.push(DegradationEvent {
+                            cause: DegradationCause::ForcedExact,
+                            at_ns: elapsed,
+                            cost_ns: 0,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            if rung >= 3 {
+                // Final rung: demote everything that remains to the CPU
+                // at its calibrated (exactly predictable) cost. If even
+                // that misses the deadline, fail cleanly with partial
+                // accounting instead of burning more simulated time.
+                let mut cpu_total: SimTime = 0;
+                for w in &pending {
+                    let p = match w.source {
+                        WorkSource::Orig(id) => pg.chunk(id),
+                        WorkSource::Sub(si) => &sub_store[si],
+                    };
+                    cpu_total =
+                        cpu_total.saturating_add(sim.cost().cpu_chunk_duration(p.flops, p.nnz));
+                }
+                if elapsed.saturating_add(cpu_total) > b.sim_deadline_ns {
+                    let pending_parents: std::collections::HashSet<ChunkId> =
+                        pending.iter().map(|w| w.parent).collect();
+                    let partial = crate::report::RunReport::new(
+                        "partial",
+                        "supervised",
+                        pg.total_flops(),
+                        pg.total_nnz(),
+                        elapsed,
+                    )
+                    .with_recovery(&report)
+                    .with_degradations(&degradations);
+                    return Err(crate::OocError::DeadlineExceeded {
+                        deadline_ns: b.sim_deadline_ns,
+                        elapsed_ns: elapsed,
+                        completed_chunks: total_chunks - pending_parents.len(),
+                        total_chunks,
+                        partial: Box::new(partial),
+                    });
+                }
+                sim.note_recovery(format!(
+                    "budget rung 3: demote {} remaining work items to CPU",
+                    pending.len()
+                ));
+                degradations.push(DegradationEvent {
+                    cause: DegradationCause::DeadlineDemotion,
+                    at_ns: elapsed,
+                    cost_ns: cpu_total,
+                });
+                for w in &pending {
+                    report.demotions += 1;
+                    let s = stats
+                        .entry(w.parent)
+                        .or_insert_with(|| ChunkMetrics::new(w.parent));
+                    s.demotions += 1;
+                    s.demotion_cause.get_or_insert(DemotionCause::Deadline);
+                    let p = match w.source {
+                        WorkSource::Orig(id) => pg.chunk(id),
+                        WorkSource::Sub(si) => &sub_store[si],
+                    };
+                    let cpu_ns = sim.cost().cpu_chunk_duration(p.flops, p.nnz);
+                    if let Some(h) = host.as_mut() {
+                        let mut attempt = 0u32;
+                        while h.roll(HostFaultKind::CpuKernel) {
+                            attempt += 1;
+                            let wait = backoff_ns(sim.cost(), attempt);
+                            report.cpu_kernel_faults += 1;
+                            report.retries += 1;
+                            report.backoff_ns += wait;
+                            report.time_lost_ns += cpu_ns + wait;
+                            sim.host_compute(
+                                cpu_ns + wait,
+                                format!("CPU retry chunk ({},{})", w.parent.row, w.parent.col),
+                            );
+                        }
+                    }
+                    sim.host_compute(
+                        cpu_ns,
+                        format!("CPU fallback chunk ({},{})", w.parent.row, w.parent.col),
+                    );
+                    if let WorkSource::Sub(si) = w.source {
+                        pieces
+                            .entry(w.parent)
+                            .or_default()
+                            .push((w.rows.start, sub_store[si].result.clone()));
+                    }
+                }
+                pending.clear();
+                continue;
+            }
+        }
+
         for w in &pending {
             stats
                 .entry(w.parent)
@@ -339,6 +525,7 @@ pub(crate) fn simulate_order_recovering(
             config.pipeline_depth,
             &policy,
             &mut report,
+            budget.map(|b| b.demote_after_ns()),
         )?;
         drop(attempts);
         let failed: HashMap<usize, ChunkFailure> = outcome.failed.into_iter().collect();
@@ -369,6 +556,17 @@ pub(crate) fn simulate_order_recovering(
                         if sub.is_empty() {
                             continue;
                         }
+                        // Host-allocation pressure: re-preparing a
+                        // sub-chunk allocates host buffers, which can
+                        // stall under memory pressure.
+                        if let Some(h) = host.as_mut() {
+                            while h.roll(HostFaultKind::HostAlloc) {
+                                let wait = backoff_ns(sim.cost(), 1);
+                                report.host_alloc_faults += 1;
+                                report.time_lost_ns += wait;
+                                sim.host_compute(wait, "host-allocation stall (re-split)");
+                            }
+                        }
                         let p = phases::prepare_chunk(ChunkJob {
                             a_panel: CsrView::rows(a, sub.start, sub.end),
                             b_panel: &pg.col_panels[w.parent.col].matrix,
@@ -383,6 +581,22 @@ pub(crate) fn simulate_order_recovering(
                             source: WorkSource::Sub(sub_store.len() - 1),
                         });
                     }
+                }
+                Some(ChunkFailure::Deadline) => {
+                    // The budget's demotion point passed mid-pass: keep
+                    // the item queued; the supervisor demotes everything
+                    // at the next pass boundary (or fails with
+                    // `DeadlineExceeded` if even CPU demotion is late).
+                    deadline_hit = true;
+                    next.push(WorkItem {
+                        parent: w.parent,
+                        rows: w.rows.clone(),
+                        depth: w.depth,
+                        source: match w.source {
+                            WorkSource::Orig(id) => WorkSource::Orig(id),
+                            WorkSource::Sub(si) => WorkSource::Sub(si),
+                        },
+                    });
                 }
                 Some(ChunkFailure::EstimateOverflow { needed }) => {
                     // Grow-and-retry: re-run the same rows with the
@@ -421,6 +635,9 @@ pub(crate) fn simulate_order_recovering(
                             ChunkFailure::EstimateOverflow { .. } => {
                                 unreachable!("estimate overflows are always grown and retried")
                             }
+                            ChunkFailure::Deadline => {
+                                unreachable!("deadline failures are re-queued for supervision")
+                            }
                         });
                     }
                     report.demotions += 1;
@@ -431,6 +648,9 @@ pub(crate) fn simulate_order_recovering(
                             ChunkFailure::Faults => DemotionCause::Faults,
                             ChunkFailure::EstimateOverflow { .. } => {
                                 unreachable!("estimate overflows are always grown and retried")
+                            }
+                            ChunkFailure::Deadline => {
+                                unreachable!("deadline failures are re-queued for supervision")
                             }
                         });
                     }
@@ -443,6 +663,24 @@ pub(crate) fn simulate_order_recovering(
                         "demote chunk ({},{}) rows {}..{} to CPU",
                         w.parent.row, w.parent.col, w.rows.start, w.rows.end
                     ));
+                    // Demoted chunks run in the CPU fault domain:
+                    // transient CPU-kernel faults cost a recompute plus
+                    // backoff before the clean pass lands.
+                    if let Some(h) = host.as_mut() {
+                        let mut attempt = 0u32;
+                        while h.roll(HostFaultKind::CpuKernel) {
+                            attempt += 1;
+                            let wait = backoff_ns(sim.cost(), attempt);
+                            report.cpu_kernel_faults += 1;
+                            report.retries += 1;
+                            report.backoff_ns += wait;
+                            report.time_lost_ns += cpu_ns + wait;
+                            sim.host_compute(
+                                cpu_ns + wait,
+                                format!("CPU retry chunk ({},{})", w.parent.row, w.parent.col),
+                            );
+                        }
+                    }
                     sim.host_compute(
                         cpu_ns,
                         format!("CPU fallback chunk ({},{})", w.parent.row, w.parent.col),
@@ -453,6 +691,71 @@ pub(crate) fn simulate_order_recovering(
                             .or_default()
                             .push((w.rows.start, sub_store[si].result.clone()));
                     }
+                }
+            }
+        }
+
+        // --- Pressure-driven re-planning: cumulative capacity shrink
+        // or repeated estimate overflows signal *sustained* pressure;
+        // re-split every remaining multi-row item in one batch via the
+        // cached planner prefix sums instead of letting each chunk walk
+        // the per-chunk re-split ladder alone. Each trigger fires once.
+        let capacity_pressure = sim.memory().capacity() * 4 < planning_capacity * 3;
+        let overflow_pressure = report.estimate_overflows >= 3;
+        let fire = (capacity_pressure && !replanned_capacity)
+            || (overflow_pressure && !replanned_overflow);
+        if fire
+            && next
+                .iter()
+                .any(|w| w.rows.len() > 1 && w.depth < policy.max_resplit_depth)
+        {
+            if capacity_pressure {
+                replanned_capacity = true;
+            }
+            if overflow_pressure {
+                replanned_overflow = true;
+            }
+            report.replans += 1;
+            degradations.push(DegradationEvent {
+                cause: DegradationCause::Replan,
+                at_ns: sim.now(),
+                cost_ns: 0,
+            });
+            sim.note_recovery(format!(
+                "re-plan {} remaining work items under sustained pressure",
+                next.len()
+            ));
+            let items = std::mem::take(&mut next);
+            for w in items {
+                if w.rows.len() <= 1 || w.depth >= policy.max_resplit_depth {
+                    next.push(w);
+                    continue;
+                }
+                for sub in split_range_by_flops(&pg.row_flops_prefix, &w.rows, 2) {
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    if let Some(h) = host.as_mut() {
+                        while h.roll(HostFaultKind::HostAlloc) {
+                            let wait = backoff_ns(sim.cost(), 1);
+                            report.host_alloc_faults += 1;
+                            report.time_lost_ns += wait;
+                            sim.host_compute(wait, "host-allocation stall (re-plan)");
+                        }
+                    }
+                    let p = phases::prepare_chunk(ChunkJob {
+                        a_panel: CsrView::rows(a, sub.start, sub.end),
+                        b_panel: &pg.col_panels[w.parent.col].matrix,
+                        chunk_id: next_sub_id,
+                    });
+                    next_sub_id += 1;
+                    sub_store.push(p);
+                    next.push(WorkItem {
+                        parent: w.parent,
+                        rows: sub,
+                        depth: w.depth + 1,
+                        source: WorkSource::Sub(sub_store.len() - 1),
+                    });
                 }
             }
         }
@@ -477,6 +780,7 @@ pub(crate) fn simulate_order_recovering(
         report,
         overrides,
         chunk_stats,
+        degradations,
     })
 }
 
@@ -590,8 +894,12 @@ impl OutOfCoreGpu {
         };
         // Speculative grids route through the recovering orchestration
         // even without a fault plan: estimate overflows surface as
-        // recoverable chunk failures there.
-        let recovering = self.config.fault_plan.is_some() || pg.est_model.is_some();
+        // recoverable chunk failures there. Host fault plans and run
+        // budgets are enforced by the same supervised pass loop.
+        let recovering = self.config.fault_plan.is_some()
+            || self.config.host_faults.is_some()
+            || self.config.budget.is_some()
+            || pg.est_model.is_some();
         let (sim_ns, timeline, overrides, recovery, metrics) = if recovering {
             let mut sim = match &self.config.fault_plan {
                 Some(plan) => GpuSim::with_faults(
@@ -602,7 +910,9 @@ impl OutOfCoreGpu {
                 None => GpuSim::new(self.config.device.clone(), self.config.cost.clone()),
             };
             let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
-            let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
+            let metrics = Metrics::collect(&sim, rec.sim_ns)
+                .with_chunks(rec.chunk_stats)
+                .with_degradations(rec.degradations);
             (
                 rec.sim_ns,
                 sim.into_timeline(),

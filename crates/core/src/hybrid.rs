@@ -17,9 +17,10 @@ use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{HybridConfig, SchedulerKind};
 use crate::error::OocError;
 use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::faults::{self, HostFaultKind, HostFaultState};
 use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
-use crate::recovery::RecoveryReport;
+use crate::recovery::{backoff_ns, RecoveryReport};
 use crate::scheduler::assign;
 use crate::Result;
 use gpu_sim::{GpuSim, SimTime, Timeline};
@@ -214,29 +215,52 @@ impl Hybrid {
         let gpu_order = ChunkGrid::grouped_desc(&assignment.gpu);
         let mut recovery = base_recovery;
 
+        let recovering = self.config.gpu.fault_plan.is_some()
+            || self.config.gpu.host_faults.is_some()
+            || self.config.gpu.budget.is_some();
         let (gpu_ns, timeline, overrides, metrics) = if gpu_dead {
             (0, Timeline::default(), HashMap::new(), Metrics::default())
+        } else if recovering {
+            let mut sim = match &self.config.gpu.fault_plan {
+                Some(plan) => GpuSim::with_faults(
+                    self.config.gpu.device.clone(),
+                    self.config.gpu.cost.clone(),
+                    plan.clone(),
+                ),
+                None => GpuSim::new(self.config.gpu.device.clone(), self.config.gpu.cost.clone()),
+            };
+            let rec = simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
+            let metrics = Metrics::collect(&sim, rec.sim_ns)
+                .with_chunks(rec.chunk_stats)
+                .with_degradations(rec.degradations);
+            recovery.merge(&rec.report);
+            (rec.sim_ns, sim.into_timeline(), rec.overrides, metrics)
         } else {
-            match &self.config.gpu.fault_plan {
-                Some(plan) => {
-                    let mut sim = GpuSim::with_faults(
-                        self.config.gpu.device.clone(),
-                        self.config.gpu.cost.clone(),
-                        plan.clone(),
-                    );
-                    let rec =
-                        simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
-                    let metrics = Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats);
-                    recovery.merge(&rec.report);
-                    (rec.sim_ns, sim.into_timeline(), rec.overrides, metrics)
-                }
-                None => {
-                    let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
-                    (t, tl, HashMap::new(), metrics)
-                }
-            }
+            let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
+            (t, tl, HashMap::new(), metrics)
         };
         let mut cpu_ns = self.cpu_time(&pg, &assignment.cpu);
+        // The CPU worker is its own host fault domain: transient
+        // CPU-kernel faults cost a recompute plus backoff on the CPU
+        // clock. Assignment and scheduling stay fault-blind so the
+        // claim decisions (and hence C's assembly order) never move.
+        if let Some(hp) = &self.config.gpu.host_faults {
+            let mut host = HostFaultState::new(hp.derive(faults::streams::CPU_WORKER));
+            for info in &assignment.cpu {
+                let p = pg.chunk(info.id);
+                let chunk_ns = self.config.gpu.cost.cpu_chunk_duration(p.flops, p.nnz);
+                let mut attempt = 0u32;
+                while host.roll(HostFaultKind::CpuKernel) {
+                    attempt += 1;
+                    let wait = backoff_ns(&self.config.gpu.cost, attempt);
+                    cpu_ns += chunk_ns + wait;
+                    recovery.cpu_kernel_faults += 1;
+                    recovery.retries += 1;
+                    recovery.backoff_ns += wait;
+                    recovery.time_lost_ns += chunk_ns + wait;
+                }
+            }
+        }
         if gpu_dead {
             // Already-prepared host results are kept; the CPU clock
             // pays for recomputing every orphaned GPU chunk.

@@ -47,6 +47,7 @@ pub mod chunks;
 pub mod config;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod hybrid;
 pub mod metrics;
 pub mod multigpu;
@@ -66,12 +67,16 @@ pub use error::OocError;
 pub use executor::{
     prepare_grid, prepare_grid_serial, ChainedRun, OocRun, OutOfCoreGpu, PreparedGrid,
 };
+pub use faults::{HostFaultKind, HostFaultPlan, HostFaultState, HostFaultStats};
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
-pub use metrics::{ChunkMetrics, DemotionCause, EstimatorStats, Metrics, SchedulerStats};
+pub use metrics::{
+    ChunkMetrics, DegradationCause, DegradationEvent, DemotionCause, EstimatorStats, Metrics,
+    SchedulerStats,
+};
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
-pub use recovery::{RecoveryPolicy, RecoveryReport};
+pub use recovery::{RecoveryPolicy, RecoveryReport, RunBudget};
 pub use report::RunReport;
 pub use spill::{multiply_to_disk, SpilledMatrix, SpilledRun};
 pub use unified::{multiply_unified, UnifiedRun};

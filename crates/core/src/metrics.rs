@@ -53,6 +53,56 @@ pub enum DemotionCause {
     DeviceMemory,
     /// Transient faults exhausted the retry budget.
     Faults,
+    /// The run budget's final degradation rung moved the chunk to the
+    /// CPU — the only executor whose time is exactly predictable.
+    Deadline,
+}
+
+/// Why a run degraded below its configured quality of service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationCause {
+    /// The unified-memory working set exceeded device capacity and the
+    /// run paged against the migration engine instead of running
+    /// resident.
+    UnifiedThrash,
+    /// Budget rung 1: pending speculative chunks were re-sized to
+    /// their exact output (no headroom, no overflow risk).
+    HeadroomShrink,
+    /// Budget rung 2: speculation stripped from the remaining chunks —
+    /// full exact symbolic schedule.
+    ForcedExact,
+    /// Budget rung 3: remaining chunks demoted to the CPU at calibrated
+    /// cost.
+    DeadlineDemotion,
+    /// Sustained pressure (capacity shrink or repeated estimate
+    /// overflows) re-planned the remaining grid in one batch.
+    Replan,
+}
+
+impl DegradationCause {
+    /// Stable JSON/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradationCause::UnifiedThrash => "unified_thrash",
+            DegradationCause::HeadroomShrink => "headroom_shrink",
+            DegradationCause::ForcedExact => "forced_exact",
+            DegradationCause::DeadlineDemotion => "deadline_demotion",
+            DegradationCause::Replan => "replan",
+        }
+    }
+}
+
+/// One supervised degradation: what happened, when (simulated time),
+/// and what it cost (extra simulated time attributable to the degraded
+/// mode; 0 when the cost cannot be isolated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationEvent {
+    /// Why the run degraded.
+    pub cause: DegradationCause,
+    /// Simulated time at which the degradation took effect, ns.
+    pub at_ns: SimTime,
+    /// Extra simulated time attributed to the degradation, ns.
+    pub cost_ns: SimTime,
 }
 
 /// Host-side recovery counters for one planned chunk (and all the
@@ -136,6 +186,9 @@ pub struct Metrics {
     /// Estimator accuracy accounting; `None` for exact (non-speculative)
     /// runs.
     pub estimator: Option<EstimatorStats>,
+    /// Supervised degradations, in the order they took effect; empty
+    /// for runs that never degraded.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl Metrics {
@@ -150,6 +203,7 @@ impl Metrics {
             chunks: Vec::new(),
             scheduler: None,
             estimator: None,
+            degradations: Vec::new(),
         }
     }
 
@@ -168,6 +222,12 @@ impl Metrics {
     /// Attaches estimator accuracy accounting.
     pub fn with_estimator(mut self, stats: EstimatorStats) -> Self {
         self.estimator = Some(stats);
+        self
+    }
+
+    /// Attaches supervised degradation events.
+    pub fn with_degradations(mut self, events: Vec<DegradationEvent>) -> Self {
+        self.degradations = events;
         self
     }
 
@@ -282,6 +342,22 @@ impl Metrics {
             )),
             None => s.push_str("  \"estimator\": null,\n"),
         }
+        s.push_str("  \"degradations\": [");
+        for (i, d) in self.degradations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{ \"cause\": \"{}\", \"at_ns\": {}, \"cost_ns\": {} }}",
+                d.cause.name(),
+                d.at_ns,
+                d.cost_ns
+            ));
+        }
+        if !self.degradations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
         s.push_str("  \"chunks\": [");
         for (i, c) in self.chunks.iter().enumerate() {
             if i > 0 {
@@ -290,6 +366,7 @@ impl Metrics {
             let cause = match c.demotion_cause {
                 Some(DemotionCause::DeviceMemory) => "\"device_memory\"".to_string(),
                 Some(DemotionCause::Faults) => "\"faults\"".to_string(),
+                Some(DemotionCause::Deadline) => "\"deadline\"".to_string(),
                 None => "null".to_string(),
             };
             s.push_str(&format!(
@@ -355,6 +432,42 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"row\": 1, \"col\": 2, \"attempts\": 3"));
         assert!(json.contains("\"demotion_cause\": \"device_memory\""));
+    }
+
+    #[test]
+    fn degradation_events_serialize_with_cause_names() {
+        let json = Metrics::default().to_json();
+        assert!(json.contains("\"degradations\": []"), "{json}");
+        let m = Metrics::default().with_degradations(vec![
+            DegradationEvent {
+                cause: DegradationCause::HeadroomShrink,
+                at_ns: 10,
+                cost_ns: 0,
+            },
+            DegradationEvent {
+                cause: DegradationCause::DeadlineDemotion,
+                at_ns: 20,
+                cost_ns: 5,
+            },
+        ]);
+        let json = m.to_json();
+        assert!(json.contains("\"cause\": \"headroom_shrink\""), "{json}");
+        assert!(json.contains("\"cause\": \"deadline_demotion\""));
+        assert!(json.contains("\"cost_ns\": 5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn deadline_demotion_cause_serializes() {
+        let mut c = ChunkMetrics::new(ChunkId { row: 0, col: 0 });
+        c.demotions = 1;
+        c.demotion_cause = Some(DemotionCause::Deadline);
+        let m = Metrics {
+            chunks: vec![c],
+            ..Metrics::default()
+        };
+        assert!(m.to_json().contains("\"demotion_cause\": \"deadline\""));
     }
 
     #[test]

@@ -22,9 +22,10 @@ use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{OocConfig, SchedulerKind};
 use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::faults::{self, HostFaultKind, HostFaultState};
 use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
-use crate::recovery::RecoveryReport;
+use crate::recovery::{backoff_ns, RecoveryReport};
 use crate::Result;
 use gpu_sim::{CostModel, GpuSim, KernelKind, SimTime, Timeline};
 use gpu_spgemm::PreparedChunk;
@@ -145,9 +146,14 @@ fn distribute(
     config: &MultiGpuConfig,
     pg: &PreparedGrid,
     order: &[ChunkInfo],
-) -> (Vec<Vec<ChunkInfo>>, u64, u64) {
+) -> Result<(Vec<Vec<ChunkInfo>>, u64, u64)> {
     let cost = &config.gpu.cost;
     let workers = config.num_gpus + usize::from(config.use_cpu);
+    if workers == 0 {
+        return Err(crate::OocError::Config(
+            "cannot distribute chunks over an empty worker set".into(),
+        ));
+    }
     let mut assignment: Vec<Vec<ChunkInfo>> = vec![Vec::new(); workers];
     let mut gpu_claims = 0u64;
     let mut cpu_steals = 0u64;
@@ -164,9 +170,11 @@ fn distribute(
                         cost.cpu_chunk_duration(p.flops, p.nnz)
                     }
                 };
-                let best_w = (0..workers)
-                    .min_by_key(|&w| (loads[w] + est(w), w))
-                    .expect("at least one worker");
+                let Some(best_w) = (0..workers).min_by_key(|&w| (loads[w] + est(w), w)) else {
+                    return Err(crate::OocError::Config(
+                        "cannot distribute chunks over an empty worker set".into(),
+                    ));
+                };
                 loads[best_w] += est(best_w);
                 assignment[best_w].push(*info);
                 if best_w < config.num_gpus {
@@ -184,9 +192,11 @@ fn distribute(
             let mut head = 0usize;
             let mut tail = order.len();
             while head < tail {
-                let w = (0..workers)
-                    .min_by_key(|&w| (clocks[w], w))
-                    .expect("at least one worker");
+                let Some(w) = (0..workers).min_by_key(|&w| (clocks[w], w)) else {
+                    return Err(crate::OocError::Config(
+                        "cannot distribute chunks over an empty worker set".into(),
+                    ));
+                };
                 let info = if w < config.num_gpus {
                     let info = order[head];
                     head += 1;
@@ -205,7 +215,7 @@ fn distribute(
             }
         }
     }
-    (assignment, gpu_claims, cpu_steals)
+    Ok((assignment, gpu_claims, cpu_steals))
 }
 
 /// Computes `C = a · b` across `num_gpus` simulated devices (plus an
@@ -226,7 +236,7 @@ pub fn multiply_multi_gpu(
     let pg = prepare_grid(a, b, &gpu_cfg)?;
     let order = pg.grid.sorted_desc();
     let cost = &config.gpu.cost;
-    let (assignment, gpu_claims, cpu_steals) = distribute(config, &pg, &order);
+    let (assignment, gpu_claims, cpu_steals) = distribute(config, &pg, &order)?;
 
     // Simulate each GPU on its own device; cost the CPU worker.
     let mut gpu_ns = Vec::with_capacity(config.num_gpus);
@@ -235,42 +245,75 @@ pub fn multiply_multi_gpu(
     let mut gpu_chunks = Vec::with_capacity(config.num_gpus);
     let mut recovery = RecoveryReport::default();
     let mut overrides: HashMap<ChunkId, CsrMatrix> = HashMap::new();
+    let recovering = config.gpu.fault_plan.is_some()
+        || config.gpu.host_faults.is_some()
+        || config.gpu.budget.is_some();
     for (device, chunks) in assignment.iter().take(config.num_gpus).enumerate() {
         let grouped = ChunkGrid::grouped_desc(chunks);
-        let t = match &config.gpu.fault_plan {
-            Some(plan) => {
-                // Each device draws from its own derived fault stream so
-                // one GPU's faults never shift another's.
-                let device_plan = plan.derive(device as u64);
-                let mut sim =
-                    GpuSim::with_faults(config.gpu.device.clone(), cost.clone(), device_plan);
-                let rec = simulate_order_recovering(&mut sim, a, &pg, &grouped, &config.gpu)?;
-                recovery.merge(&rec.report);
-                overrides.extend(rec.overrides);
-                metrics.push(Metrics::collect(&sim, rec.sim_ns).with_chunks(rec.chunk_stats));
-                timelines.push(sim.into_timeline());
-                rec.sim_ns
+        let t = if recovering {
+            // Each device draws from its own derived fault streams
+            // (device and host) so one GPU's faults never shift
+            // another's.
+            let mut dev_cfg = config.gpu.clone();
+            if let Some(hp) = &config.gpu.host_faults {
+                dev_cfg.host_faults = Some(hp.derive(faults::streams::MULTI_GPU + device as u64));
             }
-            None => {
-                let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
-                let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
-                metrics.push(Metrics::collect(&sim, t));
-                timelines.push(sim.into_timeline());
-                t
-            }
+            let mut sim = match &config.gpu.fault_plan {
+                Some(plan) => GpuSim::with_faults(
+                    config.gpu.device.clone(),
+                    cost.clone(),
+                    plan.derive(device as u64),
+                ),
+                None => GpuSim::new(config.gpu.device.clone(), cost.clone()),
+            };
+            let rec = simulate_order_recovering(&mut sim, a, &pg, &grouped, &dev_cfg)?;
+            recovery.merge(&rec.report);
+            overrides.extend(rec.overrides);
+            metrics.push(
+                Metrics::collect(&sim, rec.sim_ns)
+                    .with_chunks(rec.chunk_stats)
+                    .with_degradations(rec.degradations),
+            );
+            timelines.push(sim.into_timeline());
+            rec.sim_ns
+        } else {
+            let mut sim = GpuSim::new(config.gpu.device.clone(), cost.clone());
+            let t = simulate_order(&mut sim, &pg, &grouped, &config.gpu)?;
+            metrics.push(Metrics::collect(&sim, t));
+            timelines.push(sim.into_timeline());
+            t
         };
         gpu_ns.push(t);
         gpu_chunks.push(chunks.len());
     }
     let (cpu_ns, cpu_chunks) = if config.use_cpu {
         let chunks = &assignment[config.num_gpus];
-        let t: SimTime = chunks
-            .iter()
-            .map(|info| {
-                let p = pg.chunk(info.id);
-                cost.cpu_chunk_duration(p.flops, p.nnz)
-            })
-            .sum();
+        // The CPU worker is a host fault domain of its own: transient
+        // CPU-kernel faults cost a recompute plus backoff, charged to
+        // the worker's clock.
+        let mut host = config
+            .gpu
+            .host_faults
+            .as_ref()
+            .map(|p| HostFaultState::new(p.derive(faults::streams::CPU_WORKER)));
+        let mut t: SimTime = 0;
+        for info in chunks {
+            let p = pg.chunk(info.id);
+            let chunk_ns = cost.cpu_chunk_duration(p.flops, p.nnz);
+            if let Some(state) = host.as_mut() {
+                let mut attempt = 0u32;
+                while state.roll(HostFaultKind::CpuKernel) {
+                    attempt += 1;
+                    let backoff = backoff_ns(cost, attempt);
+                    t += chunk_ns + backoff;
+                    recovery.cpu_kernel_faults += 1;
+                    recovery.retries += 1;
+                    recovery.backoff_ns += backoff;
+                    recovery.time_lost_ns += chunk_ns + backoff;
+                }
+            }
+            t += chunk_ns;
+        }
         (t, chunks.len())
     } else {
         (0, 0)
@@ -388,6 +431,44 @@ mod tests {
     fn zero_gpus_rejected() {
         let a = fixture();
         assert!(multiply_multi_gpu(&a, &a, &config(0)).is_err());
+    }
+
+    #[test]
+    fn empty_worker_set_is_a_config_error_not_a_panic() {
+        let a = fixture();
+        let mut cfg = config(0);
+        cfg.use_cpu = false;
+        // Bypass validate(): exercise distribute()'s own guard.
+        let pg = prepare_grid(&a, &a, &cfg.gpu).unwrap();
+        let order = pg.grid.sorted_desc();
+        match distribute(&cfg, &pg, &order) {
+            Err(crate::OocError::Config(msg)) => {
+                assert!(msg.contains("empty worker set"), "{msg}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_faults_keep_c_bit_identical_and_cost_time() {
+        let a = fixture();
+        let mut cfg = config(2);
+        cfg.gpu.host_faults = Some(crate::faults::HostFaultPlan::seeded(11).cpu_kernel_rate(0.5));
+        let faulted = multiply_multi_gpu(&a, &a, &cfg).unwrap();
+        let clean = multiply_multi_gpu(&a, &a, &config(2)).unwrap();
+        assert_eq!(faulted.c, clean.c, "host faults must not perturb C");
+        assert!(
+            faulted.recovery.cpu_kernel_faults > 0,
+            "rate 0.5 on the CPU worker should inject"
+        );
+        assert!(
+            faulted.cpu_ns > clean.cpu_ns,
+            "faults must cost simulated time"
+        );
+        // Same plan, same run: byte-reproducible.
+        let again = multiply_multi_gpu(&a, &a, &cfg).unwrap();
+        assert_eq!(again.cpu_ns, faulted.cpu_ns);
+        assert_eq!(again.recovery, faulted.recovery);
     }
 
     #[test]

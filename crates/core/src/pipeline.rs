@@ -429,6 +429,10 @@ pub(crate) enum ChunkFailure {
         /// Exact output bytes the retry must allocate.
         needed: u64,
     },
+    /// The run budget's demotion point passed before the chunk was
+    /// admitted: fail fast so the supervisor can demote it to the CPU
+    /// instead of sinking more device time.
+    Deadline,
 }
 
 /// Result of one recovering pipeline pass. Pass completion time is the
@@ -624,6 +628,7 @@ fn flush_prev_rest(
 /// The simulated timing of a fault-free plan differs slightly from
 /// [`simulate_pipeline_depth`] (conservative A-slot sizing); results
 /// never do — numeric results are host-side and untouched by faults.
+#[allow(clippy::too_many_arguments)] // one call site; bundling these into a struct adds no clarity
 pub(crate) fn simulate_pipeline_recovering(
     sim: &mut GpuSim,
     attempts: &[ChunkAttempt<'_>],
@@ -632,6 +637,7 @@ pub(crate) fn simulate_pipeline_recovering(
     depth: usize,
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
+    deadline_demote_ns: Option<SimTime>,
 ) -> crate::Result<RecoveringOutcome> {
     validate_pipeline_args(attempts.len(), attempts.len(), split_fraction, depth)?;
     let mut failed: Vec<(usize, ChunkFailure)> = Vec::new();
@@ -692,6 +698,15 @@ pub(crate) fn simulate_pipeline_recovering(
         let chunk = att.chunk;
         let s = streams[i % depth];
         let id = chunk.chunk_id;
+
+        // Deadline admission: past the budget's demotion point a chunk
+        // fails fast (the supervisor demotes it to the CPU, whose time
+        // is exactly predictable) instead of sinking device time.
+        if deadline_demote_ns.is_some_and(|d| sim.now() >= d) {
+            sim.note_recovery(format!("skip chunk {id}: past deadline demotion point"));
+            failed.push((i, ChunkFailure::Deadline));
+            continue;
+        }
 
         // Hard capacity check against the current pool geometry.
         // Speculative chunks reserve their *estimated* output and no

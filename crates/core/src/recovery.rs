@@ -97,6 +97,20 @@ pub struct RecoveryReport {
     pub demotions: u64,
     /// Worker threads that panicked and were drained.
     pub worker_panics: u64,
+    /// Transient spill-shard read faults retried.
+    pub spill_read_faults: u64,
+    /// Transient spill-shard write faults retried.
+    pub spill_write_faults: u64,
+    /// On-disk shard corruptions detected by checksum and repaired by
+    /// recomputation.
+    pub corruption_faults: u64,
+    /// Transient CPU-kernel faults retried on demoted/CPU chunks.
+    pub cpu_kernel_faults: u64,
+    /// Host-allocation pressure stalls absorbed during recovery.
+    pub host_alloc_faults: u64,
+    /// Whole-grid re-plans of the remaining work under sustained
+    /// pressure (capacity shrink or repeated estimate overflows).
+    pub replans: u64,
     /// Simulated time spent in backoff waits, ns.
     pub backoff_ns: SimTime,
     /// Total simulated time lost to faults (failed attempts + backoff), ns.
@@ -104,9 +118,18 @@ pub struct RecoveryReport {
 }
 
 impl RecoveryReport {
-    /// Total faults observed.
+    /// Total device-side faults observed.
     pub fn faults(&self) -> u64 {
         self.kernel_faults + self.copy_faults + self.alloc_faults + self.pool_faults
+    }
+
+    /// Total host-side faults observed.
+    pub fn host_faults(&self) -> u64 {
+        self.spill_read_faults
+            + self.spill_write_faults
+            + self.corruption_faults
+            + self.cpu_kernel_faults
+            + self.host_alloc_faults
     }
 
     /// True when no fault was observed and no recovery action taken.
@@ -126,6 +149,12 @@ impl RecoveryReport {
         self.estimate_overflows += other.estimate_overflows;
         self.demotions += other.demotions;
         self.worker_panics += other.worker_panics;
+        self.spill_read_faults += other.spill_read_faults;
+        self.spill_write_faults += other.spill_write_faults;
+        self.corruption_faults += other.corruption_faults;
+        self.cpu_kernel_faults += other.cpu_kernel_faults;
+        self.host_alloc_faults += other.host_alloc_faults;
+        self.replans += other.replans;
         self.backoff_ns += other.backoff_ns;
         self.time_lost_ns += other.time_lost_ns;
     }
@@ -133,16 +162,91 @@ impl RecoveryReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} faults, {} retries, {} re-splits, {} estimate overflows, {} demotions, \
+            "{} device faults, {} host faults, {} retries, {} re-splits, \
+             {} estimate overflows, {} re-plans, {} demotions, \
              {} worker panics, {:.3} ms lost",
             self.faults(),
+            self.host_faults(),
             self.retries,
             self.resplits,
             self.estimate_overflows,
+            self.replans,
             self.demotions,
             self.worker_panics,
             self.time_lost_ns as f64 / 1e6,
         )
+    }
+}
+
+/// Per-run simulated-time budget: the supervisor that keeps a faulted
+/// run from spiralling (DESIGN.md §13).
+///
+/// As `sim.now()` approaches `sim_deadline_ns` the executor degrades
+/// deterministically, one rung at a time:
+///
+/// 1. **≥ 50 % of the deadline** — shrink speculation headroom:
+///    pending speculative chunks are re-sized to their exact output, so
+///    estimate overflows can no longer occur;
+/// 2. **≥ 65 %** — force exact planning: speculation is stripped from
+///    the remaining chunks entirely (full symbolic schedule);
+/// 3. **≥ 80 %** — demote every remaining chunk to the CPU at its
+///    calibrated cost — the one executor whose time is exactly
+///    predictable.
+///
+/// Independently, if the fraction of elapsed time lost to recovery
+/// exceeds `max_recovery_fraction` at a pass boundary, the run
+/// escalates one extra rung — a recovery spiral burns its way down
+/// the same ladder instead of looping. If even CPU demotion cannot
+/// meet the deadline, the run fails with a clean
+/// [`crate::OocError::DeadlineExceeded`] carrying partial accounting —
+/// never a hang.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunBudget {
+    /// Simulated-time deadline for the whole run, ns.
+    pub sim_deadline_ns: SimTime,
+    /// Maximum tolerated `time_lost_ns / elapsed` fraction before the
+    /// supervisor escalates a degradation rung, in `[0, 1]`.
+    pub max_recovery_fraction: f64,
+}
+
+impl RunBudget {
+    /// A budget with the given deadline and the default 25 % recovery
+    /// tolerance.
+    pub fn deadline(sim_deadline_ns: SimTime) -> Self {
+        RunBudget {
+            sim_deadline_ns,
+            max_recovery_fraction: 0.25,
+        }
+    }
+
+    /// Sets the tolerated recovery fraction.
+    pub fn max_recovery_fraction(mut self, f: f64) -> Self {
+        self.max_recovery_fraction = f;
+        self
+    }
+
+    /// The degradation rung (0–3) dictated by elapsed simulated time
+    /// alone: 0 below half the deadline, then 1 (shrink headroom),
+    /// 2 (force exact) at 65 %, 3 (demote to CPU) at 80 %.
+    pub fn rung_at(&self, elapsed_ns: SimTime) -> u8 {
+        let d = self.sim_deadline_ns as u128;
+        let e = elapsed_ns as u128;
+        if d == 0 || e * 10 >= d * 8 {
+            3
+        } else if e * 100 >= d * 65 {
+            2
+        } else if e * 2 >= d {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The simulated time at which rung 3 (demote everything) starts —
+    /// chunks admitted to the device pipeline past this point fail
+    /// fast instead of being attempted.
+    pub fn demote_after_ns(&self) -> SimTime {
+        (self.sim_deadline_ns as u128 * 8 / 10) as SimTime
     }
 }
 
@@ -189,5 +293,52 @@ mod tests {
         assert!(!a.is_clean());
         assert!(RecoveryReport::default().is_clean());
         assert!(a.summary().contains("5 retries"));
+    }
+
+    #[test]
+    fn merge_accumulates_host_fault_counters() {
+        let mut a = RecoveryReport {
+            spill_write_faults: 1,
+            corruption_faults: 2,
+            ..Default::default()
+        };
+        let b = RecoveryReport {
+            spill_read_faults: 3,
+            cpu_kernel_faults: 4,
+            host_alloc_faults: 5,
+            replans: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.host_faults(), 15);
+        assert_eq!(a.replans, 1);
+        assert_eq!(a.faults(), 0, "host faults are not device faults");
+        assert!(a.summary().contains("15 host faults"), "{}", a.summary());
+        assert!(a.summary().contains("1 re-plans"));
+    }
+
+    #[test]
+    fn budget_rungs_follow_the_ladder() {
+        let b = RunBudget::deadline(1_000);
+        assert_eq!(b.rung_at(0), 0);
+        assert_eq!(b.rung_at(499), 0);
+        assert_eq!(b.rung_at(500), 1, "half the deadline shrinks headroom");
+        assert_eq!(b.rung_at(649), 1);
+        assert_eq!(b.rung_at(650), 2, "65% forces exact planning");
+        assert_eq!(b.rung_at(799), 2);
+        assert_eq!(b.rung_at(800), 3, "80% demotes everything");
+        assert_eq!(b.rung_at(5_000), 3);
+        assert_eq!(b.demote_after_ns(), 800);
+        // Degenerate zero deadline: already past every rung.
+        assert_eq!(RunBudget::deadline(0).rung_at(0), 3);
+    }
+
+    #[test]
+    fn budget_rungs_survive_large_deadlines() {
+        // u128 arithmetic: no overflow near u64::MAX.
+        let b = RunBudget::deadline(u64::MAX);
+        assert_eq!(b.rung_at(0), 0);
+        assert_eq!(b.rung_at(u64::MAX), 3);
+        assert!(b.demote_after_ns() < u64::MAX);
     }
 }

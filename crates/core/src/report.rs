@@ -43,13 +43,22 @@ pub struct RunReport {
     pub gpu_chunks: Option<usize>,
     /// Total injected faults, for runs with a fault plan.
     pub faults: Option<u64>,
+    /// Total host-side faults (spill I/O, corruption, CPU kernel,
+    /// host allocation), for runs with a host fault plan.
+    pub host_faults: Option<u64>,
     /// Retries spent recovering, for runs with a fault plan.
     pub retries: Option<u64>,
     /// Chunks demoted to the CPU, for runs with a fault plan.
     pub demotions: Option<u64>,
+    /// Whole-grid re-plans of the remaining work under pressure.
+    pub replans: Option<u64>,
     /// Simulated time lost to faults + backoff, for runs with a fault
     /// plan.
     pub time_lost_ns: Option<SimTime>,
+    /// Supervised degradation events recorded by the run.
+    pub degradations: Option<u64>,
+    /// Simulated time attributed to degraded operation, ns.
+    pub degradation_ns: Option<SimTime>,
     /// Kernel-engine busy time, simulated ns (metrics layer).
     pub kernel_busy_ns: Option<SimTime>,
     /// H2D copy-engine busy time, simulated ns (metrics layer).
@@ -105,9 +114,13 @@ impl RunReport {
             num_chunks: None,
             gpu_chunks: None,
             faults: None,
+            host_faults: None,
             retries: None,
             demotions: None,
+            replans: None,
             time_lost_ns: None,
+            degradations: None,
+            degradation_ns: None,
             kernel_busy_ns: None,
             h2d_busy_ns: None,
             d2h_busy_ns: None,
@@ -130,9 +143,18 @@ impl RunReport {
     /// Fills in the recovery columns from a [`RecoveryReport`].
     pub fn with_recovery(mut self, recovery: &RecoveryReport) -> Self {
         self.faults = Some(recovery.faults());
+        self.host_faults = Some(recovery.host_faults());
         self.retries = Some(recovery.retries);
         self.demotions = Some(recovery.demotions);
+        self.replans = Some(recovery.replans);
         self.time_lost_ns = Some(recovery.time_lost_ns);
+        self
+    }
+
+    /// Fills in the degradation columns from the run's recorded events.
+    pub fn with_degradations(mut self, events: &[crate::metrics::DegradationEvent]) -> Self {
+        self.degradations = Some(events.len() as u64);
+        self.degradation_ns = Some(events.iter().map(|e| e.cost_ns).sum());
         self
     }
 
@@ -207,6 +229,46 @@ mod tests {
         assert_eq!(r.retries, Some(4));
         assert_eq!(r.demotions, Some(2));
         assert_eq!(r.time_lost_ns, Some(12_345));
+        assert_eq!(r.host_faults, Some(0));
+        assert_eq!(r.replans, Some(0));
+    }
+
+    #[test]
+    fn with_recovery_fills_host_fault_columns() {
+        let rec = RecoveryReport {
+            spill_read_faults: 1,
+            corruption_faults: 2,
+            replans: 1,
+            ..RecoveryReport::default()
+        };
+        let r = RunReport::new("nlp", "spill", 1000, 100, 500).with_recovery(&rec);
+        assert_eq!(r.host_faults, Some(3));
+        assert_eq!(r.replans, Some(1));
+        assert_eq!(r.faults, Some(0));
+    }
+
+    #[test]
+    fn with_degradations_fills_degradation_columns() {
+        use crate::metrics::{DegradationCause, DegradationEvent};
+        let events = [
+            DegradationEvent {
+                cause: DegradationCause::UnifiedThrash,
+                at_ns: 0,
+                cost_ns: 100,
+            },
+            DegradationEvent {
+                cause: DegradationCause::DeadlineDemotion,
+                at_ns: 50,
+                cost_ns: 25,
+            },
+        ];
+        let r = RunReport::new("nlp", "unified", 1000, 100, 500).with_degradations(&events);
+        assert_eq!(r.degradations, Some(2));
+        assert_eq!(r.degradation_ns, Some(125));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.degradations, Some(2));
+        assert_eq!(back.degradation_ns, Some(125));
     }
 
     #[test]

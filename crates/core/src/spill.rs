@@ -28,7 +28,9 @@ use crate::assemble::assemble;
 use crate::chunks::ChunkId;
 use crate::config::OocConfig;
 use crate::executor::{prepare_grid, simulate_order};
+use crate::faults::{self, HostFaultKind, HostFaultState};
 use crate::plan::{PanelPlan, Planner};
+use crate::recovery::RecoveryReport;
 use crate::{OocError, Result};
 use gpu_sim::{GpuSim, SimTime};
 use sparse::io::binary::{read_binary, to_bytes};
@@ -370,6 +372,20 @@ impl SpilledMatrix {
             ));
         }
 
+        let mut recovery = RecoveryReport::default();
+        if let Some(p) = &config.host_faults {
+            // Transient shard-read failures during verification: each
+            // failed read is retried until it takes, costing a re-read
+            // rather than a recompute. One roll per panel keeps the
+            // draw schedule independent of which shards are damaged.
+            let mut state = HostFaultState::new(p.derive(faults::streams::SPILL_READ));
+            for _ in 0..spilled.num_panels() {
+                while state.roll(HostFaultKind::SpillRead) {
+                    recovery.spill_read_faults += 1;
+                    recovery.retries += 1;
+                }
+            }
+        }
         let needed = spilled.missing_or_corrupt();
         if !needed.is_empty() {
             let col_panels = config.col_partitioner.partition(b, &plan.col_ranges);
@@ -406,6 +422,7 @@ impl SpilledMatrix {
             flops,
             plan,
             recomputed_panels: needed.len(),
+            recovery,
         })
     }
 }
@@ -426,6 +443,10 @@ pub struct SpilledRun {
     /// How many panels [`SpilledMatrix::resume`] had to recompute
     /// (0 for a fresh [`multiply_to_disk`] run).
     pub recomputed_panels: usize,
+    /// Host-side fault accounting: spill read/write retries and shard
+    /// corruptions injected by the configured [`crate::HostFaultPlan`]
+    /// (all zeros when no plan is set).
+    pub recovery: RecoveryReport,
 }
 
 /// Computes `C = a · b` out-of-core and spills the result to `dir`,
@@ -469,8 +490,9 @@ pub fn multiply_to_disk(
 
     // Assemble and spill panel by panel.
     let k_c = pg.plan.col_panels();
-    for (r, range) in pg.plan.row_ranges.iter().enumerate() {
+    let build_panel = |r: usize| {
         // Build a one-row-panel plan so `assemble` can be reused.
+        let range = &pg.plan.row_ranges[r];
         let sub_plan = PanelPlan {
             row_ranges: std::iter::once(0..range.len()).collect(),
             col_ranges: pg.plan.col_ranges.clone(),
@@ -483,8 +505,53 @@ pub fn multiply_to_disk(
                 )
             })
             .collect();
-        let panel = assemble(&sub_plan, &chunk_refs);
+        assemble(&sub_plan, &chunk_refs)
+    };
+    let mut recovery = RecoveryReport::default();
+    let mut host = config
+        .host_faults
+        .as_ref()
+        .map(|p| HostFaultState::new(p.derive(faults::streams::SPILL_WRITE)));
+    for r in 0..num_panels {
+        let panel = build_panel(r);
+        if let Some(state) = host.as_mut() {
+            // Transient write failures: each failed store is retried
+            // until it commits.
+            while state.roll(HostFaultKind::SpillWrite) {
+                recovery.spill_write_faults += 1;
+                recovery.retries += 1;
+            }
+        }
         spilled.store_panel(r, &panel)?;
+        if let Some(state) = host.as_mut() {
+            if state.roll(HostFaultKind::Corruption) {
+                // Flip a real bit in the committed shard so the FNV-1a
+                // checksum machinery is exercised end-to-end, not just
+                // a counter.
+                let path = SpilledMatrix::shard_path(dir, r);
+                let mut bytes = std::fs::read(&path)
+                    .map_err(|e| spill_err(format!("cannot re-read shard {r}: {e}")))?;
+                if !bytes.is_empty() {
+                    let (off, mask) = state.corruption_site(bytes.len() as u64);
+                    bytes[off as usize] ^= mask;
+                    std::fs::write(&path, &bytes)
+                        .map_err(|e| spill_err(format!("cannot corrupt shard {r}: {e}")))?;
+                    recovery.corruption_faults += 1;
+                }
+            }
+        }
+    }
+    if host.is_some() {
+        // Verify-and-repair: every shard the fault plan damaged fails
+        // its checksum here and is rewritten from the still-in-memory
+        // chunk results. The repair sweep does not re-roll corruption,
+        // so it terminates after one pass.
+        for r in spilled.missing_or_corrupt() {
+            let panel = build_panel(r);
+            spilled.store_panel(r, &panel)?;
+            recovery.retries += 1;
+        }
+        debug_assert!(spilled.missing_or_corrupt().is_empty());
     }
 
     Ok(SpilledRun {
@@ -493,6 +560,7 @@ pub fn multiply_to_disk(
         flops: pg.total_flops(),
         plan: pg.plan,
         recomputed_panels: 0,
+        recovery,
     })
 }
 
@@ -639,6 +707,90 @@ mod tests {
         let again = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
         assert_eq!(again.recomputed_panels, 0);
         again.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_checksum_flip_recomputes_only_that_panel() {
+        let a = erdos_renyi(400, 400, 0.03, 37);
+        let cfg = OocConfig::with_device_memory(1 << 18);
+        let dir = temp_dir("manifest_flip");
+        let run = multiply_to_disk(&a, &a, &cfg, &dir).unwrap();
+        assert!(run.c.num_panels() >= 3);
+        let clean = run.c.load_all().unwrap();
+        // Flip one hex digit of shard 1's recorded checksum: the shard
+        // bytes are fine, but the manifest no longer vouches for them.
+        let manifest = SpilledMatrix::manifest_path(&dir);
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        let flipped: String = text
+            .lines()
+            .map(|line| {
+                if line.starts_with("shard 1 ") {
+                    let mut s = line.to_string();
+                    let last = s.pop().unwrap();
+                    s.push(if last == '0' { '1' } else { '0' });
+                    s
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&manifest, flipped + "\n").unwrap();
+
+        let reopened = SpilledMatrix::open(&dir).unwrap();
+        assert_eq!(reopened.missing_or_corrupt(), vec![1]);
+        let resumed = SpilledMatrix::resume(&a, &a, &cfg, &dir).unwrap();
+        assert_eq!(resumed.recomputed_panels, 1);
+        assert!(resumed.c.missing_or_corrupt().is_empty());
+        assert_eq!(
+            resumed.c.load_all().unwrap(),
+            clean,
+            "resume after a manifest flip must be bit-identical"
+        );
+        resumed.c.remove().unwrap();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn host_fault_plan_corrupts_and_repairs_shards() {
+        let a = erdos_renyi(400, 400, 0.03, 43);
+        let dir = temp_dir("host_faults");
+        let faulty = OocConfig::with_device_memory(1 << 18).host_faults(
+            crate::HostFaultPlan::seeded(11)
+                .spill_write_rate(0.4)
+                .spill_read_rate(0.4)
+                .corruption_rate(0.9),
+        );
+        let run = multiply_to_disk(&a, &a, &faulty, &dir).unwrap();
+        assert!(
+            run.recovery.corruption_faults > 0,
+            "corruption rate 0.9 over several panels must fire: {}",
+            run.recovery.summary()
+        );
+        assert!(run.recovery.spill_write_faults > 0);
+        // The repair sweep left every shard verifiable...
+        assert!(run.c.missing_or_corrupt().is_empty());
+        // ...and the product is bit-identical to a fault-free run.
+        let clean_dir = temp_dir("host_faults_clean");
+        let clean =
+            multiply_to_disk(&a, &a, &OocConfig::with_device_memory(1 << 18), &clean_dir).unwrap();
+        assert_eq!(run.recovery.summary(), {
+            let rerun_dir = temp_dir("host_faults_rerun");
+            let rerun = multiply_to_disk(&a, &a, &faulty, &rerun_dir).unwrap();
+            let s = rerun.recovery.summary();
+            rerun.c.remove().unwrap();
+            std::fs::remove_dir(&rerun_dir).ok();
+            s
+        });
+        assert_eq!(run.c.load_all().unwrap(), clean.c.load_all().unwrap());
+        // Resume under read faults retries reads but recomputes nothing.
+        let resumed = SpilledMatrix::resume(&a, &a, &faulty, &dir).unwrap();
+        assert_eq!(resumed.recomputed_panels, 0);
+        assert!(resumed.recovery.spill_read_faults > 0);
+        clean.c.remove().unwrap();
+        std::fs::remove_dir(&clean_dir).ok();
+        run.c.remove().unwrap();
         std::fs::remove_dir(&dir).ok();
     }
 

@@ -17,6 +17,7 @@
 //! and integration tests) reproduces the paper's motivation for
 //! building one.
 
+use crate::metrics::{DegradationCause, DegradationEvent};
 use crate::{OocError, Result};
 use gpu_sim::{CostModel, DeviceProps, KernelKind, SimTime};
 use sparse::stats;
@@ -43,6 +44,10 @@ pub struct UnifiedRun {
     pub flops: u64,
     /// Whether the working set thrashed (exceeded device memory).
     pub thrashed: bool,
+    /// The thrash as a degradation event: `cost_ns` is the simulated
+    /// time lost to re-fault storms versus a device the working set
+    /// would have fit on. `None` when the run did not thrash.
+    pub degradation: Option<DegradationEvent>,
 }
 
 impl UnifiedRun {
@@ -131,29 +136,42 @@ pub fn multiply_unified(
         ),
     ];
     let mut resident = 0u64;
+    // What the same run would cost on a device the working set fits on
+    // (cold faults only) — the baseline the thrash penalty is measured
+    // against.
+    let mut fitted_ns: SimTime = 0;
+    let mut fitted_resident = 0u64;
     for (touched, kernel) in phases {
         let to_fault = if thrashed {
             touched
         } else {
             touched.saturating_sub(resident)
         };
+        let cold_fault = touched.saturating_sub(fitted_resident);
+        fitted_resident = fitted_resident.max(touched);
         resident = resident.max(touched.min(capacity));
         let (t, n) = fault_cost(cost, to_fault);
         sim_ns += t;
+        fitted_ns += fault_cost(cost, cold_fault).0;
         faults += n;
         h2d_bytes += pages(to_fault) * UM_PAGE_BYTES;
         // Faults serialize with the kernel (the kernel stalls on them),
         // so the phase cost is additive — the concurrency loss the
         // paper attributes to UM.
-        sim_ns += cost.kernel_duration(kernel);
+        let kernel_ns = cost.kernel_duration(kernel);
+        sim_ns += kernel_ns;
+        fitted_ns += kernel_ns;
     }
 
     // C is written on the device and must migrate back (writeback at
     // D2H bandwidth, page granularity).
     let wb_pages = pages(c_bytes);
     let d2h_bytes = wb_pages * UM_PAGE_BYTES;
-    sim_ns +=
+    let wb_ns =
         wb_pages * UM_FAULT_NS + (d2h_bytes as f64 / cost.d2h_bandwidth * 1e9).round() as SimTime;
+    sim_ns += wb_ns;
+    // Writeback is the same either way; it is not part of the penalty.
+    fitted_ns += wb_ns;
 
     Ok(UnifiedRun {
         sim_ns,
@@ -162,6 +180,13 @@ pub fn multiply_unified(
         faults,
         flops,
         thrashed,
+        degradation: thrashed.then(|| DegradationEvent {
+            cause: DegradationCause::UnifiedThrash,
+            // Thrashing is structural: the working set exceeds the
+            // device from the first phase on.
+            at_ns: 0,
+            cost_ns: sim_ns.saturating_sub(fitted_ns),
+        }),
     })
 }
 
@@ -203,6 +228,22 @@ mod tests {
         );
         assert!(thrash.sim_ns > fits.sim_ns);
         assert!(thrash.faults > fits.faults);
+    }
+
+    #[test]
+    fn thrash_surfaces_as_a_costed_degradation_event() {
+        let a = erdos_renyi(600, 600, 0.03, 2);
+        let cost = CostModel::calibrated();
+        let fits = multiply_unified(&a, &a, &DeviceProps::v100(), &cost).unwrap();
+        assert_eq!(fits.degradation, None);
+        let thrash = multiply_unified(&a, &a, &DeviceProps::v100_scaled(1 << 19), &cost).unwrap();
+        let ev = thrash.degradation.expect("thrashed run must report one");
+        assert_eq!(ev.cause, DegradationCause::UnifiedThrash);
+        // The penalty is exactly the time lost versus a fitting device:
+        // both runs share kernels and writeback, so the event cost is
+        // the sim-time gap.
+        assert_eq!(ev.cost_ns, thrash.sim_ns - fits.sim_ns);
+        assert!(ev.cost_ns > 0);
     }
 
     #[test]

@@ -230,8 +230,8 @@ impl Timeline {
             if r.stream == u32::MAX {
                 continue;
             }
-            let m = match streams.iter_mut().find(|m| m.stream == r.stream) {
-                Some(m) => m,
+            let idx = match streams.iter().position(|m| m.stream == r.stream) {
+                Some(i) => i,
                 None => {
                     streams.push(StreamMetrics {
                         stream: r.stream,
@@ -239,9 +239,10 @@ impl Timeline {
                         busy_ns: 0,
                         span_ns: 0,
                     });
-                    streams.last_mut().expect("just pushed")
+                    streams.len() - 1
                 }
             };
+            let m = &mut streams[idx];
             m.ops += 1;
             m.busy_ns += r.end - r.start;
         }

@@ -167,6 +167,93 @@ fn estimator_flags_run_and_report() {
 }
 
 #[test]
+fn host_fault_and_budget_flags_run_and_report() {
+    let out = spgemm()
+        .args([
+            "--gen",
+            "rmat:10:8000:7",
+            "--executor",
+            "gpu-async",
+            "--host-fault-seed",
+            "11",
+            "--host-fault-rate",
+            "0.3",
+            "--fault-seed",
+            "11",
+            "--fault-rate",
+            "0.1",
+            "--deadline-ns",
+            "900000000000",
+        ])
+        .output()
+        .expect("spawn spgemm");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("host fault injection: seed 11"),
+        "no host-fault line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("run budget: 900000000000 ns"),
+        "no budget line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("recovery:") && stdout.contains("host faults"),
+        "no recovery summary:\n{stdout}"
+    );
+}
+
+#[test]
+fn unmeetable_deadline_is_a_clean_error() {
+    // A 1 ns budget cannot be met; the executor must return the
+    // DeadlineExceeded error (exit 1 with a message), never hang or
+    // panic.
+    let out = spgemm()
+        .args([
+            "--gen",
+            "rmat:10:8000:7",
+            "--executor",
+            "gpu-async",
+            "--deadline-ns",
+            "1",
+        ])
+        .output()
+        .expect("spawn spgemm");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("deadline exceeded"),
+        "wrong failure: {stderr}"
+    );
+}
+
+#[test]
+fn bad_supervision_flags_exit_2() {
+    for args in [
+        vec!["--gen", "rmat:10:8000:7", "--host-fault-rate", "NaN"],
+        vec!["--gen", "rmat:10:8000:7", "--host-fault-rate", "-0.5"],
+        vec!["--gen", "rmat:10:8000:7", "--host-fault-rate", "1.5"],
+        vec!["--gen", "rmat:10:8000:7", "--host-fault-rate", "bogus"],
+        vec!["--gen", "rmat:10:8000:7", "--host-fault-seed", "-3"],
+        vec!["--gen", "rmat:10:8000:7", "--deadline-ns", "0"],
+        vec!["--gen", "rmat:10:8000:7", "--deadline-ns", "-1"],
+        vec!["--gen", "rmat:10:8000:7", "--deadline-ns", "bogus"],
+    ] {
+        let out = spgemm().args(&args).output().expect("spawn spgemm");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
 fn bad_estimator_flags_exit_2() {
     for args in [
         vec!["--gen", "rmat:10:8000:7", "--estimator", "crystal-ball"],
