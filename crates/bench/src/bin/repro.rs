@@ -76,11 +76,12 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate|chaos]... \
+                    "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate|chaos|serve]... \
                      [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR] \
                      [--seed N] [--iters K]\n\
-                     chaos is not part of 'all'; ask for it by name. \
-                     --seed/--iters drive the chaos sweep (defaults 7, 2)."
+                     chaos and serve are not part of 'all'; ask for them by name. \
+                     --seed/--iters drive the chaos sweep (defaults 7, 2); \
+                     --seed also seeds the serve trace."
                 );
                 std::process::exit(0);
             }
@@ -130,6 +131,43 @@ fn main() {
         }
     }
 
+    // The serve smoke is the service frontend's CI stage: the fixed
+    // 64-request / 4-tenant trace must complete bit-identically to
+    // one-shot execution AND exercise the shed and quota paths. Like
+    // chaos, it runs only when asked for by name.
+    if args.experiments.iter().any(|e| e == "serve") {
+        println!(
+            "## Serve smoke: 64-request / 4-tenant trace through the service frontend (seed {})\n",
+            args.seed
+        );
+        eprintln!(
+            "[{:6.1}s] running serve trace...",
+            t0.elapsed().as_secs_f64()
+        );
+        let trace = bench::serve::gen_trace(64, 4, args.seed);
+        let report = bench::serve::run_trace(&trace, &bench::serve::harness_config());
+        println!("{}", report.table());
+        std::fs::write(args.out.join("serve_report.json"), report.to_json())
+            .expect("write serve_report.json");
+        let mut failures = Vec::new();
+        if report.mismatches > 0 {
+            failures.push(format!(
+                "{} completion(s) differ from one-shot",
+                report.mismatches
+            ));
+        }
+        if report.shed == 0 {
+            failures.push("no request was shed by admission".to_string());
+        }
+        if report.quota_queued == 0 {
+            failures.push("no request waited on a quota refill".to_string());
+        }
+        if !failures.is_empty() {
+            eprintln!("serve smoke failed: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+    }
+
     if wants(&args, "table1") {
         println!("## Table I: Nvidia Tesla V100 specifications (simulated)\n");
         println!("{}", experiments::table1());
@@ -163,6 +201,16 @@ fn main() {
             bench::chunk_prep_bench::to_json(&rows),
         )
         .expect("write BENCH_chunk_prep.json");
+
+        println!("## CPU calibration: measured host vs frozen paper constants\n");
+        eprintln!(
+            "[{:6.1}s] measuring cpu kernel calibration...",
+            t0.elapsed().as_secs_f64()
+        );
+        let cal = bench::cpu_calibration::run();
+        println!("{}", cal.table());
+        std::fs::write(args.out.join("BENCH_cpu_calibration.json"), cal.to_json())
+            .expect("write BENCH_cpu_calibration.json");
     }
 
     if wants(&args, "estimate") {

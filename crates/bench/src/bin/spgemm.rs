@@ -10,6 +10,13 @@
 //! the selected executor, prints statistics, and optionally writes the
 //! result (`.mtx` or `.spb`), a `chrome://tracing` timeline, and a
 //! structured metrics JSON (`--metrics-out`, DESIGN.md §9).
+//!
+//! The `serve` subcommand instead replays a seeded multi-tenant
+//! request trace through the service frontend (DESIGN.md §14):
+//!
+//! ```text
+//! spgemm serve --trace trace.json [--requests N] [--tenants N] [--seed S]
+//! ```
 
 use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
@@ -189,7 +196,100 @@ fn write_result(path: &Path, c: &CsrMatrix) {
     println!("wrote {}", path.display());
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: spgemm serve [--trace FILE.json] [--requests N] [--tenants N] [--seed S]\n\
+         \x20      [--metrics-out FILE.json]\n\
+         Replays FILE.json through the service frontend if it exists; otherwise\n\
+         generates the seeded trace, writes it to FILE.json (when given), and runs it.\n\
+         Exits 1 if any completed product differs from the one-shot executor."
+    );
+    std::process::exit(2)
+}
+
+/// `spgemm serve`: play a deterministic request trace through the
+/// service frontend and verify every completion bit-for-bit.
+fn serve_main() -> ! {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut requests = 64usize;
+    let mut tenants = 4usize;
+    let mut seed = 7u64;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| serve_usage());
+        match flag.as_str() {
+            "--trace" => trace_path = Some(PathBuf::from(value())),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value())),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--tenants" => tenants = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--help" | "-h" => serve_usage(),
+            _ => serve_usage(),
+        }
+    }
+
+    let trace = match &trace_path {
+        Some(path) if path.exists() => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("failed to read {}: {e}", path.display());
+                std::process::exit(1)
+            });
+            let trace: bench::serve::ServeTrace = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("failed to parse {}: {e}", path.display());
+                std::process::exit(1)
+            });
+            println!(
+                "replaying {} ({} requests, {} tenants, seed {})",
+                path.display(),
+                trace.requests.len(),
+                trace.tenants,
+                trace.seed
+            );
+            trace
+        }
+        _ => {
+            let trace = bench::serve::gen_trace(requests, tenants, seed);
+            println!("generated trace: {requests} requests, {tenants} tenants, seed {seed}");
+            if let Some(path) = &trace_path {
+                let json = serde_json::to_string_pretty(&trace).expect("trace serializes");
+                std::fs::write(path, json).unwrap_or_else(|e| {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1)
+                });
+                println!("wrote trace to {}", path.display());
+            }
+            trace
+        }
+    };
+
+    let report = bench::serve::run_trace(&trace, &bench::serve::harness_config());
+    print!("{}", report.table());
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, &report.metrics_json).unwrap_or_else(|e| {
+            eprintln!("failed to write metrics: {e}");
+            std::process::exit(1)
+        });
+        println!("wrote per-tenant metrics to {}", path.display());
+    }
+    if report.mismatches > 0 {
+        eprintln!(
+            "FAIL: {} completed request(s) differ from one-shot execution",
+            report.mismatches
+        );
+        std::process::exit(1)
+    }
+    println!(
+        "all {} completed products bit-identical to one-shot",
+        report.completed
+    );
+    std::process::exit(0)
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_main();
+    }
     let args = parse_args();
     let a = load_matrix(&args);
     println!("A: {} x {}, nnz = {}", a.n_rows(), a.n_cols(), a.nnz());
@@ -237,6 +337,20 @@ fn main() {
         est.headroom = h;
     }
     config = config.estimator(est);
+
+    // The estimator only drives planning in speculative (async)
+    // pipelines — gpu-async, hybrid, and multi-gpu consume it. The
+    // remaining executors would silently drop the flags; warn loudly
+    // instead so a benchmark never reports the wrong configuration.
+    let est_flags =
+        args.estimator.is_some() || args.sample_rate.is_some() || args.headroom.is_some();
+    if est_flags && matches!(args.executor.as_str(), "cpu" | "unified" | "gpu-sync") {
+        eprintln!(
+            "warning: --estimator/--sample-rate/--headroom have no effect with \
+             --executor {} (no speculative planning path); flags ignored",
+            args.executor
+        );
+    }
 
     // Any fault flag switches on the deterministic fault-injection +
     // recovery layer; results stay bit-identical to a fault-free run.

@@ -79,6 +79,11 @@ pub struct PrepBenchRow {
     pub parallel_2t_ns: u64,
     /// Parallel engine on a pool of all host threads, ns.
     pub parallel_all_ns: u64,
+    /// Thread-scaling curve: `(threads, ns)` for power-of-two pool
+    /// sizes up to (and always including) `host_threads`. Unlike the
+    /// fixed `parallel_2t` column, the curve never oversubscribes —
+    /// on a single-core host it honestly collapses to one point.
+    pub scaling: Vec<(usize, u64)>,
 }
 
 impl PrepBenchRow {
@@ -134,6 +139,18 @@ pub fn run_case(case: &PrepCase) -> PrepBenchRow {
     let parallel_2t_ns = parallel(2);
     let parallel_all_ns = parallel(host_threads.max(1));
 
+    // Power-of-two pool sizes up to the real core count, plus the
+    // full count itself; never an oversubscribed point.
+    let mut scaling = Vec::new();
+    let mut t = 1usize;
+    while t <= host_threads.max(1) {
+        scaling.push((t, if t == 1 { parallel_1t_ns } else { parallel(t) }));
+        t *= 2;
+    }
+    if scaling.last().map(|&(t, _)| t) != Some(host_threads.max(1)) {
+        scaling.push((host_threads.max(1), parallel_all_ns));
+    }
+
     PrepBenchRow {
         name: case.name,
         n: a.n_rows(),
@@ -144,6 +161,7 @@ pub fn run_case(case: &PrepCase) -> PrepBenchRow {
         parallel_1t_ns,
         parallel_2t_ns,
         parallel_all_ns,
+        scaling,
     }
 }
 
@@ -181,11 +199,18 @@ pub fn table(rows: &[PrepBenchRow]) -> String {
 pub fn to_json(rows: &[PrepBenchRow]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"chunk_prep\",\n  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let scaling = r
+            .scaling
+            .iter()
+            .map(|&(t, ns)| format!("{{\"threads\": {t}, \"ns\": {ns}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"n\": {},\n      \"nnz\": {},\n      \
              \"chunks\": {},\n      \"host_threads\": {},\n      \
              \"serial_ns\": {},\n      \"parallel_1t_ns\": {},\n      \
              \"parallel_2t_ns\": {},\n      \"parallel_all_ns\": {},\n      \
+             \"scaling\": [{}],\n      \
              \"speedup_1t\": {:.3},\n      \"speedup_all\": {:.3}\n    }}{}\n",
             r.name,
             r.n,
@@ -196,6 +221,7 @@ pub fn to_json(rows: &[PrepBenchRow]) -> String {
             r.parallel_1t_ns,
             r.parallel_2t_ns,
             r.parallel_all_ns,
+            scaling,
             r.speedup_1t(),
             r.speedup_all(),
             if i + 1 < rows.len() { "," } else { "" },
@@ -221,11 +247,13 @@ mod tests {
             parallel_1t_ns: 2000,
             parallel_2t_ns: 1500,
             parallel_all_ns: 1000,
+            scaling: vec![(1, 2000), (2, 1500), (4, 1200), (8, 1000)],
         }];
         let json = to_json(&rows);
         assert!(json.contains("\"speedup_all\": 3.000"));
         assert!(json.contains("\"speedup_1t\": 1.500"));
         assert!(json.contains("\"host_threads\": 8"));
+        assert!(json.contains("{\"threads\": 4, \"ns\": 1200}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -239,5 +267,12 @@ mod tests {
         });
         assert_eq!(row.chunks, 4);
         assert!(row.serial_ns > 0 && row.parallel_all_ns > 0);
+        // The scaling curve starts at one thread and never exceeds
+        // the real core count (no oversubscribed points).
+        assert_eq!(row.scaling.first().map(|&(t, _)| t), Some(1));
+        assert!(row
+            .scaling
+            .iter()
+            .all(|&(t, _)| t <= row.host_threads.max(1)));
     }
 }

@@ -14,9 +14,11 @@
 
 pub mod chaos;
 pub mod chunk_prep_bench;
+pub mod cpu_calibration;
 pub mod estimate_bench;
 pub mod experiments;
 pub mod planner_bench;
+pub mod serve;
 pub mod table;
 
 use sparse::gen::{suite, SuiteMatrix, SuiteScale};

@@ -1,0 +1,446 @@
+//! Service-frontend trace harness: seeded deterministic request
+//! traces through [`oocgemm::Service`], verified bit-for-bit.
+//!
+//! A trace is a list of timed, per-tenant requests over a small pool
+//! of generated matrices, with per-request scheduler/estimator knobs
+//! drawn from a seeded stream. The runner plays the trace through the
+//! service and re-computes every completed request with the equivalent
+//! one-shot executor call ([`Hybrid::multiply`] for multiplies,
+//! [`oocgemm::OutOfCoreGpu`] for chained ops) — any byte of difference
+//! is a mismatch. The `repro serve` scenario runs the default
+//! 64-request / 4-tenant trace and exits non-zero on mismatches, which
+//! makes a fixed-seed invocation a CI stage; `spgemm serve --trace
+//! FILE` replays (or writes) a trace file.
+
+use oocgemm::{
+    EstimateConfig, EstimatorKind, HostFaultPlan, Hybrid, HybridConfig, OocConfig, Outcome,
+    Request, RequestOp, SchedulerKind, Service, ServiceConfig, TenantQuota,
+};
+use sparse::gen::erdos_renyi;
+use sparse::CsrMatrix;
+
+/// Splitmix64 — the trace generator's only randomness source; seeded,
+/// allocation-free, and dependency-free (`rand` is a dev-dependency
+/// only).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generator spec of one pooled matrix, kept in the trace file so a
+/// replay regenerates the identical operand set.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MatrixSpec {
+    /// Square dimension.
+    pub n: usize,
+    /// Erdős–Rényi density.
+    pub density: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl MatrixSpec {
+    /// Materializes the matrix.
+    pub fn generate(&self) -> CsrMatrix {
+        erdos_renyi(self.n, self.n, self.density, self.seed)
+    }
+}
+
+/// One trace entry. Operands are indices into the trace's matrix pool.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TraceRequest {
+    /// Request id (unique within the trace).
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Simulated arrival, ns.
+    pub arrival_ns: u64,
+    /// `multiply` | `power` | `triple`.
+    pub op: String,
+    /// Operand pool indices (2 for multiply, 1 for power, 3 for triple).
+    pub operands: Vec<usize>,
+    /// Power exponent (ignored for the other ops).
+    pub k: u32,
+    /// `stealing` | `static`.
+    pub scheduler: String,
+    /// Estimator kind name.
+    pub estimator: String,
+    /// Estimator headroom.
+    pub headroom: f64,
+    /// Host-fault seed; 0 means no injected host faults.
+    pub host_fault_seed: u64,
+}
+
+/// A full serialized trace.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServeTrace {
+    /// Root seed the trace was derived from.
+    pub seed: u64,
+    /// Tenant count (tenants are named `t0..t{n-1}`).
+    pub tenants: usize,
+    /// The operand pool.
+    pub matrices: Vec<MatrixSpec>,
+    /// The timed request list, in arrival order.
+    pub requests: Vec<TraceRequest>,
+}
+
+/// Opening-storm size: this many requests arrive at t=0 together, so
+/// the admission queue overflows and at least one request is shed.
+const STORM: usize = 10;
+/// Arrival spacing after the storm, ns — slightly slower than the
+/// simulated per-request service time, so the backlog drains.
+const SPACING_NS: u64 = 900_000;
+/// Quiet gap between the storm and the steady arrivals, ns.
+const SETTLE_NS: u64 = 2_000_000;
+
+/// Generates the seeded deterministic trace: `requests` requests from
+/// `tenants` tenants over a 3-matrix pool. The first [`STORM`]
+/// requests arrive together at t=0 (overflowing the harness queue);
+/// the rest arrive at a steady [`SPACING_NS`] cadence. Per-request
+/// scheduler/estimator knobs are drawn from a seeded stream.
+pub fn gen_trace(requests: usize, tenants: usize, seed: u64) -> ServeTrace {
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    // One shared dimension so every random operand pairing multiplies;
+    // densities differ so the pool still spans distinct flop profiles.
+    let matrices = vec![
+        MatrixSpec {
+            n: 300,
+            density: 0.025,
+            seed: seed.wrapping_add(1),
+        },
+        MatrixSpec {
+            n: 300,
+            density: 0.02,
+            seed: seed.wrapping_add(2),
+        },
+        MatrixSpec {
+            n: 300,
+            density: 0.012,
+            seed: seed.wrapping_add(3),
+        },
+    ];
+    let pool = matrices.len();
+    let mut out = Vec::with_capacity(requests);
+    // A small set of operand pairs (rather than all pool^2 combos)
+    // keeps grid-cache keys recurring, so the batcher and resident
+    // matrix cache actually get hits.
+    let pairs = [(0usize, 1usize), (1, 2), (0, 2)];
+    for i in 0..requests {
+        let r = splitmix64(&mut rng);
+        let tenant = format!("t{}", r as usize % tenants.max(1));
+        let arrival_ns = if i < STORM {
+            0
+        } else {
+            SETTLE_NS + (i - STORM) as u64 * SPACING_NS
+        };
+        let (a, b) = pairs[(r >> 8) as usize % pairs.len()];
+        // Mostly multiplies (they exercise the batcher); a sprinkle of
+        // chained ops exercises adaptive headroom end to end.
+        let (op, operands, k) = match r % 8 {
+            6 => ("power".to_string(), vec![a], 2 + (r >> 24) as u32 % 2),
+            7 => ("triple".to_string(), vec![a, b, (a + 1) % pool], 0),
+            _ => ("multiply".to_string(), vec![a, b], 0),
+        };
+        let scheduler = if (r >> 32) % 2 == 0 {
+            "stealing"
+        } else {
+            "static"
+        };
+        let estimator = match (r >> 34) % 4 {
+            0 => "exact",
+            1 => "upper-bound",
+            2 => "row-sample",
+            _ => "hash-sketch",
+        };
+        let headroom = 1.3;
+        // A quarter of the requests run under injected host faults —
+        // recovery must stay invisible in the completed products.
+        let host_fault_seed = if (r >> 44) % 4 == 0 {
+            seed.wrapping_add(i as u64) | 1
+        } else {
+            0
+        };
+        out.push(TraceRequest {
+            id: i as u64 + 1,
+            tenant,
+            arrival_ns,
+            op,
+            operands,
+            k,
+            scheduler: scheduler.to_string(),
+            estimator: estimator.to_string(),
+            headroom,
+            host_fault_seed,
+        });
+    }
+    ServeTrace {
+        seed,
+        tenants,
+        matrices,
+        requests: out,
+    }
+}
+
+/// Service sizing used by the harness: a deliberately small frontend
+/// (shallow queue, bounded per-tenant flops) so the default trace
+/// exercises the shed and quota paths, not just the happy path.
+pub fn harness_config() -> ServiceConfig {
+    ServiceConfig::new()
+        .gpu(OocConfig::with_device_memory(1 << 20).panels(2, 2))
+        .queue_capacity(6)
+        .quota(TenantQuota::new(60_000, 20_000))
+        .batch_max(4)
+}
+
+/// Outcome of one replayed trace.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServeReport {
+    /// Root seed of the trace.
+    pub seed: u64,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission.
+    pub shed: u64,
+    /// Requests that waited on a quota refill.
+    pub quota_queued: u64,
+    /// Completed requests that reused a resident prepared grid.
+    pub batch_hits: u64,
+    /// Completed requests whose product differed from the equivalent
+    /// one-shot call (must be 0).
+    pub mismatches: u64,
+    /// Simulated makespan of the trace, ns.
+    pub makespan_ns: u64,
+    /// Per-tenant metrics JSON (the service's `Metrics::to_json`).
+    pub metrics_json: String,
+}
+
+impl ServeReport {
+    /// Machine-readable JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serve report serializes")
+    }
+
+    /// Text table for stdout.
+    pub fn table(&self) -> String {
+        format!(
+            "requests   completed  shed  quota-queued  batch-hits  mismatches  makespan\n\
+             {:<9}  {:<9}  {:<4}  {:<12}  {:<10}  {:<10}  {:.3} ms\n",
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.quota_queued,
+            self.batch_hits,
+            self.mismatches,
+            self.makespan_ns as f64 / 1e6,
+        )
+    }
+}
+
+fn scheduler_of(name: &str) -> SchedulerKind {
+    match name {
+        "static" => SchedulerKind::Static,
+        _ => SchedulerKind::WorkStealing,
+    }
+}
+
+fn estimator_of(t: &TraceRequest) -> EstimateConfig {
+    let kind = t
+        .estimator
+        .parse::<EstimatorKind>()
+        .unwrap_or(EstimatorKind::Exact);
+    EstimateConfig {
+        kind,
+        headroom: t.headroom,
+        ..EstimateConfig::default()
+    }
+}
+
+fn build_request(t: &TraceRequest, keys: &[usize]) -> Option<Request> {
+    let key = |i: usize| keys.get(*t.operands.get(i)?).copied();
+    let op = match t.op.as_str() {
+        "multiply" => RequestOp::Multiply {
+            a: key(0)?,
+            b: key(1)?,
+        },
+        "power" => RequestOp::Power { a: key(0)?, k: t.k },
+        "triple" => RequestOp::TripleProduct {
+            r: key(0)?,
+            a: key(1)?,
+            p: key(2)?,
+        },
+        _ => return None,
+    };
+    let mut req = Request {
+        id: t.id,
+        tenant: t.tenant.clone(),
+        arrival_ns: t.arrival_ns,
+        op,
+        scheduler: scheduler_of(&t.scheduler),
+        estimator: estimator_of(t),
+        budget: None,
+        host_faults: None,
+    };
+    if t.host_fault_seed != 0 {
+        req = req.host_faults(HostFaultPlan::seeded(t.host_fault_seed).all_rates(0.25));
+    }
+    Some(req)
+}
+
+/// One-shot recomputation of a trace request: the product the service
+/// must reproduce bit for bit.
+fn one_shot(t: &TraceRequest, pool: &[CsrMatrix], cfg: &ServiceConfig) -> Option<CsrMatrix> {
+    let mut gpu = cfg.gpu.clone().estimator(estimator_of(t));
+    if t.host_fault_seed != 0 {
+        gpu = gpu.host_faults(HostFaultPlan::seeded(t.host_fault_seed).all_rates(0.25));
+    }
+    match t.op.as_str() {
+        "multiply" => {
+            let hcfg = HybridConfig {
+                gpu,
+                gpu_ratio: cfg.gpu_ratio,
+                reorder_assignment: true,
+                scheduler: scheduler_of(&t.scheduler),
+            };
+            Some(
+                Hybrid::new(hcfg)
+                    .multiply(pool.get(t.operands[0])?, pool.get(t.operands[1])?)
+                    .ok()?
+                    .c,
+            )
+        }
+        "power" => Some(
+            oocgemm::OutOfCoreGpu::new(gpu)
+                .power(pool.get(t.operands[0])?, t.k)
+                .ok()?
+                .c,
+        ),
+        "triple" => Some(
+            oocgemm::OutOfCoreGpu::new(gpu)
+                .triple_product(
+                    pool.get(t.operands[0])?,
+                    pool.get(t.operands[1])?,
+                    pool.get(t.operands[2])?,
+                )
+                .ok()?
+                .c,
+        ),
+        _ => None,
+    }
+}
+
+/// Plays `trace` through a fresh [`Service`] under `config` and
+/// verifies every completed product against the equivalent one-shot
+/// executor call.
+pub fn run_trace(trace: &ServeTrace, config: &ServiceConfig) -> ServeReport {
+    let pool: Vec<CsrMatrix> = trace.matrices.iter().map(|m| m.generate()).collect();
+    let mut svc = Service::new(config.clone()).expect("harness service config is valid");
+    let keys: Vec<usize> = pool.iter().map(|m| svc.intern(m.clone())).collect();
+
+    let mut submitted = 0u64;
+    for t in &trace.requests {
+        let Some(req) = build_request(t, &keys) else {
+            eprintln!("serve: skipping malformed trace request {}", t.id);
+            continue;
+        };
+        submitted += 1;
+        svc.submit(req).expect("trace request validated");
+    }
+    let completions = svc.drain().expect("drain");
+
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut batch_hits = 0u64;
+    let mut mismatches = 0u64;
+    let mut makespan_ns = 0u64;
+    for c in &completions {
+        match &c.outcome {
+            Outcome::Completed {
+                c: product,
+                finish_ns,
+                batch_hit,
+                ..
+            } => {
+                completed += 1;
+                makespan_ns = makespan_ns.max(*finish_ns);
+                if *batch_hit {
+                    batch_hits += 1;
+                }
+                let t = trace
+                    .requests
+                    .iter()
+                    .find(|t| t.id == c.id)
+                    .expect("completion maps to a trace entry");
+                match one_shot(t, &pool, config) {
+                    Some(expect) if expect == *product => {}
+                    _ => {
+                        mismatches += 1;
+                        eprintln!(
+                            "serve mismatch: request {} ({}) differs from one-shot",
+                            c.id, t.op
+                        );
+                    }
+                }
+            }
+            Outcome::Shed { .. } => shed += 1,
+        }
+    }
+    let metrics = svc.metrics();
+    let quota_queued = metrics.tenants.iter().map(|t| t.quota_queued).sum();
+    ServeReport {
+        seed: trace.seed,
+        submitted,
+        completed,
+        shed,
+        quota_queued,
+        batch_hits,
+        mismatches,
+        makespan_ns,
+        metrics_json: metrics.to_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_trace_is_deterministic() {
+        let a = gen_trace(16, 4, 7);
+        let b = gen_trace(16, 4, 7);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb);
+        // And round-trips through its file format.
+        let back: ServeTrace = serde_json::from_str(&ja).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), ja);
+    }
+
+    #[test]
+    fn default_trace_exercises_shed_and_quota_paths() {
+        let trace = gen_trace(64, 4, 7);
+        let report = run_trace(&trace, &harness_config());
+        assert_eq!(report.mismatches, 0, "{}", report.table());
+        assert!(report.shed >= 1, "expected >=1 shed\n{}", report.table());
+        assert!(
+            report.quota_queued >= 1,
+            "expected >=1 quota-queued\n{}",
+            report.table()
+        );
+        assert!(report.batch_hits >= 1, "{}", report.table());
+        assert_eq!(report.completed + report.shed, report.submitted);
+    }
+
+    #[test]
+    fn small_trace_completes_without_mismatches() {
+        let trace = gen_trace(12, 3, 11);
+        let report = run_trace(&trace, &harness_config());
+        assert_eq!(report.mismatches, 0, "{}", report.table());
+        assert!(report.completed > 0);
+        assert_eq!(report.completed + report.shed, report.submitted);
+    }
+}

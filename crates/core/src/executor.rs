@@ -103,7 +103,7 @@ fn plan_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<Planned
 /// field-identical (the `prepare_equivalence` suite covers `spec`
 /// too). The chunks' exact results are untouched — speculation only
 /// changes how the simulation sizes and schedules them.
-fn attach_speculation_all(
+pub(crate) fn attach_speculation_all(
     a: &CsrMatrix,
     plan: &PanelPlan,
     col_panels: &[ColPanel],
@@ -134,10 +134,23 @@ fn attach_speculation_all(
 /// materialize concurrently (wave by wave), bounding peak host memory
 /// on huge grids.
 pub fn prepare_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<PreparedGrid> {
+    prepare_grid_pooled(a, b, config, &accum::ScratchPool::new())
+}
+
+/// [`prepare_grid`] against a caller-owned [`accum::ScratchPool`], so a
+/// long-lived frontend (the service layer) keeps its workers' scratch
+/// warm across requests instead of re-growing it per multiplication.
+/// Pooling only changes allocation reuse, never results — the prepared
+/// grid is bit-identical to a cold-pool preparation.
+pub fn prepare_grid_pooled(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    config: &OocConfig,
+    pool: &accum::ScratchPool,
+) -> Result<PreparedGrid> {
     let (plan, grid, col_panels, row_flops_prefix, est_model) = plan_grid(a, b, config)?;
     let k_c = plan.col_panels();
     let n = plan.num_chunks();
-    let pool = accum::ScratchPool::new();
     let mut slots: Vec<Option<PreparedChunk>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let cap = config.prepare_parallelism.unwrap_or(n).max(1);
@@ -165,7 +178,7 @@ pub fn prepare_grid(a: &CsrMatrix, b: &CsrMatrix, config: &OocConfig) -> Result<
                         b_panel: &col_panels[idx % k_c].matrix,
                         chunk_id: idx,
                     },
-                    &pool,
+                    pool,
                     prefix,
                 ));
             });
@@ -786,9 +799,10 @@ pub(crate) fn simulate_order_recovering(
 
 /// Estimator accuracy accounting for a speculative run: per-chunk
 /// hit/miss against the estimated allocations, summed estimated vs
-/// actual output nonzeros, and the grow-and-retry count from the
-/// recovery report.
-fn estimator_stats(
+/// actual output nonzeros, the applied headroom, and the
+/// grow-and-retry count from the recovery report. Shared by every
+/// executor that honors the estimator (async, hybrid, multi-GPU).
+pub(crate) fn estimator_stats(
     config: &OocConfig,
     pg: &PreparedGrid,
     model: &EstModel,
@@ -818,6 +832,54 @@ fn estimator_stats(
         chunk_misses,
         overflow_rows,
         retries: recovery.estimate_overflows,
+        headroom: config.estimator.headroom,
+    }
+}
+
+/// Target over-allocation for an adapted headroom: aim to allocate
+/// ~10% above the actual output.
+const ADAPT_TARGET_OVER: f64 = 1.10;
+/// Never adapt below this headroom — a hair of margin keeps ordinary
+/// model jitter from turning every chunk into a grow-and-retry.
+const ADAPT_MIN_HEADROOM: f64 = 1.05;
+
+/// Adapts the speculative headroom for the next link of a chained run
+/// (`power`, `triple_product`) from the previous link's estimator
+/// accuracy. The previous iteration's actual nnz(C) is in hand, so
+/// re-estimating with the same fixed headroom wastes allocation:
+///
+/// * all chunks hit → shrink toward `est/actual ≈ ADAPT_TARGET_OVER`,
+///   floored at `ADAPT_MIN_HEADROOM` and capped at the configured base;
+/// * any chunk missed → fall back to the configured base headroom.
+///
+/// Only allocation-sizing inputs (chunk hits/misses, estimated vs
+/// actual nnz) feed the adaptation — they are pure grid properties, so
+/// faulted and clean chains adapt identically and chained results stay
+/// bit-identical under fault injection. The applied value is recorded
+/// in [`EstimatorStats::headroom`] per iteration.
+pub(crate) fn adapt_headroom(
+    base: accum::estimate::EstimateConfig,
+    prev: Option<&EstimatorStats>,
+) -> accum::estimate::EstimateConfig {
+    if base.kind == EstimatorKind::Exact {
+        return base;
+    }
+    let Some(prev) = prev else { return base };
+    if prev.chunk_misses > 0 || prev.actual_nnz == 0 {
+        return base;
+    }
+    // est/actual is (model error) x (applied headroom); divide the
+    // target through it to land the next allocation near the target.
+    let over = prev.est_nnz as f64 / prev.actual_nnz as f64;
+    if !(over.is_finite() && over > 0.0) {
+        return base;
+    }
+    let next = (prev.headroom * ADAPT_TARGET_OVER / over)
+        .max(ADAPT_MIN_HEADROOM)
+        .min(base.headroom);
+    accum::estimate::EstimateConfig {
+        headroom: next,
+        ..base
     }
 }
 
@@ -885,6 +947,19 @@ impl OutOfCoreGpu {
     /// Computes `C = a · b` out-of-core.
     pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<OocRun> {
         let pg = prepare_grid(a, b, &self.config)?;
+        self.multiply_prepared(a, &pg)
+    }
+
+    /// Runs the simulation/recovery/assembly epilogue of [`multiply`]
+    /// against an already-prepared grid. The grid is borrowed, so a
+    /// long-lived frontend can cache one [`PreparedGrid`] per operand
+    /// pair and serve many requests from it — the run is bit-identical
+    /// to a one-shot [`multiply`] with the same configuration because
+    /// preparation is deterministic and the epilogue never mutates the
+    /// grid. The caller must have prepared the grid under a
+    /// configuration whose planning-relevant fields (panels, estimator,
+    /// column partitioner, device geometry) match `self.config()`.
+    pub fn multiply_prepared(&self, a: &CsrMatrix, pg: &PreparedGrid) -> Result<OocRun> {
         // Sync mode follows Algorithm 3's natural loop; async mode
         // reorders by decreasing flops when configured (Section IV-C),
         // grouped by row panel to keep the A panel resident.
@@ -909,7 +984,7 @@ impl OutOfCoreGpu {
                 ),
                 None => GpuSim::new(self.config.device.clone(), self.config.cost.clone()),
             };
-            let rec = simulate_order_recovering(&mut sim, a, &pg, &order, &self.config)?;
+            let rec = simulate_order_recovering(&mut sim, a, pg, &order, &self.config)?;
             let metrics = Metrics::collect(&sim, rec.sim_ns)
                 .with_chunks(rec.chunk_stats)
                 .with_degradations(rec.degradations);
@@ -922,7 +997,7 @@ impl OutOfCoreGpu {
             )
         } else {
             let mut sim = GpuSim::new(self.config.device.clone(), self.config.cost.clone());
-            let sim_ns = simulate_order(&mut sim, &pg, &order, &self.config)?;
+            let sim_ns = simulate_order(&mut sim, pg, &order, &self.config)?;
             let metrics = Metrics::collect(&sim, sim_ns);
             (
                 sim_ns,
@@ -934,7 +1009,7 @@ impl OutOfCoreGpu {
         };
         let metrics = match &pg.est_model {
             Some(model) => {
-                metrics.with_estimator(estimator_stats(&self.config, &pg, model, &recovery))
+                metrics.with_estimator(estimator_stats(&self.config, pg, model, &recovery))
             }
             None => metrics,
         };
@@ -954,7 +1029,7 @@ impl OutOfCoreGpu {
             sim_ns,
             timeline,
             order: order.iter().map(|i| i.id).collect(),
-            plan: pg.plan,
+            plan: pg.plan.clone(),
             recovery,
             metrics,
             c,
@@ -993,7 +1068,11 @@ impl OutOfCoreGpu {
         p: &CsrMatrix,
     ) -> Result<ChainedRun> {
         let ra = self.multiply(r, a)?;
-        let rap = self.multiply(&ra.c, p)?;
+        // The first product's estimator accuracy is in hand — adapt
+        // the second product's headroom instead of re-applying the
+        // fixed configured margin (see `adapt_headroom`).
+        let est = adapt_headroom(self.config.estimator, ra.metrics.estimator.as_ref());
+        let rap = self.with_estimator(est).multiply(&ra.c, p)?;
         let mut recovery = ra.recovery;
         recovery.merge(&rap.recovery);
         Ok(ChainedRun {
@@ -1002,6 +1081,20 @@ impl OutOfCoreGpu {
             recovery,
             metrics: vec![ra.metrics, rap.metrics],
         })
+    }
+
+    /// A clone of this executor with a different estimate
+    /// configuration — the chained runs use it to apply per-iteration
+    /// adapted headrooms.
+    fn with_estimator(&self, est: accum::estimate::EstimateConfig) -> OutOfCoreGpu {
+        if est == self.config.estimator {
+            return OutOfCoreGpu {
+                config: self.config.clone(),
+            };
+        }
+        OutOfCoreGpu {
+            config: self.config.clone().estimator(est),
+        }
     }
 
     /// Matrix power `A^k` (`k >= 1`) by repeated out-of-core
@@ -1015,8 +1108,13 @@ impl OutOfCoreGpu {
         let mut total: SimTime = 0;
         let mut recovery = RecoveryReport::default();
         let mut metrics = Vec::new();
+        let mut est = self.config.estimator;
         for _ in 1..k {
-            let run = self.multiply(&acc, a)?;
+            // Each hop re-estimates with a headroom adapted from the
+            // previous hop's observed hit-rate instead of the fixed
+            // configured margin (see `adapt_headroom`).
+            let run = self.with_estimator(est).multiply(&acc, a)?;
+            est = adapt_headroom(self.config.estimator, run.metrics.estimator.as_ref());
             acc = run.c;
             total += run.sim_ns;
             recovery.merge(&run.recovery);

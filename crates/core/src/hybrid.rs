@@ -14,9 +14,12 @@
 
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
-use crate::config::{HybridConfig, SchedulerKind};
+use crate::config::{ExecMode, HybridConfig, SchedulerKind};
 use crate::error::OocError;
-use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::executor::{
+    attach_speculation_all, estimator_stats, prepare_grid, simulate_order,
+    simulate_order_recovering, PreparedGrid,
+};
 use crate::faults::{self, HostFaultKind, HostFaultState};
 use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
@@ -204,20 +207,26 @@ impl Hybrid {
     fn run_prepared(
         &self,
         a: &CsrMatrix,
-        pg: PreparedGrid,
+        pg: &PreparedGrid,
         gpu_dead: bool,
         base_recovery: RecoveryReport,
     ) -> Result<HybridRun> {
-        let order = self.ordered_chunks(&pg);
-        let assignment = assign(&self.config, &pg, &order);
+        let order = self.ordered_chunks(pg);
+        let assignment = assign(&self.config, pg, &order);
         // Assignment follows the configured policy; execution on the
         // GPU groups its chunks by row panel to keep A resident.
         let gpu_order = ChunkGrid::grouped_desc(&assignment.gpu);
         let mut recovery = base_recovery;
 
+        // Speculative grids (non-exact estimator) route through the
+        // recovering orchestration like the standalone GPU executor:
+        // estimate overflows surface as recoverable chunk failures
+        // there. Assignment above already happened on exact per-chunk
+        // flops/nnz — the estimator only sizes device allocations.
         let recovering = self.config.gpu.fault_plan.is_some()
             || self.config.gpu.host_faults.is_some()
-            || self.config.gpu.budget.is_some();
+            || self.config.gpu.budget.is_some()
+            || pg.est_model.is_some();
         let (gpu_ns, timeline, overrides, metrics) = if gpu_dead {
             (0, Timeline::default(), HashMap::new(), Metrics::default())
         } else if recovering {
@@ -229,17 +238,23 @@ impl Hybrid {
                 ),
                 None => GpuSim::new(self.config.gpu.device.clone(), self.config.gpu.cost.clone()),
             };
-            let rec = simulate_order_recovering(&mut sim, a, &pg, &gpu_order, &self.config.gpu)?;
+            let rec = simulate_order_recovering(&mut sim, a, pg, &gpu_order, &self.config.gpu)?;
             let metrics = Metrics::collect(&sim, rec.sim_ns)
                 .with_chunks(rec.chunk_stats)
                 .with_degradations(rec.degradations);
             recovery.merge(&rec.report);
             (rec.sim_ns, sim.into_timeline(), rec.overrides, metrics)
         } else {
-            let (t, tl, metrics) = self.gpu_time(&pg, &gpu_order)?;
+            let (t, tl, metrics) = self.gpu_time(pg, &gpu_order)?;
             (t, tl, HashMap::new(), metrics)
         };
-        let mut cpu_ns = self.cpu_time(&pg, &assignment.cpu);
+        let metrics = match &pg.est_model {
+            Some(model) => {
+                metrics.with_estimator(estimator_stats(&self.config.gpu, pg, model, &recovery))
+            }
+            None => metrics,
+        };
+        let mut cpu_ns = self.cpu_time(pg, &assignment.cpu);
         // The CPU worker is its own host fault domain: transient
         // CPU-kernel faults cost a recompute plus backoff on the CPU
         // clock. Assignment and scheduling stay fault-blind so the
@@ -308,7 +323,7 @@ impl Hybrid {
             flops: total_flops,
             nnz_c: pg.total_nnz(),
             timeline,
-            plan: pg.plan,
+            plan: pg.plan.clone(),
             recovery,
             metrics: metrics.with_scheduler(stats),
             scheduler: stats,
@@ -317,16 +332,34 @@ impl Hybrid {
     }
 
     /// Computes `C = a · b` on both devices.
+    ///
+    /// The configured estimator is honored the same way the standalone
+    /// GPU executor honors it: a non-exact estimator sizes the GPU
+    /// side's device allocations speculatively (with overflow
+    /// recovery), while the hybrid *distribution* still reasons from
+    /// exact per-chunk flops and sizes. (Earlier versions silently
+    /// forced the exact planner here, dropping `--estimator` on the
+    /// floor for `--executor hybrid`.)
     pub fn multiply(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<HybridRun> {
         self.config.validate()?;
-        let pg = prepare_grid(a, b, &self.exact_gpu_config())?;
+        let pg = prepare_grid(a, b, &self.config.gpu)?;
+        self.run_prepared(a, &pg, false, RecoveryReport::default())
+    }
+
+    /// [`Hybrid::multiply`] against a caller-prepared (possibly cached
+    /// and shared) grid — the resident-state entry point the service
+    /// frontend uses. Bit-identical to a one-shot [`Hybrid::multiply`]
+    /// under the same configuration: preparation is deterministic and
+    /// the run never mutates the grid.
+    pub fn multiply_prepared(&self, a: &CsrMatrix, pg: &PreparedGrid) -> Result<HybridRun> {
+        self.config.validate()?;
         self.run_prepared(a, pg, false, RecoveryReport::default())
     }
 
-    /// The GPU configuration with the estimator forced exact: the
-    /// hybrid split reasons about exact per-chunk flops and sizes, so
-    /// speculative planning stays confined to the standalone GPU
-    /// executor.
+    /// The GPU configuration with the estimator forced exact, used by
+    /// [`Hybrid::ratio_search`] only: the exhaustive split search
+    /// compares static prefix splits on the *exact* schedule so its
+    /// per-`g` times stay comparable across estimator settings.
     fn exact_gpu_config(&self) -> crate::OocConfig {
         self.config
             .gpu
@@ -364,11 +397,21 @@ impl Hybrid {
 
         self.config.validate()?;
         let cfg = &self.config.gpu;
-        let planner = Planner::new(a, b)?;
+        // Plan exactly like `plan_grid`: a non-exact estimator under
+        // async mode sizes the grid speculatively, so the threaded and
+        // sequential paths stay field-identical under any estimator.
+        let speculative = cfg.mode == ExecMode::Async
+            && cfg.estimator.kind != accum::estimate::EstimatorKind::Exact;
+        let planner = if speculative {
+            Planner::estimated(a, b, &cfg.estimator)?
+        } else {
+            Planner::new(a, b)?
+        };
         let plan = match cfg.panels {
             Some((r, c)) => planner.fixed(r, c)?,
             None => planner.auto(cfg.device.device_memory_bytes)?,
         };
+        let est_model = planner.est_model().copied();
         let row_flops_prefix = planner.row_flops_prefix().to_vec();
         let col_panels = cfg.col_partitioner.partition(b, &plan.col_ranges);
         let grid = ChunkGrid::compute(a, &plan, &col_panels);
@@ -467,11 +510,14 @@ impl Hybrid {
         }
         // The surviving (main) thread re-prepares whatever the dead
         // worker dropped, so the run still completes.
-        let prepared: Vec<PreparedChunk> = slots
+        let mut prepared: Vec<PreparedChunk> = slots
             .into_iter()
             .enumerate()
             .map(|(idx, slot)| slot.unwrap_or_else(|| prepare(idx)))
             .collect();
+        if let Some(model) = &est_model {
+            attach_speculation_all(a, &plan, &col_panels, &mut prepared, model);
+        }
 
         let pg = PreparedGrid {
             plan,
@@ -479,9 +525,9 @@ impl Hybrid {
             prepared,
             col_panels,
             row_flops_prefix,
-            est_model: None,
+            est_model,
         };
-        self.run_prepared(a, pg, gpu_dead, recovery)
+        self.run_prepared(a, &pg, gpu_dead, recovery)
     }
 
     /// Exhaustively evaluates every GPU chunk count (Table III:

@@ -56,6 +56,7 @@ pub mod plan;
 pub mod recovery;
 pub mod report;
 mod scheduler;
+pub mod service;
 pub mod spill;
 pub mod unified;
 pub mod verify;
@@ -65,19 +66,23 @@ pub use chunks::{ChunkGrid, ChunkId, ChunkInfo};
 pub use config::{ExecMode, HybridConfig, OocConfig, SchedulerKind, DEFAULT_GPU_RATIO};
 pub use error::OocError;
 pub use executor::{
-    prepare_grid, prepare_grid_serial, ChainedRun, OocRun, OutOfCoreGpu, PreparedGrid,
+    prepare_grid, prepare_grid_pooled, prepare_grid_serial, ChainedRun, OocRun, OutOfCoreGpu,
+    PreparedGrid,
 };
 pub use faults::{HostFaultKind, HostFaultPlan, HostFaultState, HostFaultStats};
 pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
 pub use metrics::{
     ChunkMetrics, DegradationCause, DegradationEvent, DemotionCause, EstimatorStats, Metrics,
-    SchedulerStats,
+    SchedulerStats, TenantStats,
 };
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
 pub use recovery::{RecoveryPolicy, RecoveryReport, RunBudget};
 pub use report::RunReport;
+pub use service::{
+    Completion, Outcome, Request, RequestOp, Service, ServiceConfig, ShedReason, TenantQuota,
+};
 pub use spill::{multiply_to_disk, SpilledMatrix, SpilledRun};
 pub use unified::{multiply_unified, UnifiedRun};
 pub use verify::{verify_product, Verdict};

@@ -139,9 +139,11 @@ impl ChunkMetrics {
 
 /// Accuracy and recovery accounting of the nnz(C) estimator behind a
 /// speculative run: how close the estimate landed, how many chunks
-/// fit their estimated allocation on the first try, and how many had
-/// to be grown and retried.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// fit their estimated allocation on the first try, how many had to be
+/// grown and retried, and the headroom the run actually applied
+/// (chained runs adapt it per iteration, so it can differ from the
+/// configured `--headroom`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EstimatorStats {
     /// Estimator kind name (`row-sample`, `hash-sketch`, `upper-bound`).
     pub kind: String,
@@ -161,6 +163,41 @@ pub struct EstimatorStats {
     pub overflow_rows: u64,
     /// Grow-and-retry passes the executor ran to recover overflows.
     pub retries: u64,
+    /// Safety margin actually multiplied into every row estimate for
+    /// this run. Equals the configured headroom for one-shot runs;
+    /// chained runs (`power`, `triple_product`) shrink it per
+    /// iteration from the previous iteration's observed hit-rate.
+    pub headroom: f64,
+}
+
+/// Per-tenant aggregates of a service-frontend trace: how much work a
+/// tenant submitted, what the admission controller and quota did with
+/// it, and what the completed requests cost.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// Requests the tenant submitted.
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests shed by the admission controller (queue full or
+    /// device-pool pressure).
+    pub shed: u64,
+    /// Requests that had to wait for the tenant's flop token bucket to
+    /// refill before dispatch.
+    pub quota_queued: u64,
+    /// Requests that reused another request's resident prepared grid
+    /// (operand-sharing batcher hits).
+    pub batch_hits: u64,
+    /// Total flops of the tenant's completed requests.
+    pub flops: u64,
+    /// Summed simulated execution time of the tenant's completed
+    /// requests, ns.
+    pub busy_ns: u64,
+    /// Summed simulated time the tenant's requests waited between
+    /// admission and dispatch, ns.
+    pub queued_ns: u64,
 }
 
 /// Structured metrics for one executor run.
@@ -189,6 +226,9 @@ pub struct Metrics {
     /// Supervised degradations, in the order they took effect; empty
     /// for runs that never degraded.
     pub degradations: Vec<DegradationEvent>,
+    /// Per-tenant aggregates; only populated by the service frontend
+    /// (empty for one-shot executor runs).
+    pub tenants: Vec<TenantStats>,
 }
 
 impl Metrics {
@@ -204,6 +244,7 @@ impl Metrics {
             scheduler: None,
             estimator: None,
             degradations: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -228,6 +269,12 @@ impl Metrics {
     /// Attaches supervised degradation events.
     pub fn with_degradations(mut self, events: Vec<DegradationEvent>) -> Self {
         self.degradations = events;
+        self
+    }
+
+    /// Attaches per-tenant service aggregates.
+    pub fn with_tenants(mut self, tenants: Vec<TenantStats>) -> Self {
+        self.tenants = tenants;
         self
     }
 
@@ -327,21 +374,52 @@ impl Metrics {
             None => s.push_str("  \"scheduler\": null,\n"),
         }
         match &self.estimator {
-            Some(e) => s.push_str(&format!(
-                "  \"estimator\": {{ \"kind\": \"{}\", \"sampled_rows\": {}, \
-                 \"est_nnz\": {}, \"actual_nnz\": {}, \"chunk_hits\": {}, \
-                 \"chunk_misses\": {}, \"overflow_rows\": {}, \"retries\": {} }},\n",
-                e.kind,
-                e.sampled_rows,
-                e.est_nnz,
-                e.actual_nnz,
-                e.chunk_hits,
-                e.chunk_misses,
-                e.overflow_rows,
-                e.retries,
-            )),
+            Some(e) => {
+                s.push_str(&format!(
+                    "  \"estimator\": {{ \"kind\": \"{}\", \"sampled_rows\": {}, \
+                     \"est_nnz\": {}, \"actual_nnz\": {}, \"chunk_hits\": {}, \
+                     \"chunk_misses\": {}, \"overflow_rows\": {}, \"retries\": {}, ",
+                    e.kind,
+                    e.sampled_rows,
+                    e.est_nnz,
+                    e.actual_nnz,
+                    e.chunk_hits,
+                    e.chunk_misses,
+                    e.overflow_rows,
+                    e.retries,
+                ));
+                if e.headroom.is_finite() {
+                    s.push_str(&format!("\"headroom\": {} }},\n", e.headroom));
+                } else {
+                    s.push_str("\"headroom\": null },\n");
+                }
+            }
             None => s.push_str("  \"estimator\": null,\n"),
         }
+        s.push_str("  \"tenants\": [");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{ \"tenant\": \"{}\", \"submitted\": {}, \"completed\": {}, \
+                 \"shed\": {}, \"quota_queued\": {}, \"batch_hits\": {}, \"flops\": {}, \
+                 \"busy_ns\": {}, \"queued_ns\": {} }}",
+                t.tenant,
+                t.submitted,
+                t.completed,
+                t.shed,
+                t.quota_queued,
+                t.batch_hits,
+                t.flops,
+                t.busy_ns,
+                t.queued_ns
+            ));
+        }
+        if !self.tenants.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
         s.push_str("  \"degradations\": [");
         for (i, d) in self.degradations.iter().enumerate() {
             if i > 0 {
@@ -490,6 +568,7 @@ mod tests {
             chunk_misses: 1,
             overflow_rows: 12,
             retries: 1,
+            headroom: 1.5,
         });
         let json = m.to_json();
         assert!(json.contains("\"kind\": \"row-sample\""), "{json}");
@@ -497,6 +576,33 @@ mod tests {
         assert!(json.contains("\"actual_nnz\": 1000"));
         assert!(json.contains("\"chunk_misses\": 1"));
         assert!(json.contains("\"overflow_rows\": 12"));
+        assert!(json.contains("\"headroom\": 1.5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn tenant_stats_serialize_and_default_to_empty() {
+        let json = Metrics::default().to_json();
+        assert!(json.contains("\"tenants\": []"), "{json}");
+        let m = Metrics::default().with_tenants(vec![TenantStats {
+            tenant: "acme".into(),
+            submitted: 10,
+            completed: 8,
+            shed: 1,
+            quota_queued: 2,
+            batch_hits: 3,
+            flops: 1_000_000,
+            busy_ns: 50_000,
+            queued_ns: 7_000,
+        }]);
+        let json = m.to_json();
+        assert!(json.contains("\"tenant\": \"acme\""), "{json}");
+        assert!(json.contains("\"submitted\": 10"));
+        assert!(json.contains("\"shed\": 1"));
+        assert!(json.contains("\"quota_queued\": 2"));
+        assert!(json.contains("\"batch_hits\": 3"));
+        assert!(json.contains("\"queued_ns\": 7000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

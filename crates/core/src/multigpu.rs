@@ -21,7 +21,9 @@
 use crate::assemble::assemble;
 use crate::chunks::{ChunkGrid, ChunkId, ChunkInfo};
 use crate::config::{OocConfig, SchedulerKind};
-use crate::executor::{prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid};
+use crate::executor::{
+    estimator_stats, prepare_grid, simulate_order, simulate_order_recovering, PreparedGrid,
+};
 use crate::faults::{self, HostFaultKind, HostFaultState};
 use crate::metrics::{Metrics, SchedulerStats};
 use crate::plan::PanelPlan;
@@ -119,11 +121,15 @@ impl MultiGpuRun {
 /// engine, so a chunk's marginal cost is its *slowest* engine — the
 /// H2D input transfer, the D2H result transfer, or the three kernels.
 /// (The earlier LPT estimate costed the D2H output copy alone, which
-/// starves compute-bound devices of attention.)
+/// starves compute-bound devices of attention.) Speculatively planned
+/// chunks are priced the way the pipeline runs them: the estimated
+/// output reservation replaces the exact output and the per-row nnz
+/// round-trip disappears.
 fn gpu_chunk_estimate(cost: &CostModel, p: &PreparedChunk, pinned: bool) -> SimTime {
     let h2d = cost.copy_duration(p.b_bytes, false, pinned);
+    let row_nnz = if p.spec.is_some() { 0 } else { p.row_nnz_bytes };
     let d2h = cost.copy_duration(
-        p.out_bytes + p.row_info_bytes + p.row_nnz_bytes,
+        p.planned_out_bytes() + p.row_info_bytes + row_nnz,
         true,
         pinned,
     );
@@ -226,14 +232,12 @@ pub fn multiply_multi_gpu(
     config: &MultiGpuConfig,
 ) -> Result<MultiGpuRun> {
     config.validate()?;
-    // Force the exact planner: the multi-GPU distribution reasons
-    // about exact per-chunk sizes, so speculation stays confined to
-    // the standalone GPU executor.
-    let gpu_cfg = config
-        .gpu
-        .clone()
-        .estimator(accum::estimate::EstimateConfig::exact());
-    let pg = prepare_grid(a, b, &gpu_cfg)?;
+    // The per-device estimator is honored: a non-exact `--estimator`
+    // used to be silently forced back to exact here, which dropped the
+    // flag without a word. Distribution prices speculative chunks the
+    // same way the pipeline runs them (see `gpu_chunk_estimate`), while
+    // the realized flop split still comes from actual per-chunk flops.
+    let pg = prepare_grid(a, b, &config.gpu)?;
     let order = pg.grid.sorted_desc();
     let cost = &config.gpu.cost;
     let (assignment, gpu_claims, cpu_steals) = distribute(config, &pg, &order)?;
@@ -247,7 +251,8 @@ pub fn multiply_multi_gpu(
     let mut overrides: HashMap<ChunkId, CsrMatrix> = HashMap::new();
     let recovering = config.gpu.fault_plan.is_some()
         || config.gpu.host_faults.is_some()
-        || config.gpu.budget.is_some();
+        || config.gpu.budget.is_some()
+        || pg.est_model.is_some();
     for (device, chunks) in assignment.iter().take(config.num_gpus).enumerate() {
         let grouped = ChunkGrid::grouped_desc(chunks);
         let t = if recovering {
@@ -285,6 +290,12 @@ pub fn multiply_multi_gpu(
         };
         gpu_ns.push(t);
         gpu_chunks.push(chunks.len());
+    }
+    // Estimator accuracy is a property of the shared grid, not of one
+    // device; report it once, on device 0, so `--json` consumers see it.
+    if let (Some(model), Some(m0)) = (&pg.est_model, metrics.first_mut()) {
+        *m0 =
+            std::mem::take(m0).with_estimator(estimator_stats(&config.gpu, &pg, model, &recovery));
     }
     let (cpu_ns, cpu_chunks) = if config.use_cpu {
         let chunks = &assignment[config.num_gpus];

@@ -239,6 +239,13 @@ impl<'s> PipelineSession<'s> {
                 return Err(e.into());
             }
         }
+        // Feasibility is gated on the *exact* chunk geometry even for
+        // speculative chunks: distribution reasons from actual sizes
+        // (an inflated estimate must not close the GPU to a chunk the
+        // recovering executor would happily re-split and run), and the
+        // exact footprint is what any re-split piece is bounded by.
+        // Timing below still prices the speculative schedule that
+        // actually executes.
         let mut reserve = || -> Result<(), gpu_sim::OutOfDeviceMemory> {
             pool.bump(chunk.b_bytes)?;
             pool.bump(chunk.row_info_bytes)?;
@@ -313,61 +320,93 @@ impl<'s> PipelineSession<'s> {
         );
         self.last_done = self.last_done.max(self.sim.now());
 
-        // Stage 2: symbolic kernels per row group.
-        for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
-            let t = self.sim.enqueue_kernel(
-                s,
-                KernelKind::Symbolic {
-                    flops,
-                    compression_ratio: chunk.compression_ratio,
-                },
-                format!("symbolic g{g} (chunk {id})"),
-            );
-            self.last_done = self.last_done.max(t);
-        }
-        let t = self.sim.enqueue_copy(
-            s,
-            CopyDir::D2H,
-            chunk.row_nnz_bytes,
-            self.mem,
-            format!("D2H row nnz (chunk {id})"),
-        );
-        self.last_done = self.last_done.max(t);
-        let row_nnz_done = self.sim.record_event(s);
-
-        // Previous chunk, second portion: overlaps this chunk's
-        // numeric phase.
-        if let Some(p) = self.prev.take() {
+        if let Some(spec) = &chunk.spec {
+            // Speculative schedule (mirrors the recovering executor's
+            // branch): the output buffer was sized from the estimation
+            // model at planning time, so the symbolic kernels, the
+            // row-nnz D2H, and the host prefix sum all disappear —
+            // numeric kernels launch straight after grouping. Overflow
+            // is not modeled here; the fault-free session is a pricing
+            // model for the scheduler, and speculative execution itself
+            // always runs under the recovering orchestration.
+            if let Some(p) = self.prev.take() {
+                let t = self.sim.enqueue_copy(
+                    p.stream,
+                    CopyDir::D2H,
+                    p.second_bytes,
+                    self.mem,
+                    format!("D2H output 2/2 (chunk {})", p.chunk_id),
+                );
+                self.last_done = self.last_done.max(t);
+            }
+            for (g, &flops) in spec.est_group_flops.iter().enumerate() {
+                let t = self.sim.enqueue_kernel(
+                    s,
+                    KernelKind::Numeric {
+                        flops,
+                        compression_ratio: chunk.compression_ratio,
+                    },
+                    format!("numeric g{g} (chunk {id}, speculative)"),
+                );
+                self.last_done = self.last_done.max(t);
+            }
+        } else {
+            // Stage 2: symbolic kernels per row group.
+            for (g, &flops) in chunk.groups.group_flops.iter().enumerate() {
+                let t = self.sim.enqueue_kernel(
+                    s,
+                    KernelKind::Symbolic {
+                        flops,
+                        compression_ratio: chunk.compression_ratio,
+                    },
+                    format!("symbolic g{g} (chunk {id})"),
+                );
+                self.last_done = self.last_done.max(t);
+            }
             let t = self.sim.enqueue_copy(
-                p.stream,
-                CopyDir::D2H,
-                p.second_bytes,
-                self.mem,
-                format!("D2H output 2/2 (chunk {})", p.chunk_id),
-            );
-            self.last_done = self.last_done.max(t);
-        }
-
-        // Host sizes the output from the symbolic results; the space
-        // was already bumped from the pool — no device barrier.
-        self.sim.event_synchronize(row_nnz_done);
-        self.sim.host_compute(
-            chunk.rows as u64 * PREFIX_NS_PER_ROW,
-            format!("host prefix sum (chunk {id})"),
-        );
-        self.last_done = self.last_done.max(self.sim.now());
-
-        // Stage 3: numeric kernels per output-size row group.
-        for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
-            let t = self.sim.enqueue_kernel(
                 s,
-                KernelKind::Numeric {
-                    flops,
-                    compression_ratio: chunk.compression_ratio,
-                },
-                format!("numeric g{g} (chunk {id})"),
+                CopyDir::D2H,
+                chunk.row_nnz_bytes,
+                self.mem,
+                format!("D2H row nnz (chunk {id})"),
             );
             self.last_done = self.last_done.max(t);
+            let row_nnz_done = self.sim.record_event(s);
+
+            // Previous chunk, second portion: overlaps this chunk's
+            // numeric phase.
+            if let Some(p) = self.prev.take() {
+                let t = self.sim.enqueue_copy(
+                    p.stream,
+                    CopyDir::D2H,
+                    p.second_bytes,
+                    self.mem,
+                    format!("D2H output 2/2 (chunk {})", p.chunk_id),
+                );
+                self.last_done = self.last_done.max(t);
+            }
+
+            // Host sizes the output from the symbolic results; the space
+            // was already bumped from the pool — no device barrier.
+            self.sim.event_synchronize(row_nnz_done);
+            self.sim.host_compute(
+                chunk.rows as u64 * PREFIX_NS_PER_ROW,
+                format!("host prefix sum (chunk {id})"),
+            );
+            self.last_done = self.last_done.max(self.sim.now());
+
+            // Stage 3: numeric kernels per output-size row group.
+            for (g, &flops) in chunk.numeric_groups.group_flops.iter().enumerate() {
+                let t = self.sim.enqueue_kernel(
+                    s,
+                    KernelKind::Numeric {
+                        flops,
+                        compression_ratio: chunk.compression_ratio,
+                    },
+                    format!("numeric g{g} (chunk {id})"),
+                );
+                self.last_done = self.last_done.max(t);
+            }
         }
 
         let (first_bytes, second_bytes) = chunk.split_output_bytes(self.split_fraction);

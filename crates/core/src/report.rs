@@ -322,6 +322,7 @@ mod tests {
             chunk_misses: 1,
             overflow_rows: 7,
             retries: 1,
+            headroom: 1.5,
         };
         let r = RunReport::new("nlp", "gpu-async", 1000, 100, 500).with_estimator(&stats);
         assert_eq!(r.estimator.as_deref(), Some("row-sample"));

@@ -1,0 +1,1032 @@
+//! Long-lived service frontend over the one-shot executors.
+//!
+//! The paper's executors answer a single `C = A·B`; a node that hosts
+//! them in production answers a *stream* of requests from competing
+//! tenants. This module adds that missing layer as a deterministic,
+//! single-threaded discrete-event frontend:
+//!
+//! * a **submission queue** with an admission controller that sheds
+//!   load when the queue is full or the device pool ran hot on the
+//!   previous request (`pool_high_water_bytes` against device memory);
+//! * per-tenant **token-bucket quotas** denominated in flops, bounding
+//!   how much work a tenant can have in flight — requests past their
+//!   budget wait for the bucket to refill instead of being dropped;
+//! * an **operand-sharing batcher**: requests multiplying the same
+//!   interned operands with the same estimator coalesce onto one
+//!   resident [`PreparedGrid`] (interned CSR panels + cached planner
+//!   prefix sums) and one warm [`accum::ScratchPool`], so only the
+//!   first request in a batch pays preparation;
+//! * **device time-sharing**: `num_devices` simulated device slots are
+//!   claimed by the request-level outer rung of the work-stealing
+//!   auction — whichever slot's clock is the global minimum takes the
+//!   next admitted request, exactly how [`crate::multigpu`]'s chunk
+//!   queue picks workers, one level up.
+//!
+//! Determinism is the design bar, not an afterthought: every request's
+//! `C` is bit-identical to the equivalent one-shot call
+//! ([`crate::Hybrid::multiply`] / [`crate::OutOfCoreGpu::power`] /
+//! `triple_product`) regardless of how requests interleave, because
+//! chunk numerics are computed host-side during preparation and
+//! scheduling only decides *when* simulated work happens, never *what*
+//! the result is. Grid caching and scratch pooling reuse allocations,
+//! not results.
+//!
+//! Submitted timestamps are simulated nanoseconds; the service never
+//! reads wall clocks, so a seeded trace replays to the same
+//! completion set, byte for byte.
+
+use crate::config::{HybridConfig, OocConfig, SchedulerKind, DEFAULT_GPU_RATIO};
+use crate::executor::{prepare_grid_pooled, OutOfCoreGpu, PreparedGrid};
+use crate::faults::HostFaultPlan;
+use crate::hybrid::Hybrid;
+use crate::metrics::{Metrics, TenantStats};
+use crate::recovery::RunBudget;
+use crate::report::RunReport;
+use crate::Result;
+use accum::estimate::EstimateConfig;
+use sparse::CsrMatrix;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Per-tenant flop budget: a token bucket holding up to
+/// `capacity_flops` tokens, refilled at `refill_flops_per_ms`.
+/// Dispatching a request spends its a-priori flop estimate (capped at
+/// the capacity so one huge request cannot starve forever); an empty
+/// bucket queues the tenant's next request until the refill covers it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Maximum tokens (flops) a tenant can bank.
+    pub capacity_flops: u64,
+    /// Refill rate, flops per simulated millisecond.
+    pub refill_flops_per_ms: u64,
+}
+
+impl TenantQuota {
+    /// A bounded quota.
+    pub fn new(capacity_flops: u64, refill_flops_per_ms: u64) -> Self {
+        TenantQuota {
+            capacity_flops,
+            refill_flops_per_ms,
+        }
+    }
+
+    /// No quota: every request is dispatchable immediately.
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            capacity_flops: u64::MAX,
+            refill_flops_per_ms: u64::MAX,
+        }
+    }
+
+    fn is_unlimited(&self) -> bool {
+        self.capacity_flops == u64::MAX
+    }
+}
+
+/// Configuration of the service frontend.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Baseline GPU-side configuration shared by every request;
+    /// per-request knobs (scheduler, estimator, budget, host faults)
+    /// override their respective fields.
+    pub gpu: OocConfig,
+    /// Hybrid CPU/GPU flop split applied to `multiply` requests.
+    pub gpu_ratio: f64,
+    /// Simulated device slots requests time-share (≥ 1).
+    pub num_devices: usize,
+    /// Admission bound: a request arriving while this many are already
+    /// queued is shed with [`ShedReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Pressure bound: when the previous run's pool high-water mark
+    /// exceeded this fraction of device memory *and* the queue is at
+    /// least half full, new requests are shed with
+    /// [`ShedReason::Pressure`] instead of piling onto a hot device.
+    pub pool_pressure_shed: f64,
+    /// Flop quota applied uniformly to every tenant.
+    pub quota: TenantQuota,
+    /// Maximum requests coalesced into one operand-sharing batch.
+    pub batch_max: usize,
+}
+
+impl ServiceConfig {
+    /// Paper-default GPU config, one device, an 8-deep queue and no
+    /// tenant quota.
+    pub fn new() -> Self {
+        ServiceConfig {
+            gpu: OocConfig::paper_default(),
+            gpu_ratio: DEFAULT_GPU_RATIO,
+            num_devices: 1,
+            queue_capacity: 8,
+            pool_pressure_shed: 0.95,
+            quota: TenantQuota::unlimited(),
+            batch_max: 4,
+        }
+    }
+
+    /// Replaces the baseline GPU configuration.
+    pub fn gpu(mut self, gpu: OocConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Sets the number of simulated device slots.
+    pub fn devices(mut self, n: usize) -> Self {
+        self.num_devices = n;
+        self
+    }
+
+    /// Sets the admission queue capacity.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the per-tenant quota.
+    pub fn quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Sets the batcher's coalescing width.
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.gpu.validate()?;
+        if !(0.0..=1.0).contains(&self.gpu_ratio) {
+            return Err(crate::OocError::Config(format!(
+                "GPU ratio {} outside [0, 1]",
+                self.gpu_ratio
+            )));
+        }
+        if self.num_devices == 0 {
+            return Err(crate::OocError::Config("need at least one device".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(crate::OocError::Config("queue capacity must be ≥ 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.pool_pressure_shed) {
+            return Err(crate::OocError::Config(format!(
+                "pressure threshold {} outside [0, 1]",
+                self.pool_pressure_shed
+            )));
+        }
+        if self.batch_max == 0 {
+            return Err(crate::OocError::Config("batch_max must be ≥ 1".into()));
+        }
+        if !self.quota.is_unlimited() && self.quota.refill_flops_per_ms == 0 {
+            return Err(crate::OocError::Config(
+                "a bounded quota needs a non-zero refill rate".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The operation a request asks for. Operands are keys returned by
+/// [`Service::intern`], so concurrent requests share one resident copy
+/// of each matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOp {
+    /// `C = A · B`.
+    Multiply {
+        /// Interned key of `A`.
+        a: usize,
+        /// Interned key of `B`.
+        b: usize,
+    },
+    /// `C = A^k` (chained squaring-free left-to-right product).
+    Power {
+        /// Interned key of `A`.
+        a: usize,
+        /// Exponent, ≥ 1.
+        k: u32,
+    },
+    /// Galerkin triple product `C = R · A · P`.
+    TripleProduct {
+        /// Interned key of `R`.
+        r: usize,
+        /// Interned key of `A`.
+        a: usize,
+        /// Interned key of `P`.
+        p: usize,
+    },
+}
+
+/// One unit of tenant work submitted to the service.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Caller-chosen identifier echoed in the [`Completion`].
+    pub id: u64,
+    /// Tenant the request is accounted to.
+    pub tenant: String,
+    /// Simulated arrival time, ns. Submissions must arrive in
+    /// non-decreasing order; an earlier stamp is clamped forward.
+    pub arrival_ns: u64,
+    /// What to compute.
+    pub op: RequestOp,
+    /// Chunk scheduler for this request's hybrid execution.
+    pub scheduler: SchedulerKind,
+    /// Output-size estimator for this request's planning.
+    pub estimator: EstimateConfig,
+    /// Optional per-request deadline budget.
+    pub budget: Option<RunBudget>,
+    /// Optional per-request host fault plan (overrides the service
+    /// baseline), letting traces mix faulty and clean requests.
+    pub host_faults: Option<HostFaultPlan>,
+}
+
+impl Request {
+    /// A multiply request with service-default knobs.
+    pub fn multiply(id: u64, tenant: impl Into<String>, a: usize, b: usize) -> Self {
+        Request::new(id, tenant, RequestOp::Multiply { a, b })
+    }
+
+    /// A matrix-power request with service-default knobs.
+    pub fn power(id: u64, tenant: impl Into<String>, a: usize, k: u32) -> Self {
+        Request::new(id, tenant, RequestOp::Power { a, k })
+    }
+
+    /// A triple-product request with service-default knobs.
+    pub fn triple_product(
+        id: u64,
+        tenant: impl Into<String>,
+        r: usize,
+        a: usize,
+        p: usize,
+    ) -> Self {
+        Request::new(id, tenant, RequestOp::TripleProduct { r, a, p })
+    }
+
+    fn new(id: u64, tenant: impl Into<String>, op: RequestOp) -> Self {
+        Request {
+            id,
+            tenant: tenant.into(),
+            arrival_ns: 0,
+            op,
+            scheduler: SchedulerKind::default(),
+            estimator: EstimateConfig::default(),
+            budget: None,
+            host_faults: None,
+        }
+    }
+
+    /// Sets the simulated arrival time.
+    pub fn at(mut self, arrival_ns: u64) -> Self {
+        self.arrival_ns = arrival_ns;
+        self
+    }
+
+    /// Selects the chunk scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Selects the output-size estimator.
+    pub fn estimator(mut self, cfg: EstimateConfig) -> Self {
+        self.estimator = cfg;
+        self
+    }
+
+    /// Arms a per-request deadline budget.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Injects a per-request host fault plan.
+    pub fn host_faults(mut self, plan: HostFaultPlan) -> Self {
+        self.host_faults = Some(plan);
+        self
+    }
+}
+
+/// Why the admission controller dropped a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The submission queue was at capacity.
+    QueueFull,
+    /// The device pool ran above the pressure threshold and the queue
+    /// was already half full.
+    Pressure,
+}
+
+impl ShedReason {
+    /// Stable JSON/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Pressure => "pressure",
+        }
+    }
+}
+
+/// How a request left the service.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The request ran to completion.
+    Completed {
+        /// The product, bit-identical to the one-shot executor's.
+        c: CsrMatrix,
+        /// Flat per-request report row. Boxed (with `metrics`) so a
+        /// completion list dominated by sheds doesn't pay the full
+        /// per-request accounting footprint per entry.
+        report: Box<RunReport>,
+        /// Structured metrics of the run (last hop for chained ops).
+        metrics: Box<Metrics>,
+        /// Simulated time spent between admission and dispatch, ns.
+        queued_ns: u64,
+        /// Simulated dispatch time, ns.
+        start_ns: u64,
+        /// Simulated completion time, ns.
+        finish_ns: u64,
+        /// The request reused a resident prepared grid instead of
+        /// preparing its own.
+        batch_hit: bool,
+    },
+    /// The admission controller dropped the request.
+    Shed {
+        /// Why it was dropped.
+        reason: ShedReason,
+    },
+}
+
+/// Terminal record for one submitted request.
+#[derive(Debug)]
+pub struct Completion {
+    /// The submitting request's id.
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// How the request ended.
+    pub outcome: Outcome,
+}
+
+impl Completion {
+    /// True when the request completed (was not shed).
+    pub fn is_completed(&self) -> bool {
+        matches!(self.outcome, Outcome::Completed { .. })
+    }
+}
+
+/// Resident-grid cache key: interned operands plus the estimator
+/// fingerprint (planning depends on the estimator, so requests only
+/// share a grid when they'd plan identically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct GridKey {
+    a: usize,
+    b: usize,
+    kind: &'static str,
+    sample_rate: u64,
+    headroom: u64,
+    seed: u64,
+}
+
+impl GridKey {
+    fn new(a: usize, b: usize, est: &EstimateConfig) -> Self {
+        GridKey {
+            a,
+            b,
+            kind: est.kind.name(),
+            sample_rate: est.sample_rate.to_bits(),
+            headroom: est.headroom.to_bits(),
+            seed: est.seed,
+        }
+    }
+}
+
+/// Deterministic flop token bucket.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: u64,
+    last_ns: u64,
+}
+
+impl Bucket {
+    fn full(quota: &TenantQuota) -> Self {
+        Bucket {
+            tokens: quota.capacity_flops,
+            last_ns: 0,
+        }
+    }
+
+    fn tokens_at(&self, quota: &TenantQuota, now_ns: u64) -> u64 {
+        if quota.is_unlimited() {
+            return u64::MAX;
+        }
+        let dt = now_ns.saturating_sub(self.last_ns) as u128;
+        let refill = (dt * quota.refill_flops_per_ms as u128) / 1_000_000;
+        (self.tokens as u128 + refill).min(quota.capacity_flops as u128) as u64
+    }
+
+    /// Earliest time ≥ `now_ns` at which `cost` tokens are available.
+    fn ready_at(&self, quota: &TenantQuota, cost: u64, now_ns: u64) -> u64 {
+        let have = self.tokens_at(quota, now_ns);
+        if have >= cost {
+            return now_ns;
+        }
+        let missing = (cost - have) as u128;
+        let rate = quota.refill_flops_per_ms as u128;
+        let wait_ns = (missing * 1_000_000).div_ceil(rate);
+        now_ns + wait_ns as u64
+    }
+
+    fn spend(&mut self, quota: &TenantQuota, cost: u64, now_ns: u64) {
+        if quota.is_unlimited() {
+            return;
+        }
+        self.tokens = self.tokens_at(quota, now_ns).saturating_sub(cost);
+        self.last_ns = now_ns;
+    }
+}
+
+/// An admitted request waiting in the dispatch queue.
+#[derive(Clone, Debug)]
+struct Admitted {
+    req: Request,
+    /// A-priori flop estimate, capped at the quota capacity.
+    cost: u64,
+}
+
+/// What one executed request produced, before completion bookkeeping.
+struct Executed {
+    c: CsrMatrix,
+    sim_ns: u64,
+    flops: u64,
+    metrics: Metrics,
+    report: RunReport,
+    batch_hit: bool,
+    pool_high_water: u64,
+}
+
+/// The long-lived frontend. See the module docs for the model.
+pub struct Service {
+    config: ServiceConfig,
+    matrices: Vec<CsrMatrix>,
+    pending: VecDeque<Admitted>,
+    completions: Vec<Completion>,
+    buckets: HashMap<String, Bucket>,
+    tenants: BTreeMap<String, TenantStats>,
+    grids: HashMap<GridKey, Rc<PreparedGrid>>,
+    pool: accum::ScratchPool,
+    /// Per-device-slot availability clocks (the request-level auction).
+    free_at: Vec<u64>,
+    /// Pool high-water fraction observed on the most recent run; the
+    /// pressure signal the admission controller reads.
+    last_pool_frac: f64,
+    /// High-water mark of the submission timeline (arrivals clamp
+    /// forward to this).
+    last_arrival_ns: u64,
+}
+
+impl Service {
+    /// Builds a service; fails on an invalid configuration.
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        let free_at = vec![0; config.num_devices];
+        Ok(Service {
+            config,
+            matrices: Vec::new(),
+            pending: VecDeque::new(),
+            completions: Vec::new(),
+            buckets: HashMap::new(),
+            tenants: BTreeMap::new(),
+            grids: HashMap::new(),
+            pool: accum::ScratchPool::new(),
+            free_at,
+            last_pool_frac: 0.0,
+            last_arrival_ns: 0,
+        })
+    }
+
+    /// Interns a matrix, returning the key requests use to reference
+    /// it. All requests naming the key share this single copy.
+    pub fn intern(&mut self, m: CsrMatrix) -> usize {
+        self.matrices.push(m);
+        self.matrices.len() - 1
+    }
+
+    /// Access to an interned matrix.
+    pub fn matrix(&self, key: usize) -> Option<&CsrMatrix> {
+        self.matrices.get(key)
+    }
+
+    /// Submits a request. The admission decision is made immediately
+    /// (at the request's simulated arrival time); a shed request
+    /// surfaces as a [`Completion`] with [`Outcome::Shed`] from the
+    /// next [`Service::drain`]. Errors are reserved for malformed
+    /// requests (unknown operand key, zero exponent).
+    pub fn submit(&mut self, req: Request) -> Result<()> {
+        self.validate_request(&req)?;
+        let mut req = req;
+        // The submission timeline is monotone: a stamp earlier than a
+        // previously seen arrival clamps forward.
+        req.arrival_ns = req.arrival_ns.max(self.last_arrival_ns);
+        self.last_arrival_ns = req.arrival_ns;
+        // Let simulated time catch up: everything that would have
+        // dispatched before this arrival leaves the queue first, so
+        // admission sees the queue state as of the arrival instant.
+        self.dispatch_until(req.arrival_ns)?;
+
+        let stats = self
+            .tenants
+            .entry(req.tenant.clone())
+            .or_insert_with(|| TenantStats {
+                tenant: req.tenant.clone(),
+                ..TenantStats::default()
+            });
+        stats.submitted += 1;
+
+        if self.pending.len() >= self.config.queue_capacity {
+            stats.shed += 1;
+            self.completions.push(Completion {
+                id: req.id,
+                tenant: req.tenant,
+                outcome: Outcome::Shed {
+                    reason: ShedReason::QueueFull,
+                },
+            });
+            return Ok(());
+        }
+        if self.last_pool_frac >= self.config.pool_pressure_shed
+            && self.pending.len() >= self.config.queue_capacity.div_ceil(2)
+        {
+            stats.shed += 1;
+            self.completions.push(Completion {
+                id: req.id,
+                tenant: req.tenant,
+                outcome: Outcome::Shed {
+                    reason: ShedReason::Pressure,
+                },
+            });
+            return Ok(());
+        }
+
+        let cost = self
+            .op_cost_flops(&req.op)?
+            .min(self.config.quota.capacity_flops);
+        self.pending.push_back(Admitted { req, cost });
+        Ok(())
+    }
+
+    /// Runs every admitted request to completion and returns all
+    /// completions accumulated since the last drain (sheds included),
+    /// in termination order.
+    pub fn drain(&mut self) -> Result<Vec<Completion>> {
+        self.dispatch_until(u64::MAX)?;
+        Ok(std::mem::take(&mut self.completions))
+    }
+
+    /// Service-level metrics: per-tenant aggregates, ordered by tenant
+    /// name.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::default().with_tenants(self.tenants.values().cloned().collect())
+    }
+
+    /// Number of admitted requests still waiting for dispatch.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn validate_request(&self, req: &Request) -> Result<()> {
+        let check = |key: usize| -> Result<()> {
+            if key >= self.matrices.len() {
+                return Err(crate::OocError::Config(format!(
+                    "request {} references unknown matrix key {key}",
+                    req.id
+                )));
+            }
+            Ok(())
+        };
+        let compat = |x: usize, y: usize| -> Result<()> {
+            let (mx, my) = (&self.matrices[x], &self.matrices[y]);
+            if mx.n_cols() != my.n_rows() {
+                return Err(crate::OocError::Config(format!(
+                    "request {}: inner dimensions disagree ({}x{} . {}x{})",
+                    req.id,
+                    mx.n_rows(),
+                    mx.n_cols(),
+                    my.n_rows(),
+                    my.n_cols()
+                )));
+            }
+            Ok(())
+        };
+        match req.op {
+            RequestOp::Multiply { a, b } => {
+                check(a)?;
+                check(b)?;
+                compat(a, b)
+            }
+            RequestOp::Power { a, k } => {
+                if k == 0 {
+                    return Err(crate::OocError::Config("power requires k >= 1".into()));
+                }
+                check(a)?;
+                compat(a, a)
+            }
+            RequestOp::TripleProduct { r, a, p } => {
+                check(r)?;
+                check(a)?;
+                check(p)?;
+                compat(r, a)?;
+                compat(a, p)
+            }
+        }
+    }
+
+    /// A-priori flop cost of an operation, used for quota accounting
+    /// and admission — *not* for execution, which always reports the
+    /// executor's actual flops. Chained ops approximate later hops by
+    /// the first hop's flops (their true cost needs the intermediate
+    /// product, which does not exist at admission time).
+    fn op_cost_flops(&self, op: &RequestOp) -> Result<u64> {
+        Ok(match *op {
+            RequestOp::Multiply { a, b } => {
+                sparse::stats::total_flops(&self.matrices[a], &self.matrices[b])
+            }
+            RequestOp::Power { a, k } => {
+                let hop = sparse::stats::total_flops(&self.matrices[a], &self.matrices[a]);
+                hop.saturating_mul(u64::from(k.saturating_sub(1)).max(1))
+            }
+            RequestOp::TripleProduct { r, a, p } => {
+                sparse::stats::total_flops(&self.matrices[r], &self.matrices[a]).saturating_add(
+                    sparse::stats::total_flops(&self.matrices[a], &self.matrices[p]),
+                )
+            }
+        })
+    }
+
+    /// Dispatches queued requests whose start time lands strictly
+    /// before `t_limit`, in admission order, batching operand-sharing
+    /// multiplies.
+    fn dispatch_until(&mut self, t_limit: u64) -> Result<()> {
+        loop {
+            let Some(head) = self.pending.front() else {
+                return Ok(());
+            };
+            // Request-level work-stealing auction: the slot whose
+            // clock is the global minimum claims the next request
+            // (ties to the lowest index, like the chunk queue).
+            let slot = (0..self.free_at.len())
+                .min_by_key(|&s| (self.free_at[s], s))
+                .expect("num_devices >= 1");
+            let bucket = self
+                .buckets
+                .get(&head.req.tenant)
+                .copied()
+                .unwrap_or_else(|| Bucket::full(&self.config.quota));
+            let earliest = self.free_at[slot].max(head.req.arrival_ns);
+            let start = bucket.ready_at(&self.config.quota, head.cost, earliest);
+            if start >= t_limit {
+                return Ok(());
+            }
+            let head = self.pending.pop_front().expect("front checked above");
+            if start > earliest {
+                // The tenant's bucket — not device availability — was
+                // the binding constraint: the request waited on refill.
+                self.tenants
+                    .get_mut(&head.req.tenant)
+                    .expect("tenant registered at submit")
+                    .quota_queued += 1;
+            }
+            // Operand-sharing batcher: pull up to batch_max-1 more
+            // pending multiplies onto the same resident grid, provided
+            // their quota is covered at this instant — counting tokens
+            // already committed to earlier members of this batch, which
+            // the buckets have not spent yet.
+            let mut batch = vec![head];
+            let mut committed: HashMap<String, u64> = HashMap::new();
+            committed.insert(batch[0].req.tenant.clone(), batch[0].cost);
+            if let RequestOp::Multiply { .. } = batch[0].req.op {
+                let key = Self::multiply_key(&batch[0].req);
+                let mut i = 0;
+                while i < self.pending.len() && batch.len() < self.config.batch_max {
+                    let cand = &self.pending[i];
+                    let already = committed.get(&cand.req.tenant).copied().unwrap_or(0);
+                    let available = self
+                        .buckets
+                        .get(&cand.req.tenant)
+                        .copied()
+                        .unwrap_or_else(|| Bucket::full(&self.config.quota))
+                        .tokens_at(&self.config.quota, start);
+                    let joins = matches!(cand.req.op, RequestOp::Multiply { .. })
+                        && Self::multiply_key(&cand.req) == key
+                        && cand.req.arrival_ns <= start
+                        && available >= already.saturating_add(cand.cost);
+                    if joins {
+                        let cand = self.pending.remove(i).expect("index in bounds");
+                        *committed.entry(cand.req.tenant.clone()).or_insert(0) += cand.cost;
+                        batch.push(cand);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            let mut t = start;
+            for admitted in batch {
+                let Admitted { req, cost } = admitted;
+                self.buckets
+                    .entry(req.tenant.clone())
+                    .or_insert_with(|| Bucket::full(&self.config.quota))
+                    .spend(&self.config.quota, cost, t);
+                let exec = self.execute(&req)?;
+                let start_ns = t;
+                let finish_ns = t + exec.sim_ns;
+                t = finish_ns;
+                self.last_pool_frac = exec.pool_high_water as f64
+                    / self.config.gpu.device.device_memory_bytes.max(1) as f64;
+                let stats = self
+                    .tenants
+                    .get_mut(&req.tenant)
+                    .expect("tenant registered at submit");
+                stats.completed += 1;
+                stats.flops += exec.flops;
+                stats.busy_ns += exec.sim_ns;
+                stats.queued_ns += start_ns - req.arrival_ns;
+                if exec.batch_hit {
+                    stats.batch_hits += 1;
+                }
+                self.completions.push(Completion {
+                    id: req.id,
+                    tenant: req.tenant,
+                    outcome: Outcome::Completed {
+                        c: exec.c,
+                        report: Box::new(exec.report),
+                        metrics: Box::new(exec.metrics),
+                        queued_ns: start_ns - req.arrival_ns,
+                        start_ns,
+                        finish_ns,
+                        batch_hit: exec.batch_hit,
+                    },
+                });
+            }
+            self.free_at[slot] = t;
+        }
+    }
+
+    fn multiply_key(req: &Request) -> GridKey {
+        match req.op {
+            RequestOp::Multiply { a, b } => GridKey::new(a, b, &req.estimator),
+            _ => unreachable!("multiply_key called on a non-multiply request"),
+        }
+    }
+
+    /// Per-request GPU config: service baseline with the request's
+    /// scheduler-independent knobs applied.
+    fn request_gpu(&self, req: &Request) -> OocConfig {
+        let mut gpu = self.config.gpu.clone().estimator(req.estimator);
+        gpu.budget = req.budget;
+        if req.host_faults.is_some() {
+            gpu.host_faults = req.host_faults.clone();
+        }
+        gpu
+    }
+
+    fn execute(&mut self, req: &Request) -> Result<Executed> {
+        let gpu = self.request_gpu(req);
+        match req.op {
+            RequestOp::Multiply { a, b } => {
+                let key = GridKey::new(a, b, &req.estimator);
+                let (grid, batch_hit) = match self.grids.get(&key) {
+                    Some(g) => (Rc::clone(g), true),
+                    None => {
+                        let pg = prepare_grid_pooled(
+                            &self.matrices[a],
+                            &self.matrices[b],
+                            &gpu,
+                            &self.pool,
+                        )?;
+                        let g = Rc::new(pg);
+                        self.grids.insert(key, Rc::clone(&g));
+                        (g, false)
+                    }
+                };
+                let hybrid = Hybrid::new(HybridConfig {
+                    gpu,
+                    gpu_ratio: self.config.gpu_ratio,
+                    reorder_assignment: true,
+                    scheduler: req.scheduler,
+                });
+                let run = hybrid.multiply_prepared(&self.matrices[a], &grid)?;
+                let mut report = RunReport::new(
+                    format!("req-{}", req.id),
+                    "service/hybrid",
+                    run.flops,
+                    run.nnz_c,
+                    run.sim_ns,
+                )
+                .with_recovery(&run.recovery)
+                .with_metrics(&run.metrics)
+                .with_scheduler(&run.scheduler);
+                if let Some(est) = &run.metrics.estimator {
+                    report = report.with_estimator(est);
+                }
+                Ok(Executed {
+                    pool_high_water: run.metrics.pool_high_water_bytes,
+                    c: run.c,
+                    sim_ns: run.sim_ns,
+                    flops: run.flops,
+                    metrics: run.metrics,
+                    report,
+                    batch_hit,
+                })
+            }
+            RequestOp::Power { a, k } => {
+                let run = OutOfCoreGpu::new(gpu).power(&self.matrices[a], k)?;
+                self.chained_executed(req, "service/power", run)
+            }
+            RequestOp::TripleProduct { r, a, p } => {
+                let run = OutOfCoreGpu::new(gpu).triple_product(
+                    &self.matrices[r],
+                    &self.matrices[a],
+                    &self.matrices[p],
+                )?;
+                self.chained_executed(req, "service/triple-product", run)
+            }
+        }
+    }
+
+    fn chained_executed(
+        &self,
+        req: &Request,
+        executor: &str,
+        run: crate::executor::ChainedRun,
+    ) -> Result<Executed> {
+        // Chained runs report the final hop's metrics (the shape of the
+        // last product dominates residency) and the a-priori flop
+        // estimate (true chained flops need every intermediate).
+        let metrics = run.metrics.last().cloned().unwrap_or_default();
+        let flops = self
+            .op_cost_flops(&req.op)?
+            .min(self.config.quota.capacity_flops);
+        let nnz_c = run.c.nnz() as u64;
+        let mut report = RunReport::new(
+            format!("req-{}", req.id),
+            executor,
+            flops,
+            nnz_c,
+            run.sim_ns,
+        )
+        .with_recovery(&run.recovery)
+        .with_metrics(&metrics);
+        if let Some(est) = &metrics.estimator {
+            report = report.with_estimator(est);
+        }
+        Ok(Executed {
+            pool_high_water: metrics.pool_high_water_bytes,
+            c: run.c,
+            sim_ns: run.sim_ns,
+            flops,
+            metrics,
+            report,
+            batch_hit: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::erdos_renyi;
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig::new().gpu(OocConfig::with_device_memory(1 << 20).panels(2, 2))
+    }
+
+    fn fixture() -> CsrMatrix {
+        erdos_renyi(300, 300, 0.02, 5)
+    }
+
+    #[test]
+    fn single_multiply_matches_one_shot_hybrid_bitwise() {
+        let a = fixture();
+        let cfg = small_config();
+        let one_shot = Hybrid::new(HybridConfig {
+            gpu: cfg.gpu.clone(),
+            gpu_ratio: cfg.gpu_ratio,
+            reorder_assignment: true,
+            scheduler: SchedulerKind::default(),
+        })
+        .multiply(&a, &a)
+        .unwrap();
+
+        let mut svc = Service::new(cfg).unwrap();
+        let ka = svc.intern(a);
+        svc.submit(Request::multiply(1, "t0", ka, ka)).unwrap();
+        let done = svc.drain().unwrap();
+        assert_eq!(done.len(), 1);
+        match &done[0].outcome {
+            Outcome::Completed { c, .. } => assert_eq!(c, &one_shot.c),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_sheds_and_counts_per_tenant() {
+        let a = fixture();
+        let mut svc = Service::new(small_config().queue_capacity(1)).unwrap();
+        let ka = svc.intern(a);
+        // Same arrival instant: the first fills the queue, the second
+        // is shed before any dispatch can happen.
+        svc.submit(Request::multiply(1, "t0", ka, ka)).unwrap();
+        svc.submit(Request::multiply(2, "t1", ka, ka)).unwrap();
+        let done = svc.drain().unwrap();
+        let shed: Vec<_> = done.iter().filter(|c| !c.is_completed()).collect();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, 2);
+        let m = svc.metrics();
+        let t1 = m.tenants.iter().find(|t| t.tenant == "t1").unwrap();
+        assert_eq!(t1.shed, 1);
+        assert_eq!(t1.completed, 0);
+    }
+
+    #[test]
+    fn quota_exhaustion_queues_and_charges_wait_time() {
+        let a = fixture();
+        // A bucket that covers exactly one request, refilled slowly.
+        let flops = sparse::stats::total_flops(&a, &a);
+        let quota = TenantQuota::new(flops, 1.max(flops / 1000));
+        let mut svc = Service::new(small_config().quota(quota)).unwrap();
+        let ka = svc.intern(a);
+        svc.submit(Request::multiply(1, "t0", ka, ka)).unwrap();
+        svc.submit(Request::multiply(2, "t0", ka, ka)).unwrap();
+        let done = svc.drain().unwrap();
+        assert!(done.iter().all(|c| c.is_completed()));
+        let m = svc.metrics();
+        let t0 = &m.tenants[0];
+        assert_eq!(t0.quota_queued, 1, "second request must wait on refill");
+        assert!(t0.queued_ns > 0, "the wait must cost simulated time");
+    }
+
+    #[test]
+    fn batcher_reuses_resident_grid() {
+        let a = fixture();
+        let mut svc = Service::new(small_config()).unwrap();
+        let ka = svc.intern(a);
+        svc.submit(Request::multiply(1, "t0", ka, ka)).unwrap();
+        svc.submit(Request::multiply(2, "t1", ka, ka)).unwrap();
+        let done = svc.drain().unwrap();
+        let hits = done
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome,
+                    Outcome::Completed {
+                        batch_hit: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(hits, 1, "second multiply must reuse the resident grid");
+        // And bit-identical results regardless of who prepared.
+        let cs: Vec<_> = done
+            .iter()
+            .filter_map(|c| match &c.outcome {
+                Outcome::Completed { c, .. } => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cs[0], cs[1]);
+    }
+
+    #[test]
+    fn chained_ops_complete_and_match_one_shot() {
+        let a = fixture();
+        let cfg = small_config();
+        let one_shot = OutOfCoreGpu::new(cfg.gpu.clone()).power(&a, 3).unwrap();
+        let mut svc = Service::new(cfg).unwrap();
+        let ka = svc.intern(a);
+        svc.submit(Request::power(1, "t0", ka, 3)).unwrap();
+        let done = svc.drain().unwrap();
+        match &done[0].outcome {
+            Outcome::Completed { c, .. } => assert_eq!(c, &one_shot.c),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_matrix_key_is_an_error_not_a_panic() {
+        let mut svc = Service::new(small_config()).unwrap();
+        assert!(svc.submit(Request::multiply(1, "t0", 0, 0)).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Service::new(small_config().devices(0)).is_err());
+        assert!(Service::new(small_config().queue_capacity(0)).is_err());
+        assert!(Service::new(small_config().batch_max(0)).is_err());
+        assert!(Service::new(small_config().quota(TenantQuota::new(10, 0))).is_err());
+    }
+}

@@ -193,3 +193,83 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// PR 8 satellites: executors that accept an estimator must consume it
+// (no silent flag drops), and chained runs must adapt their headroom
+// from observed hit-rates instead of re-applying the fixed margin.
+
+#[test]
+fn hybrid_consumes_the_estimator_and_stays_bit_identical() {
+    use oocgemm::{Hybrid, HybridConfig};
+    let a = fixture();
+    let mk = |gpu: OocConfig| HybridConfig {
+        gpu,
+        ..HybridConfig::paper_default()
+    };
+    let spec = Hybrid::new(mk(config())).multiply(&a, &a).unwrap();
+    let exact = Hybrid::new(mk(exact_config())).multiply(&a, &a).unwrap();
+    // The default (row-sample) estimator must surface in the metrics —
+    // this used to be silently dropped by the hybrid executor.
+    let stats = spec
+        .metrics
+        .estimator
+        .as_ref()
+        .expect("hybrid must report estimator stats when speculating");
+    assert_eq!(stats.kind, "row-sample");
+    assert!(stats.est_nnz > 0);
+    assert!(exact.metrics.estimator.is_none());
+    assert_eq!(spec.c, exact.c, "estimation must not change C");
+}
+
+#[test]
+fn multi_gpu_consumes_the_estimator_and_stays_bit_identical() {
+    use oocgemm::{multiply_multi_gpu, MultiGpuConfig};
+    let a = fixture();
+    let mk = |gpu: OocConfig| MultiGpuConfig {
+        gpu,
+        ..MultiGpuConfig::new(2)
+    };
+    let spec = multiply_multi_gpu(&a, &a, &mk(config())).unwrap();
+    let exact = multiply_multi_gpu(&a, &a, &mk(exact_config())).unwrap();
+    let stats = spec
+        .metrics
+        .first()
+        .and_then(|m| m.estimator.as_ref())
+        .expect("multi-GPU must report estimator stats when speculating");
+    assert_eq!(stats.kind, "row-sample");
+    assert!(stats.est_nnz > 0);
+    assert!(exact.metrics.iter().all(|m| m.estimator.is_none()));
+    assert_eq!(spec.c, exact.c, "estimation must not change C");
+}
+
+#[test]
+fn chained_runs_adapt_headroom_from_observed_hit_rates() {
+    // A generous configured headroom over-allocates; once the first
+    // hop shows every chunk hit, the next hop should shrink toward the
+    // observed accuracy instead of re-applying the 2.0x margin. The
+    // applied value is recorded per hop in EstimatorStats::headroom.
+    let a = erdos_renyi(300, 300, 0.03, 3);
+    let cfg = OocConfig::with_device_memory(1 << 19).estimator(EstimateConfig {
+        kind: EstimatorKind::RowSample,
+        headroom: 2.0,
+        ..EstimateConfig::default()
+    });
+    let run = OutOfCoreGpu::new(cfg).power(&a, 3).unwrap();
+    assert_eq!(run.metrics.len(), 2);
+    let h0 = run.metrics[0].estimator.as_ref().unwrap().headroom;
+    let h1 = run.metrics[1].estimator.as_ref().unwrap().headroom;
+    assert_eq!(h0, 2.0, "first hop applies the configured margin");
+    assert!(
+        h1 < h0,
+        "second hop must shrink the margin after a clean first hop ({h1} !< {h0})"
+    );
+    assert!(h1 >= 1.05, "adaptation floors at the minimum headroom");
+    // Adaptation must not change the numbers.
+    let exact = OutOfCoreGpu::new(
+        OocConfig::with_device_memory(1 << 19).estimator(EstimateConfig::exact()),
+    )
+    .power(&a, 3)
+    .unwrap();
+    assert_eq!(run.c, exact.c);
+}

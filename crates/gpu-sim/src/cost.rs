@@ -168,6 +168,28 @@ impl CostModel {
         }
     }
 
+    /// The paper calibration with the CPU-side constants replaced by
+    /// host measurements (`repro prep` emits them as
+    /// `BENCH_cpu_calibration.json`). The canonical [`calibrated`]
+    /// constants never change — paper-reproduction runs must stay
+    /// deterministic and platform-independent — but a measured model
+    /// lets a deployment reason about its *actual* host instead of the
+    /// paper's 28-thread Xeon.
+    ///
+    /// [`calibrated`]: CostModel::calibrated
+    pub fn with_measured_cpu(
+        mut self,
+        flop_rate: f64,
+        insert_ns: f64,
+        chunk_overhead_ns: SimTime,
+    ) -> Self {
+        debug_assert!(flop_rate > 0.0 && insert_ns >= 0.0);
+        self.cpu_flop_rate = flop_rate;
+        self.cpu_insert_ns = insert_ns;
+        self.cpu_chunk_overhead_ns = chunk_overhead_ns;
+        self
+    }
+
     /// Regularity multiplier `1 + slope·log2(max(ratio, 1))`.
     #[inline]
     pub fn ratio_speedup(&self, compression_ratio: f64) -> f64 {
