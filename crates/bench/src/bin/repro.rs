@@ -25,6 +25,7 @@ struct Args {
     out: PathBuf,
     seed: u64,
     iters: usize,
+    soak: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut seed = 7u64;
     let mut iters = 2usize;
+    let mut soak = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -74,14 +76,17 @@ fn parse_args() -> Args {
                 };
             }
             "--out" => out = PathBuf::from(it.next().unwrap_or_default()),
+            "--soak" => soak = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [all|table1|table2|table3|fig4|fig7|fig8|fig9|fig10|phases|planner|prep|estimate|chaos|serve]... \
                      [--scale tiny|small|medium] [--only ABBR[,ABBR...]] [--out DIR] \
-                     [--seed N] [--iters K]\n\
+                     [--seed N] [--iters K] [--soak]\n\
                      chaos and serve are not part of 'all'; ask for them by name. \
                      --seed/--iters drive the chaos sweep (defaults 7, 2); \
-                     --seed also seeds the serve trace."
+                     --seed also seeds the serve trace. --soak extends the serve \
+                     stage with the deadline-sprinkled trace under a tight \
+                     grid-cache cap (resident bytes must stay under it)."
                 );
                 std::process::exit(0);
             }
@@ -98,6 +103,7 @@ fn parse_args() -> Args {
         out,
         seed,
         iters,
+        soak,
     }
 }
 
@@ -165,6 +171,58 @@ fn main() {
         if !failures.is_empty() {
             eprintln!("serve smoke failed: {}", failures.join("; "));
             std::process::exit(1);
+        }
+
+        // --soak: replay the deadline-sprinkled trace under a grid
+        // cache capped at ~1.5x one prepared grid. Residency must stay
+        // bounded (0 cap excursions), eviction must actually fire, the
+        // 1 ns budgets must miss their deadlines, and everything that
+        // does complete must still be bit-identical to one-shot.
+        if args.soak {
+            println!(
+                "\n## Serve soak: capped grid cache + deadline budgets (seed {})\n",
+                args.seed
+            );
+            eprintln!(
+                "[{:6.1}s] running serve soak...",
+                t0.elapsed().as_secs_f64()
+            );
+            let trace = bench::serve::gen_soak_trace(64, 4, args.seed);
+            let cfg = bench::serve::harness_config();
+            let cap = bench::serve::soak_cap(&trace, &cfg);
+            let report = bench::serve::run_trace(&trace, &cfg.grid_cache_bytes(cap));
+            println!("{}", report.table());
+            std::fs::write(args.out.join("serve_soak_report.json"), report.to_json())
+                .expect("write serve_soak_report.json");
+            let mut failures = Vec::new();
+            if report.mismatches > 0 {
+                failures.push(format!(
+                    "{} completion(s) differ from one-shot",
+                    report.mismatches
+                ));
+            }
+            if report.cap_violations > 0 {
+                failures.push(format!(
+                    "resident grid bytes exceeded the {cap}-byte cap at {} step(s)",
+                    report.cap_violations
+                ));
+            }
+            if report.grid_evictions == 0 {
+                failures.push("the capped cache never evicted a grid".to_string());
+            }
+            if report.deadline_missed == 0 {
+                failures.push("no deadline-budgeted request missed".to_string());
+            }
+            if report.completed + report.shed + report.deadline_missed != report.submitted {
+                failures.push(format!(
+                    "completions do not account for every request: {} + {} + {} != {}",
+                    report.completed, report.shed, report.deadline_missed, report.submitted
+                ));
+            }
+            if !failures.is_empty() {
+                eprintln!("serve soak failed: {}", failures.join("; "));
+                std::process::exit(1);
+            }
         }
     }
 

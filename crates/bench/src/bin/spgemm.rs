@@ -16,7 +16,13 @@
 //!
 //! ```text
 //! spgemm serve --trace trace.json [--requests N] [--tenants N] [--seed S]
+//!              [--grid-cache-bytes B] [--deadline-ns D] [--soak]
 //! ```
+//!
+//! `--grid-cache-bytes` caps the service's resident prepared-grid
+//! cache; `--deadline-ns` arms a deadline budget on every generated
+//! request; `--soak` runs the deadline-sprinkled soak trace under a
+//! deliberately tight cache cap and fails on any cap excursion.
 
 use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
@@ -199,10 +205,15 @@ fn write_result(path: &Path, c: &CsrMatrix) {
 fn serve_usage() -> ! {
     eprintln!(
         "usage: spgemm serve [--trace FILE.json] [--requests N] [--tenants N] [--seed S]\n\
-         \x20      [--metrics-out FILE.json]\n\
+         \x20      [--metrics-out FILE.json] [--grid-cache-bytes B] [--deadline-ns D] [--soak]\n\
          Replays FILE.json through the service frontend if it exists; otherwise\n\
          generates the seeded trace, writes it to FILE.json (when given), and runs it.\n\
-         Exits 1 if any completed product differs from the one-shot executor."
+         --grid-cache-bytes caps the resident prepared-grid cache (evicting LRU);\n\
+         --deadline-ns puts every generated request under a deadline budget;\n\
+         --soak generates the deadline-sprinkled soak trace and, unless a cap was\n\
+         given, caps the grid cache at 1.5x one prepared grid.\n\
+         Exits 1 if any completed product differs from the one-shot executor,\n\
+         or if resident grid bytes ever exceed the configured cap."
     );
     std::process::exit(2)
 }
@@ -215,6 +226,9 @@ fn serve_main() -> ! {
     let mut requests = 64usize;
     let mut tenants = 4usize;
     let mut seed = 7u64;
+    let mut grid_cache_bytes: Option<u64> = None;
+    let mut deadline_ns: Option<u64> = None;
+    let mut soak = false;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| serve_usage());
@@ -224,6 +238,13 @@ fn serve_main() -> ! {
             "--requests" => requests = value().parse().unwrap_or_else(|_| serve_usage()),
             "--tenants" => tenants = value().parse().unwrap_or_else(|_| serve_usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--grid-cache-bytes" => {
+                grid_cache_bytes = Some(value().parse().unwrap_or_else(|_| serve_usage()))
+            }
+            "--deadline-ns" => {
+                deadline_ns = Some(value().parse().unwrap_or_else(|_| serve_usage()))
+            }
+            "--soak" => soak = true,
             "--help" | "-h" => serve_usage(),
             _ => serve_usage(),
         }
@@ -249,7 +270,16 @@ fn serve_main() -> ! {
             trace
         }
         _ => {
-            let trace = bench::serve::gen_trace(requests, tenants, seed);
+            let mut trace = if soak {
+                bench::serve::gen_soak_trace(requests, tenants, seed)
+            } else {
+                bench::serve::gen_trace(requests, tenants, seed)
+            };
+            if let Some(d) = deadline_ns {
+                for t in &mut trace.requests {
+                    t.deadline_ns = Some(d);
+                }
+            }
             println!("generated trace: {requests} requests, {tenants} tenants, seed {seed}");
             if let Some(path) = &trace_path {
                 let json = serde_json::to_string_pretty(&trace).expect("trace serializes");
@@ -263,7 +293,14 @@ fn serve_main() -> ! {
         }
     };
 
-    let report = bench::serve::run_trace(&trace, &bench::serve::harness_config());
+    let mut cfg = bench::serve::harness_config();
+    if soak && grid_cache_bytes.is_none() {
+        grid_cache_bytes = Some(bench::serve::soak_cap(&trace, &cfg));
+    }
+    if let Some(cap) = grid_cache_bytes {
+        cfg = cfg.grid_cache_bytes(cap);
+    }
+    let report = bench::serve::run_trace(&trace, &cfg);
     print!("{}", report.table());
     if let Some(path) = &metrics_out {
         std::fs::write(path, &report.metrics_json).unwrap_or_else(|e| {
@@ -276,6 +313,14 @@ fn serve_main() -> ! {
         eprintln!(
             "FAIL: {} completed request(s) differ from one-shot execution",
             report.mismatches
+        );
+        std::process::exit(1)
+    }
+    if report.cap_violations > 0 {
+        eprintln!(
+            "FAIL: resident grid bytes exceeded the {}-byte cap at {} step(s)",
+            grid_cache_bytes.unwrap_or(0),
+            report.cap_violations
         );
         std::process::exit(1)
     }

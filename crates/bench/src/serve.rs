@@ -14,7 +14,7 @@
 
 use oocgemm::{
     EstimateConfig, EstimatorKind, HostFaultPlan, Hybrid, HybridConfig, OocConfig, Outcome,
-    Request, RequestOp, SchedulerKind, Service, ServiceConfig, TenantQuota,
+    Request, RequestOp, RunBudget, SchedulerKind, Service, ServiceConfig, TenantQuota,
 };
 use sparse::gen::erdos_renyi;
 use sparse::CsrMatrix;
@@ -72,6 +72,11 @@ pub struct TraceRequest {
     pub headroom: f64,
     /// Host-fault seed; 0 means no injected host faults.
     pub host_fault_seed: u64,
+    /// Deadline budget measured from arrival, ns; absent or 0 means
+    /// unbudgeted (so pre-deadline trace files replay unchanged).
+    /// Budgeted requests dispatch in earliest-deadline order and
+    /// complete as deadline misses when the budget cannot be met.
+    pub deadline_ns: Option<u64>,
 }
 
 /// A full serialized trace.
@@ -174,6 +179,7 @@ pub fn gen_trace(requests: usize, tenants: usize, seed: u64) -> ServeTrace {
             estimator: estimator.to_string(),
             headroom,
             host_fault_seed,
+            deadline_ns: None,
         });
     }
     ServeTrace {
@@ -182,6 +188,38 @@ pub fn gen_trace(requests: usize, tenants: usize, seed: u64) -> ServeTrace {
         matrices,
         requests: out,
     }
+}
+
+/// Generous per-request deadline used by the soak trace, ns: long
+/// enough that a request dispatched promptly completes.
+pub const SOAK_DEADLINE_NS: u64 = 80_000_000;
+
+/// The soak variant of [`gen_trace`]: the same seeded request stream,
+/// with deadline budgets sprinkled in. Every 9th request gets a 1 ns
+/// budget it can never meet (pinning the deadline-miss path); every
+/// 5th gets a generous [`SOAK_DEADLINE_NS`] budget it meets (pinning
+/// that budgeted requests still complete bit-identically under
+/// earliest-deadline dispatch).
+pub fn gen_soak_trace(requests: usize, tenants: usize, seed: u64) -> ServeTrace {
+    let mut trace = gen_trace(requests, tenants, seed);
+    for (i, t) in trace.requests.iter_mut().enumerate() {
+        if i % 9 == 4 {
+            t.deadline_ns = Some(1);
+        } else if i % 5 == 3 {
+            t.deadline_ns = Some(SOAK_DEADLINE_NS);
+        }
+    }
+    trace
+}
+
+/// Grid-cache byte cap used by the soak harness: 1.5x one prepared
+/// grid of the trace's first operand pair, so the pool of recurring
+/// grid keys cannot all stay resident and eviction must fire.
+pub fn soak_cap(trace: &ServeTrace, config: &ServiceConfig) -> u64 {
+    let a = trace.matrices[0].generate();
+    let b = trace.matrices[1].generate();
+    let grid = oocgemm::prepare_grid(&a, &b, &config.gpu).expect("soak sizing grid");
+    grid.resident_bytes() * 3 / 2
 }
 
 /// Service sizing used by the harness: a deliberately small frontend
@@ -213,6 +251,19 @@ pub struct ServeReport {
     /// Completed requests whose product differed from the equivalent
     /// one-shot call (must be 0).
     pub mismatches: u64,
+    /// Requests that completed as deadline misses.
+    pub deadline_missed: u64,
+    /// Grid-cache byte cap the trace ran under (`None` = unbounded).
+    pub grid_cache_bytes: Option<u64>,
+    /// Grids evicted from the resident cache under byte pressure.
+    pub grid_evictions: u64,
+    /// Grids rebuilt after an earlier eviction.
+    pub grid_rebuilds: u64,
+    /// High-water mark of resident grid bytes over the whole trace.
+    pub resident_high_water_bytes: u64,
+    /// Steps at which resident grid bytes exceeded the configured cap
+    /// (must be 0 whenever a cap is set).
+    pub cap_violations: u64,
     /// Simulated makespan of the trace, ns.
     pub makespan_ns: u64,
     /// Per-tenant metrics JSON (the service's `Metrics::to_json`).
@@ -227,16 +278,27 @@ impl ServeReport {
 
     /// Text table for stdout.
     pub fn table(&self) -> String {
+        let cap = match self.grid_cache_bytes {
+            Some(b) => format!("{b}"),
+            None => "unbounded".to_string(),
+        };
         format!(
-            "requests   completed  shed  quota-queued  batch-hits  mismatches  makespan\n\
-             {:<9}  {:<9}  {:<4}  {:<12}  {:<10}  {:<10}  {:.3} ms\n",
+            "requests   completed  shed  quota-queued  batch-hits  mismatches  deadline-missed  makespan\n\
+             {:<9}  {:<9}  {:<4}  {:<12}  {:<10}  {:<10}  {:<15}  {:.3} ms\n\
+             grid-cache {} B: high-water {} B, {} evictions, {} rebuilds, {} cap violations\n",
             self.submitted,
             self.completed,
             self.shed,
             self.quota_queued,
             self.batch_hits,
             self.mismatches,
+            self.deadline_missed,
             self.makespan_ns as f64 / 1e6,
+            cap,
+            self.resident_high_water_bytes,
+            self.grid_evictions,
+            self.grid_rebuilds,
+            self.cap_violations,
         )
     }
 }
@@ -288,6 +350,9 @@ fn build_request(t: &TraceRequest, keys: &[usize]) -> Option<Request> {
     if t.host_fault_seed != 0 {
         req = req.host_faults(HostFaultPlan::seeded(t.host_fault_seed).all_rates(0.25));
     }
+    if let Some(d) = t.deadline_ns.filter(|&d| d != 0) {
+        req = req.budget(RunBudget::deadline(d));
+    }
     Some(req)
 }
 
@@ -297,6 +362,9 @@ fn one_shot(t: &TraceRequest, pool: &[CsrMatrix], cfg: &ServiceConfig) -> Option
     let mut gpu = cfg.gpu.clone().estimator(estimator_of(t));
     if t.host_fault_seed != 0 {
         gpu = gpu.host_faults(HostFaultPlan::seeded(t.host_fault_seed).all_rates(0.25));
+    }
+    if let Some(d) = t.deadline_ns.filter(|&d| d != 0) {
+        gpu.budget = Some(RunBudget::deadline(d));
     }
     match t.op.as_str() {
         "multiply" => {
@@ -336,12 +404,29 @@ fn one_shot(t: &TraceRequest, pool: &[CsrMatrix], cfg: &ServiceConfig) -> Option
 /// Plays `trace` through a fresh [`Service`] under `config` and
 /// verifies every completed product against the equivalent one-shot
 /// executor call.
+///
+/// The runner streams: it submits the whole trace, then single-steps
+/// the service with [`Service::step`], polling completions after every
+/// step so the resident completion buffer stays bounded — and checks
+/// the resident-grid byte count against the configured cache cap at
+/// every step boundary (any excursion is a `cap_violations` count, not
+/// a panic, so the report stays inspectable).
 pub fn run_trace(trace: &ServeTrace, config: &ServiceConfig) -> ServeReport {
     let pool: Vec<CsrMatrix> = trace.matrices.iter().map(|m| m.generate()).collect();
     let mut svc = Service::new(config.clone()).expect("harness service config is valid");
     let keys: Vec<usize> = pool.iter().map(|m| svc.intern(m.clone())).collect();
 
+    let mut cap_violations = 0u64;
+    let mut check_cap = |svc: &Service| {
+        if let Some(cap) = config.grid_cache_bytes {
+            if svc.service_stats().resident_grid_bytes > cap {
+                cap_violations += 1;
+            }
+        }
+    };
+
     let mut submitted = 0u64;
+    let mut completions = Vec::new();
     for t in &trace.requests {
         let Some(req) = build_request(t, &keys) else {
             eprintln!("serve: skipping malformed trace request {}", t.id);
@@ -349,11 +434,18 @@ pub fn run_trace(trace: &ServeTrace, config: &ServiceConfig) -> ServeReport {
         };
         submitted += 1;
         svc.submit(req).expect("trace request validated");
+        check_cap(&svc);
+        completions.extend(svc.poll_completions());
     }
-    let completions = svc.drain().expect("drain");
+    while svc.step().expect("service step") {
+        check_cap(&svc);
+        completions.extend(svc.poll_completions());
+    }
+    completions.extend(svc.poll_completions());
 
     let mut completed = 0u64;
     let mut shed = 0u64;
+    let mut deadline_missed = 0u64;
     let mut batch_hits = 0u64;
     let mut mismatches = 0u64;
     let mut makespan_ns = 0u64;
@@ -387,10 +479,15 @@ pub fn run_trace(trace: &ServeTrace, config: &ServiceConfig) -> ServeReport {
                 }
             }
             Outcome::Shed { .. } => shed += 1,
+            Outcome::DeadlineExceeded { missed_at_ns, .. } => {
+                deadline_missed += 1;
+                makespan_ns = makespan_ns.max(*missed_at_ns);
+            }
         }
     }
     let metrics = svc.metrics();
     let quota_queued = metrics.tenants.iter().map(|t| t.quota_queued).sum();
+    let stats = svc.service_stats();
     ServeReport {
         seed: trace.seed,
         submitted,
@@ -399,6 +496,12 @@ pub fn run_trace(trace: &ServeTrace, config: &ServiceConfig) -> ServeReport {
         quota_queued,
         batch_hits,
         mismatches,
+        deadline_missed,
+        grid_cache_bytes: config.grid_cache_bytes,
+        grid_evictions: stats.grid_evictions,
+        grid_rebuilds: stats.grid_rebuilds,
+        resident_high_water_bytes: stats.resident_grid_high_water_bytes,
+        cap_violations,
         makespan_ns,
         metrics_json: metrics.to_json(),
     }
@@ -432,6 +535,7 @@ mod tests {
             report.table()
         );
         assert!(report.batch_hits >= 1, "{}", report.table());
+        assert_eq!(report.deadline_missed, 0, "default trace is unbudgeted");
         assert_eq!(report.completed + report.shed, report.submitted);
     }
 
@@ -442,5 +546,42 @@ mod tests {
         assert_eq!(report.mismatches, 0, "{}", report.table());
         assert!(report.completed > 0);
         assert_eq!(report.completed + report.shed, report.submitted);
+    }
+
+    #[test]
+    fn soak_trace_stays_under_the_grid_cache_cap() {
+        let trace = gen_soak_trace(32, 4, 7);
+        let cfg = harness_config();
+        let cap = soak_cap(&trace, &cfg);
+        let report = run_trace(&trace, &cfg.grid_cache_bytes(cap));
+        assert_eq!(report.mismatches, 0, "{}", report.table());
+        assert_eq!(
+            report.cap_violations,
+            0,
+            "resident grids exceeded the cap\n{}",
+            report.table()
+        );
+        assert!(
+            report.resident_high_water_bytes <= cap,
+            "high water {} exceeds cap {}",
+            report.resident_high_water_bytes,
+            cap
+        );
+        assert!(
+            report.grid_evictions >= 1,
+            "a 1.5x-one-grid cap must evict\n{}",
+            report.table()
+        );
+        assert!(
+            report.deadline_missed >= 1,
+            "the 1 ns budgets must miss\n{}",
+            report.table()
+        );
+        assert_eq!(
+            report.completed + report.shed + report.deadline_missed,
+            report.submitted,
+            "{}",
+            report.table()
+        );
     }
 }

@@ -89,7 +89,12 @@ pub struct OocConfig {
     /// Per-run simulated-time budget. `Some` arms the deadline
     /// watchdog: the executor degrades rung by rung as the deadline
     /// approaches and fails with [`crate::OocError::DeadlineExceeded`]
-    /// instead of spiralling when the budget is unmeetable.
+    /// instead of spiralling when the budget is unmeetable. The
+    /// service frontend forwards each request's budget here verbatim
+    /// (so a budgeted service run is bit-identical to the same
+    /// one-shot call) and additionally treats `sim_deadline_ns` as the
+    /// request's service-level deadline from arrival, driving
+    /// earliest-deadline dispatch (DESIGN.md §14).
     pub budget: Option<RunBudget>,
 }
 

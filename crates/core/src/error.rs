@@ -31,7 +31,11 @@ pub enum OocError {
     /// walking every degradation rung (shrink headroom → force exact →
     /// demote to CPU) the remaining work cannot finish by the
     /// deadline. Carries partial accounting so callers can report what
-    /// *did* complete.
+    /// *did* complete. The service frontend catches this per request
+    /// and converts it into an
+    /// [`Outcome::DeadlineExceeded`](crate::service::Outcome)
+    /// completion (carrying the partial report) instead of failing the
+    /// drain, so one late request never poisons the queue behind it.
     DeadlineExceeded {
         /// The configured deadline, simulated ns.
         deadline_ns: u64,

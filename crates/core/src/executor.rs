@@ -58,6 +58,32 @@ impl PreparedGrid {
     pub fn total_nnz(&self) -> u64 {
         self.prepared.iter().map(|p| p.nnz).sum()
     }
+
+    /// Approximate resident host-heap footprint of the grid, in bytes:
+    /// the per-chunk output CSR arrays, the retained B column panels,
+    /// the row-group index vectors, and the planner prefix sums. The
+    /// service frontend's grid cache charges this number against
+    /// `ServiceConfig::grid_cache_bytes`, so it deliberately counts the
+    /// arrays that dominate residency (everything `Vec`-shaped) and
+    /// ignores fixed-size struct overhead.
+    pub fn resident_bytes(&self) -> u64 {
+        fn csr_bytes(m: &CsrMatrix) -> u64 {
+            // row_offsets: usize per row + 1; col ids: u32; values: f64.
+            ((m.n_rows() + 1) * 8 + m.nnz() * 12) as u64
+        }
+        let chunks: u64 = self
+            .prepared
+            .iter()
+            .map(|p| {
+                // Symbolic and numeric row groups each hold one u32 per
+                // panel row (plus per-group flop totals, negligible).
+                csr_bytes(&p.result) + p.rows as u64 * 8
+            })
+            .sum();
+        let panels: u64 = self.col_panels.iter().map(|cp| csr_bytes(&cp.matrix)).sum();
+        let prefix = (self.row_flops_prefix.len() * 8) as u64;
+        chunks + panels + prefix
+    }
 }
 
 type PlannedGrid = (

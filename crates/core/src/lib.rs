@@ -74,7 +74,7 @@ pub use gpu_sim::FaultPlan;
 pub use hybrid::{auto_gpu_ratio, Hybrid, HybridRun, RatioSearch};
 pub use metrics::{
     ChunkMetrics, DegradationCause, DegradationEvent, DemotionCause, EstimatorStats, Metrics,
-    SchedulerStats, TenantStats,
+    SchedulerStats, ServiceStats, TenantStats,
 };
 pub use multigpu::{multiply_multi_gpu, MultiGpuConfig, MultiGpuRun};
 pub use plan::{PanelPlan, Planner};
@@ -82,6 +82,7 @@ pub use recovery::{RecoveryPolicy, RecoveryReport, RunBudget};
 pub use report::RunReport;
 pub use service::{
     Completion, Outcome, Request, RequestOp, Service, ServiceConfig, ShedReason, TenantQuota,
+    DEFAULT_AGING_NS,
 };
 pub use spill::{multiply_to_disk, SpilledMatrix, SpilledRun};
 pub use unified::{multiply_unified, UnifiedRun};

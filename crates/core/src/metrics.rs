@@ -185,8 +185,16 @@ pub struct TenantStats {
     /// device-pool pressure).
     pub shed: u64,
     /// Requests that had to wait for the tenant's flop token bucket to
-    /// refill before dispatch.
+    /// refill before dispatch. Batch members admitted by the operand
+    /// batcher count here too, when the bucket state at their arrival
+    /// instant could not have covered their share and only the refill
+    /// accrued while they queued let them join.
     pub quota_queued: u64,
+    /// Requests that terminated as deadline misses: either dispatch
+    /// could no longer begin before `arrival + sim_deadline_ns`, or the
+    /// executor's own run budget aborted with a clean
+    /// `DeadlineExceeded`.
+    pub deadline_missed: u64,
     /// Requests that reused another request's resident prepared grid
     /// (operand-sharing batcher hits).
     pub batch_hits: u64,
@@ -198,6 +206,41 @@ pub struct TenantStats {
     /// Summed simulated time the tenant's requests waited between
     /// admission and dispatch, ns.
     pub queued_ns: u64,
+}
+
+/// Residency accounting of the service frontend's bounded caches: how
+/// much the resident grid cache and the interned-matrix store hold
+/// right now, the high-water marks, and how often the eviction policy
+/// and the deadline supervisor fired. Only the service frontend
+/// populates this (`None` for one-shot executor runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Configured grid-cache byte cap; `None` means unbounded.
+    pub grid_cache_bytes: Option<u64>,
+    /// Bytes currently held by resident prepared grids.
+    pub resident_grid_bytes: u64,
+    /// High-water mark of `resident_grid_bytes` over the service's
+    /// lifetime. Never exceeds the configured cap.
+    pub resident_grid_high_water_bytes: u64,
+    /// Prepared grids currently resident.
+    pub resident_grids: u64,
+    /// Grids inserted into the cache (first preparations and rebuilds).
+    pub grid_inserts: u64,
+    /// Grids evicted — by LRU pressure on insert, or because an operand
+    /// they reference was released.
+    pub grid_evictions: u64,
+    /// Cache misses for a key that had been resident before: the cost
+    /// of the eviction policy, paid as a re-preparation.
+    pub grid_rebuilds: u64,
+    /// Interned matrices currently resident (live slots).
+    pub matrices_resident: u64,
+    /// Bytes held by resident interned matrices.
+    pub matrix_bytes: u64,
+    /// Interned matrices fully released and freed.
+    pub matrices_released: u64,
+    /// Requests that terminated as deadline misses, summed over
+    /// tenants.
+    pub deadline_missed: u64,
 }
 
 /// Structured metrics for one executor run.
@@ -229,6 +272,9 @@ pub struct Metrics {
     /// Per-tenant aggregates; only populated by the service frontend
     /// (empty for one-shot executor runs).
     pub tenants: Vec<TenantStats>,
+    /// Service residency accounting; only populated by the service
+    /// frontend (`None` for one-shot executor runs).
+    pub service: Option<ServiceStats>,
 }
 
 impl Metrics {
@@ -245,6 +291,7 @@ impl Metrics {
             estimator: None,
             degradations: Vec::new(),
             tenants: Vec::new(),
+            service: None,
         }
     }
 
@@ -275,6 +322,12 @@ impl Metrics {
     /// Attaches per-tenant service aggregates.
     pub fn with_tenants(mut self, tenants: Vec<TenantStats>) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Attaches service residency accounting.
+    pub fn with_service(mut self, stats: ServiceStats) -> Self {
+        self.service = Some(stats);
         self
     }
 
@@ -403,13 +456,15 @@ impl Metrics {
             }
             s.push_str(&format!(
                 "\n    {{ \"tenant\": \"{}\", \"submitted\": {}, \"completed\": {}, \
-                 \"shed\": {}, \"quota_queued\": {}, \"batch_hits\": {}, \"flops\": {}, \
+                 \"shed\": {}, \"quota_queued\": {}, \"deadline_missed\": {}, \
+                 \"batch_hits\": {}, \"flops\": {}, \
                  \"busy_ns\": {}, \"queued_ns\": {} }}",
                 t.tenant,
                 t.submitted,
                 t.completed,
                 t.shed,
                 t.quota_queued,
+                t.deadline_missed,
                 t.batch_hits,
                 t.flops,
                 t.busy_ns,
@@ -420,6 +475,33 @@ impl Metrics {
             s.push_str("\n  ");
         }
         s.push_str("],\n");
+        match &self.service {
+            Some(sv) => {
+                let cap = match sv.grid_cache_bytes {
+                    Some(c) => c.to_string(),
+                    None => "null".to_string(),
+                };
+                s.push_str(&format!(
+                    "  \"service\": {{ \"grid_cache_bytes\": {cap}, \
+                     \"resident_grid_bytes\": {}, \
+                     \"resident_grid_high_water_bytes\": {}, \"resident_grids\": {}, \
+                     \"grid_inserts\": {}, \"grid_evictions\": {}, \"grid_rebuilds\": {}, \
+                     \"matrices_resident\": {}, \"matrix_bytes\": {}, \
+                     \"matrices_released\": {}, \"deadline_missed\": {} }},\n",
+                    sv.resident_grid_bytes,
+                    sv.resident_grid_high_water_bytes,
+                    sv.resident_grids,
+                    sv.grid_inserts,
+                    sv.grid_evictions,
+                    sv.grid_rebuilds,
+                    sv.matrices_resident,
+                    sv.matrix_bytes,
+                    sv.matrices_released,
+                    sv.deadline_missed,
+                ));
+            }
+            None => s.push_str("  \"service\": null,\n"),
+        }
         s.push_str("  \"degradations\": [");
         for (i, d) in self.degradations.iter().enumerate() {
             if i > 0 {
@@ -591,6 +673,7 @@ mod tests {
             completed: 8,
             shed: 1,
             quota_queued: 2,
+            deadline_missed: 1,
             batch_hits: 3,
             flops: 1_000_000,
             busy_ns: 50_000,
@@ -601,10 +684,42 @@ mod tests {
         assert!(json.contains("\"submitted\": 10"));
         assert!(json.contains("\"shed\": 1"));
         assert!(json.contains("\"quota_queued\": 2"));
+        assert!(json.contains("\"deadline_missed\": 1"));
         assert!(json.contains("\"batch_hits\": 3"));
         assert!(json.contains("\"queued_ns\": 7000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn service_stats_serialize_and_default_to_null() {
+        let json = Metrics::default().to_json();
+        assert!(json.contains("\"service\": null"), "{json}");
+        let m = Metrics::default().with_service(ServiceStats {
+            grid_cache_bytes: Some(1 << 20),
+            resident_grid_bytes: 700_000,
+            resident_grid_high_water_bytes: 1_000_000,
+            resident_grids: 2,
+            grid_inserts: 9,
+            grid_evictions: 7,
+            grid_rebuilds: 4,
+            matrices_resident: 3,
+            matrix_bytes: 120_000,
+            matrices_released: 1,
+            deadline_missed: 2,
+        });
+        let json = m.to_json();
+        assert!(json.contains("\"grid_cache_bytes\": 1048576"), "{json}");
+        assert!(json.contains("\"resident_grid_bytes\": 700000"));
+        assert!(json.contains("\"resident_grid_high_water_bytes\": 1000000"));
+        assert!(json.contains("\"grid_evictions\": 7"));
+        assert!(json.contains("\"grid_rebuilds\": 4"));
+        assert!(json.contains("\"matrices_released\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // An unbounded cache serializes its cap as null.
+        let m = Metrics::default().with_service(ServiceStats::default());
+        assert!(m.to_json().contains("\"grid_cache_bytes\": null"));
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! The service time-shares one simulated device among concurrent
 //! multi-tenant requests — batching operand-sharing multiplies onto
-//! resident prepared grids, shedding on queue pressure, and delaying
-//! on quota exhaustion. None of that scheduling may leak into the
-//! numbers: every completed request's product must be bit-identical to
-//! the same operation issued as a one-shot executor call, under *any*
+//! resident prepared grids, shedding on queue pressure, delaying on
+//! quota exhaustion, and evicting grids under cache pressure. None of
+//! that scheduling or residency management may leak into the numbers:
+//! every completed request's product must be bit-identical to the
+//! same operation issued as a one-shot executor call, under *any*
 //! interleaving of tenants, schedulers, estimators, and injected host
-//! faults.
+//! faults — and under any grid-cache byte cap, including one so tiny
+//! every request rebuilds its grid from scratch.
 
 use oocgemm::{
     EstimateConfig, EstimatorKind, HostFaultPlan, Hybrid, HybridConfig, OocConfig, OutOfCoreGpu,
@@ -104,11 +106,38 @@ fn build_request(id: u64, arrival: u64, spec: &ReqSpec) -> Request {
     req
 }
 
+/// Runs the spec set through a service built from `cfg`, returning
+/// `(request id, product)` per completion in termination order.
+fn run_specs(cfg: &ServiceConfig, pool: &[CsrMatrix], specs: &[ReqSpec]) -> Vec<(u64, CsrMatrix)> {
+    let mut svc = Service::new(cfg.clone()).unwrap();
+    for m in pool {
+        svc.intern(m.clone());
+    }
+    let mut arrival = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        arrival += spec.0 .1;
+        svc.submit(build_request(i as u64 + 1, arrival, spec))
+            .unwrap();
+    }
+    let completions = svc.drain().unwrap();
+    completions
+        .into_iter()
+        .map(|c| match c.outcome {
+            Outcome::Completed { c: product, .. } => (c.id, product),
+            other => panic!("unexpected non-completion for request {}: {other:?}", c.id),
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Any interleaving of concurrent mixed-tenant requests yields,
-    /// per request, exactly the bits the one-shot executor produces.
+    /// per request, exactly the bits the one-shot executor produces —
+    /// whether the grid cache is unbounded, barely fits one grid, or
+    /// is disabled outright (every request rebuilds). Eviction may
+    /// only discard allocations, never change results or completion
+    /// order.
     #[test]
     fn every_interleaving_is_bit_identical_to_one_shot(
         specs in proptest::collection::vec(
@@ -122,55 +151,37 @@ proptest! {
     ) {
         let pool = pool();
         // Queue deep enough that nothing sheds: this test is about
-        // bit-identity under interleaving, not admission control.
+        // bit-identity under interleaving and cache pressure, not
+        // admission control.
         let cfg = ServiceConfig::new().gpu(service_gpu()).queue_capacity(64);
-        let mut svc = Service::new(cfg.clone()).unwrap();
-        for m in &pool {
-            svc.intern(m.clone());
-        }
-        let mut arrival = 0u64;
         let mut reqs = Vec::new();
+        let mut arrival = 0u64;
         for (i, spec) in specs.iter().enumerate() {
             arrival += spec.0 .1;
-            let req = build_request(i as u64 + 1, arrival, spec);
-            reqs.push(req.clone_for_test());
-            svc.submit(req).unwrap();
+            reqs.push(build_request(i as u64 + 1, arrival, spec));
         }
-        let completions = svc.drain().unwrap();
-        prop_assert_eq!(completions.len(), reqs.len());
-        for c in &completions {
-            let req = &reqs[c.id as usize - 1];
-            match &c.outcome {
-                Outcome::Completed { c: product, .. } => {
-                    let expect = one_shot(&cfg, &pool, req);
-                    prop_assert_eq!(product, &expect,
-                        "request {} diverged from one-shot", c.id);
-                }
-                Outcome::Shed { reason } => {
-                    prop_assert!(false, "unexpected shed of request {}: {:?}", c.id, reason);
-                }
+
+        let unbounded = run_specs(&cfg, &pool, &specs);
+        prop_assert_eq!(unbounded.len(), reqs.len());
+        for (id, product) in &unbounded {
+            let req = &reqs[*id as usize - 1];
+            let expect = one_shot(&cfg, &pool, req);
+            prop_assert_eq!(product, &expect,
+                "request {} diverged from one-shot", id);
+        }
+
+        // Eviction pressure: a cache of ~one grid, and no cache at
+        // all. Same completions, same order, same bits.
+        for cap in [1u64 << 16, 0] {
+            let capped_cfg = cfg.clone().grid_cache_bytes(cap);
+            let capped = run_specs(&capped_cfg, &pool, &specs);
+            prop_assert_eq!(capped.len(), unbounded.len());
+            for ((id_u, c_u), (id_c, c_c)) in unbounded.iter().zip(&capped) {
+                prop_assert_eq!(id_u, id_c,
+                    "cap {} reordered completions", cap);
+                prop_assert_eq!(c_u, c_c,
+                    "request {} diverged under grid_cache_bytes {}", id_u, cap);
             }
-        }
-    }
-}
-
-/// Clone helper for the test (Request is deliberately not `Clone` in
-/// the public API — ids are meant to be unique).
-trait CloneForTest {
-    fn clone_for_test(&self) -> Request;
-}
-
-impl CloneForTest for Request {
-    fn clone_for_test(&self) -> Request {
-        Request {
-            id: self.id,
-            tenant: self.tenant.clone(),
-            arrival_ns: self.arrival_ns,
-            op: self.op,
-            scheduler: self.scheduler,
-            estimator: self.estimator,
-            budget: self.budget,
-            host_faults: self.host_faults.clone(),
         }
     }
 }
@@ -198,7 +209,7 @@ fn quota_exhaustion_delays_but_never_changes_results() {
     for c in &completions {
         match &c.outcome {
             Outcome::Completed { c: product, .. } => assert_eq!(product, &expect),
-            Outcome::Shed { reason } => panic!("unexpected shed: {reason:?}"),
+            other => panic!("unexpected outcome: {other:?}"),
         }
     }
     let metrics = svc.metrics();
@@ -239,7 +250,7 @@ fn queue_overflow_sheds_and_the_rest_complete_bit_identically() {
     for c in completions.iter().filter(|c| c.is_completed()) {
         match &c.outcome {
             Outcome::Completed { c: product, .. } => assert_eq!(product, &expect),
-            Outcome::Shed { .. } => unreachable!(),
+            _ => unreachable!(),
         }
     }
     // Shed counts must land in the per-tenant aggregates.
