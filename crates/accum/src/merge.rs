@@ -1,0 +1,339 @@
+//! Merge-based row accumulation over sorted CSR rows (BRMerge style).
+//!
+//! Gustavson's formulation computes output row `C(i,·)` as a sum of
+//! scaled `B` rows. When those rows are sorted by column — which CSR
+//! guarantees here — the sum can be computed by *merging* instead of
+//! hashing: each contributing row is already sorted, so a two-way merge
+//! produces the sorted output directly, with no hash probes and no
+//! flush-time sort. "Accelerating CPU-Based Sparse General Matrix
+//! Multiplication With Binary Row Merging" (PAPERS.md) shows this wins
+//! by large margins on short-row / low-compression products, exactly
+//! the regime the hybrid executor's stolen sparse tail lives in.
+//!
+//! **Bit-identicality constraint.** The workspace's ground truth
+//! (`reference::multiply` and both existing accumulators) folds the
+//! products hitting one column *left-associatively in increasing-`k`
+//! order*: the first product is stored directly, each later one is
+//! added on the right (`acc = acc + a_ik·b_kj`). A balanced merge tree
+//! — BRMerge proper — would compute `(p1+p2)+(p3+p4)`, which is not
+//! bit-identical to `((p1+p2)+p3)+p4` in IEEE arithmetic. We therefore
+//! merge as a **left-leaning chain**: the accumulator starts as a
+//! scaled copy of the first row and each subsequent row merges into it,
+//! reproducing the reference fold order exactly. The chain keeps the
+//! merge method's real advantages (sequential access, no hashing, no
+//! sort) and gives up only the tree's asymptotic depth — which the
+//! [`choose_row_kernel`] classifier accounts for by restricting the
+//! merge path to rows where the chain is cheap.
+
+use crate::{select_accumulator, AccumulatorKind};
+use sparse::ColId;
+
+/// Merge-path fan-in below which the left-leaning chain is always
+/// preferred over hashing: with at most this many contributing rows the
+/// chain re-scans the accumulator few enough times that sequential
+/// merging beats per-product hash probes regardless of compression.
+pub const MERGE_FANIN_LIMIT: usize = 16;
+
+/// Which numeric kernel the adaptive CPU path should run for one row,
+/// extending [`AccumulatorKind`] with the merge method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowKernel {
+    /// Dense array accumulation (relatively dense output rows).
+    Dense,
+    /// Hash-map accumulation (sparse rows with high compression).
+    Hash,
+    /// Chained two-way merging of sorted rows (short rows, low
+    /// compression).
+    Merge,
+}
+
+/// Picks the numeric kernel for one output row from its shape: `fan_in`
+/// contributing `B` rows (`nnz(A(i,·))`), `row_flops` intermediate
+/// products, `est_nnz` (upper-bound) output entries, and the panel
+/// `width`.
+///
+/// Dense keeps its existing selection (it amortizes by touched slot and
+/// is unbeatable when the row fills the panel). Among the sparse
+/// methods, the chain merge moves `O(Σ|acc|) ≤ fan_in · est_nnz`
+/// entries plus one scaled pass over the `row_flops` products, while
+/// hashing pays a probe per product plus a flush sort. Merge wins when
+/// the fan-in is small ([`MERGE_FANIN_LIMIT`]) or when the re-scan
+/// volume is within ~1.5× of the product volume
+/// (`2 · fan_in · est_nnz ≤ 3 · row_flops`) — i.e. low compression,
+/// where hashing gains nothing from merging duplicates but still pays
+/// for probing and sorting.
+#[inline]
+pub fn choose_row_kernel(fan_in: usize, row_flops: u64, est_nnz: usize, width: usize) -> RowKernel {
+    if select_accumulator(est_nnz, width) == AccumulatorKind::Dense {
+        return RowKernel::Dense;
+    }
+    if fan_in <= MERGE_FANIN_LIMIT
+        || 2 * (fan_in as u64).saturating_mul(est_nnz as u64) <= 3 * row_flops
+    {
+        RowKernel::Merge
+    } else {
+        RowKernel::Hash
+    }
+}
+
+/// Reusable buffer pair for chained two-way merges of scaled sorted
+/// rows. Lives inside `RowScratch`, so one bundle per worker serves
+/// every row; after warm-up no merge allocates (the same counting-
+/// allocator bar the other accumulators meet).
+#[derive(Debug, Default)]
+pub struct MergeBuffer {
+    acc_c: Vec<ColId>,
+    acc_v: Vec<f64>,
+    tmp_c: Vec<ColId>,
+    tmp_v: Vec<f64>,
+}
+
+#[inline]
+fn debug_assert_sorted(cols: &[ColId]) {
+    debug_assert!(
+        cols.windows(2).all(|w| w[0] < w[1]),
+        "merge accumulation requires strictly sorted rows"
+    );
+}
+
+impl MergeBuffer {
+    /// Creates an empty buffer (grows to its high-water mark on use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries currently accumulated.
+    pub fn len(&self) -> usize {
+        self.acc_c.len()
+    }
+
+    /// True if nothing is accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.acc_c.is_empty()
+    }
+
+    /// Merges the scaled rows `(scale, cols, vals)` — each sorted by
+    /// column — into one sorted row, leaving the result readable via
+    /// the returned `(cols, vals)` slices. Fold semantics are
+    /// `plus(acc, times(scale, val))` with the accumulator on the
+    /// left and the first product at each column stored directly, so
+    /// for `(+,×)` over f64 the result is bit-identical to the dense /
+    /// hash / sort accumulators fed products in the same row order.
+    pub fn merge_rows_with<'a, P, T>(
+        &mut self,
+        plus: P,
+        times: T,
+        rows: impl IntoIterator<Item = (f64, &'a [ColId], &'a [f64])>,
+        out: impl FnOnce(&[ColId], &[f64]),
+    ) where
+        P: Fn(f64, f64) -> f64,
+        T: Fn(f64, f64) -> f64,
+    {
+        self.acc_c.clear();
+        self.acc_v.clear();
+        for (scale, row_c, row_v) in rows {
+            debug_assert_eq!(row_c.len(), row_v.len());
+            debug_assert_sorted(row_c);
+            if row_c.is_empty() {
+                continue;
+            }
+            if self.acc_c.is_empty() {
+                // First contributing row: a scaled copy, matching the
+                // other accumulators' direct first-touch store.
+                self.acc_c.extend_from_slice(row_c);
+                self.acc_v.extend(row_v.iter().map(|&v| times(scale, v)));
+                continue;
+            }
+            self.tmp_c.clear();
+            self.tmp_v.clear();
+            let (mut i, mut j) = (0, 0);
+            let (n, m) = (self.acc_c.len(), row_c.len());
+            while i < n && j < m {
+                let (ac, rc) = (self.acc_c[i], row_c[j]);
+                if ac < rc {
+                    self.tmp_c.push(ac);
+                    self.tmp_v.push(self.acc_v[i]);
+                    i += 1;
+                } else if ac > rc {
+                    self.tmp_c.push(rc);
+                    self.tmp_v.push(times(scale, row_v[j]));
+                    j += 1;
+                } else {
+                    self.tmp_c.push(ac);
+                    self.tmp_v.push(plus(self.acc_v[i], times(scale, row_v[j])));
+                    i += 1;
+                    j += 1;
+                }
+            }
+            self.tmp_c.extend_from_slice(&self.acc_c[i..]);
+            self.tmp_v.extend_from_slice(&self.acc_v[i..]);
+            self.tmp_c.extend_from_slice(&row_c[j..]);
+            self.tmp_v
+                .extend(row_v[j..].iter().map(|&v| times(scale, v)));
+            std::mem::swap(&mut self.acc_c, &mut self.tmp_c);
+            std::mem::swap(&mut self.acc_v, &mut self.tmp_v);
+        }
+        out(&self.acc_c, &self.acc_v);
+    }
+
+    /// `(+,×)` over f64: merges the scaled rows and writes the sorted
+    /// result into the caller's exact output slices (`out_c.len() ==
+    /// out_v.len() ==` the row's symbolic size), mirroring
+    /// `RowScratch::accumulate_row_into`.
+    pub fn merge_rows_into<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (f64, &'a [ColId], &'a [f64])>,
+        out_c: &mut [ColId],
+        out_v: &mut [f64],
+    ) {
+        self.merge_rows_with(
+            |a, b| a + b,
+            |a, b| a * b,
+            rows,
+            |cols, vals| {
+                debug_assert_eq!(cols.len(), out_c.len(), "symbolic/merge row size mismatch");
+                out_c.copy_from_slice(cols);
+                out_v.copy_from_slice(vals);
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accumulator, SortAccumulator};
+
+    fn merge_f64(rows: &[(f64, Vec<ColId>, Vec<f64>)]) -> (Vec<ColId>, Vec<f64>) {
+        let mut buf = MergeBuffer::new();
+        let mut out = (Vec::new(), Vec::new());
+        buf.merge_rows_with(
+            |a, b| a + b,
+            |a, b| a * b,
+            rows.iter()
+                .map(|(s, c, v)| (*s, c.as_slice(), v.as_slice())),
+            |c, v| out = (c.to_vec(), v.to_vec()),
+        );
+        out
+    }
+
+    #[test]
+    fn merges_two_sorted_rows() {
+        let rows = vec![
+            (2.0, vec![1u32, 4, 7], vec![1.0, 2.0, 3.0]),
+            (0.5, vec![0u32, 4, 9], vec![4.0, 6.0, 8.0]),
+        ];
+        let (c, v) = merge_f64(&rows);
+        assert_eq!(c, vec![0, 1, 4, 7, 9]);
+        assert_eq!(v, vec![2.0, 2.0, 7.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_rows_and_single_row() {
+        let rows = vec![
+            (3.0, vec![], vec![]),
+            (2.0, vec![5u32, 6], vec![1.0, 2.0]),
+            (1.0, vec![], vec![]),
+        ];
+        let (c, v) = merge_f64(&rows);
+        assert_eq!(c, vec![5, 6]);
+        assert_eq!(v, vec![2.0, 4.0]);
+        assert_eq!(merge_f64(&[]), (vec![], vec![]));
+    }
+
+    #[test]
+    fn chain_is_bit_identical_to_sort_accumulator() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        for case in 0..200 {
+            let fan_in = rng.gen_range(0..12usize);
+            let rows: Vec<(f64, Vec<ColId>, Vec<f64>)> = (0..fan_in)
+                .map(|_| {
+                    let len = rng.gen_range(0..20usize);
+                    let mut cols: Vec<ColId> = (0..len)
+                        .map(|_| rng.gen_range(0..40u32))
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    cols.sort_unstable();
+                    let vals = cols.iter().map(|_| rng.gen_range(-4.0..4.0)).collect();
+                    (rng.gen_range(-2.0..2.0), cols, vals)
+                })
+                .collect();
+            let (mc, mv) = merge_f64(&rows);
+            // Oracle: the ESC accumulator fed products in the same
+            // row-major order (what reference::multiply does).
+            let mut acc = SortAccumulator::new();
+            for (s, c, v) in &rows {
+                for (&col, &val) in c.iter().zip(v) {
+                    acc.add(col, s * val);
+                }
+            }
+            let (mut sc, mut sv) = (Vec::new(), Vec::new());
+            acc.flush_into(&mut sc, &mut sv);
+            assert_eq!(mc, sc, "case {case}: columns");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&mv), bits(&sv), "case {case}: values");
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_clean() {
+        let mut buf = MergeBuffer::new();
+        let (c1, v1) = (vec![2u32, 9], vec![1.0, 2.0]);
+        let mut out_c = [0u32; 2];
+        let mut out_v = [0.0f64; 2];
+        buf.merge_rows_into(
+            [(1.0, c1.as_slice(), v1.as_slice())],
+            &mut out_c,
+            &mut out_v,
+        );
+        assert_eq!(out_c, [2, 9]);
+        // Second, unrelated row must not see the first.
+        let (c2, v2) = (vec![4u32], vec![5.0]);
+        let mut out_c = [0u32; 1];
+        let mut out_v = [0.0f64; 1];
+        buf.merge_rows_into(
+            [(2.0, c2.as_slice(), v2.as_slice())],
+            &mut out_c,
+            &mut out_v,
+        );
+        assert_eq!(out_c, [4]);
+        assert_eq!(out_v, [10.0]);
+    }
+
+    #[test]
+    fn semiring_fold_uses_plus_times() {
+        // Tropical min-plus: plus = min, times = +.
+        let rows = [
+            (1.0, vec![3u32, 5], vec![2.0, 9.0]),
+            (4.0, vec![3u32], vec![1.0]),
+        ];
+        let mut buf = MergeBuffer::new();
+        let mut out = (Vec::new(), Vec::new());
+        buf.merge_rows_with(
+            f64::min,
+            |a, b| a + b,
+            rows.iter()
+                .map(|(s, c, v)| (*s, c.as_slice(), v.as_slice())),
+            |c, v| out = (c.to_vec(), v.to_vec()),
+        );
+        assert_eq!(out.0, vec![3, 5]);
+        // col 3: min(1+2, 4+1) = 3; col 5: 1+9 = 10.
+        assert_eq!(out.1, vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn classifier_picks_each_kernel() {
+        // Dense: expected fills >= 1/16 of a narrow panel.
+        assert_eq!(choose_row_kernel(40, 4000, 256, 1024), RowKernel::Dense);
+        // Merge: small fan-in.
+        assert_eq!(choose_row_kernel(8, 4000, 10, 1 << 20), RowKernel::Merge);
+        // Merge: low compression (flops ~ nnz) even at high fan-in.
+        assert_eq!(choose_row_kernel(100, 2000, 20, 1 << 20), RowKernel::Merge);
+        // Hash: high fan-in and high compression.
+        assert_eq!(choose_row_kernel(100, 2000, 2000, 1 << 20), RowKernel::Hash);
+        // Empty row degenerates to (trivial) merge.
+        assert_eq!(choose_row_kernel(0, 0, 0, 1 << 20), RowKernel::Merge);
+    }
+}

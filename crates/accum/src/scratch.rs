@@ -18,7 +18,7 @@
 use crate::counter::SymbolicCounter;
 use crate::{
     choose_accumulator, Accumulator, AccumulatorKind, DenseAccumulator, DenseCounter,
-    HashAccumulator, HashCounter,
+    HashAccumulator, HashCounter, MergeBuffer,
 };
 use sparse::ColId;
 use std::sync::Mutex;
@@ -49,6 +49,7 @@ pub struct RowScratch {
     hash_counter: HashCounter,
     dense: DenseAccumulator,
     hash: HashAccumulator,
+    merge: MergeBuffer,
     /// Staging columns for the row being flushed.
     pub cols: Vec<ColId>,
     /// Staging values for the row being flushed.
@@ -68,6 +69,7 @@ impl Default for RowScratch {
             hash_counter: HashCounter::with_expected(64),
             dense: DenseAccumulator::new(0),
             hash: HashAccumulator::with_expected(64),
+            merge: MergeBuffer::new(),
             cols: Vec::new(),
             vals: Vec::new(),
             flops_buf: Vec::new(),
@@ -144,6 +146,29 @@ impl RowScratch {
         );
         out_c.copy_from_slice(&self.cols);
         out_v.copy_from_slice(&self.vals);
+    }
+
+    /// Accumulates one numeric row by chained merging of the scaled
+    /// sorted rows `(scale, cols, vals)` into the caller's exact output
+    /// slices — the merge counterpart of
+    /// [`RowScratch::accumulate_row_into`], with the same fold order
+    /// (bit-identical output) and the same zero-steady-state-allocation
+    /// bar.
+    pub fn merge_row_into<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (f64, &'a [ColId], &'a [f64])>,
+        out_c: &mut [ColId],
+        out_v: &mut [f64],
+    ) {
+        self.merge.merge_rows_into(rows, out_c, out_v);
+    }
+
+    /// Leases the bundle's dense accumulator grown to `width` — for
+    /// callers like `dense_blocked` that drive a whole panel through
+    /// dense accumulation directly instead of per-row dispatch.
+    pub fn dense_acc(&mut self, width: usize) -> &mut DenseAccumulator {
+        self.dense.ensure_width(width);
+        &mut self.dense
     }
 }
 

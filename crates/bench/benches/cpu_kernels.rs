@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the per-kernel CPU SpGEMM dispatch: the
+//! hash baseline vs the BRMerge-style binary row merge vs the adaptive
+//! per-row-group classifier, on the two matrix classes the classifier
+//! has to tell apart — a skewed graph (scatter-heavy, hash territory)
+//! and regular stencils (small fan-in, merge/dense territory).
+
+use cpu_spgemm::{multiply_with_kernel, CpuKernel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparse::gen::{grid2d_stencil, grid3d_stencil, rmat, RmatConfig};
+use sparse::CsrMatrix;
+use std::hint::black_box;
+
+fn fixtures() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("rmat_skewed", rmat(RmatConfig::skewed(12, 50_000), 3)),
+        ("stencil_2d", grid2d_stencil(96, 96, 2, 2)),
+        ("stencil_3d", grid3d_stencil(14, 14, 14, 1, 4)),
+    ]
+}
+
+fn bench_cpu_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_kernels");
+    group.sample_size(10);
+    for (name, a) in fixtures() {
+        let flops = sparse::stats::total_flops(&a, &a);
+        group.throughput(Throughput::Elements(flops));
+        for kernel in CpuKernel::all() {
+            group.bench_with_input(BenchmarkId::new(kernel.name(), name), &a, |b, a| {
+                b.iter(|| black_box(multiply_with_kernel(a, a, kernel).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_kernels);
+criterion_main!(benches);

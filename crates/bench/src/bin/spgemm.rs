@@ -24,7 +24,6 @@
 //! request; `--soak` runs the deadline-sprinkled soak trace under a
 //! deliberately tight cache cap and fails on any cap excursion.
 
-use oocgemm::report::cpu_baseline_ns;
 use oocgemm::{
     multiply_multi_gpu, multiply_unified, ExecMode, FaultPlan, Hybrid, HybridConfig,
     MultiGpuConfig, OocConfig, OutOfCoreGpu, SchedulerKind,
@@ -56,6 +55,7 @@ struct Args {
     estimator: Option<String>,
     sample_rate: Option<f64>,
     headroom: Option<f64>,
+    cpu_kernel: Option<String>,
 }
 
 fn usage() -> ! {
@@ -67,6 +67,7 @@ fn usage() -> ! {
          \x20      [--host-fault-seed N] [--host-fault-rate R] [--deadline-ns N]\n\
          \x20      [--estimator exact|upper-bound|row-sample|hash-sketch]\n\
          \x20      [--sample-rate R] [--headroom H]\n\
+         \x20      [--cpu-kernel hash|dense|merge|adaptive]\n\
          \x20      [--out FILE.mtx|FILE.spb] [--trace FILE.json] [--metrics-out FILE.json]"
     );
     std::process::exit(2)
@@ -94,6 +95,7 @@ fn parse_args() -> Args {
         estimator: None,
         sample_rate: None,
         headroom: None,
+        cpu_kernel: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,6 +145,7 @@ fn parse_args() -> Args {
             "--estimator" => args.estimator = Some(value()),
             "--sample-rate" => args.sample_rate = Some(value().parse().unwrap_or_else(|_| usage())),
             "--headroom" => args.headroom = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--cpu-kernel" => args.cpu_kernel = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -383,6 +386,19 @@ fn main() {
     }
     config = config.estimator(est);
 
+    // CPU kernel selection (default adaptive): drives the real CPU
+    // executor and the per-chunk CPU pricing class everywhere the
+    // simulated runs demote or assign work to the host. Bad values are
+    // exit 2 before any work starts, like --estimator.
+    let cpu_kernel: cpu_spgemm::CpuKernel = match args.cpu_kernel.as_deref() {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }),
+        None => cpu_spgemm::CpuKernel::default(),
+    };
+    config = config.cpu_kernel(cpu_kernel);
+
     // The estimator only drives planning in speculative (async)
     // pipelines — gpu-async, hybrid, and multi-gpu consume it. The
     // remaining executors would silently drop the flags; warn loudly
@@ -450,8 +466,18 @@ fn main() {
 
     let (c, sim_ns, timeline, recovery, metrics, scheduler) = match args.executor.as_str() {
         "cpu" => {
-            let c = cpu_spgemm::parallel_hash::multiply(&a, &a).expect("cpu multiply");
-            let ns = cpu_baseline_ns(&config.cost, stats.flops, stats.nnz_c);
+            let c = if cpu_kernel == cpu_spgemm::CpuKernel::Adaptive {
+                let (c, picks) = cpu_spgemm::multiply_with_picks(&a, &a).expect("cpu multiply");
+                println!(
+                    "cpu kernel: adaptive ({} hash / {} dense / {} merge row groups)",
+                    picks.hash, picks.dense, picks.merge
+                );
+                c
+            } else {
+                println!("cpu kernel: {cpu_kernel}");
+                cpu_spgemm::multiply_with_kernel(&a, &a, cpu_kernel).expect("cpu multiply")
+            };
+            let ns = config.cpu_chunk_ns(stats.flops, stats.nnz_c);
             (c, ns, None, None, None, None)
         }
         "gpu-sync" | "gpu-async" => {

@@ -1,0 +1,198 @@
+//! Wall-clock comparison of the CPU SpGEMM kernels (hash, dense,
+//! merge, adaptive) across the evaluation suite, backing the
+//! `BENCH_cpu_kernels.json` baseline the `repro` binary emits
+//! (`repro prep`).
+//!
+//! Per matrix, the four executors compute the same `A²` (bit-identical
+//! by the equivalence suite in `cpu-spgemm`); what differs is where
+//! the time goes. The headline columns are the merge and adaptive
+//! speedups over the hash baseline: merge wins on sorted-row /
+//! low-compression inputs (few, long rows to merge), hash wins on
+//! scatter-heavy ones, and adaptive is expected to track the better of
+//! the two. The adaptive row-group picks are recorded so a regression
+//! in the classifier shows up in the baseline, not just in the timing.
+
+use cpu_spgemm::{multiply_with_kernel, multiply_with_picks, CpuKernel};
+use sparse::gen::SuiteScale;
+use sparse::CsrMatrix;
+use std::time::Instant;
+
+/// Timing results of one suite matrix.
+pub struct KernelBenchRow {
+    /// Matrix abbreviation (paper Figure labels).
+    pub matrix: String,
+    /// Multiply flops (`total_flops(a, a)`).
+    pub flops: u64,
+    /// Output nonzeros.
+    pub nnz_c: u64,
+    /// Compression ratio `flops / nnz_c`.
+    pub compression_ratio: f64,
+    /// Threads the kernels ran with.
+    pub host_threads: usize,
+    /// Hash kernel best-of-iters wall clock, ns.
+    pub hash_ns: u64,
+    /// Dense-blocked kernel wall clock, ns.
+    pub dense_ns: u64,
+    /// Merge kernel wall clock, ns.
+    pub merge_ns: u64,
+    /// Adaptive kernel wall clock, ns.
+    pub adaptive_ns: u64,
+    /// Adaptive per-row-group picks `(hash, dense, merge)`.
+    pub picks: (u64, u64, u64),
+}
+
+impl KernelBenchRow {
+    /// Hash / merge speedup (>1 means merge is faster).
+    pub fn merge_vs_hash(&self) -> f64 {
+        self.hash_ns as f64 / self.merge_ns.max(1) as f64
+    }
+
+    /// Hash / adaptive speedup (>1 means adaptive is faster).
+    pub fn adaptive_vs_hash(&self) -> f64 {
+        self.hash_ns as f64 / self.adaptive_ns.max(1) as f64
+    }
+}
+
+/// Best-of-`iters` wall-clock time of `f`, in ns.
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Times all four kernels on `A²` for one matrix.
+pub fn run_matrix(label: &str, a: &CsrMatrix, iters: usize) -> KernelBenchRow {
+    let flops = sparse::stats::total_flops(a, a);
+    let time = |k: CpuKernel| best_of(iters, || multiply_with_kernel(a, a, k).expect("multiply"));
+    let hash_ns = time(CpuKernel::Hash);
+    let dense_ns = time(CpuKernel::Dense);
+    let merge_ns = time(CpuKernel::Merge);
+    let adaptive_ns = best_of(iters, || multiply_with_picks(a, a).expect("multiply"));
+    let (c, picks) = multiply_with_picks(a, a).expect("multiply");
+    let nnz_c = c.nnz() as u64;
+    KernelBenchRow {
+        matrix: label.to_string(),
+        flops,
+        nnz_c,
+        compression_ratio: flops as f64 / nnz_c.max(1) as f64,
+        host_threads: rayon::current_num_threads(),
+        hash_ns,
+        dense_ns,
+        merge_ns,
+        adaptive_ns,
+        picks: (picks.hash, picks.dense, picks.merge),
+    }
+}
+
+/// Runs the whole suite at `scale`.
+pub fn run_all(scale: SuiteScale) -> Vec<KernelBenchRow> {
+    crate::load_suite(scale)
+        .iter()
+        .map(|e| run_matrix(e.id.abbr(), &e.matrix, 3))
+        .collect()
+}
+
+/// Renders rows as the stdout table.
+pub fn table(rows: &[KernelBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "matrix     ratio  hash(ms)  dense(ms)  merge(ms)  adapt(ms)  \
+         merge/hash  adapt/hash  picks(h/d/m)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:>6.1} {:>9.2} {:>10.2} {:>10.2} {:>10.2}  {:>9.2}x  {:>9.2}x  {}/{}/{}\n",
+            r.matrix,
+            r.compression_ratio,
+            r.hash_ns as f64 / 1e6,
+            r.dense_ns as f64 / 1e6,
+            r.merge_ns as f64 / 1e6,
+            r.adaptive_ns as f64 / 1e6,
+            r.merge_vs_hash(),
+            r.adaptive_vs_hash(),
+            r.picks.0,
+            r.picks.1,
+            r.picks.2,
+        ));
+    }
+    out
+}
+
+/// Renders rows as the `BENCH_cpu_kernels.json` document.
+/// Hand-formatted so the baseline can be produced in fully offline
+/// builds.
+pub fn to_json(rows: &[KernelBenchRow]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"cpu_kernels\",\n  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"matrix\": \"{}\",\n      \"flops\": {},\n      \
+             \"nnz_c\": {},\n      \"compression_ratio\": {:.3},\n      \
+             \"host_threads\": {},\n      \"hash_ns\": {},\n      \"dense_ns\": {},\n      \
+             \"merge_ns\": {},\n      \"adaptive_ns\": {},\n      \
+             \"adaptive_picks\": {{\"hash\": {}, \"dense\": {}, \"merge\": {}}},\n      \
+             \"merge_vs_hash\": {:.3},\n      \"adaptive_vs_hash\": {:.3}\n    }}{}\n",
+            r.matrix,
+            r.flops,
+            r.nnz_c,
+            r.compression_ratio,
+            r.host_threads,
+            r.hash_ns,
+            r.dense_ns,
+            r.merge_ns,
+            r.adaptive_ns,
+            r.picks.0,
+            r.picks.1,
+            r.picks.2,
+            r.merge_vs_hash(),
+            r.adaptive_vs_hash(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_for_synthetic_rows() {
+        let rows = vec![KernelBenchRow {
+            matrix: "2cubes".into(),
+            flops: 1000,
+            nnz_c: 500,
+            compression_ratio: 2.0,
+            host_threads: 1,
+            hash_ns: 3000,
+            dense_ns: 4000,
+            merge_ns: 1500,
+            adaptive_ns: 1600,
+            picks: (1, 0, 15),
+        }];
+        let json = to_json(&rows);
+        assert!(json.contains("\"benchmark\": \"cpu_kernels\""));
+        assert!(json.contains("\"merge_vs_hash\": 2.000"));
+        assert!(json.contains("\"adaptive_picks\": {\"hash\": 1, \"dense\": 0, \"merge\": 15}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(parsed["cases"][0]["matrix"], "2cubes");
+    }
+
+    #[test]
+    fn tiny_matrix_runs_end_to_end() {
+        let a = sparse::gen::grid2d_stencil(24, 24, 1, 1);
+        let row = run_matrix("stencil", &a, 1);
+        assert!(row.hash_ns > 0 && row.merge_ns > 0 && row.adaptive_ns > 0);
+        assert!(row.nnz_c > 0);
+        // Regular stencil rows have small fan-in: the classifier must
+        // not fall back to hash for them.
+        assert_eq!(row.picks.0, 0, "stencil rows should avoid hash");
+        assert!(row.picks.1 + row.picks.2 > 0);
+    }
+}

@@ -131,6 +131,87 @@ fn nan_ratio_is_rejected_by_validate() {
 }
 
 #[test]
+fn measured_cpu_model_shifts_realized_ratio() {
+    // The auction prices CPU chunks with the configured cost model, so
+    // swapping the frozen paper constants for a measured host must move
+    // the realized flop split — without ever changing C.
+    let a = fixture();
+    let paper = gpu_sim::CostModel::calibrated();
+    let with_cpu = |scale: f64| {
+        let mut cfg = base();
+        cfg.gpu.cost = paper.clone().with_measured_cpu(
+            paper.cpu_flop_rate * scale,
+            paper.cpu_insert_ns / scale,
+            0,
+        );
+        Hybrid::new(cfg).multiply(&a, &a).unwrap()
+    };
+    let frozen = Hybrid::new(base()).multiply(&a, &a).unwrap();
+    let fast_cpu = with_cpu(50.0);
+    let slow_cpu = with_cpu(1.0 / 50.0);
+    assert_eq!(fast_cpu.c, frozen.c, "pricing must never change C");
+    assert_eq!(slow_cpu.c, frozen.c);
+    assert!(
+        fast_cpu.scheduler.realized_gpu_ratio < frozen.scheduler.realized_gpu_ratio,
+        "a 50x faster CPU must steal more: {} vs {}",
+        fast_cpu.scheduler.realized_gpu_ratio,
+        frozen.scheduler.realized_gpu_ratio
+    );
+    assert!(
+        slow_cpu.scheduler.realized_gpu_ratio >= frozen.scheduler.realized_gpu_ratio,
+        "a 50x slower CPU must not steal more: {} vs {}",
+        slow_cpu.scheduler.realized_gpu_ratio,
+        frozen.scheduler.realized_gpu_ratio
+    );
+    assert!(fast_cpu.scheduler.realized_gpu_ratio < slow_cpu.scheduler.realized_gpu_ratio);
+}
+
+#[test]
+fn kernel_table_prices_kernel_choice_into_the_auction() {
+    // With a measured per-kernel table installed, selecting a faster
+    // CPU kernel must shift chunks toward the CPU — same C, different
+    // split — and the pick accounting must name the configured kernel.
+    let a = fixture();
+    let paper = gpu_sim::CostModel::calibrated();
+    let base_cost = gpu_sim::CpuKernelCost {
+        flop_rate: paper.cpu_flop_rate,
+        insert_ns: paper.cpu_insert_ns,
+        chunk_overhead_ns: paper.cpu_chunk_overhead_ns,
+    };
+    let table = gpu_sim::CpuKernelTable {
+        hash: base_cost,
+        dense: base_cost,
+        merge: gpu_sim::CpuKernelCost {
+            flop_rate: paper.cpu_flop_rate * 30.0,
+            insert_ns: paper.cpu_insert_ns / 30.0,
+            chunk_overhead_ns: 0,
+        },
+    };
+    let run_with = |kernel: oocgemm::CpuKernel| {
+        let mut cfg = base();
+        cfg.gpu.cost = paper.clone().with_measured_cpu_kernels(table);
+        cfg.gpu = cfg.gpu.cpu_kernel(kernel);
+        Hybrid::new(cfg).multiply(&a, &a).unwrap()
+    };
+    let hash = run_with(oocgemm::CpuKernel::Hash);
+    let merge = run_with(oocgemm::CpuKernel::Merge);
+    assert_eq!(hash.c, merge.c, "kernel pricing must never change C");
+    assert!(
+        merge.scheduler.realized_gpu_ratio < hash.scheduler.realized_gpu_ratio,
+        "the cheap merge kernel must pull work onto the CPU: {} vs {}",
+        merge.scheduler.realized_gpu_ratio,
+        hash.scheduler.realized_gpu_ratio
+    );
+    let picks = merge.metrics.cpu_kernels.as_ref().expect("CPU side ran");
+    assert_eq!(picks.kernel, "merge");
+    assert_eq!(picks.merge_picks, picks.total());
+    assert!(picks.total() > 0);
+    let json = merge.metrics.to_json();
+    assert!(json.contains("\"cpu_kernels\""), "{json}");
+    assert!(json.contains("\"kernel\": \"merge\""));
+}
+
+#[test]
 fn scheduler_stats_flow_into_metrics_json() {
     let a = fixture();
     let run = Hybrid::new(base()).multiply(&a, &a).unwrap();

@@ -1,0 +1,299 @@
+//! Adaptive CPU SpGEMM: per-row kernel dispatch between hash, dense,
+//! and merge accumulation.
+//!
+//! The symbolic pass already computes each output row's exact size;
+//! this executor additionally keeps the row's intermediate-product
+//! count, and the numeric pass picks the accumulation method per row
+//! with [`accum::choose_row_kernel`] — dense for panel-filling rows,
+//! chained merge for short / low-compression rows, hash for the
+//! high-compression rest. Every method folds products in the same
+//! order, so the output is bit-identical to `reference::multiply`
+//! regardless of how the classifier splits the rows (the
+//! `brmerge_equivalence` proptest pins adaptive against every fixed
+//! kernel).
+
+use crate::check_dims;
+use accum::{choose_row_kernel, RowKernel, ScratchPool};
+use rayon::prelude::*;
+use sparse::{ColId, CsrMatrix, CsrView, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Row-chunk granularity, matching `parallel_hash`.
+const CHUNK: usize = 256;
+
+/// How many rows the adaptive numeric phase ran through each kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelPicks {
+    /// Rows accumulated with the hash method.
+    pub hash: u64,
+    /// Rows accumulated with the dense array.
+    pub dense: u64,
+    /// Rows accumulated by chained merging.
+    pub merge: u64,
+}
+
+impl KernelPicks {
+    /// Total rows dispatched.
+    pub fn total(&self) -> u64 {
+        self.hash + self.dense + self.merge
+    }
+}
+
+/// Computes `C = a · b` with per-row adaptive kernel dispatch.
+pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    multiply_with_picks(a, b).map(|(c, _)| c)
+}
+
+/// [`multiply`] over a borrowed row panel of `A`.
+pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
+    multiply_view_with_picks(a, b).map(|(c, _)| c)
+}
+
+/// [`multiply`], also reporting how many rows each kernel handled.
+pub fn multiply_with_picks(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, KernelPicks)> {
+    multiply_view_with_picks(&CsrView::of(a), b)
+}
+
+/// [`multiply_view`], also reporting per-kernel row counts.
+pub fn multiply_view_with_picks(
+    a: &CsrView<'_>,
+    b: &CsrMatrix,
+) -> Result<(CsrMatrix, KernelPicks)> {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
+    let n_rows = a.n_rows();
+    let width = b.n_cols();
+
+    let pool = ScratchPool::new();
+
+    // Symbolic: exact row sizes plus intermediate-product counts (the
+    // classifier's compression signal) in one pass.
+    let (row_nnz, row_products) = symbolic_with_products(a, b, &pool);
+
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    offsets.push(0usize);
+    for &n in &row_nnz {
+        offsets.push(offsets.last().unwrap() + n);
+    }
+    let nnz = *offsets.last().unwrap();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+
+    let hash_picks = AtomicU64::new(0);
+    let dense_picks = AtomicU64::new(0);
+    let merge_picks = AtomicU64::new(0);
+
+    {
+        let mut col_chunks: Vec<(usize, &mut [ColId], &mut [f64])> = Vec::new();
+        let mut rest_c: &mut [ColId] = &mut cols;
+        let mut rest_v: &mut [f64] = &mut vals;
+        let mut chunk_start = 0usize;
+        while chunk_start < n_rows {
+            let chunk_end = (chunk_start + CHUNK).min(n_rows);
+            let len = offsets[chunk_end] - offsets[chunk_start];
+            let (head_c, tail_c) = rest_c.split_at_mut(len);
+            let (head_v, tail_v) = rest_v.split_at_mut(len);
+            col_chunks.push((chunk_start, head_c, head_v));
+            rest_c = tail_c;
+            rest_v = tail_v;
+            chunk_start = chunk_end;
+        }
+        col_chunks
+            .into_par_iter()
+            .for_each(|(chunk_start, out_c, out_v)| {
+                let mut local = KernelPicks::default();
+                numeric_chunk(
+                    a,
+                    b,
+                    &row_nnz,
+                    &row_products,
+                    chunk_start,
+                    out_c,
+                    out_v,
+                    &pool,
+                    &mut local,
+                );
+                hash_picks.fetch_add(local.hash, Ordering::Relaxed);
+                dense_picks.fetch_add(local.dense, Ordering::Relaxed);
+                merge_picks.fetch_add(local.merge, Ordering::Relaxed);
+            });
+    }
+
+    let picks = KernelPicks {
+        hash: hash_picks.into_inner(),
+        dense: dense_picks.into_inner(),
+        merge: merge_picks.into_inner(),
+    };
+    let c = CsrMatrix::from_parts_unchecked(n_rows, width, offsets, cols, vals);
+    Ok((c, picks))
+}
+
+/// Symbolic phase computing both exact row sizes and per-row
+/// intermediate-product counts, parallel over row chunks with pooled
+/// counter bundles.
+fn symbolic_with_products(
+    a: &CsrView<'_>,
+    b: &CsrMatrix,
+    pool: &ScratchPool,
+) -> (Vec<usize>, Vec<u64>) {
+    let n_rows = a.n_rows();
+    let width = b.n_cols();
+    (0..n_rows.div_ceil(CHUNK).max(1))
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let lo = chunk * CHUNK;
+            let hi = (lo + CHUNK).min(n_rows);
+            let mut out = Vec::with_capacity(hi - lo);
+            pool.with(|s| {
+                for r in lo..hi {
+                    let mut products = 0u64;
+                    let cols = a.row_cols(r).iter().flat_map(|&k| {
+                        let row = b.row_cols(k as usize);
+                        products += row.len() as u64;
+                        row.iter().copied()
+                    });
+                    let nnz = s.count_row(cols, width);
+                    out.push((nnz, products));
+                }
+            });
+            out
+        })
+        .unzip()
+}
+
+/// Numeric phase for one row chunk: classify each row, then fill its
+/// disjoint slice with the chosen kernel.
+#[allow(clippy::too_many_arguments)]
+fn numeric_chunk(
+    a: &CsrView<'_>,
+    b: &CsrMatrix,
+    row_nnz: &[usize],
+    row_products: &[u64],
+    chunk_start: usize,
+    out_c: &mut [ColId],
+    out_v: &mut [f64],
+    pool: &ScratchPool,
+    picks: &mut KernelPicks,
+) {
+    let width = b.n_cols();
+    let chunk_len = out_c.len();
+    let rows = chunk_start..(chunk_start + CHUNK).min(row_nnz.len());
+    pool.with(|scratch| {
+        let mut cursor = 0usize;
+        for r in rows {
+            let expect = row_nnz[r];
+            if expect == 0 {
+                continue;
+            }
+            let fan_in = a.row_cols(r).len();
+            match choose_row_kernel(fan_in, row_products[r], expect, width) {
+                RowKernel::Merge => {
+                    picks.merge += 1;
+                    scratch.merge_row_into(
+                        a.row_cols(r)
+                            .iter()
+                            .zip(a.row_values(r))
+                            .map(|(&k, &a_rk)| {
+                                (a_rk, b.row_cols(k as usize), b.row_values(k as usize))
+                            }),
+                        &mut out_c[cursor..cursor + expect],
+                        &mut out_v[cursor..cursor + expect],
+                    );
+                }
+                kind => {
+                    match kind {
+                        RowKernel::Dense => picks.dense += 1,
+                        _ => picks.hash += 1,
+                    }
+                    // `accumulate_row_into` dispatches dense vs hash by
+                    // the same `select_accumulator` rule the classifier
+                    // used, so the pick count matches what actually ran.
+                    scratch.accumulate_row_into(
+                        a.row_iter(r).flat_map(|(k, a_rk)| {
+                            b.row_iter(k as usize)
+                                .map(move |(c, b_kc)| (c, a_rk * b_kc))
+                        }),
+                        expect,
+                        width,
+                        &mut out_c[cursor..cursor + expect],
+                        &mut out_v[cursor..cursor + expect],
+                    );
+                }
+            }
+            cursor += expect;
+        }
+        debug_assert_eq!(cursor, chunk_len, "chunk fill incomplete");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen::{erdos_renyi, grid2d_stencil, rmat, RmatConfig};
+
+    fn bits(m: &CsrMatrix) -> Vec<u64> {
+        m.values().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn check_bit_identical(a: &CsrMatrix, b: &CsrMatrix) -> KernelPicks {
+        let expect = reference::multiply(a, b).unwrap();
+        let (got, picks) = multiply_with_picks(a, b).unwrap();
+        got.validate().unwrap();
+        assert_eq!(got.row_offsets(), expect.row_offsets());
+        assert_eq!(got.col_ids(), expect.col_ids());
+        assert_eq!(bits(&got), bits(&expect), "values must be bit-identical");
+        picks
+    }
+
+    #[test]
+    fn matches_reference_and_counts_picks() {
+        let a = erdos_renyi(120, 100, 0.08, 1);
+        let b = erdos_renyi(100, 140, 0.08, 2);
+        let picks = check_bit_identical(&a, &b);
+        let populated = (0..120).filter(|&r| !a.row_cols(r).is_empty()).count();
+        assert!(picks.total() <= populated as u64);
+        assert!(picks.total() > 0);
+    }
+
+    #[test]
+    fn matches_reference_on_skewed() {
+        let a = rmat(RmatConfig::skewed(9, 4000), 3);
+        let picks = check_bit_identical(&a, &a);
+        assert!(picks.total() > 0);
+    }
+
+    #[test]
+    fn stencil_rows_go_to_merge_or_dense() {
+        // A 2-D stencil squared: tiny fan-in, low compression — the
+        // merge regime (or dense where the panel is narrow enough).
+        let a = grid2d_stencil(16, 16, 2, 4);
+        let picks = check_bit_identical(&a, &a);
+        assert_eq!(picks.hash, 0, "stencil rows should avoid hashing");
+        assert!(picks.merge > 0 || picks.dense > 0);
+    }
+
+    #[test]
+    fn view_panel_multiplication() {
+        let a = erdos_renyi(90, 80, 0.1, 5);
+        let b = erdos_renyi(80, 70, 0.1, 6);
+        let full = multiply(&a, &b).unwrap();
+        let panel = CsrView::rows(&a, 30, 60);
+        let part = multiply_view(&panel, &b).unwrap();
+        assert_eq!(part, full.slice_rows(30, 60));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let z = CsrMatrix::zeros(10, 10);
+        let (c, picks) = multiply_with_picks(&z, &z).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(picks.total(), 0);
+    }
+
+    #[test]
+    fn rejects_mismatch() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(5, 3);
+        assert!(multiply(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Multicore merge-based SpGEMM — BRMerge-style accumulation over
+//! sorted CSR rows ("Accelerating CPU-Based Sparse General Matrix
+//! Multiplication With Binary Row Merging", PAPERS.md).
+//!
+//! Same two-phase skeleton as [`crate::parallel_hash`] (shared symbolic
+//! pass, exact allocation, parallel numeric fill into disjoint
+//! slices), but the numeric phase computes each output row by
+//! *chained two-way merging* of the scaled `B` rows instead of hash
+//! accumulation: no probes, no flush-time sort, purely sequential
+//! access. The chain is left-leaning — not BRMerge's balanced tree —
+//! so the per-column fold order matches `reference::multiply` exactly
+//! and the result is bit-identical (see `accum::merge` for the
+//! argument). Merge shines on short-row / low-compression products;
+//! the `adaptive` executor picks it per row only where it wins.
+
+use crate::check_dims;
+use accum::ScratchPool;
+use rayon::prelude::*;
+use sparse::{ColId, CsrMatrix, CsrView, Result};
+
+/// Row-chunk granularity, matching `parallel_hash`.
+const CHUNK: usize = 256;
+
+/// Computes `C = a · b` with the merge-based algorithm.
+pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    multiply_view(&CsrView::of(a), b)
+}
+
+/// [`multiply`] over a borrowed row panel of `A`.
+pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
+    let n_rows = a.n_rows();
+    let width = b.n_cols();
+
+    let pool = ScratchPool::new();
+    let row_nnz: Vec<usize> = crate::parallel_hash::symbolic(a, b, &pool);
+
+    let mut offsets = Vec::with_capacity(n_rows + 1);
+    offsets.push(0usize);
+    for &n in &row_nnz {
+        offsets.push(offsets.last().unwrap() + n);
+    }
+    let nnz = *offsets.last().unwrap();
+    let mut cols = vec![0 as ColId; nnz];
+    let mut vals = vec![0.0f64; nnz];
+
+    {
+        let mut col_chunks: Vec<(usize, &mut [ColId], &mut [f64])> = Vec::new();
+        let mut rest_c: &mut [ColId] = &mut cols;
+        let mut rest_v: &mut [f64] = &mut vals;
+        let mut chunk_start = 0usize;
+        while chunk_start < n_rows {
+            let chunk_end = (chunk_start + CHUNK).min(n_rows);
+            let len = offsets[chunk_end] - offsets[chunk_start];
+            let (head_c, tail_c) = rest_c.split_at_mut(len);
+            let (head_v, tail_v) = rest_v.split_at_mut(len);
+            col_chunks.push((chunk_start, head_c, head_v));
+            rest_c = tail_c;
+            rest_v = tail_v;
+            chunk_start = chunk_end;
+        }
+        col_chunks
+            .into_par_iter()
+            .for_each(|(chunk_start, out_c, out_v)| {
+                numeric_chunk(a, b, &row_nnz, chunk_start, out_c, out_v, &pool);
+            });
+    }
+
+    Ok(CsrMatrix::from_parts_unchecked(
+        n_rows, width, offsets, cols, vals,
+    ))
+}
+
+/// Numeric phase for one row chunk: each output row is the chained
+/// merge of its scaled `B` rows, written into the chunk's disjoint
+/// slices with a merge buffer leased from `pool`.
+fn numeric_chunk(
+    a: &CsrView<'_>,
+    b: &CsrMatrix,
+    row_nnz: &[usize],
+    chunk_start: usize,
+    out_c: &mut [ColId],
+    out_v: &mut [f64],
+    pool: &ScratchPool,
+) {
+    let chunk_len = out_c.len();
+    let rows = chunk_start..(chunk_start + CHUNK).min(row_nnz.len());
+    pool.with(|scratch| {
+        let mut cursor = 0usize;
+        for r in rows {
+            let expect = row_nnz[r];
+            if expect == 0 {
+                continue;
+            }
+            scratch.merge_row_into(
+                a.row_cols(r)
+                    .iter()
+                    .zip(a.row_values(r))
+                    .map(|(&k, &a_rk)| (a_rk, b.row_cols(k as usize), b.row_values(k as usize))),
+                &mut out_c[cursor..cursor + expect],
+                &mut out_v[cursor..cursor + expect],
+            );
+            cursor += expect;
+        }
+        debug_assert_eq!(cursor, chunk_len, "chunk fill incomplete");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen::{erdos_renyi, grid2d_stencil, rmat, RmatConfig};
+
+    fn bits(m: &CsrMatrix) -> Vec<u64> {
+        m.values().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn check_bit_identical(a: &CsrMatrix, b: &CsrMatrix) {
+        let expect = reference::multiply(a, b).unwrap();
+        let got = multiply(a, b).unwrap();
+        got.validate().unwrap();
+        assert_eq!(got.row_offsets(), expect.row_offsets());
+        assert_eq!(got.col_ids(), expect.col_ids());
+        assert_eq!(bits(&got), bits(&expect), "values must be bit-identical");
+    }
+
+    #[test]
+    fn matches_reference_on_random() {
+        let a = erdos_renyi(120, 100, 0.08, 1);
+        let b = erdos_renyi(100, 140, 0.08, 2);
+        check_bit_identical(&a, &b);
+    }
+
+    #[test]
+    fn matches_reference_on_skewed() {
+        let a = rmat(RmatConfig::skewed(9, 4000), 3);
+        check_bit_identical(&a, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_stencil() {
+        let a = grid2d_stencil(16, 16, 2, 4);
+        check_bit_identical(&a, &a);
+    }
+
+    #[test]
+    fn view_panel_multiplication() {
+        let a = erdos_renyi(90, 80, 0.1, 5);
+        let b = erdos_renyi(80, 70, 0.1, 6);
+        let full = multiply(&a, &b).unwrap();
+        let panel = CsrView::rows(&a, 30, 60);
+        let part = multiply_view(&panel, &b).unwrap();
+        assert_eq!(part, full.slice_rows(30, 60));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let z = CsrMatrix::zeros(10, 10);
+        assert_eq!(multiply(&z, &z).unwrap().nnz(), 0);
+        let a = erdos_renyi(10, 0, 0.0, 1);
+        let b = CsrMatrix::zeros(0, 5);
+        let c = multiply(&a, &b).unwrap();
+        assert_eq!(c.n_rows(), 10);
+        assert_eq!(c.n_cols(), 5);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn rejects_mismatch() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(5, 3);
+        assert!(multiply(&a, &b).is_err());
+    }
+}

@@ -8,7 +8,7 @@
 //! chunking, driven by cache capacity instead of device memory.
 
 use crate::check_dims;
-use accum::{Accumulator, DenseAccumulator};
+use accum::{Accumulator, ScratchPool};
 use rayon::prelude::*;
 use sparse::partition::col::{even_col_ranges, ColPartitioner};
 use sparse::{ColId, CsrMatrix, CsrView, Result};
@@ -25,6 +25,21 @@ pub fn multiply(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 
 /// [`multiply`] with an explicit column-panel width.
 pub fn multiply_with_width(a: &CsrMatrix, b: &CsrMatrix, panel_width: usize) -> Result<CsrMatrix> {
+    let pool = ScratchPool::new();
+    multiply_with_pool(a, b, panel_width, &pool)
+}
+
+/// [`multiply_with_width`] with a caller-provided scratch pool. The
+/// dense accumulator used per panel is leased from `pool` instead of
+/// freshly allocated per call, so repeated products through one pool
+/// reuse the grown array (pinned by the counting-allocator test in
+/// `tests/alloc_free.rs`).
+pub fn multiply_with_pool(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    panel_width: usize,
+    pool: &ScratchPool,
+) -> Result<CsrMatrix> {
     check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
     assert!(panel_width > 0, "panel width must be positive");
     let n_rows = a.n_rows();
@@ -47,20 +62,22 @@ pub fn multiply_with_width(a: &CsrMatrix, b: &CsrMatrix, panel_width: usize) -> 
         .par_iter()
         .map(|panel| {
             let w = panel.width();
-            let mut acc = DenseAccumulator::new(w);
             let mut offsets = Vec::with_capacity(n_rows + 1);
             let mut cols: Vec<ColId> = Vec::new();
             let mut vals: Vec<f64> = Vec::new();
             offsets.push(0);
-            for r in 0..n_rows {
-                for (k, a_rk) in av.row_iter(r) {
-                    for (c, b_kc) in panel.matrix.row_iter(k as usize) {
-                        acc.add(c, a_rk * b_kc);
+            pool.with(|scratch| {
+                let acc = scratch.dense_acc(w);
+                for r in 0..n_rows {
+                    for (k, a_rk) in av.row_iter(r) {
+                        for (c, b_kc) in panel.matrix.row_iter(k as usize) {
+                            acc.add(c, a_rk * b_kc);
+                        }
                     }
+                    acc.flush_into(&mut cols, &mut vals);
+                    offsets.push(cols.len());
                 }
-                acc.flush_into(&mut cols, &mut vals);
-                offsets.push(cols.len());
-            }
+            });
             PanelProduct {
                 start_col: panel.col_range.start,
                 offsets,
@@ -123,6 +140,24 @@ mod tests {
         let a = erdos_renyi(50, 50, 0.1, 3);
         let expect = reference::multiply(&a, &a).unwrap();
         assert!(multiply(&a, &a).unwrap().approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn shared_pool_reuse_is_bit_identical() {
+        // One pool across calls with *different* panel widths: the
+        // grown accumulator is reused (generation stamps make stale
+        // slots read as untouched) and results must not change.
+        let a = erdos_renyi(60, 60, 0.1, 11);
+        let expect = reference::multiply(&a, &a).unwrap();
+        let pool = ScratchPool::new();
+        for w in [40usize, 64, 13] {
+            let got = multiply_with_pool(&a, &a, w, &pool).unwrap();
+            assert_eq!(got.row_offsets(), expect.row_offsets());
+            assert_eq!(got.col_ids(), expect.col_ids());
+            let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&expect), "panel width {w}");
+        }
+        assert!(pool.idle() >= 1, "bundles must return to the pool");
     }
 
     #[test]

@@ -89,8 +89,10 @@ pub fn multiply_view(a: &CsrView<'_>, b: &CsrMatrix) -> Result<CsrMatrix> {
 /// Symbolic phase: exact output row sizes, parallel over row chunks
 /// (chunk index ranges iterated directly — no materialized row list).
 /// Each in-flight chunk leases one counter bundle from `pool` — reused
-/// across chunks, so no width-sized allocation per chunk.
-fn symbolic(a: &CsrView<'_>, b: &CsrMatrix, pool: &ScratchPool) -> Vec<usize> {
+/// across chunks, so no width-sized allocation per chunk. Shared with
+/// the `brmerge` executor, whose numeric phase differs but whose
+/// symbolic needs are identical.
+pub(crate) fn symbolic(a: &CsrView<'_>, b: &CsrMatrix, pool: &ScratchPool) -> Vec<usize> {
     let n_rows = a.n_rows();
     let width = b.n_cols();
     (0..n_rows.div_ceil(CHUNK).max(1))

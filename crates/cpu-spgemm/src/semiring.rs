@@ -10,6 +10,7 @@
 //! panels, planning and partitioning apply unchanged.
 
 use crate::check_dims;
+use accum::MergeBuffer;
 use sparse::{ColId, CsrBuilder, CsrMatrix, Result};
 
 /// A semiring over `f64` values.
@@ -67,7 +68,27 @@ impl Semiring {
 /// Structure follows the sorted-merge accumulation (entries collide on
 /// equal column ids and are folded with `plus`); entries equal to the
 /// semiring zero are kept structurally, like the numeric executors do.
+///
+/// When `B`'s rows are sorted (the CSR norm here), accumulation runs
+/// through the shared [`accum::MergeBuffer`] chain — the same code path
+/// the `brmerge` executor uses — instead of materializing and sorting
+/// every intermediate product. The fold order is identical (stable
+/// sort keeps equal columns in increasing-`k` order, folded
+/// left-associatively; so does the chain), so both paths produce
+/// bit-identical output — pinned by the `merge_path_matches_sorting_*`
+/// tests below.
 pub fn multiply_semiring(a: &CsrMatrix, b: &CsrMatrix, s: &Semiring) -> Result<CsrMatrix> {
+    check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
+    if rows_sorted(b) {
+        multiply_semiring_merge(a, b, s)
+    } else {
+        multiply_semiring_sorting(a, b, s)
+    }
+}
+
+/// The expand-sort-fold formulation — kept as the oracle for the merge
+/// path and the fallback for matrices with unsorted rows.
+pub fn multiply_semiring_sorting(a: &CsrMatrix, b: &CsrMatrix, s: &Semiring) -> Result<CsrMatrix> {
     check_dims(a.n_rows(), a.n_cols(), b.n_rows(), b.n_cols())?;
     let mut builder = CsrBuilder::new(b.n_cols());
     let mut pairs: Vec<(ColId, f64)> = Vec::new();
@@ -78,6 +99,8 @@ pub fn multiply_semiring(a: &CsrMatrix, b: &CsrMatrix, s: &Semiring) -> Result<C
                 pairs.push((j, (s.times)(a_ik, b_kj)));
             }
         }
+        // Stable by column: ties keep push order, i.e. increasing `k` —
+        // the fold order every executor in the workspace shares.
         pairs.sort_by_key(|&(c, _)| c);
         let mut cols: Vec<ColId> = Vec::with_capacity(pairs.len());
         let mut vals: Vec<f64> = Vec::with_capacity(pairs.len());
@@ -93,6 +116,32 @@ pub fn multiply_semiring(a: &CsrMatrix, b: &CsrMatrix, s: &Semiring) -> Result<C
         builder.push_row(&cols, &vals)?;
     }
     Ok(builder.finish())
+}
+
+/// Merge-path semiring multiply: each output row is the chained merge
+/// of the semiring-scaled `B` rows.
+fn multiply_semiring_merge(a: &CsrMatrix, b: &CsrMatrix, s: &Semiring) -> Result<CsrMatrix> {
+    let mut builder = CsrBuilder::new(b.n_cols());
+    let mut buf = MergeBuffer::new();
+    for i in 0..a.n_rows() {
+        let rows = a
+            .row_cols(i)
+            .iter()
+            .zip(a.row_values(i))
+            .map(|(&k, &a_ik)| (a_ik, b.row_cols(k as usize), b.row_values(k as usize)));
+        let mut pushed = Ok(());
+        buf.merge_rows_with(s.plus, s.times, rows, |cols, vals| {
+            pushed = builder.push_row(cols, vals);
+        });
+        pushed?;
+    }
+    Ok(builder.finish())
+}
+
+/// True if every row of `m` has strictly increasing column ids — the
+/// precondition for merge accumulation.
+fn rows_sorted(m: &CsrMatrix) -> bool {
+    (0..m.n_rows()).all(|r| m.row_cols(r).windows(2).all(|w| w[0] < w[1]))
 }
 
 /// One step of min-plus APSP relaxation: `D' = min(D, D ⊗ W)` where
@@ -200,6 +249,25 @@ mod tests {
         // Fixed point: one more step changes nothing.
         let d2 = min_plus_step(&d, &w).unwrap();
         assert!(d2.approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn merge_path_matches_sorting_path_on_all_semirings() {
+        let a = erdos_renyi(50, 45, 0.12, 21);
+        let b = erdos_renyi(45, 55, 0.12, 22);
+        for (name, s) in [
+            ("plus_times", Semiring::plus_times()),
+            ("min_plus", Semiring::min_plus()),
+            ("bool_or_and", Semiring::bool_or_and()),
+            ("max_times", Semiring::max_times()),
+        ] {
+            let merged = multiply_semiring(&a, &b, &s).unwrap();
+            let sorted = multiply_semiring_sorting(&a, &b, &s).unwrap();
+            assert_eq!(merged.row_offsets(), sorted.row_offsets(), "{name}");
+            assert_eq!(merged.col_ids(), sorted.col_ids(), "{name}");
+            let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&merged), bits(&sorted), "{name}: bit-identical");
+        }
     }
 
     #[test]

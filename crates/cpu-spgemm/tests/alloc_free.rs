@@ -1,0 +1,138 @@
+//! Verifies the merge accumulator's "allocation-free at steady state"
+//! bar with a counting global allocator: after a warm-up pass grows
+//! the pooled merge buffers and the pooled dense accumulator to their
+//! high-water capacity, repeated passes over the same per-row work
+//! must allocate nothing. This pins both halves of the scratch story:
+//! the `MergeBuffer` chain behind `brmerge` and the pooled dense
+//! accumulator `dense_blocked` leases per panel.
+//!
+//! This file deliberately holds a single `#[test]` — the counter is
+//! process-global, and a concurrent test in the same binary would
+//! pollute the delta.
+
+use accum::{Accumulator, ScratchPool};
+use sparse::CsrMatrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One steady-state merge pass: every row of `C = A·B` accumulated
+/// through the pooled [`accum::MergeBuffer`] chain into caller slices.
+fn merge_pass(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    pool: &ScratchPool,
+    row_nnz: &[usize],
+    out_c: &mut [u32],
+    out_v: &mut [f64],
+) {
+    pool.with(|scratch| {
+        let mut cursor = 0usize;
+        for (r, &expect) in row_nnz.iter().enumerate() {
+            if expect == 0 {
+                continue;
+            }
+            scratch.merge_row_into(
+                a.row_cols(r)
+                    .iter()
+                    .zip(a.row_values(r))
+                    .map(|(&k, &a_rk)| (a_rk, b.row_cols(k as usize), b.row_values(k as usize))),
+                &mut out_c[cursor..cursor + expect],
+                &mut out_v[cursor..cursor + expect],
+            );
+            cursor += expect;
+        }
+    });
+}
+
+/// One steady-state dense pass: every row accumulated through the
+/// pooled dense accumulator and flushed into pre-grown staging — the
+/// per-panel loop of `dense_blocked::multiply_with_pool`.
+fn dense_pass(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    pool: &ScratchPool,
+    cols: &mut Vec<u32>,
+    vals: &mut Vec<f64>,
+) {
+    pool.with(|scratch| {
+        let acc = scratch.dense_acc(b.n_cols());
+        cols.clear();
+        vals.clear();
+        for r in 0..a.n_rows() {
+            for (k, a_rk) in a.row_iter(r) {
+                for (c, b_kc) in b.row_iter(k as usize) {
+                    acc.add(c, a_rk * b_kc);
+                }
+            }
+            acc.flush_into(cols, vals);
+        }
+    });
+}
+
+#[test]
+fn steady_state_merge_and_dense_accumulation_is_allocation_free() {
+    let a = sparse::gen::erdos_renyi(180, 160, 0.05, 1);
+    let b = sparse::gen::erdos_renyi(160, 200, 0.05, 2);
+
+    let pool = ScratchPool::new();
+    // Exact per-row output sizes from the reference product, computed
+    // outside the measured region.
+    let expect = cpu_spgemm::reference::multiply(&a, &b).unwrap();
+    let row_nnz: Vec<usize> = (0..a.n_rows())
+        .map(|r| expect.row_offsets()[r + 1] - expect.row_offsets()[r])
+        .collect();
+    let nnz: usize = row_nnz.iter().sum();
+    let mut out_c = vec![0u32; nnz];
+    let mut out_v = vec![0.0f64; nnz];
+    // Dense staging grown once by the warm-up flush passes.
+    let mut cols: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+
+    // Warm-up: grows the merge ping-pong buffers and the dense
+    // accumulator to their high-water capacity.
+    merge_pass(&a, &b, &pool, &row_nnz, &mut out_c, &mut out_v);
+    dense_pass(&a, &b, &pool, &mut cols, &mut vals);
+
+    let before = allocations();
+    for _ in 0..3 {
+        merge_pass(&a, &b, &pool, &row_nnz, &mut out_c, &mut out_v);
+        dense_pass(&a, &b, &pool, &mut cols, &mut vals);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state merge + dense row accumulation must not allocate"
+    );
+
+    // The measured passes produced the real product, not a husk.
+    assert_eq!(out_c, expect.col_ids());
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&out_v), bits(expect.values()));
+}

@@ -1,0 +1,131 @@
+//! Property tests for the BRMerge-style executors: `brmerge` must be
+//! **bit-identical** (not just approximately equal) to the sequential
+//! reference on arbitrary, banded, and empty-row-heavy inputs, and the
+//! adaptive dispatcher must be bit-identical to every fixed kernel —
+//! whatever mix of row groups its classifier picks, the product it
+//! returns is the one product every executor in the workspace returns.
+
+use cpu_spgemm::{
+    brmerge, dense_blocked, multiply_with_kernel, multiply_with_picks, parallel_hash, reference,
+    CpuKernel,
+};
+use proptest::prelude::*;
+use sparse::{CooMatrix, CsrMatrix};
+
+/// Asserts structural and bit-level equality of two CSR matrices.
+fn assert_bit_identical(got: &CsrMatrix, expect: &CsrMatrix, label: &str) {
+    assert_eq!(got.row_offsets(), expect.row_offsets(), "{label}: offsets");
+    assert_eq!(got.col_ids(), expect.col_ids(), "{label}: columns");
+    let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(got), bits(expect), "{label}: value bits");
+}
+
+fn coo_from(m: usize, n: usize, entries: Vec<(usize, usize, f64)>) -> CsrMatrix {
+    let mut coo = CooMatrix::new(m, n);
+    for (i, j, v) in entries {
+        coo.push(i, j, v).unwrap();
+    }
+    coo.to_csr()
+}
+
+/// Pair of multiplication-compatible random matrices.
+fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..40usize, 1..40usize, 1..40usize).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec((0..m, 0..k, -10.0f64..10.0), 0..200)
+                .prop_map(move |e| coo_from(m, k, e)),
+            prop::collection::vec((0..k, 0..n, -10.0f64..10.0), 0..200)
+                .prop_map(move |e| coo_from(k, n, e)),
+        )
+    })
+}
+
+/// Banded square pair: entries confined to a diagonal band, the
+/// small-fan-in regime the classifier routes to the merge chain.
+fn arb_banded_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (8..48usize, 1..5usize).prop_flat_map(|(n, band)| {
+        let gen = move || {
+            prop::collection::vec((0..n, 0..=2 * band, -8.0f64..8.0), 0..6 * n).prop_map(
+                move |entries| {
+                    let mut coo = CooMatrix::new(n, n);
+                    for (i, off, v) in entries {
+                        let j = (i + off).saturating_sub(band);
+                        if j < n {
+                            coo.push(i, j, v).unwrap();
+                        }
+                    }
+                    coo.to_csr()
+                },
+            )
+        };
+        (gen(), gen())
+    })
+}
+
+/// Pair where most rows of `A` are empty — the merge chain must skip
+/// them without disturbing its accumulator reuse.
+fn arb_sparse_rows_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (10..50usize, 10..40usize).prop_flat_map(|(m, k)| {
+        (
+            prop::collection::vec((0..m.div_ceil(5), 0..k, -10.0f64..10.0), 0..30).prop_map(
+                move |e| {
+                    // Rows concentrated in the first fifth: the rest stay empty.
+                    coo_from(m, k, e)
+                },
+            ),
+            prop::collection::vec((0..k, 0..m, -10.0f64..10.0), 0..100)
+                .prop_map(move |e| coo_from(k, m, e)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn brmerge_matches_reference_bitwise((a, b) in arb_pair()) {
+        let expect = reference::multiply(&a, &b).unwrap();
+        let got = brmerge::multiply(&a, &b).unwrap();
+        assert_bit_identical(&got, &expect, "brmerge/random");
+    }
+
+    #[test]
+    fn brmerge_matches_reference_on_banded((a, b) in arb_banded_pair()) {
+        let expect = reference::multiply(&a, &b).unwrap();
+        let got = brmerge::multiply(&a, &b).unwrap();
+        assert_bit_identical(&got, &expect, "brmerge/banded");
+    }
+
+    #[test]
+    fn brmerge_matches_reference_on_empty_rows((a, b) in arb_sparse_rows_pair()) {
+        let expect = reference::multiply(&a, &b).unwrap();
+        let got = brmerge::multiply(&a, &b).unwrap();
+        assert_bit_identical(&got, &expect, "brmerge/empty-rows");
+    }
+
+    #[test]
+    fn adaptive_matches_every_fixed_kernel((a, b) in arb_pair()) {
+        let (adaptive, _picks) = multiply_with_picks(&a, &b).unwrap();
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert_bit_identical(&adaptive, &expect, "adaptive vs reference");
+        for kernel in [CpuKernel::Hash, CpuKernel::Dense, CpuKernel::Merge] {
+            let fixed = multiply_with_kernel(&a, &b, kernel).unwrap();
+            assert_bit_identical(&adaptive, &fixed, kernel.name());
+        }
+    }
+
+    #[test]
+    fn fixed_kernels_match_reference_on_banded((a, b) in arb_banded_pair()) {
+        let expect = reference::multiply(&a, &b).unwrap();
+        assert_bit_identical(
+            &parallel_hash::multiply(&a, &b).unwrap(),
+            &expect,
+            "hash/banded",
+        );
+        assert_bit_identical(
+            &dense_blocked::multiply(&a, &b).unwrap(),
+            &expect,
+            "dense/banded",
+        );
+    }
+}
